@@ -1,0 +1,8 @@
+//! Comparison baselines: a CPU roofline model and an analytic Xilinx-DPU
+//! model (§5.4.2, §5.5).
+
+pub mod cpu;
+pub mod dpu;
+
+pub use cpu::CpuModel;
+pub use dpu::DpuModel;

@@ -1,0 +1,364 @@
+//! Functional (bit-exact) model of the Dot-Product-Engine array.
+//!
+//! §4.2.1: SushiAccel computes with fixed-size DPEs of 9 multipliers.
+//! Weights stream down rows (kernel parallelism `KP`) and stay stationary;
+//! iActs stream through columns (channel parallelism `CP`); an adder tree
+//! reduces each row. 3×3 kernels map one-to-one onto a DPE; larger kernels
+//! decompose into 3×3 passes; 1×1 kernels flatten channels across the 9
+//! multipliers; the Zero-Subtraction stage computes
+//! `(iAct − zp_a) · (w − zp_w)` before accumulation.
+//!
+//! This module *executes* that schedule on real int8 data. Because integer
+//! accumulation is associative and the output stage requantizes exactly like
+//! the reference, the result equals [`sushi_tensor::ops::conv::conv2d_i8`]
+//! bit-for-bit — the property the tests pin down.
+
+use sushi_tensor::ops::conv::Conv2dParams;
+use sushi_tensor::quant::requantize_accumulator;
+use sushi_tensor::{QuantParams, Shape4, Tensor, TensorError};
+
+use crate::config::DPE_SIZE;
+
+/// A `KP × CP` array of 9-multiplier DPEs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DpeArray {
+    /// Kernel-level parallelism (rows).
+    pub kp: usize,
+    /// Channel-level parallelism (columns).
+    pub cp: usize,
+}
+
+impl DpeArray {
+    /// Creates a DPE array.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn new(kp: usize, cp: usize) -> Self {
+        assert!(kp > 0 && cp > 0, "DPE array dims must be positive");
+        Self { kp, cp }
+    }
+
+    /// Quantized convolution executed in the DPE array's tiled schedule.
+    ///
+    /// Supports dense convolutions (any odd kernel) and depthwise
+    /// convolutions (`groups == K`, weights shaped `(K, 1, R, S)`).
+    ///
+    /// # Errors
+    /// Returns an error on shape/parameter mismatch, mirroring the
+    /// reference implementation.
+    #[allow(clippy::too_many_arguments)]
+    pub fn conv2d_i8(
+        &self,
+        input: &Tensor<i8>,
+        in_q: QuantParams,
+        weights: &Tensor<i8>,
+        w_q: QuantParams,
+        bias: Option<&[i32]>,
+        out_q: QuantParams,
+        params: &Conv2dParams,
+    ) -> Result<Tensor<i8>, TensorError> {
+        let ishape = input.shape();
+        let wshape = weights.shape();
+        if params.stride == 0 {
+            return Err(TensorError::InvalidParam { what: "stride must be nonzero" });
+        }
+        let depthwise = params.groups > 1;
+        if depthwise && (params.groups != wshape.n || wshape.c != 1) {
+            return Err(TensorError::InvalidParam { what: "depthwise requires groups == K and C == 1" });
+        }
+        if !depthwise && wshape.c != ishape.c {
+            return Err(TensorError::ShapeMismatch { what: "input channels", lhs: ishape, rhs: wshape });
+        }
+        if let Some(b) = bias {
+            if b.len() != wshape.n {
+                return Err(TensorError::LengthMismatch { expected: wshape.n, actual: b.len() });
+            }
+        }
+        let oh = sushi_tensor::shape::conv_out_dim(ishape.h, wshape.h, params.stride, params.padding)
+            .ok_or(TensorError::EmptyOutput { input: ishape })?;
+        let ow = sushi_tensor::shape::conv_out_dim(ishape.w, wshape.w, params.stride, params.padding)
+            .ok_or(TensorError::EmptyOutput { input: ishape })?;
+
+        let acc_scale = in_q.scale * w_q.scale / out_q.scale;
+        let k_total = wshape.n;
+        let mut out = Tensor::zeros(Shape4::new(ishape.n, k_total, oh, ow));
+        // Output Buffer: in-place int32 accumulation per kernel tile.
+        let mut ob = vec![0i32; self.kp * oh * ow];
+
+        for n in 0..ishape.n {
+            for k_tile in (0..k_total).step_by(self.kp) {
+                let k_hi = (k_tile + self.kp).min(k_total);
+                ob.iter_mut().for_each(|v| *v = 0);
+                if depthwise {
+                    self.depthwise_tile(input, in_q, weights, w_q, params, n, k_tile, k_hi, oh, ow, &mut ob);
+                } else {
+                    self.dense_tile(input, in_q, weights, w_q, params, n, k_tile, k_hi, oh, ow, &mut ob);
+                }
+                // Output stage: add bias, requantize, emit final oActs.
+                for k in k_tile..k_hi {
+                    let b = bias.map_or(0, |b| b[k]);
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            let acc = ob[(k - k_tile) * oh * ow + oy * ow + ox] + b;
+                            out.set(n, k, oy, ox, requantize_accumulator(acc, acc_scale, out_q.zero_point));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Dense tile: channel tiles of width `CP` stream through columns; each
+    /// DPE performs a 9-MAC dot product (one 3×3 window pass, or 9 channels
+    /// of a 1×1 kernel).
+    #[allow(clippy::too_many_arguments)]
+    fn dense_tile(
+        &self,
+        input: &Tensor<i8>,
+        in_q: QuantParams,
+        weights: &Tensor<i8>,
+        w_q: QuantParams,
+        params: &Conv2dParams,
+        n: usize,
+        k_tile: usize,
+        k_hi: usize,
+        oh: usize,
+        ow: usize,
+        ob: &mut [i32],
+    ) {
+        let ishape = input.shape();
+        let wshape = weights.shape();
+        let (r, s) = (wshape.h, wshape.w);
+        let zp_a = i32::from(in_q.zero_point);
+        let zp_w = i32::from(w_q.zero_point);
+
+        if r == 1 && s == 1 {
+            // 1x1: flatten channels across the 9 multipliers of each DPE and
+            // across CP columns: CP*9 channels per pass.
+            let cs = self.cp * DPE_SIZE;
+            for c_tile in (0..ishape.c).step_by(cs) {
+                let c_hi = (c_tile + cs).min(ishape.c);
+                for k in k_tile..k_hi {
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            let iy = oy * params.stride;
+                            let ix = ox * params.stride;
+                            let mut acc = 0i32;
+                            for c in c_tile..c_hi {
+                                let a = i32::from(input.get(n, c, iy, ix)) - zp_a;
+                                let w = i32::from(weights.get(k, c, 0, 0)) - zp_w;
+                                acc += a * w;
+                            }
+                            ob[(k - k_tile) * oh * ow + oy * ow + ox] += acc;
+                        }
+                    }
+                }
+            }
+            return;
+        }
+
+        // R×S ≥ 3×3: decompose into 3×3 passes; one channel per column.
+        for c_tile in (0..ishape.c).step_by(self.cp) {
+            let c_hi = (c_tile + self.cp).min(ishape.c);
+            for pr in (0..r).step_by(3) {
+                for ps in (0..s).step_by(3) {
+                    for k in k_tile..k_hi {
+                        for oy in 0..oh {
+                            for ox in 0..ow {
+                                let mut acc = 0i32;
+                                for c in c_tile..c_hi {
+                                    // The 9-MAC dot product of one DPE.
+                                    for dy in pr..(pr + 3).min(r) {
+                                        let iy = (oy * params.stride + dy) as isize - params.padding as isize;
+                                        if iy < 0 || iy >= ishape.h as isize {
+                                            continue;
+                                        }
+                                        for dx in ps..(ps + 3).min(s) {
+                                            let ix = (ox * params.stride + dx) as isize - params.padding as isize;
+                                            if ix < 0 || ix >= ishape.w as isize {
+                                                continue;
+                                            }
+                                            let a = i32::from(input.get(n, c, iy as usize, ix as usize)) - zp_a;
+                                            let w = i32::from(weights.get(k, c, dy, dx)) - zp_w;
+                                            acc += a * w;
+                                        }
+                                    }
+                                }
+                                ob[(k - k_tile) * oh * ow + oy * ow + ox] += acc;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Depthwise tile: kernel k reads only channel k; columns idle.
+    #[allow(clippy::too_many_arguments)]
+    fn depthwise_tile(
+        &self,
+        input: &Tensor<i8>,
+        in_q: QuantParams,
+        weights: &Tensor<i8>,
+        w_q: QuantParams,
+        params: &Conv2dParams,
+        n: usize,
+        k_tile: usize,
+        k_hi: usize,
+        oh: usize,
+        ow: usize,
+        ob: &mut [i32],
+    ) {
+        let ishape = input.shape();
+        let wshape = weights.shape();
+        let (r, s) = (wshape.h, wshape.w);
+        let zp_a = i32::from(in_q.zero_point);
+        let zp_w = i32::from(w_q.zero_point);
+        for k in k_tile..k_hi {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = 0i32;
+                    for dy in 0..r {
+                        let iy = (oy * params.stride + dy) as isize - params.padding as isize;
+                        if iy < 0 || iy >= ishape.h as isize {
+                            continue;
+                        }
+                        for dx in 0..s {
+                            let ix = (ox * params.stride + dx) as isize - params.padding as isize;
+                            if ix < 0 || ix >= ishape.w as isize {
+                                continue;
+                            }
+                            let a = i32::from(input.get(n, k, iy as usize, ix as usize)) - zp_a;
+                            let w = i32::from(weights.get(k, 0, dy, dx)) - zp_w;
+                            acc += a * w;
+                        }
+                    }
+                    ob[(k - k_tile) * oh * ow + oy * ow + ox] += acc;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sushi_tensor::ops::conv::conv2d_i8;
+    use sushi_tensor::DetRng;
+
+    fn rand_i8(shape: Shape4, seed: u64) -> Tensor<i8> {
+        let mut rng = DetRng::new(seed);
+        Tensor::from_vec(shape, (0..shape.volume()).map(|_| rng.next_i8()).collect()).unwrap()
+    }
+
+    fn check_equal(
+        arr: &DpeArray,
+        input: Shape4,
+        weights: Shape4,
+        params: &Conv2dParams,
+        bias: bool,
+        seed: u64,
+    ) {
+        let x = rand_i8(input, seed);
+        let w = rand_i8(weights, seed + 1);
+        let in_q = QuantParams::new(0.05, 7);
+        let w_q = QuantParams::new(0.02, -3);
+        let out_q = QuantParams::new(0.3, 5);
+        let b: Option<Vec<i32>> = bias.then(|| {
+            let mut rng = DetRng::new(seed + 2);
+            (0..weights.n).map(|_| (rng.next_u64() % 1000) as i32 - 500).collect()
+        });
+        let reference = conv2d_i8(&x, in_q, &w, w_q, b.as_deref(), out_q, params).unwrap();
+        let dpe = arr.conv2d_i8(&x, in_q, &w, w_q, b.as_deref(), out_q, params).unwrap();
+        assert_eq!(reference, dpe, "DPE schedule diverged from reference");
+    }
+
+    #[test]
+    fn dense_3x3_matches_reference_bit_exactly() {
+        let arr = DpeArray::new(4, 3);
+        check_equal(&arr, Shape4::new(1, 7, 9, 9), Shape4::new(10, 7, 3, 3),
+            &Conv2dParams::new(3, 3).with_padding(1), true, 10);
+    }
+
+    #[test]
+    fn dense_1x1_matches_reference_bit_exactly() {
+        let arr = DpeArray::new(4, 2);
+        check_equal(&arr, Shape4::new(1, 40, 5, 5), Shape4::new(12, 40, 1, 1),
+            &Conv2dParams::new(1, 1), false, 20);
+    }
+
+    #[test]
+    fn dense_5x5_decomposition_matches_reference() {
+        let arr = DpeArray::new(2, 2);
+        check_equal(&arr, Shape4::new(1, 3, 11, 11), Shape4::new(5, 3, 5, 5),
+            &Conv2dParams::new(5, 5).with_padding(2), true, 30);
+    }
+
+    #[test]
+    fn dense_7x7_stride_2_matches_reference() {
+        let arr = DpeArray::new(3, 3);
+        check_equal(&arr, Shape4::new(1, 3, 16, 16), Shape4::new(6, 3, 7, 7),
+            &Conv2dParams::new(7, 7).with_stride(2).with_padding(3), false, 40);
+    }
+
+    #[test]
+    fn depthwise_matches_reference_bit_exactly() {
+        let arr = DpeArray::new(4, 4);
+        check_equal(&arr, Shape4::new(1, 10, 8, 8), Shape4::new(10, 1, 3, 3),
+            &Conv2dParams::new(3, 3).with_padding(1).with_groups(10), true, 50);
+    }
+
+    #[test]
+    fn depthwise_5x5_stride2_matches_reference() {
+        let arr = DpeArray::new(8, 2);
+        check_equal(&arr, Shape4::new(1, 12, 9, 9), Shape4::new(12, 1, 5, 5),
+            &Conv2dParams::new(5, 5).with_stride(2).with_padding(2).with_groups(12), false, 60);
+    }
+
+    #[test]
+    fn result_is_independent_of_array_geometry() {
+        // Different KP/CP change the schedule, never the numbers.
+        let x = rand_i8(Shape4::new(1, 9, 7, 7), 70);
+        let w = rand_i8(Shape4::new(11, 9, 3, 3), 71);
+        let q = QuantParams::new(0.04, 0);
+        let p = Conv2dParams::new(3, 3).with_padding(1);
+        let a = DpeArray::new(1, 1).conv2d_i8(&x, q, &w, q, None, q, &p).unwrap();
+        let b = DpeArray::new(16, 18).conv2d_i8(&x, q, &w, q, None, q, &p).unwrap();
+        let c = DpeArray::new(3, 7).conv2d_i8(&x, q, &w, q, None, q, &p).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+    }
+
+    #[test]
+    fn zero_subtraction_handles_nonzero_zero_points() {
+        // Already exercised via check_equal's zp=7/-3; pin the padding case:
+        // padded positions must contribute exactly zero after ZS.
+        let arr = DpeArray::new(2, 2);
+        let x = Tensor::filled(Shape4::new(1, 1, 3, 3), 7i8); // == zp -> real value 0
+        let w = rand_i8(Shape4::new(1, 1, 3, 3), 80);
+        let in_q = QuantParams::new(0.05, 7);
+        let w_q = QuantParams::new(0.02, 0);
+        let out_q = QuantParams::new(0.1, 0);
+        let p = Conv2dParams::new(3, 3).with_padding(1);
+        let out = arr.conv2d_i8(&x, in_q, &w, w_q, None, out_q, &p).unwrap();
+        assert!(out.as_slice().iter().all(|&v| v == 0), "all-zero input must give zero output");
+    }
+
+    #[test]
+    fn rejects_depthwise_with_bad_groups() {
+        let arr = DpeArray::new(2, 2);
+        let x = rand_i8(Shape4::new(1, 4, 4, 4), 90);
+        let w = rand_i8(Shape4::new(4, 2, 3, 3), 91);
+        let q = QuantParams::default();
+        let p = Conv2dParams::new(3, 3).with_groups(4);
+        assert!(arr.conv2d_i8(&x, q, &w, q, None, q, &p).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_dim_array_rejected() {
+        let _ = DpeArray::new(0, 4);
+    }
+}

@@ -1,0 +1,21 @@
+//! Criterion bench regenerating the paper's Fig. 13a (board latency) and
+//! Fig. 13b (data-access energy) — see DESIGN.md's experiment index.
+
+use std::sync::Once;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sushi_bench::report_once;
+
+static PRINTED_A: Once = Once::new();
+static PRINTED_B: Once = Once::new();
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig13");
+    g.sample_size(10);
+    g.bench_function("fig13a_regenerate", |b| b.iter(|| report_once("fig13a", &PRINTED_A)));
+    g.bench_function("fig13b_regenerate", |b| b.iter(|| report_once("fig13b", &PRINTED_B)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

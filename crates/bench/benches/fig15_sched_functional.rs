@@ -1,0 +1,18 @@
+//! Criterion bench regenerating the paper's `fig15` (see DESIGN.md index).
+
+use std::sync::Once;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sushi_bench::report_once;
+
+static PRINTED: Once = Once::new();
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig15");
+    g.sample_size(10);
+    g.bench_function("regenerate", |b| b.iter(|| report_once("fig15", &PRINTED)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Criterion bench regenerating Figs. 17–18 (temporal analysis of the
+//! SubGraph caching window) — see DESIGN.md's experiment index.
+
+use std::sync::Once;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sushi_bench::report_once;
+
+static PRINTED_17: Once = Once::new();
+static PRINTED_18: Once = Once::new();
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig17_18");
+    g.sample_size(10);
+    g.bench_function("fig17_regenerate", |b| b.iter(|| report_once("fig17", &PRINTED_17)));
+    g.bench_function("fig18_regenerate", |b| b.iter(|| report_once("fig18", &PRINTED_18)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

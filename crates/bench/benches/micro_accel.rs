@@ -1,0 +1,76 @@
+//! Microbenchmarks of the SushiAccel simulator's hot paths: per-layer
+//! timing, whole-query serving, cache installation, and the functional
+//! int8 DPE convolution.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sushi_accel::config::zcu104;
+use sushi_accel::dpe::DpeArray;
+use sushi_accel::exec::Accelerator;
+use sushi_accel::timing::layer_timing;
+use sushi_tensor::ops::conv::Conv2dParams;
+use sushi_tensor::{DetRng, QuantParams, Shape4, Tensor};
+use sushi_wsnet::layer::LayerSlice;
+use sushi_wsnet::zoo;
+
+fn bench_layer_timing(c: &mut Criterion) {
+    let cfg = zcu104();
+    let net = zoo::resnet50_supernet();
+    let sn = zoo::paper_subnets(&net).remove(3);
+    let (layer, slice) = net
+        .layers
+        .iter()
+        .zip(sn.graph.slices())
+        .find(|(l, s)| !s.is_empty() && l.in_h == 14)
+        .map(|(l, s)| (l.clone(), *s))
+        .expect("mid-network layer");
+    let cached = LayerSlice::new(slice.kernels / 2, slice.channels, slice.kernel_size);
+    c.bench_function("layer_timing_single_conv", |b| {
+        b.iter(|| layer_timing(black_box(&cfg), black_box(&layer), black_box(&slice), black_box(&cached)))
+    });
+}
+
+fn bench_serve_query(c: &mut Criterion) {
+    let net = zoo::resnet50_supernet();
+    let picks = zoo::paper_subnets(&net);
+    let mut accel = Accelerator::new(zcu104());
+    accel.install_cache(&net, net.shared_subgraph(&picks));
+    let _ = accel.serve(&net, &picks[0]); // absorb reload
+    c.bench_function("serve_resnet50_query_timing_model", |b| {
+        b.iter(|| accel.serve(black_box(&net), black_box(&picks[3])))
+    });
+}
+
+fn bench_install_cache(c: &mut Criterion) {
+    let net = zoo::mobilenet_v3_supernet();
+    let picks = zoo::paper_subnets(&net);
+    let shared = net.shared_subgraph(&picks);
+    c.bench_function("install_cache_with_budget_fitting", |b| {
+        b.iter(|| {
+            let mut accel = Accelerator::new(zcu104());
+            accel.install_cache(black_box(&net), black_box(shared.clone()));
+        })
+    });
+}
+
+fn bench_dpe_functional_conv(c: &mut Criterion) {
+    let mut rng = DetRng::new(1);
+    let ishape = Shape4::new(1, 32, 14, 14);
+    let wshape = Shape4::new(32, 32, 3, 3);
+    let x = Tensor::from_vec(ishape, (0..ishape.volume()).map(|_| rng.next_i8()).collect()).unwrap();
+    let w = Tensor::from_vec(wshape, (0..wshape.volume()).map(|_| rng.next_i8()).collect()).unwrap();
+    let q = QuantParams::new(0.02, 3);
+    let params = Conv2dParams::new(3, 3).with_padding(1);
+    let arr = DpeArray::new(16, 18);
+    c.bench_function("dpe_int8_conv_32x32x14x14", |b| {
+        b.iter(|| arr.conv2d_i8(black_box(&x), q, black_box(&w), q, None, q, &params).unwrap())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_layer_timing,
+    bench_serve_query,
+    bench_install_cache,
+    bench_dpe_functional_conv
+);
+criterion_main!(benches);

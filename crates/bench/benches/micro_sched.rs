@@ -1,0 +1,56 @@
+//! Microbenchmarks of SushiSched's critical-path operations — the paper's
+//! Table 6 concern: scheduler work must stay far below inference latency.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sushi_accel::config::zcu104;
+use sushi_core::variants::build_table;
+use sushi_sched::{CacheSelection, Policy, Query, Scheduler};
+use sushi_wsnet::{zoo, NetVector};
+
+fn bench_table_lookup(c: &mut Criterion) {
+    let net = zoo::resnet50_supernet();
+    let picks = zoo::paper_subnets(&net);
+    let table = build_table(&net, &picks, &zcu104(), 100, 7);
+    let mut g = c.benchmark_group("table6_lookup");
+    for cols in [10usize, 50, 100] {
+        let t = table.with_columns(cols);
+        g.bench_with_input(BenchmarkId::new("select_strict_accuracy", cols), &t, |b, t| {
+            b.iter(|| t.select(Policy::StrictAccuracy, black_box(0.78), black_box(10.0), 1))
+        });
+        let avg = NetVector::encode(&picks[2].graph);
+        g.bench_with_input(BenchmarkId::new("closest_column_scan", cols), &t, |b, t| {
+            b.iter(|| t.closest_column(black_box(&avg)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_scheduler_decide(c: &mut Criterion) {
+    let net = zoo::mobilenet_v3_supernet();
+    let picks = zoo::paper_subnets(&net);
+    let table = build_table(&net, &picks, &zcu104(), 16, 7);
+    let mut sched =
+        Scheduler::new(table, Policy::StrictAccuracy, CacheSelection::MinDistanceToAvg, 10);
+    let mut i = 0u64;
+    c.bench_function("scheduler_decide_per_query", |b| {
+        b.iter(|| {
+            i += 1;
+            sched.decide(black_box(&Query::new(i, 0.77, 10.0)))
+        })
+    });
+}
+
+fn bench_table_build(c: &mut Criterion) {
+    let net = zoo::mobilenet_v3_supernet();
+    let picks = zoo::paper_subnets(&net);
+    let cfg = zcu104();
+    let mut g = c.benchmark_group("table_build");
+    g.sample_size(10);
+    g.bench_function("build_7rows_x_16cols", |b| {
+        b.iter(|| build_table(black_box(&net), black_box(&picks), &cfg, 16, 7))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_table_lookup, bench_scheduler_decide, bench_table_build);
+criterion_main!(benches);

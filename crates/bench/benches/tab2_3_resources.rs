@@ -1,0 +1,23 @@
+//! Criterion bench regenerating Tables 2–4 (resources, buffer split,
+//! reuse matrix) — see DESIGN.md's experiment index.
+
+use std::sync::Once;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sushi_bench::report_once;
+
+static PRINTED_2: Once = Once::new();
+static PRINTED_3: Once = Once::new();
+static PRINTED_4: Once = Once::new();
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tab2_3_4");
+    g.sample_size(20);
+    g.bench_function("tab2_regenerate", |b| b.iter(|| report_once("tab2", &PRINTED_2)));
+    g.bench_function("tab3_regenerate", |b| b.iter(|| report_once("tab3", &PRINTED_3)));
+    g.bench_function("tab4_regenerate", |b| b.iter(|| report_once("tab4", &PRINTED_4)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

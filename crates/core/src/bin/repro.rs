@@ -1,0 +1,59 @@
+//! Regenerates the SUSHI paper's tables and figures.
+//!
+//! ```text
+//! repro -- all                # every experiment, paper-scale
+//! repro -- fig10 fig16        # specific experiments
+//! repro -- all --quick        # reduced streams (CI-sized)
+//! repro -- all --save results # also write results/<id>.txt
+//! ```
+
+use std::io::Write as _;
+
+use sushi_core::experiments::{run, ExpOptions, ALL_IDS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let save_dir = args
+        .iter()
+        .position(|a| a == "--save")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let ids: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .filter(|a| save_dir.as_deref() != Some(a.as_str()))
+        .cloned()
+        .collect();
+    let opts = if quick { ExpOptions::quick() } else { ExpOptions::default() };
+
+    let selected: Vec<&str> = if ids.is_empty() || ids.iter().any(|i| i == "all") {
+        ALL_IDS.to_vec()
+    } else {
+        ids.iter().map(String::as_str).collect()
+    };
+
+    let mut failures = Vec::new();
+    for id in selected {
+        match run(id, &opts) {
+            Some(report) => {
+                let text = report.render();
+                println!("{text}");
+                if let Some(dir) = &save_dir {
+                    if let Err(e) = std::fs::create_dir_all(dir).and_then(|()| {
+                        let mut f = std::fs::File::create(format!("{dir}/{id}.txt"))?;
+                        f.write_all(text.as_bytes())
+                    }) {
+                        eprintln!("warning: could not save {id}: {e}");
+                    }
+                }
+            }
+            None => failures.push(id),
+        }
+    }
+    if !failures.is_empty() {
+        eprintln!("unknown experiment id(s): {failures:?}");
+        eprintln!("available: {ALL_IDS:?}");
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,141 @@
+//! Shared experiment context: workloads, boards, option knobs.
+
+use std::sync::Arc;
+
+use sushi_accel::config::{alveo_u50, roofline_system, zcu104};
+use sushi_accel::AccelConfig;
+use sushi_sched::Policy;
+use sushi_wsnet::{zoo, SubNet, SuperNet};
+
+use crate::stream::ConstraintSpace;
+use crate::variants::{build_stack, build_table, Variant};
+
+/// Experiment sizing knobs. Defaults regenerate the paper-scale runs; the
+/// benches shrink `queries` for quick iterations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExpOptions {
+    /// Query-stream length for serving experiments.
+    pub queries: usize,
+    /// Candidate-set size for the latency table.
+    pub candidates: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for ExpOptions {
+    fn default() -> Self {
+        Self { queries: 600, candidates: 16, seed: 0xC0FFEE }
+    }
+}
+
+impl ExpOptions {
+    /// A reduced configuration for quick smoke runs and benches.
+    #[must_use]
+    pub fn quick() -> Self {
+        Self { queries: 120, candidates: 8, seed: 0xC0FFEE }
+    }
+}
+
+/// One evaluated workload: a SuperNet and its paper Pareto picks.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// The SuperNet.
+    pub net: Arc<SuperNet>,
+    /// The paper's serving SubNets (A.. in size order).
+    pub picks: Vec<SubNet>,
+    /// Short label (`"ResNet50"` / `"MobV3"`), as in the paper's figures.
+    pub label: &'static str,
+    /// The paper's best caching window `Q` for this workload (Appendix A.1).
+    pub q_window: usize,
+}
+
+/// Loads the ResNet50 workload (Q = 8 per Fig. 17).
+#[must_use]
+pub fn resnet50_workload() -> Workload {
+    let net = Arc::new(zoo::resnet50_supernet());
+    let picks = zoo::paper_subnets(&net);
+    Workload { net, picks, label: "ResNet50", q_window: 8 }
+}
+
+/// Loads the MobileNetV3 workload (Q = 10 per Fig. 18 / Appendix A.1).
+#[must_use]
+pub fn mobv3_workload() -> Workload {
+    let net = Arc::new(zoo::mobilenet_v3_supernet());
+    let picks = zoo::paper_subnets(&net);
+    Workload { net, picks, label: "MobV3", q_window: 10 }
+}
+
+/// Both paper workloads.
+#[must_use]
+pub fn both_workloads() -> Vec<Workload> {
+    vec![resnet50_workload(), mobv3_workload()]
+}
+
+/// The evaluation boards.
+#[must_use]
+pub fn boards() -> Vec<AccelConfig> {
+    vec![zcu104(), alveo_u50()]
+}
+
+/// The §5.2 roofline system.
+#[must_use]
+pub fn roofline_board() -> AccelConfig {
+    roofline_system()
+}
+
+impl Workload {
+    /// Derives the constraint space from cold latencies on `config`.
+    #[must_use]
+    pub fn constraint_space(&self, config: &AccelConfig, opts: &ExpOptions) -> ConstraintSpace {
+        let table = build_table(&self.net, &self.picks, config, 0, opts.seed);
+        let accs: Vec<f64> = self.picks.iter().map(|p| p.accuracy).collect();
+        let lats: Vec<f64> = (0..table.num_rows()).map(|i| table.latency_ms(i, 0)).collect();
+        ConstraintSpace::from_serving_set(&accs, &lats)
+    }
+
+    /// Builds a serving stack for this workload.
+    #[must_use]
+    pub fn stack(
+        &self,
+        variant: Variant,
+        config: &AccelConfig,
+        policy: Policy,
+        q_window: usize,
+        opts: &ExpOptions,
+    ) -> crate::stack::SushiStack {
+        build_stack(
+            variant,
+            Arc::clone(&self.net),
+            self.picks.clone(),
+            config,
+            policy,
+            q_window,
+            opts.candidates,
+            opts.seed,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_have_expected_pick_counts() {
+        assert_eq!(resnet50_workload().picks.len(), 6);
+        assert_eq!(mobv3_workload().picks.len(), 7);
+    }
+
+    #[test]
+    fn constraint_space_is_sane() {
+        let w = mobv3_workload();
+        let s = w.constraint_space(&zcu104(), &ExpOptions::quick());
+        assert!(s.acc_lo < s.acc_hi);
+        assert!(s.lat_lo < s.lat_hi && s.lat_lo > 0.0);
+    }
+
+    #[test]
+    fn quick_options_are_smaller() {
+        assert!(ExpOptions::quick().queries < ExpOptions::default().queries);
+    }
+}

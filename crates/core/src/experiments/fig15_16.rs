@@ -1,0 +1,180 @@
+//! Fig. 15 (scheduler functional evaluation) and Fig. 16 (end-to-end
+//! latency/accuracy comparison of the three serving variants).
+
+use sushi_sched::Policy;
+
+use crate::experiments::common::{ExpOptions, Workload};
+use crate::metrics::{reduction_pct, summarize};
+use crate::report::{fmt_f, fmt_pct, ExpReport, TextTable};
+use crate::stream::uniform_stream;
+use crate::variants::Variant;
+
+/// Fig. 15: served-vs-constraint scatter under each hard-constraint policy.
+#[must_use]
+pub fn fig15(opts: &ExpOptions) -> ExpReport {
+    let mut report = ExpReport::new(
+        "fig15",
+        "SushiSched serves strictly better accuracy / strictly lesser latency",
+    );
+    let zcu = sushi_accel::config::zcu104();
+    for wl in crate::experiments::common::both_workloads() {
+        let space = wl.constraint_space(&zcu, opts);
+        for policy in [Policy::StrictLatency, Policy::StrictAccuracy] {
+            let mut stack = wl.stack(Variant::Sushi, &zcu, policy, wl.q_window, opts);
+            let queries = uniform_stream(&space, opts.queries, opts.seed ^ 0x15);
+            let records = stack.serve_stream(&queries);
+            let (label, satisfied) = match policy {
+                Policy::StrictLatency => (
+                    "strict latency",
+                    records
+                        .iter()
+                        .filter(|r| r.served_latency_ms <= r.query.latency_constraint_ms)
+                        .count(),
+                ),
+                Policy::StrictAccuracy => (
+                    "strict accuracy",
+                    records
+                        .iter()
+                        .filter(|r| r.served_accuracy >= r.query.accuracy_constraint)
+                        .count(),
+                ),
+            };
+            let mut t = TextTable::new(vec!["constraint", "served", "ok"]);
+            for r in records.iter().step_by((records.len() / 20).max(1)) {
+                let (c, s, ok) = match policy {
+                    Policy::StrictLatency => (
+                        r.query.latency_constraint_ms,
+                        r.served_latency_ms,
+                        r.served_latency_ms <= r.query.latency_constraint_ms,
+                    ),
+                    Policy::StrictAccuracy => (
+                        r.query.accuracy_constraint * 100.0,
+                        r.served_accuracy * 100.0,
+                        r.served_accuracy >= r.query.accuracy_constraint,
+                    ),
+                };
+                t.push_row(vec![fmt_f(c, 2), fmt_f(s, 2), ok.to_string()]);
+            }
+            report.add_note(format!(
+                "{} / {label}: {}/{} queries satisfied the hard constraint",
+                wl.label,
+                satisfied,
+                records.len()
+            ));
+            report.add_section(format!("{} — {label} (sampled scatter)", wl.label), t);
+        }
+    }
+    report.add_note(
+        "Paper: blue dots almost always below y=x (latency) / above y=x (accuracy); \
+         infeasible constraints are served best-effort.",
+    );
+    report
+}
+
+/// Runs one variant over a stream and returns `(mean latency, mean acc %)`.
+fn run_variant(
+    wl: &Workload,
+    variant: Variant,
+    policy: Policy,
+    opts: &ExpOptions,
+) -> (f64, f64) {
+    let zcu = sushi_accel::config::zcu104();
+    let space = wl.constraint_space(&zcu, opts);
+    let mut stack = wl.stack(variant, &zcu, policy, wl.q_window, opts);
+    let queries = uniform_stream(&space, opts.queries, opts.seed ^ 0x16);
+    let records = stack.serve_stream(&queries);
+    let s = summarize(&records);
+    (s.mean_latency_ms, s.mean_accuracy * 100.0)
+}
+
+/// Fig. 16: No-SUSHI vs SUSHI-w/o-Sched vs SUSHI on random queries.
+#[must_use]
+pub fn fig16(opts: &ExpOptions) -> ExpReport {
+    let mut report =
+        ExpReport::new("fig16", "End-to-end latency/accuracy tradeoff across serving variants");
+    for wl in crate::experiments::common::both_workloads() {
+        let mut t = TextTable::new(vec!["variant", "mean latency (ms)", "mean accuracy (%)"]);
+        let mut lat = std::collections::HashMap::new();
+        for variant in [Variant::NoSushi, Variant::SushiNoSched, Variant::Sushi] {
+            let (l, a) = run_variant(&wl, variant, Policy::StrictAccuracy, opts);
+            lat.insert(variant.label(), l);
+            t.push_row(vec![variant.label().to_string(), fmt_f(l, 3), fmt_f(a, 2)]);
+        }
+        // Accuracy head-to-head at equal latency budgets (strict-latency).
+        let (_, acc_no) = run_variant(&wl, Variant::NoSushi, Policy::StrictLatency, opts);
+        let (_, acc_sushi) = run_variant(&wl, Variant::Sushi, Policy::StrictLatency, opts);
+        let latency_cut = reduction_pct(lat["No-Sushi"], lat["Sushi"]);
+        report.add_note(format!(
+            "{}: SUSHI cuts mean latency by {} at equal accuracy; at equal latency budgets it \
+             serves +{:.2}% accuracy",
+            wl.label,
+            fmt_pct(latency_cut),
+            acc_sushi - acc_no
+        ));
+        report.add_section(format!("{} variants", wl.label), t);
+    }
+    report.add_note(
+        "Paper: 21% (ResNet50) / 25% (MobV3) average latency reduction at the same accuracy, \
+         and up to 0.98% higher served accuracy for the same latency.",
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn satisfied_fraction(report: &ExpReport, model: &str, policy: &str) -> f64 {
+        let note = report
+            .notes
+            .iter()
+            .find(|n| n.starts_with(model) && n.contains(policy))
+            .unwrap();
+        let frac = note.split(": ").nth(1).unwrap().split(' ').next().unwrap();
+        let mut parts = frac.split('/');
+        let num: f64 = parts.next().unwrap().parse().unwrap();
+        let den: f64 = parts.next().unwrap().parse().unwrap();
+        num / den
+    }
+
+    #[test]
+    fn fig15_strict_accuracy_is_always_met() {
+        let r = fig15(&ExpOptions::quick());
+        for model in ["ResNet50", "MobV3"] {
+            assert_eq!(satisfied_fraction(&r, model, "strict accuracy"), 1.0, "{model}");
+        }
+    }
+
+    #[test]
+    fn fig15_strict_latency_mostly_met() {
+        let r = fig15(&ExpOptions::quick());
+        for model in ["ResNet50", "MobV3"] {
+            let f = satisfied_fraction(&r, model, "strict latency");
+            assert!(f > 0.85, "{model}: only {f} satisfied");
+        }
+    }
+
+    #[test]
+    fn fig16_sushi_beats_no_sushi() {
+        let r = fig16(&ExpOptions::quick());
+        for section in &r.sections {
+            let t = &section.1;
+            let lat =
+                |row: usize| -> f64 { t.cell(row, 1).unwrap().parse().unwrap() };
+            let no_sushi = lat(0);
+            let sushi = lat(2);
+            assert!(sushi < no_sushi, "{}: {sushi} !< {no_sushi}", section.0);
+        }
+    }
+
+    #[test]
+    fn fig16_full_sushi_at_least_matches_state_unaware() {
+        let r = fig16(&ExpOptions::quick());
+        for section in &r.sections {
+            let t = &section.1;
+            let no_sched: f64 = t.cell(1, 1).unwrap().parse().unwrap();
+            let sushi: f64 = t.cell(2, 1).unwrap().parse().unwrap();
+            assert!(sushi <= no_sched * 1.02, "{}: {sushi} vs {no_sched}", section.0);
+        }
+    }
+}

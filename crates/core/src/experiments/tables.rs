@@ -1,0 +1,153 @@
+//! Tables 1–4: buffer bandwidth rules, resource utilization, buffer
+//! configuration split, and the reuse-capability matrix.
+
+use sushi_accel::buffers::bandwidth_requirements;
+use sushi_accel::config::{alveo_u50, zcu104};
+use sushi_accel::resources::{dpu_reference, estimate};
+use sushi_accel::reuse::table4 as reuse_table;
+
+use crate::experiments::common::ExpOptions;
+use crate::report::{fmt_f, ExpReport, TextTable};
+
+/// Table 1: minimal bandwidth per on-chip buffer.
+#[must_use]
+pub fn tab1(_opts: &ExpOptions) -> ExpReport {
+    let mut report = ExpReport::new("tab1", "Bandwidth requirement of on-chip buffers");
+    for cfg in [zcu104(), alveo_u50()] {
+        let mut t = TextTable::new(vec!["buffer", "min bandwidth (B/cycle)", "rule"]);
+        for row in bandwidth_requirements(&cfg, 3, 3) {
+            let rule = match row.buffer {
+                sushi_accel::buffers::BufferKind::Db
+                | sushi_accel::buffers::BufferKind::Pb => "LCM(off-chip BW, DPE demand)",
+                sushi_accel::buffers::BufferKind::Sb => "LCM(off-chip BW, CPxRxS)",
+                sushi_accel::buffers::BufferKind::Lb => "DPE demand",
+                sushi_accel::buffers::BufferKind::Ob => "KP x oAct width",
+            };
+            t.push_row(vec![
+                row.buffer.name().to_string(),
+                row.bytes_per_cycle.to_string(),
+                rule.to_string(),
+            ]);
+        }
+        report.add_section(format!("{} (3x3 kernels)", cfg.name), t);
+    }
+    report
+}
+
+/// Table 2: resource comparison of SushiAccel (w/, w/o PB, both boards)
+/// against the Xilinx DPU.
+#[must_use]
+pub fn tab2(_opts: &ExpOptions) -> ExpReport {
+    let mut report = ExpReport::new("tab2", "Estimated FPGA resource utilization");
+    let mut t = TextTable::new(vec!["design", "LUT", "FF", "BRAM36", "URAM", "DSP", "PeakOps/cy"]);
+    let mut add = |name: String, e: sushi_accel::resources::ResourceEstimate| {
+        t.push_row(vec![
+            name,
+            e.lut.to_string(),
+            e.registers.to_string(),
+            fmt_f(e.bram_36k, 1),
+            e.uram.to_string(),
+            e.dsp.to_string(),
+            (e.peak_ops_per_cycle * 2).to_string(),
+        ]);
+    };
+    for board in [zcu104(), alveo_u50()] {
+        let wo = board.without_pb();
+        add(wo.name.clone(), estimate(&wo));
+        add(format!("{} w/ PB", board.name), estimate(&board));
+    }
+    add("Xilinx DPU (reported)".into(), dpu_reference());
+    report.add_section("resources", t);
+    report.add_note(
+        "Estimator is a linear fit to the paper's synthesis results (see sushi-accel::resources); \
+         ZCU104/U50 values match Table 2 within 10%.",
+    );
+    report
+}
+
+/// Table 3: per-buffer storage split on ZCU104, w/ and w/o PB.
+#[must_use]
+pub fn tab3(_opts: &ExpOptions) -> ExpReport {
+    let mut report = ExpReport::new("tab3", "Buffer configuration of SushiAccel (ZCU104)");
+    let with = zcu104();
+    let without = with.without_pb();
+    let mut t = TextTable::new(vec!["buffer", "w/o PB (KB)", "w/ PB (KB)"]);
+    let rows: Vec<(&str, u64, u64)> = vec![
+        ("DB-Ping", without.buffers.db_bytes_each, with.buffers.db_bytes_each),
+        ("DB-Pong", without.buffers.db_bytes_each, with.buffers.db_bytes_each),
+        ("SB", without.buffers.sb_bytes, with.buffers.sb_bytes),
+        ("LB", without.buffers.lb_bytes, with.buffers.lb_bytes),
+        ("OB", without.buffers.ob_bytes, with.buffers.ob_bytes),
+        ("ZSB", without.buffers.zsb_bytes, with.buffers.zsb_bytes),
+        ("PB", without.buffers.pb_bytes, with.buffers.pb_bytes),
+    ];
+    for (name, wo, w) in rows {
+        t.push_row(vec![name.to_string(), (wo / 1024).to_string(), (w / 1024).to_string()]);
+    }
+    t.push_row(vec![
+        "Overall".to_string(),
+        (without.buffers.total_bytes() / 1024).to_string(),
+        (with.buffers.total_bytes() / 1024).to_string(),
+    ]);
+    report.add_section("buffer split", t);
+    report.add_note("Both columns use the same total on-chip storage (fair comparison, §5.4.1).");
+    report
+}
+
+/// Table 4: reuse comparison against prior accelerators.
+#[must_use]
+pub fn tab4(_opts: &ExpOptions) -> ExpReport {
+    let mut report = ExpReport::new("tab4", "Reuse comparison (prior works vs SUSHI)");
+    let mut t = TextTable::new(vec!["work", "iAct", "oAct", "weights (temporal)", "SubGraph"]);
+    let mark = |b: bool| if b { "Y" } else { "-" }.to_string();
+    for p in reuse_table() {
+        let subgraph = if p.subgraph_reuse_spatial && p.subgraph_reuse_temporal {
+            "spatial+temporal".to_string()
+        } else {
+            "-".to_string()
+        };
+        t.push_row(vec![p.name.clone(), mark(p.iact_reuse), mark(p.oact_reuse), mark(p.weight_reuse_temporal), subgraph]);
+    }
+    report.add_section("capabilities", t);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tab1_lists_five_buffers_per_board() {
+        let r = tab1(&ExpOptions::quick());
+        assert_eq!(r.sections.len(), 2);
+        assert_eq!(r.sections[0].1.num_rows(), 5);
+    }
+
+    #[test]
+    fn tab2_has_five_designs() {
+        let r = tab2(&ExpOptions::quick());
+        assert_eq!(r.sections[0].1.num_rows(), 5);
+    }
+
+    #[test]
+    fn tab3_overall_storage_is_equal() {
+        let r = tab3(&ExpOptions::quick());
+        let t = &r.sections[0].1;
+        let last = t.num_rows() - 1;
+        assert_eq!(t.cell(last, 1), t.cell(last, 2));
+    }
+
+    #[test]
+    fn tab4_sushi_row_is_unique_in_subgraph_reuse() {
+        let r = tab4(&ExpOptions::quick());
+        let t = &r.sections[0].1;
+        let mut sushi_rows = 0;
+        for row in 0..t.num_rows() {
+            if t.cell(row, 4) == Some("spatial+temporal") {
+                assert_eq!(t.cell(row, 0), Some("SUSHI"));
+                sushi_rows += 1;
+            }
+        }
+        assert_eq!(sushi_rows, 1);
+    }
+}

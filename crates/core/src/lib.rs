@@ -1,0 +1,55 @@
+//! # sushi-core
+//!
+//! **SUSHI**: the vertically integrated inference-serving stack of the
+//! MLSys'23 paper, wiring [`sushi_sched`] (SushiSched + SushiAbs) to
+//! [`sushi_accel`] (SushiAccel) over weight-shared SuperNets from
+//! [`sushi_wsnet`].
+//!
+//! * [`stack::SushiStack`] — the per-query serving loop of Fig. 4.
+//! * [`variants`] — the §5.7 comparison points (No-SUSHI, SUSHI w/o Sched,
+//!   SUSHI).
+//! * [`stream`] — deterministic query-constraint generators (random,
+//!   AV-navigation phases, ICU bursts).
+//! * [`metrics`] — served latency/accuracy, SLO attainment, cache-hit ratio.
+//! * [`experiments`] — a regenerator for **every** table and figure in the
+//!   paper's evaluation (run them all via the `repro` binary:
+//!   `cargo run -p sushi-core --release --bin repro -- all`).
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use sushi_core::stream::{uniform_stream, ConstraintSpace};
+//! use sushi_core::variants::{build_stack, Variant};
+//! use sushi_sched::Policy;
+//! use sushi_wsnet::zoo;
+//!
+//! let net = Arc::new(zoo::mobilenet_v3_supernet());
+//! let picks = zoo::paper_subnets(&net);
+//! let mut stack = build_stack(
+//!     Variant::Sushi,
+//!     Arc::clone(&net),
+//!     picks,
+//!     &sushi_accel::config::zcu104(),
+//!     Policy::StrictAccuracy,
+//!     10,  // cache window Q
+//!     8,   // SubGraph candidates
+//!     42,  // seed
+//! );
+//! let space = ConstraintSpace { acc_lo: 0.76, acc_hi: 0.79, lat_lo: 2.0, lat_hi: 30.0 };
+//! let records = stack.serve_stream(&uniform_stream(&space, 50, 7));
+//! assert!(records.iter().all(|r| r.served_accuracy >= r.query.accuracy_constraint));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod experiments;
+pub mod metrics;
+pub mod report;
+pub mod stack;
+pub mod stream;
+pub mod variants;
+
+pub use stack::{ServedRecord, SushiStack};
+pub use variants::Variant;

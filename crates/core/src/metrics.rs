@@ -1,0 +1,181 @@
+//! Aggregate serving metrics.
+
+use serde::{Deserialize, Serialize};
+
+use crate::stack::ServedRecord;
+
+/// Summary statistics over a served stream.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StreamSummary {
+    /// Number of queries.
+    pub queries: usize,
+    /// Mean served latency in ms.
+    pub mean_latency_ms: f64,
+    /// Mean served accuracy (fraction).
+    pub mean_accuracy: f64,
+    /// Fraction of queries whose latency constraint was met.
+    pub latency_slo_attainment: f64,
+    /// Fraction of queries whose accuracy constraint was met.
+    pub accuracy_attainment: f64,
+    /// Mean cache-hit ratio (Appendix A.4).
+    pub mean_hit_ratio: f64,
+    /// Total off-chip energy, mJ.
+    pub total_offchip_mj: f64,
+    /// Total on-chip energy, mJ.
+    pub total_onchip_mj: f64,
+}
+
+/// Summarizes a served stream.
+///
+/// # Panics
+/// Panics if `records` is empty.
+#[must_use]
+pub fn summarize(records: &[ServedRecord]) -> StreamSummary {
+    assert!(!records.is_empty(), "cannot summarize an empty stream");
+    let n = records.len() as f64;
+    StreamSummary {
+        queries: records.len(),
+        mean_latency_ms: records.iter().map(|r| r.served_latency_ms).sum::<f64>() / n,
+        mean_accuracy: records.iter().map(|r| r.served_accuracy).sum::<f64>() / n,
+        latency_slo_attainment: records
+            .iter()
+            .filter(|r| r.served_latency_ms <= r.query.latency_constraint_ms)
+            .count() as f64
+            / n,
+        accuracy_attainment: records
+            .iter()
+            .filter(|r| r.served_accuracy >= r.query.accuracy_constraint)
+            .count() as f64
+            / n,
+        mean_hit_ratio: records.iter().map(|r| r.hit_ratio).sum::<f64>() / n,
+        total_offchip_mj: records.iter().map(|r| r.offchip_mj).sum(),
+        total_onchip_mj: records.iter().map(|r| r.onchip_mj).sum(),
+    }
+}
+
+/// Geometric mean of positive values (Fig. 14's aggregate).
+///
+/// # Panics
+/// Panics if `values` is empty or any value is non-positive.
+#[must_use]
+pub fn geomean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geomean of empty slice");
+    assert!(values.iter().all(|&v| v > 0.0), "geomean needs positive values");
+    (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+/// Percentage reduction from `base` to `ours` (positive = improvement).
+#[must_use]
+pub fn reduction_pct(base: f64, ours: f64) -> f64 {
+    if base == 0.0 {
+        return 0.0;
+    }
+    100.0 * (base - ours) / base
+}
+
+/// Serializes served records as CSV (header + one row per query), the raw
+/// data behind the paper's scatter plots (Figs. 15–16). Plot-friendly:
+/// constraints and served values side by side.
+#[must_use]
+pub fn records_to_csv(records: &[ServedRecord]) -> String {
+    let mut out = String::from(
+        "query_id,acc_constraint,lat_constraint_ms,subnet,served_accuracy,served_latency_ms,hit_ratio,offchip_mj,cache_updated\n",
+    );
+    for r in records {
+        use std::fmt::Write as _;
+        let _ = writeln!(
+            out,
+            "{},{:.6},{:.6},{},{:.6},{:.6},{:.6},{:.6},{}",
+            r.query.id,
+            r.query.accuracy_constraint,
+            r.query.latency_constraint_ms,
+            r.subnet,
+            r.served_accuracy,
+            r.served_latency_ms,
+            r.hit_ratio,
+            r.offchip_mj,
+            r.cache_updated
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sushi_sched::Query;
+
+    fn record(lat: f64, acc: f64, l_con: f64, a_con: f64, hit: f64) -> ServedRecord {
+        ServedRecord {
+            query: Query::new(0, a_con, l_con),
+            subnet: "X".into(),
+            subnet_row: 0,
+            served_accuracy: acc,
+            served_latency_ms: lat,
+            hit_ratio: hit,
+            offchip_mj: 1.0,
+            onchip_mj: 0.1,
+            cache_updated: false,
+        }
+    }
+
+    #[test]
+    fn summary_means_are_correct() {
+        let rs = vec![record(2.0, 0.76, 3.0, 0.75, 0.5), record(4.0, 0.78, 3.0, 0.80, 1.0)];
+        let s = summarize(&rs);
+        assert_eq!(s.mean_latency_ms, 3.0);
+        assert!((s.mean_accuracy - 0.77).abs() < 1e-12);
+        assert_eq!(s.latency_slo_attainment, 0.5);
+        assert_eq!(s.accuracy_attainment, 0.5);
+        assert_eq!(s.mean_hit_ratio, 0.75);
+        assert_eq!(s.total_offchip_mj, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty stream")]
+    fn summarize_rejects_empty() {
+        let _ = summarize(&[]);
+    }
+
+    #[test]
+    fn geomean_of_constant_is_constant() {
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_matches_hand_computation() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reduction_pct_signs() {
+        assert_eq!(reduction_pct(10.0, 8.0), 20.0);
+        assert_eq!(reduction_pct(10.0, 12.0), -20.0);
+        assert_eq!(reduction_pct(0.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn csv_has_header_and_one_row_per_record() {
+        let rs = vec![record(2.0, 0.76, 3.0, 0.75, 0.5), record(4.0, 0.78, 3.0, 0.80, 1.0)];
+        let csv = records_to_csv(&rs);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("query_id,"));
+        assert_eq!(lines[0].split(',').count(), lines[1].split(',').count());
+    }
+
+    #[test]
+    fn csv_of_empty_stream_is_just_header() {
+        let csv = records_to_csv(&[]);
+        assert_eq!(csv.lines().count(), 1);
+    }
+
+    #[test]
+    fn csv_round_numbers_are_parseable() {
+        let rs = vec![record(2.5, 0.76, 3.0, 0.75, 0.5)];
+        let csv = records_to_csv(&rs);
+        let row = csv.lines().nth(1).unwrap();
+        let lat: f64 = row.split(',').nth(5).unwrap().parse().unwrap();
+        assert!((lat - 2.5).abs() < 1e-9);
+    }
+}

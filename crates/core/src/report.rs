@@ -1,0 +1,177 @@
+//! Plain-text table rendering for experiment reports.
+
+use std::fmt::Write as _;
+
+/// A column-aligned text table.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Self { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (padded/truncated to the header width).
+    pub fn push_row<S: Into<String>>(&mut self, row: Vec<S>) {
+        let mut row: Vec<String> = row.into_iter().map(Into::into).collect();
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Raw cell accessor (for tests).
+    #[must_use]
+    pub fn cell(&self, row: usize, col: usize) -> Option<&str> {
+        self.rows.get(row).and_then(|r| r.get(col)).map(String::as_str)
+    }
+
+    /// Renders with aligned columns.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut width = vec![0usize; cols];
+        for (i, h) in self.headers.iter().enumerate() {
+            width[i] = h.chars().count();
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                width[i] = width[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                let pad = width[i] - cell.chars().count();
+                let _ = write!(out, "{}{}", cell, " ".repeat(pad));
+                if i + 1 < cols {
+                    out.push_str("  ");
+                }
+            }
+            out.push('\n');
+        };
+        render_row(&mut out, &self.headers);
+        let total: usize = width.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            render_row(&mut out, row);
+        }
+        out
+    }
+}
+
+/// A complete experiment report: one or more titled tables plus notes.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ExpReport {
+    /// Experiment identifier, e.g. `"fig10"`.
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// Titled tables.
+    pub sections: Vec<(String, TextTable)>,
+    /// Free-form observations (paper-vs-measured commentary).
+    pub notes: Vec<String>,
+}
+
+impl ExpReport {
+    /// Creates an empty report.
+    #[must_use]
+    pub fn new(id: impl Into<String>, title: impl Into<String>) -> Self {
+        Self { id: id.into(), title: title.into(), sections: Vec::new(), notes: Vec::new() }
+    }
+
+    /// Adds a titled table.
+    pub fn add_section(&mut self, title: impl Into<String>, table: TextTable) {
+        self.sections.push((title.into(), table));
+    }
+
+    /// Adds a note line.
+    pub fn add_note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Renders the full report.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = format!("=== {} — {} ===\n\n", self.id, self.title);
+        for (title, table) in &self.sections {
+            let _ = writeln!(out, "--- {title} ---");
+            out.push_str(&table.render());
+            out.push('\n');
+        }
+        if !self.notes.is_empty() {
+            out.push_str("Notes:\n");
+            for n in &self.notes {
+                let _ = writeln!(out, "  * {n}");
+            }
+        }
+        out
+    }
+}
+
+/// Formats a float with the given number of decimals.
+#[must_use]
+pub fn fmt_f(value: f64, decimals: usize) -> String {
+    format!("{value:.decimals$}")
+}
+
+/// Formats a percentage with two decimals.
+#[must_use]
+pub fn fmt_pct(value: f64) -> String {
+    format!("{value:.2}%")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut t = TextTable::new(vec!["name", "value"]);
+        t.push_row(vec!["a", "1"]);
+        t.push_row(vec!["longer", "22"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        assert_eq!(lines.len(), 4);
+        // Column alignment: "value" starts at the same offset in all rows.
+        let off = lines[0].find("value").unwrap();
+        assert_eq!(lines[2].find('1').unwrap(), off);
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = TextTable::new(vec!["a", "b", "c"]);
+        t.push_row(vec!["x"]);
+        assert_eq!(t.cell(0, 2), Some(""));
+    }
+
+    #[test]
+    fn report_renders_sections_and_notes() {
+        let mut r = ExpReport::new("fig1", "demo");
+        let mut t = TextTable::new(vec!["k"]);
+        t.push_row(vec!["v"]);
+        r.add_section("s1", t);
+        r.add_note("a note");
+        let s = r.render();
+        assert!(s.contains("=== fig1"));
+        assert!(s.contains("--- s1 ---"));
+        assert!(s.contains("* a note"));
+    }
+
+    #[test]
+    fn fmt_helpers() {
+        assert_eq!(fmt_f(1.23456, 2), "1.23");
+        assert_eq!(fmt_pct(12.345), "12.35%");
+    }
+}

@@ -1,0 +1,216 @@
+//! The vertically integrated SUSHI serving stack (§3.1, Fig. 4).
+//!
+//! Wires `SushiSched` to `SushiAccel` through the `SushiAbs` latency table:
+//! per query, the scheduler selects the SubNet under the current cache
+//! state; the accelerator serves it; every `Q` queries the scheduler's
+//! caching decision is enacted on the accelerator (reload charged to the
+//! following query, stage B of Fig. 9a).
+
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use sushi_accel::exec::Accelerator;
+use sushi_accel::AccelConfig;
+use sushi_sched::{CacheSelection, LatencyTable, Policy, Query, Scheduler};
+use sushi_wsnet::encoding::overlap_ratio;
+use sushi_wsnet::{SubGraph, SubNet, SuperNet};
+
+/// Everything recorded about one served query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServedRecord {
+    /// The query as issued.
+    pub query: Query,
+    /// Name of the SubNet served.
+    pub subnet: String,
+    /// Row index of the SubNet in the latency table.
+    pub subnet_row: usize,
+    /// Accuracy delivered (fixed per SubNet).
+    pub served_accuracy: f64,
+    /// End-to-end latency delivered, in ms (includes any PB reload).
+    pub served_latency_ms: f64,
+    /// Cache-hit ratio ‖SNₜ ∩ Gₜ‖₂ / ‖SNₜ‖₂ at serve time (Appendix A.4).
+    pub hit_ratio: f64,
+    /// Off-chip energy for this query, mJ.
+    pub offchip_mj: f64,
+    /// On-chip energy for this query, mJ.
+    pub onchip_mj: f64,
+    /// Whether a cache update was enacted after this query.
+    pub cache_updated: bool,
+}
+
+/// The integrated serving stack.
+#[derive(Debug)]
+pub struct SushiStack {
+    net: Arc<SuperNet>,
+    subnets: Vec<SubNet>,
+    accel: Accelerator,
+    sched: Scheduler,
+}
+
+impl SushiStack {
+    /// Assembles a stack. `subnets` must be the same serving set (in the
+    /// same order) the `table` rows were built from.
+    ///
+    /// # Panics
+    /// Panics if `subnets` and table rows disagree in length.
+    #[must_use]
+    pub fn new(
+        net: Arc<SuperNet>,
+        subnets: Vec<SubNet>,
+        table: LatencyTable,
+        config: AccelConfig,
+        policy: Policy,
+        cache_selection: CacheSelection,
+        q_window: usize,
+    ) -> Self {
+        assert_eq!(subnets.len(), table.num_rows(), "serving set / table mismatch");
+        Self {
+            net,
+            subnets,
+            accel: Accelerator::new(config),
+            sched: Scheduler::new(table, policy, cache_selection, q_window),
+        }
+    }
+
+    /// The SuperNet being served.
+    #[must_use]
+    pub fn net(&self) -> &SuperNet {
+        &self.net
+    }
+
+    /// The serving SubNets (row order).
+    #[must_use]
+    pub fn subnets(&self) -> &[SubNet] {
+        &self.subnets
+    }
+
+    /// The scheduler (for inspection).
+    #[must_use]
+    pub fn scheduler(&self) -> &Scheduler {
+        &self.sched
+    }
+
+    /// Serves one query end-to-end.
+    pub fn serve(&mut self, query: &Query) -> ServedRecord {
+        let decision = self.sched.decide(query);
+        let subnet = &self.subnets[decision.subnet_row];
+        let empty = SubGraph::empty(self.net.num_layers());
+        let cached_now = self.accel.cached().unwrap_or(&empty);
+        let hit_ratio = overlap_ratio(&subnet.graph, cached_now);
+        let report = self.accel.serve(&self.net, subnet);
+        // Enact the caching decision after serving (Algorithm 1: the cache
+        // update takes effect for subsequent queries; its reload cost is
+        // charged by the accelerator to the next serve).
+        let mut cache_updated = false;
+        if let Some(col) = decision.cache_update {
+            let graph = self.sched.table().column(col).graph.clone();
+            self.accel.install_cache(&self.net, graph);
+            cache_updated = true;
+        }
+        ServedRecord {
+            query: *query,
+            subnet: subnet.name.clone(),
+            subnet_row: decision.subnet_row,
+            served_accuracy: subnet.accuracy,
+            served_latency_ms: report.latency_ms,
+            hit_ratio,
+            offchip_mj: report.energy.offchip_mj,
+            onchip_mj: report.energy.onchip_mj,
+            cache_updated,
+        }
+    }
+
+    /// Serves a whole stream.
+    pub fn serve_stream(&mut self, queries: &[Query]) -> Vec<ServedRecord> {
+        queries.iter().map(|q| self.serve(q)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::variants::{build_stack, Variant};
+    use crate::stream::{uniform_stream, ConstraintSpace};
+    use sushi_accel::config::zcu104;
+    use sushi_wsnet::zoo;
+
+    fn stack(variant: Variant) -> SushiStack {
+        let net = Arc::new(zoo::mobilenet_v3_supernet());
+        let picks = zoo::paper_subnets(&net);
+        build_stack(variant, Arc::clone(&net), picks, &zcu104(), Policy::StrictAccuracy, 8, 12, 42)
+    }
+
+    fn space(s: &SushiStack) -> ConstraintSpace {
+        let accs: Vec<f64> = s.subnets().iter().map(|p| p.accuracy).collect();
+        let lats: Vec<f64> =
+            (0..s.scheduler().table().num_rows()).map(|i| s.scheduler().table().latency_ms(i, 0)).collect();
+        ConstraintSpace::from_serving_set(&accs, &lats)
+    }
+
+    #[test]
+    fn strict_accuracy_is_always_satisfied() {
+        let mut s = stack(Variant::Sushi);
+        let qs = uniform_stream(&space(&s), 100, 1);
+        for r in s.serve_stream(&qs) {
+            assert!(
+                r.served_accuracy >= r.query.accuracy_constraint - 1e-12,
+                "query {} violated accuracy",
+                r.query.id
+            );
+        }
+    }
+
+    #[test]
+    fn hit_ratio_is_zero_before_first_cache_install() {
+        let mut s = stack(Variant::Sushi);
+        let qs = uniform_stream(&space(&s), 4, 2);
+        let records = s.serve_stream(&qs);
+        assert_eq!(records[0].hit_ratio, 0.0);
+    }
+
+    #[test]
+    fn hit_ratio_becomes_positive_after_warmup() {
+        let mut s = stack(Variant::Sushi);
+        let qs = uniform_stream(&space(&s), 60, 3);
+        let records = s.serve_stream(&qs);
+        let tail_mean: f64 =
+            records[20..].iter().map(|r| r.hit_ratio).sum::<f64>() / (records.len() - 20) as f64;
+        assert!(tail_mean > 0.3, "tail hit ratio {tail_mean}");
+    }
+
+    #[test]
+    fn no_sushi_never_caches() {
+        let mut s = stack(Variant::NoSushi);
+        let qs = uniform_stream(&space(&s), 40, 4);
+        for r in s.serve_stream(&qs) {
+            assert_eq!(r.hit_ratio, 0.0);
+            assert!(!r.cache_updated);
+        }
+    }
+
+    #[test]
+    fn sushi_beats_no_sushi_on_mean_latency() {
+        let net = Arc::new(zoo::mobilenet_v3_supernet());
+        let picks = zoo::paper_subnets(&net);
+        let mk = |v| {
+            build_stack(v, Arc::clone(&net), picks.clone(), &zcu104(), Policy::StrictAccuracy, 10, 12, 42)
+        };
+        let mut no_sushi = mk(Variant::NoSushi);
+        let mut sushi = mk(Variant::Sushi);
+        let qs = uniform_stream(&space(&sushi), 200, 5);
+        let mean = |rs: &[ServedRecord]| {
+            rs.iter().map(|r| r.served_latency_ms).sum::<f64>() / rs.len() as f64
+        };
+        let base = mean(&no_sushi.serve_stream(&qs));
+        let ours = mean(&sushi.serve_stream(&qs));
+        assert!(ours < base, "SUSHI {ours} !< No-SUSHI {base}");
+    }
+
+    #[test]
+    fn serve_stream_length_matches_queries() {
+        let mut s = stack(Variant::SushiNoSched);
+        let qs = uniform_stream(&space(&s), 17, 6);
+        assert_eq!(s.serve_stream(&qs).len(), 17);
+    }
+}

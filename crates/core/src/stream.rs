@@ -1,0 +1,199 @@
+//! Query-stream generators.
+//!
+//! The paper's applications (§1) operate under *dynamically variable
+//! deployment conditions*: variable traffic, battery level, and query
+//! complexity. These generators produce deterministic constraint streams
+//! covering the evaluation's random queries (§5.6–5.7) plus two motivating
+//! scenarios: autonomous-vehicle terrain phases and ICU triage bursts.
+
+use sushi_sched::Query;
+use sushi_tensor::DetRng;
+
+/// Constraint bounds derived from a serving set, used to sample meaningful
+/// `(Aₜ, Lₜ)` pairs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConstraintSpace {
+    /// Lowest accuracy constraint to issue.
+    pub acc_lo: f64,
+    /// Highest accuracy constraint to issue.
+    pub acc_hi: f64,
+    /// Tightest latency constraint to issue (ms).
+    pub lat_lo: f64,
+    /// Loosest latency constraint to issue (ms).
+    pub lat_hi: f64,
+}
+
+impl ConstraintSpace {
+    /// Derives a constraint space from the serving SubNets' accuracy band
+    /// and their cold latencies.
+    ///
+    /// # Panics
+    /// Panics if `accuracies` or `cold_latencies_ms` is empty.
+    #[must_use]
+    pub fn from_serving_set(accuracies: &[f64], cold_latencies_ms: &[f64]) -> Self {
+        assert!(!accuracies.is_empty() && !cold_latencies_ms.is_empty());
+        let acc_lo = accuracies.iter().copied().fold(f64::INFINITY, f64::min);
+        let acc_hi = accuracies.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let lat_min = cold_latencies_ms.iter().copied().fold(f64::INFINITY, f64::min);
+        let lat_max = cold_latencies_ms.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Self { acc_lo, acc_hi, lat_lo: lat_min * 0.8, lat_hi: lat_max * 1.1 }
+    }
+}
+
+/// Uniform random constraints over the space (§5.6's "random queries").
+#[must_use]
+pub fn uniform_stream(space: &ConstraintSpace, n: usize, seed: u64) -> Vec<Query> {
+    let mut rng = DetRng::new(seed);
+    (0..n as u64)
+        .map(|id| {
+            let a = space.acc_lo + (space.acc_hi - space.acc_lo) * rng.next_f64();
+            let l = space.lat_lo + (space.lat_hi - space.lat_lo) * rng.next_f64();
+            Query::new(id, a, l)
+        })
+        .collect()
+}
+
+/// Phase of an autonomous-vehicle trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TerrainPhase {
+    /// Sparse suburban driving: relaxed latency, high accuracy demanded.
+    SparseSuburban,
+    /// Dense urban driving: tight latency dominates.
+    DenseUrban,
+}
+
+/// Autonomous-vehicle navigation trace (§1's "sparse suburban vs dense
+/// urban terrain"): alternating phases of `phase_len` queries. Urban phases
+/// tighten the latency constraint toward the bottom quartile; suburban
+/// phases demand top-quartile accuracy with relaxed latency.
+#[must_use]
+pub fn av_navigation_stream(
+    space: &ConstraintSpace,
+    n: usize,
+    phase_len: usize,
+    seed: u64,
+) -> Vec<(TerrainPhase, Query)> {
+    let mut rng = DetRng::new(seed);
+    let phase_len = phase_len.max(1);
+    (0..n as u64)
+        .map(|id| {
+            let phase = if (id as usize / phase_len).is_multiple_of(2) {
+                TerrainPhase::SparseSuburban
+            } else {
+                TerrainPhase::DenseUrban
+            };
+            let (a, l) = match phase {
+                TerrainPhase::SparseSuburban => (
+                    space.acc_hi - 0.25 * (space.acc_hi - space.acc_lo) * rng.next_f64(),
+                    space.lat_hi - 0.2 * (space.lat_hi - space.lat_lo) * rng.next_f64(),
+                ),
+                TerrainPhase::DenseUrban => (
+                    space.acc_lo + 0.3 * (space.acc_hi - space.acc_lo) * rng.next_f64(),
+                    space.lat_lo + 0.25 * (space.lat_hi - space.lat_lo) * rng.next_f64(),
+                ),
+            };
+            (phase, Query::new(id, a, l))
+        })
+        .collect()
+}
+
+/// ICU triage trace (§1's "variable number of patients triaged"): baseline
+/// load with deterministic bursts. During a burst, latency constraints
+/// tighten (more patients per unit time) while accuracy demands stay high —
+/// the regime where a single static model underperforms.
+#[must_use]
+pub fn icu_burst_stream(
+    space: &ConstraintSpace,
+    n: usize,
+    burst_period: usize,
+    burst_len: usize,
+    seed: u64,
+) -> Vec<(bool, Query)> {
+    let mut rng = DetRng::new(seed);
+    let period = burst_period.max(1);
+    (0..n as u64)
+        .map(|id| {
+            let in_burst = (id as usize).rem_euclid(period) < burst_len;
+            let a = space.acc_hi - 0.2 * (space.acc_hi - space.acc_lo) * rng.next_f64();
+            let l = if in_burst {
+                space.lat_lo + 0.15 * (space.lat_hi - space.lat_lo) * rng.next_f64()
+            } else {
+                space.lat_lo + (0.5 + 0.5 * rng.next_f64()) * (space.lat_hi - space.lat_lo)
+            };
+            (in_burst, Query::new(id, a, l))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> ConstraintSpace {
+        ConstraintSpace { acc_lo: 0.75, acc_hi: 0.80, lat_lo: 4.0, lat_hi: 20.0 }
+    }
+
+    #[test]
+    fn from_serving_set_spans_inputs() {
+        let s = ConstraintSpace::from_serving_set(&[0.75, 0.80], &[5.0, 18.0]);
+        assert_eq!(s.acc_lo, 0.75);
+        assert_eq!(s.acc_hi, 0.80);
+        assert!(s.lat_lo < 5.0 && s.lat_hi > 18.0);
+    }
+
+    #[test]
+    fn uniform_stream_stays_in_bounds() {
+        let qs = uniform_stream(&space(), 200, 1);
+        assert_eq!(qs.len(), 200);
+        for q in &qs {
+            assert!((0.75..=0.80).contains(&q.accuracy_constraint));
+            assert!((4.0..=20.0).contains(&q.latency_constraint_ms));
+        }
+    }
+
+    #[test]
+    fn uniform_stream_is_deterministic() {
+        assert_eq!(uniform_stream(&space(), 50, 9), uniform_stream(&space(), 50, 9));
+        assert_ne!(uniform_stream(&space(), 50, 9), uniform_stream(&space(), 50, 10));
+    }
+
+    #[test]
+    fn av_stream_alternates_phases() {
+        let qs = av_navigation_stream(&space(), 40, 10, 2);
+        assert_eq!(qs[0].0, TerrainPhase::SparseSuburban);
+        assert_eq!(qs[10].0, TerrainPhase::DenseUrban);
+        assert_eq!(qs[20].0, TerrainPhase::SparseSuburban);
+    }
+
+    #[test]
+    fn urban_phase_is_latency_tight() {
+        let qs = av_navigation_stream(&space(), 200, 10, 3);
+        let mean = |phase: TerrainPhase| {
+            let v: Vec<f64> = qs
+                .iter()
+                .filter(|(p, _)| *p == phase)
+                .map(|(_, q)| q.latency_constraint_ms)
+                .collect();
+            v.iter().sum::<f64>() / v.len() as f64
+        };
+        assert!(mean(TerrainPhase::DenseUrban) < mean(TerrainPhase::SparseSuburban));
+    }
+
+    #[test]
+    fn icu_bursts_tighten_latency() {
+        let qs = icu_burst_stream(&space(), 300, 30, 10, 4);
+        let burst: Vec<f64> = qs.iter().filter(|(b, _)| *b).map(|(_, q)| q.latency_constraint_ms).collect();
+        let calm: Vec<f64> = qs.iter().filter(|(b, _)| !*b).map(|(_, q)| q.latency_constraint_ms).collect();
+        let mb = burst.iter().sum::<f64>() / burst.len() as f64;
+        let mc = calm.iter().sum::<f64>() / calm.len() as f64;
+        assert!(mb < mc, "burst {mb} !< calm {mc}");
+    }
+
+    #[test]
+    fn icu_accuracy_demands_stay_high() {
+        let qs = icu_burst_stream(&space(), 100, 20, 5, 5);
+        for (_, q) in &qs {
+            assert!(q.accuracy_constraint >= 0.75 + 0.8 * 0.05 - 1e-9);
+        }
+    }
+}

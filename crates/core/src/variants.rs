@@ -1,0 +1,153 @@
+//! The three §5.7 comparison points.
+//!
+//! * **No-SUSHI** — the same constraint-aware SubNet selection, but the
+//!   accelerator has no Persistent Buffer (its capacity returned to the
+//!   dynamic buffers) and nothing is ever cached.
+//! * **SUSHI w/o Sched** — the PB exists but caching is *state-unaware*:
+//!   the cache simply follows the most recently served SubNet instead of
+//!   the AvgNet distance rule.
+//! * **SUSHI** — the full co-design (Algorithm 1).
+
+use std::sync::Arc;
+
+use sushi_accel::exec::Accelerator;
+use sushi_accel::AccelConfig;
+use sushi_sched::candidates::build_candidate_set;
+use sushi_sched::{CacheSelection, LatencyTable, Policy};
+use sushi_wsnet::{SubNet, SuperNet};
+
+use crate::stack::SushiStack;
+
+/// Serving-stack variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// No Persistent Buffer at all.
+    NoSushi,
+    /// PB with state-unaware (follow-last) caching.
+    SushiNoSched,
+    /// Full SUSHI (state-aware caching via AvgNet distance).
+    Sushi,
+}
+
+impl Variant {
+    /// Display label used in reports (matches Fig. 16's legend).
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Variant::NoSushi => "No-Sushi",
+            Variant::SushiNoSched => "Sushi w/o Sch",
+            Variant::Sushi => "Sushi",
+        }
+    }
+}
+
+/// Builds the latency table for a serving set on a given accelerator
+/// configuration, with `num_candidates` cacheable SubGraphs truncated to
+/// the PB budget.
+#[must_use]
+pub fn build_table(
+    net: &SuperNet,
+    subnets: &[SubNet],
+    config: &AccelConfig,
+    num_candidates: usize,
+    seed: u64,
+) -> LatencyTable {
+    let budget = if config.buffers.has_pb() { config.buffers.pb_bytes } else { 0 };
+    let candidates = if budget > 0 {
+        build_candidate_set(net, subnets, budget, num_candidates, seed)
+    } else {
+        Vec::new()
+    };
+    let probe = Accelerator::new(config.clone());
+    LatencyTable::build(subnets, candidates, |sn, cached| {
+        probe.probe(net, sn, cached).latency_ms
+    })
+}
+
+/// Assembles a full serving stack for a variant.
+///
+/// `q_window` is Algorithm 1's `Q`; `num_candidates` sizes the SushiAbs
+/// candidate set; `seed` controls candidate sampling.
+#[allow(clippy::too_many_arguments)]
+#[must_use]
+pub fn build_stack(
+    variant: Variant,
+    net: Arc<SuperNet>,
+    subnets: Vec<SubNet>,
+    base_config: &AccelConfig,
+    policy: Policy,
+    q_window: usize,
+    num_candidates: usize,
+    seed: u64,
+) -> SushiStack {
+    let (config, selection) = match variant {
+        Variant::NoSushi => (base_config.without_pb(), CacheSelection::Disabled),
+        Variant::SushiNoSched => (base_config.clone(), CacheSelection::FollowLast),
+        Variant::Sushi => (base_config.clone(), CacheSelection::MinDistanceToAvg),
+    };
+    let table = build_table(&net, &subnets, &config, num_candidates, seed);
+    SushiStack::new(net, subnets, table, config, policy, selection, q_window)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sushi_accel::config::zcu104;
+    use sushi_wsnet::zoo;
+
+    #[test]
+    fn labels_match_fig16_legend() {
+        assert_eq!(Variant::NoSushi.label(), "No-Sushi");
+        assert_eq!(Variant::SushiNoSched.label(), "Sushi w/o Sch");
+        assert_eq!(Variant::Sushi.label(), "Sushi");
+    }
+
+    #[test]
+    fn no_pb_table_has_only_empty_column() {
+        let net = zoo::mobilenet_v3_supernet();
+        let picks = zoo::paper_subnets(&net);
+        let t = build_table(&net, &picks, &zcu104().without_pb(), 10, 1);
+        assert_eq!(t.num_columns(), 1);
+    }
+
+    #[test]
+    fn pb_table_has_requested_candidates() {
+        let net = zoo::mobilenet_v3_supernet();
+        let picks = zoo::paper_subnets(&net);
+        let t = build_table(&net, &picks, &zcu104(), 10, 1);
+        assert_eq!(t.num_columns(), 11);
+        assert_eq!(t.num_rows(), picks.len());
+    }
+
+    #[test]
+    fn cached_columns_reduce_table_latency() {
+        let net = zoo::resnet50_supernet();
+        let picks = zoo::paper_subnets(&net);
+        let t = build_table(&net, &picks, &zcu104(), 8, 2);
+        for i in 0..t.num_rows() {
+            let cold = t.latency_ms(i, 0);
+            let best_warm =
+                (1..t.num_columns()).map(|j| t.latency_ms(i, j)).fold(f64::INFINITY, f64::min);
+            assert!(best_warm < cold, "row {i}: no column helps");
+        }
+    }
+
+    #[test]
+    fn build_stack_produces_all_variants() {
+        let net = Arc::new(zoo::mobilenet_v3_supernet());
+        let picks = zoo::paper_subnets(&net);
+        for v in [Variant::NoSushi, Variant::SushiNoSched, Variant::Sushi] {
+            let s = build_stack(
+                v,
+                Arc::clone(&net),
+                picks.clone(),
+                &zcu104(),
+                Policy::StrictAccuracy,
+                8,
+                6,
+                3,
+            );
+            assert_eq!(s.subnets().len(), picks.len());
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! # sushi-sched
+//!
+//! **SushiSched + SushiAbs**: the software half of the SUSHI co-design
+//! (MLSys'23, §3).
+//!
+//! * [`table::LatencyTable`] — SushiAbs: a SubNet × cached-SubGraph latency
+//!   lookup table. It is the *only* interface between the scheduler and any
+//!   accelerator; this crate deliberately does **not** depend on
+//!   `sushi-accel`, reproducing the paper's claim that the scheduler
+//!   policy "could then generalize to any hardware that is able to support
+//!   WS-DNN inference".
+//! * [`scheduler::Scheduler`] — Algorithm 1: per-query SubNet selection
+//!   under a strict-accuracy or strict-latency policy, and an amortized
+//!   cache decision every `Q` queries via the `AvgNet` running average.
+//! * [`candidates`] — construction of the bounded SubGraph candidate set
+//!   `S` (§3.2's requirement R1).
+//!
+//! # Example
+//!
+//! ```
+//! use sushi_sched::query::{Policy, Query};
+//! use sushi_sched::scheduler::{CacheSelection, Scheduler};
+//! use sushi_sched::table::LatencyTable;
+//! use sushi_sched::candidates::build_candidate_set;
+//! use sushi_wsnet::zoo;
+//!
+//! let net = zoo::mobilenet_v3_supernet();
+//! let picks = zoo::paper_subnets(&net);
+//! let cands = build_candidate_set(&net, &picks, 1_700_000, 8, 42);
+//!
+//! // Any latency oracle works — here, a crude FLOPs-proportional one.
+//! let table = LatencyTable::build(&picks, cands, |sn, cached| {
+//!     let hit = cached.map_or(0.0, |g| sushi_wsnet::encoding::overlap_ratio(&sn.graph, g));
+//!     sn.gflops() * 10.0 * (1.0 - 0.25 * hit)
+//! });
+//!
+//! let mut sched = Scheduler::new(table, Policy::StrictAccuracy, CacheSelection::MinDistanceToAvg, 8);
+//! let decision = sched.decide(&Query::new(0, 0.78, 10.0));
+//! assert!(sched.table().row(decision.subnet_row).accuracy >= 0.78);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod candidates;
+pub mod query;
+pub mod scheduler;
+pub mod table;
+
+pub use query::{Policy, Query};
+pub use scheduler::{CacheSelection, Decision, Scheduler};
+pub use table::{LatencyTable, EMPTY_COLUMN};

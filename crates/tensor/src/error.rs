@@ -1,0 +1,84 @@
+//! Error types for tensor construction and operator execution.
+
+use std::fmt;
+
+use crate::shape::Shape4;
+
+/// Errors produced by tensor construction and the reference operators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TensorError {
+    /// The provided buffer length does not match the shape's element count.
+    LengthMismatch {
+        /// Number of elements implied by the shape.
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// Two tensors that must agree on a dimension do not.
+    ShapeMismatch {
+        /// Human-readable description of the conflicting dimension.
+        what: &'static str,
+        /// Shape of the left-hand operand.
+        lhs: Shape4,
+        /// Shape of the right-hand operand.
+        rhs: Shape4,
+    },
+    /// An operator parameter is invalid (e.g. zero stride).
+    InvalidParam {
+        /// Description of the offending parameter.
+        what: &'static str,
+    },
+    /// The requested spatial output would be empty (input smaller than kernel).
+    EmptyOutput {
+        /// Input shape that led to the empty output.
+        input: Shape4,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { expected, actual } => {
+                write!(f, "buffer length {actual} does not match shape volume {expected}")
+            }
+            TensorError::ShapeMismatch { what, lhs, rhs } => {
+                write!(f, "shape mismatch on {what}: {lhs} vs {rhs}")
+            }
+            TensorError::InvalidParam { what } => write!(f, "invalid parameter: {what}"),
+            TensorError::EmptyOutput { input } => {
+                write!(f, "operator produces empty output for input shape {input}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_length_mismatch_mentions_both_numbers() {
+        let e = TensorError::LengthMismatch { expected: 12, actual: 7 };
+        let s = e.to_string();
+        assert!(s.contains("12") && s.contains('7'));
+    }
+
+    #[test]
+    fn display_shape_mismatch_mentions_what() {
+        let e = TensorError::ShapeMismatch {
+            what: "input channels",
+            lhs: Shape4::new(1, 3, 8, 8),
+            rhs: Shape4::new(4, 5, 3, 3),
+        };
+        assert!(e.to_string().contains("input channels"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

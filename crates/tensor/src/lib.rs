@@ -1,0 +1,50 @@
+//! # sushi-tensor
+//!
+//! Minimal, dependency-light tensor and neural-network-operator substrate for
+//! the SUSHI (MLSys'23) reproduction.
+//!
+//! The SUSHI paper serves **int8-quantized** convolutional SubNets of a
+//! weight-shared SuperNet on a custom FPGA accelerator. This crate provides
+//! the numeric ground truth that the accelerator simulator in `sushi-accel`
+//! is validated against:
+//!
+//! * [`Tensor`] — a dense NCHW tensor over `f32`, `i8` or `i32`.
+//! * [`quant`] — symmetric/asymmetric int8 quantization with zero points and
+//!   scales, matching the paper's footnote 3 ("weights, input activations,
+//!   and zero points are quantized to int8, and the quantization scale is
+//!   quantized into int32").
+//! * [`ops`] — reference implementations of 2-D convolution (including
+//!   depthwise and 1×1), pooling, fully-connected layers and the activation
+//!   functions used by OFA-ResNet50 / OFA-MobileNetV3.
+//!
+//! # Example
+//!
+//! ```
+//! use sushi_tensor::{Tensor, Shape4};
+//! use sushi_tensor::ops::conv::{conv2d_f32, Conv2dParams};
+//!
+//! # fn main() -> Result<(), sushi_tensor::TensorError> {
+//! let input = Tensor::<f32>::filled(Shape4::new(1, 3, 8, 8), 1.0);
+//! let weights = Tensor::<f32>::filled(Shape4::new(4, 3, 3, 3), 0.5);
+//! let params = Conv2dParams::new(3, 3).with_stride(1).with_padding(1);
+//! let out = conv2d_f32(&input, &weights, None, &params)?;
+//! assert_eq!(out.shape().c, 4);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod error;
+pub mod ops;
+pub mod quant;
+pub mod rng;
+pub mod shape;
+pub mod tensor;
+
+pub use error::TensorError;
+pub use quant::QuantParams;
+pub use rng::DetRng;
+pub use shape::Shape4;
+pub use tensor::Tensor;

@@ -1,0 +1,388 @@
+//! Reference 2-D convolution: f32 and int8-quantized (zero-point aware).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::TensorError;
+use crate::quant::{requantize_accumulator, QuantParams};
+use crate::shape::{conv_out_dim, Shape4};
+use crate::tensor::Tensor;
+
+/// Convolution hyper-parameters.
+///
+/// `groups == 1` is a dense convolution; `groups == c_in == c_out` is a
+/// depthwise convolution (MobileNetV3's dominant op).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Conv2dParams {
+    /// Kernel height `R`.
+    pub kernel_h: usize,
+    /// Kernel width `S`.
+    pub kernel_w: usize,
+    /// Stride (same in both spatial dims).
+    pub stride: usize,
+    /// Zero padding (same on all sides).
+    pub padding: usize,
+    /// Number of channel groups.
+    pub groups: usize,
+}
+
+impl Conv2dParams {
+    /// Creates parameters with stride 1, no padding, one group.
+    #[must_use]
+    pub const fn new(kernel_h: usize, kernel_w: usize) -> Self {
+        Self { kernel_h, kernel_w, stride: 1, padding: 0, groups: 1 }
+    }
+
+    /// Sets the stride.
+    #[must_use]
+    pub const fn with_stride(mut self, stride: usize) -> Self {
+        self.stride = stride;
+        self
+    }
+
+    /// Sets the padding.
+    #[must_use]
+    pub const fn with_padding(mut self, padding: usize) -> Self {
+        self.padding = padding;
+        self
+    }
+
+    /// Sets the group count.
+    #[must_use]
+    pub const fn with_groups(mut self, groups: usize) -> Self {
+        self.groups = groups;
+        self
+    }
+
+    /// "Same" padding for odd kernels.
+    #[must_use]
+    pub const fn same_padding(kernel: usize) -> usize {
+        kernel / 2
+    }
+
+    fn validate(&self, input: Shape4, weights: Shape4) -> Result<(usize, usize), TensorError> {
+        if self.stride == 0 {
+            return Err(TensorError::InvalidParam { what: "stride must be nonzero" });
+        }
+        if self.groups == 0 {
+            return Err(TensorError::InvalidParam { what: "groups must be nonzero" });
+        }
+        if !input.c.is_multiple_of(self.groups) || !weights.n.is_multiple_of(self.groups) {
+            return Err(TensorError::InvalidParam { what: "channels not divisible by groups" });
+        }
+        if weights.c != input.c / self.groups {
+            return Err(TensorError::ShapeMismatch { what: "input channels per group", lhs: input, rhs: weights });
+        }
+        if weights.h != self.kernel_h || weights.w != self.kernel_w {
+            return Err(TensorError::ShapeMismatch { what: "kernel spatial dims", lhs: input, rhs: weights });
+        }
+        let oh = conv_out_dim(input.h, self.kernel_h, self.stride, self.padding);
+        let ow = conv_out_dim(input.w, self.kernel_w, self.stride, self.padding);
+        match (oh, ow) {
+            (Some(oh), Some(ow)) if oh > 0 && ow > 0 => Ok((oh, ow)),
+            _ => Err(TensorError::EmptyOutput { input }),
+        }
+    }
+}
+
+/// f32 reference convolution.
+///
+/// `weights` has shape `(K, C/groups, R, S)`; `bias`, if given, has length `K`.
+///
+/// # Errors
+/// Returns an error on shape/parameter mismatch (see [`Conv2dParams`]).
+pub fn conv2d_f32(
+    input: &Tensor<f32>,
+    weights: &Tensor<f32>,
+    bias: Option<&[f32]>,
+    params: &Conv2dParams,
+) -> Result<Tensor<f32>, TensorError> {
+    let ishape = input.shape();
+    let wshape = weights.shape();
+    let (oh, ow) = params.validate(ishape, wshape)?;
+    if let Some(b) = bias {
+        if b.len() != wshape.n {
+            return Err(TensorError::LengthMismatch { expected: wshape.n, actual: b.len() });
+        }
+    }
+    let k_total = wshape.n;
+    let cg = wshape.c; // channels per group
+    let kg = k_total / params.groups; // kernels per group
+    let oshape = Shape4::new(ishape.n, k_total, oh, ow);
+    let mut out = Tensor::zeros(oshape);
+
+    for n in 0..ishape.n {
+        for k in 0..k_total {
+            let g = k / kg;
+            let bias_v = bias.map_or(0.0, |b| b[k]);
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = 0.0_f32;
+                    for cc in 0..cg {
+                        let c = g * cg + cc;
+                        for ry in 0..params.kernel_h {
+                            let iy = (oy * params.stride + ry) as isize - params.padding as isize;
+                            if iy < 0 || iy >= ishape.h as isize {
+                                continue;
+                            }
+                            for rx in 0..params.kernel_w {
+                                let ix = (ox * params.stride + rx) as isize - params.padding as isize;
+                                if ix < 0 || ix >= ishape.w as isize {
+                                    continue;
+                                }
+                                acc += input.get(n, c, iy as usize, ix as usize)
+                                    * weights.get(k, cc, ry, rx);
+                            }
+                        }
+                    }
+                    out.set(n, k, oy, ox, acc + bias_v);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Quantized int8 convolution with zero-point subtraction.
+///
+/// Implements the accelerator's Zero-Subtraction (ZS) semantics:
+/// `acc = Σ (iAct − zp_in) · (w − zp_w)` accumulated in `i32`, then
+/// requantized with `in.scale · w.scale / out.scale` and offset by the output
+/// zero point. Padding contributes *zero-valued real* input, i.e. the padded
+/// quantized activation equals `zp_in` and vanishes after subtraction.
+///
+/// # Errors
+/// Returns an error on shape/parameter mismatch (see [`Conv2dParams`]).
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_i8(
+    input: &Tensor<i8>,
+    in_q: QuantParams,
+    weights: &Tensor<i8>,
+    w_q: QuantParams,
+    bias: Option<&[i32]>,
+    out_q: QuantParams,
+    params: &Conv2dParams,
+) -> Result<Tensor<i8>, TensorError> {
+    let ishape = input.shape();
+    let wshape = weights.shape();
+    let (oh, ow) = params.validate(ishape, wshape)?;
+    if let Some(b) = bias {
+        if b.len() != wshape.n {
+            return Err(TensorError::LengthMismatch { expected: wshape.n, actual: b.len() });
+        }
+    }
+    let k_total = wshape.n;
+    let cg = wshape.c;
+    let kg = k_total / params.groups;
+    let acc_scale = in_q.scale * w_q.scale / out_q.scale;
+    let oshape = Shape4::new(ishape.n, k_total, oh, ow);
+    let mut out = Tensor::zeros(oshape);
+
+    for n in 0..ishape.n {
+        for k in 0..k_total {
+            let g = k / kg;
+            let bias_v = bias.map_or(0, |b| b[k]);
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc: i32 = bias_v;
+                    for cc in 0..cg {
+                        let c = g * cg + cc;
+                        for ry in 0..params.kernel_h {
+                            let iy = (oy * params.stride + ry) as isize - params.padding as isize;
+                            if iy < 0 || iy >= ishape.h as isize {
+                                continue;
+                            }
+                            for rx in 0..params.kernel_w {
+                                let ix = (ox * params.stride + rx) as isize - params.padding as isize;
+                                if ix < 0 || ix >= ishape.w as isize {
+                                    continue;
+                                }
+                                let a = i32::from(input.get(n, c, iy as usize, ix as usize))
+                                    - i32::from(in_q.zero_point);
+                                let w = i32::from(weights.get(k, cc, ry, rx))
+                                    - i32::from(w_q.zero_point);
+                                acc += a * w;
+                            }
+                        }
+                    }
+                    out.set(n, k, oy, ox, requantize_accumulator(acc, acc_scale, out_q.zero_point));
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quant::{calibrate_symmetric, dequantize_tensor, quantize_tensor};
+    use crate::rng::DetRng;
+
+    fn rand_tensor(shape: Shape4, seed: u64, range: f32) -> Tensor<f32> {
+        let mut rng = DetRng::new(seed);
+        let data = (0..shape.volume()).map(|_| rng.uniform_f32(-range, range)).collect();
+        Tensor::from_vec(shape, data).unwrap()
+    }
+
+    #[test]
+    fn identity_1x1_kernel_passes_input_through() {
+        let input = rand_tensor(Shape4::new(1, 1, 4, 4), 1, 1.0);
+        let weights = Tensor::from_vec(Shape4::new(1, 1, 1, 1), vec![1.0]).unwrap();
+        let out = conv2d_f32(&input, &weights, None, &Conv2dParams::new(1, 1)).unwrap();
+        assert_eq!(out, input);
+    }
+
+    #[test]
+    fn all_ones_3x3_counts_window_elements() {
+        let input = Tensor::<f32>::filled(Shape4::new(1, 1, 5, 5), 1.0);
+        let weights = Tensor::<f32>::filled(Shape4::new(1, 1, 3, 3), 1.0);
+        let p = Conv2dParams::new(3, 3).with_padding(1);
+        let out = conv2d_f32(&input, &weights, None, &p).unwrap();
+        // Corner windows see 4 elements, edges 6, interior 9.
+        assert_eq!(out.get(0, 0, 0, 0), 4.0);
+        assert_eq!(out.get(0, 0, 0, 2), 6.0);
+        assert_eq!(out.get(0, 0, 2, 2), 9.0);
+    }
+
+    #[test]
+    fn stride_two_halves_output() {
+        let input = rand_tensor(Shape4::new(1, 3, 8, 8), 2, 1.0);
+        let weights = rand_tensor(Shape4::new(4, 3, 3, 3), 3, 0.5);
+        let p = Conv2dParams::new(3, 3).with_stride(2).with_padding(1);
+        let out = conv2d_f32(&input, &weights, None, &p).unwrap();
+        assert_eq!(out.shape(), Shape4::new(1, 4, 4, 4));
+    }
+
+    #[test]
+    fn bias_adds_per_kernel_constant() {
+        let input = Tensor::<f32>::zeros(Shape4::new(1, 2, 3, 3));
+        let weights = rand_tensor(Shape4::new(2, 2, 3, 3), 4, 1.0);
+        let p = Conv2dParams::new(3, 3).with_padding(1);
+        let out = conv2d_f32(&input, &weights, Some(&[1.5, -2.0]), &p).unwrap();
+        assert_eq!(out.get(0, 0, 1, 1), 1.5);
+        assert_eq!(out.get(0, 1, 2, 2), -2.0);
+    }
+
+    #[test]
+    fn depthwise_groups_isolate_channels() {
+        // Two channels; each depthwise kernel is identity-like on its own channel.
+        let mut input = Tensor::<f32>::zeros(Shape4::new(1, 2, 3, 3));
+        input.set(0, 0, 1, 1, 5.0);
+        input.set(0, 1, 1, 1, 7.0);
+        let mut weights = Tensor::<f32>::zeros(Shape4::new(2, 1, 3, 3));
+        weights.set(0, 0, 1, 1, 1.0);
+        weights.set(1, 0, 1, 1, 2.0);
+        let p = Conv2dParams::new(3, 3).with_padding(1).with_groups(2);
+        let out = conv2d_f32(&input, &weights, None, &p).unwrap();
+        assert_eq!(out.get(0, 0, 1, 1), 5.0);
+        assert_eq!(out.get(0, 1, 1, 1), 14.0);
+        // Cross-channel leakage must be zero.
+        assert_eq!(out.get(0, 0, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn rejects_channel_mismatch() {
+        let input = Tensor::<f32>::zeros(Shape4::new(1, 3, 4, 4));
+        let weights = Tensor::<f32>::zeros(Shape4::new(2, 4, 3, 3));
+        let err = conv2d_f32(&input, &weights, None, &Conv2dParams::new(3, 3)).unwrap_err();
+        assert!(matches!(err, TensorError::ShapeMismatch { .. }));
+    }
+
+    #[test]
+    fn rejects_kernel_param_mismatch() {
+        let input = Tensor::<f32>::zeros(Shape4::new(1, 3, 4, 4));
+        let weights = Tensor::<f32>::zeros(Shape4::new(2, 3, 5, 5));
+        let err = conv2d_f32(&input, &weights, None, &Conv2dParams::new(3, 3)).unwrap_err();
+        assert!(matches!(err, TensorError::ShapeMismatch { .. }));
+    }
+
+    #[test]
+    fn rejects_empty_output() {
+        let input = Tensor::<f32>::zeros(Shape4::new(1, 1, 2, 2));
+        let weights = Tensor::<f32>::zeros(Shape4::new(1, 1, 5, 5));
+        let err = conv2d_f32(&input, &weights, None, &Conv2dParams::new(5, 5)).unwrap_err();
+        assert!(matches!(err, TensorError::EmptyOutput { .. }));
+    }
+
+    #[test]
+    fn quantized_conv_tracks_f32_reference() {
+        let input = rand_tensor(Shape4::new(1, 4, 6, 6), 10, 1.0);
+        let weights = rand_tensor(Shape4::new(8, 4, 3, 3), 11, 0.25);
+        let p = Conv2dParams::new(3, 3).with_padding(1);
+        let ref_out = conv2d_f32(&input, &weights, None, &p).unwrap();
+
+        let in_q = calibrate_symmetric(&input);
+        let w_q = calibrate_symmetric(&weights);
+        let out_q = calibrate_symmetric(&ref_out);
+        let qi = quantize_tensor(&input, in_q);
+        let qw = quantize_tensor(&weights, w_q);
+        let qout = conv2d_i8(&qi, in_q, &qw, w_q, None, out_q, &p).unwrap();
+        let deq = dequantize_tensor(&qout, out_q);
+
+        // int8 conv should track the reference within a few output quanta.
+        let tol = 4.0 * out_q.scale + 36.0 * in_q.scale * w_q.scale;
+        assert!(ref_out.max_abs_diff(&deq).unwrap() <= tol);
+    }
+
+    #[test]
+    fn quantized_conv_zero_point_padding_is_neutral() {
+        // With a nonzero input zero point, padded border must behave as real 0.
+        let input = Tensor::<f32>::filled(Shape4::new(1, 1, 3, 3), 2.0);
+        let weights = Tensor::<f32>::filled(Shape4::new(1, 1, 3, 3), 1.0);
+        let p = Conv2dParams::new(3, 3).with_padding(1);
+        let ref_out = conv2d_f32(&input, &weights, None, &p).unwrap();
+
+        let in_q = QuantParams::asymmetric(0.0, 2.0); // large zero point
+        let w_q = QuantParams::symmetric(1.0);
+        let out_q = QuantParams::symmetric(20.0);
+        let qi = quantize_tensor(&input, in_q);
+        let qw = quantize_tensor(&weights, w_q);
+        let qout = conv2d_i8(&qi, in_q, &qw, w_q, None, out_q, &p).unwrap();
+        let deq = dequantize_tensor(&qout, out_q);
+        assert!(ref_out.max_abs_diff(&deq).unwrap() <= 0.5);
+    }
+
+    #[test]
+    fn grouped_conv_matches_manual_group_split() {
+        // groups=2 over 4 channels == two independent convs over 2 channels each.
+        let input = rand_tensor(Shape4::new(1, 4, 5, 5), 20, 1.0);
+        let weights = rand_tensor(Shape4::new(6, 2, 3, 3), 21, 0.5);
+        let p = Conv2dParams::new(3, 3).with_padding(1).with_groups(2);
+        let out = conv2d_f32(&input, &weights, None, &p).unwrap();
+
+        // Manual: first 3 kernels see channels 0..2, last 3 see channels 2..4.
+        let mut in_a = Tensor::<f32>::zeros(Shape4::new(1, 2, 5, 5));
+        let mut in_b = Tensor::<f32>::zeros(Shape4::new(1, 2, 5, 5));
+        for c in 0..2 {
+            for y in 0..5 {
+                for x in 0..5 {
+                    in_a.set(0, c, y, x, input.get(0, c, y, x));
+                    in_b.set(0, c, y, x, input.get(0, c + 2, y, x));
+                }
+            }
+        }
+        let mut w_a = Tensor::<f32>::zeros(Shape4::new(3, 2, 3, 3));
+        let mut w_b = Tensor::<f32>::zeros(Shape4::new(3, 2, 3, 3));
+        for k in 0..3 {
+            for c in 0..2 {
+                for y in 0..3 {
+                    for x in 0..3 {
+                        w_a.set(k, c, y, x, weights.get(k, c, y, x));
+                        w_b.set(k, c, y, x, weights.get(k + 3, c, y, x));
+                    }
+                }
+            }
+        }
+        let pa = Conv2dParams::new(3, 3).with_padding(1);
+        let out_a = conv2d_f32(&in_a, &w_a, None, &pa).unwrap();
+        let out_b = conv2d_f32(&in_b, &w_b, None, &pa).unwrap();
+        for y in 0..5 {
+            for x in 0..5 {
+                for k in 0..3 {
+                    assert!((out.get(0, k, y, x) - out_a.get(0, k, y, x)).abs() < 1e-5);
+                    assert!((out.get(0, k + 3, y, x) - out_b.get(0, k, y, x)).abs() < 1e-5);
+                }
+            }
+        }
+    }
+}

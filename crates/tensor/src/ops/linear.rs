@@ -1,0 +1,115 @@
+//! Fully-connected (classifier head) operator.
+
+use crate::error::TensorError;
+use crate::tensor::Tensor;
+
+/// `y = W·x + b` where `x` is a flattened NCHW tensor per batch element.
+///
+/// `weights` is row-major `(out_features, in_features)`; `bias` has length
+/// `out_features`. Returns one row of `out_features` scores per batch element.
+///
+/// # Errors
+/// Returns [`TensorError::LengthMismatch`] when `in_features` does not match
+/// the flattened input size or `bias` is the wrong length.
+pub fn linear_f32(
+    input: &Tensor<f32>,
+    weights: &[f32],
+    bias: Option<&[f32]>,
+    out_features: usize,
+) -> Result<Vec<Vec<f32>>, TensorError> {
+    let ishape = input.shape();
+    let in_features = ishape.c * ishape.h * ishape.w;
+    if out_features == 0 {
+        return Err(TensorError::InvalidParam { what: "out_features must be nonzero" });
+    }
+    if weights.len() != out_features * in_features {
+        return Err(TensorError::LengthMismatch {
+            expected: out_features * in_features,
+            actual: weights.len(),
+        });
+    }
+    if let Some(b) = bias {
+        if b.len() != out_features {
+            return Err(TensorError::LengthMismatch { expected: out_features, actual: b.len() });
+        }
+    }
+    let data = input.as_slice();
+    let mut out = Vec::with_capacity(ishape.n);
+    for n in 0..ishape.n {
+        let x = &data[n * in_features..(n + 1) * in_features];
+        let mut row = Vec::with_capacity(out_features);
+        for o in 0..out_features {
+            let w = &weights[o * in_features..(o + 1) * in_features];
+            let mut acc: f32 = w.iter().zip(x).map(|(a, b)| a * b).sum();
+            if let Some(b) = bias {
+                acc += b[o];
+            }
+            row.push(acc);
+        }
+        out.push(row);
+    }
+    Ok(out)
+}
+
+/// Index of the maximum score (argmax) per batch row.
+#[must_use]
+pub fn argmax(scores: &[f32]) -> Option<usize> {
+    scores
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shape::Shape4;
+
+    #[test]
+    fn linear_computes_dot_products() {
+        let input = Tensor::from_vec(Shape4::new(1, 1, 1, 3), vec![1.0, 2.0, 3.0]).unwrap();
+        let weights = vec![1.0, 0.0, 0.0, /* row2 */ 0.0, 1.0, 1.0];
+        let out = linear_f32(&input, &weights, None, 2).unwrap();
+        assert_eq!(out, vec![vec![1.0, 5.0]]);
+    }
+
+    #[test]
+    fn linear_adds_bias() {
+        let input = Tensor::from_vec(Shape4::new(1, 1, 1, 2), vec![1.0, 1.0]).unwrap();
+        let out = linear_f32(&input, &[1.0, 1.0], Some(&[10.0]), 1).unwrap();
+        assert_eq!(out[0][0], 12.0);
+    }
+
+    #[test]
+    fn linear_handles_batches_independently() {
+        let input =
+            Tensor::from_vec(Shape4::new(2, 1, 1, 2), vec![1.0, 0.0, 0.0, 1.0]).unwrap();
+        let out = linear_f32(&input, &[2.0, 3.0], None, 1).unwrap();
+        assert_eq!(out, vec![vec![2.0], vec![3.0]]);
+    }
+
+    #[test]
+    fn linear_rejects_bad_weight_len() {
+        let input = Tensor::<f32>::zeros(Shape4::new(1, 1, 1, 3));
+        assert!(linear_f32(&input, &[0.0; 5], None, 2).is_err());
+    }
+
+    #[test]
+    fn linear_rejects_bad_bias_len() {
+        let input = Tensor::<f32>::zeros(Shape4::new(1, 1, 1, 2));
+        assert!(linear_f32(&input, &[0.0; 4], Some(&[0.0; 3]), 2).is_err());
+    }
+
+    #[test]
+    fn argmax_finds_peak() {
+        assert_eq!(argmax(&[0.1, 0.9, 0.5]), Some(1));
+        assert_eq!(argmax(&[]), None);
+    }
+
+    #[test]
+    fn argmax_breaks_ties_toward_last_max() {
+        // max_by keeps the later element on ties.
+        assert_eq!(argmax(&[1.0, 1.0]), Some(1));
+    }
+}

@@ -1,0 +1,10 @@
+//! Reference neural-network operators.
+//!
+//! These are deliberately straightforward loop-nest implementations — they
+//! are the *golden model* against which `sushi-accel`'s DPE-array functional
+//! simulation is validated, so clarity beats speed.
+
+pub mod activation;
+pub mod conv;
+pub mod linear;
+pub mod pool;

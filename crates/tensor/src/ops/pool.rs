@@ -1,0 +1,207 @@
+//! Pooling operators: max, average and global-average.
+
+use crate::error::TensorError;
+use crate::shape::{conv_out_dim, Shape4};
+use crate::tensor::Tensor;
+
+/// Pooling window configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PoolParams {
+    /// Window height/width (square windows only).
+    pub window: usize,
+    /// Stride.
+    pub stride: usize,
+    /// Zero padding on all sides.
+    pub padding: usize,
+}
+
+impl PoolParams {
+    /// Creates a pooling configuration with stride equal to the window.
+    #[must_use]
+    pub const fn new(window: usize) -> Self {
+        Self { window, stride: window, padding: 0 }
+    }
+
+    /// Sets the stride.
+    #[must_use]
+    pub const fn with_stride(mut self, stride: usize) -> Self {
+        self.stride = stride;
+        self
+    }
+
+    /// Sets the padding.
+    #[must_use]
+    pub const fn with_padding(mut self, padding: usize) -> Self {
+        self.padding = padding;
+        self
+    }
+
+    fn out_dims(&self, input: Shape4) -> Result<(usize, usize), TensorError> {
+        if self.window == 0 {
+            return Err(TensorError::InvalidParam { what: "pool window must be nonzero" });
+        }
+        let oh = conv_out_dim(input.h, self.window, self.stride, self.padding);
+        let ow = conv_out_dim(input.w, self.window, self.stride, self.padding);
+        match (oh, ow) {
+            (Some(oh), Some(ow)) if oh > 0 && ow > 0 => Ok((oh, ow)),
+            _ => Err(TensorError::EmptyOutput { input }),
+        }
+    }
+}
+
+/// Max pooling. Padded cells are ignored (never win the max).
+///
+/// # Errors
+/// Returns an error for a zero-size window or an empty output.
+pub fn max_pool(input: &Tensor<f32>, params: &PoolParams) -> Result<Tensor<f32>, TensorError> {
+    let ishape = input.shape();
+    let (oh, ow) = params.out_dims(ishape)?;
+    let mut out = Tensor::zeros(Shape4::new(ishape.n, ishape.c, oh, ow));
+    for n in 0..ishape.n {
+        for c in 0..ishape.c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    for ry in 0..params.window {
+                        let iy = (oy * params.stride + ry) as isize - params.padding as isize;
+                        if iy < 0 || iy >= ishape.h as isize {
+                            continue;
+                        }
+                        for rx in 0..params.window {
+                            let ix = (ox * params.stride + rx) as isize - params.padding as isize;
+                            if ix < 0 || ix >= ishape.w as isize {
+                                continue;
+                            }
+                            best = best.max(input.get(n, c, iy as usize, ix as usize));
+                        }
+                    }
+                    out.set(n, c, oy, ox, best);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Average pooling. The divisor is the number of *valid* (non-padded) cells.
+///
+/// # Errors
+/// Returns an error for a zero-size window or an empty output.
+pub fn avg_pool(input: &Tensor<f32>, params: &PoolParams) -> Result<Tensor<f32>, TensorError> {
+    let ishape = input.shape();
+    let (oh, ow) = params.out_dims(ishape)?;
+    let mut out = Tensor::zeros(Shape4::new(ishape.n, ishape.c, oh, ow));
+    for n in 0..ishape.n {
+        for c in 0..ishape.c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut sum = 0.0;
+                    let mut count = 0u32;
+                    for ry in 0..params.window {
+                        let iy = (oy * params.stride + ry) as isize - params.padding as isize;
+                        if iy < 0 || iy >= ishape.h as isize {
+                            continue;
+                        }
+                        for rx in 0..params.window {
+                            let ix = (ox * params.stride + rx) as isize - params.padding as isize;
+                            if ix < 0 || ix >= ishape.w as isize {
+                                continue;
+                            }
+                            sum += input.get(n, c, iy as usize, ix as usize);
+                            count += 1;
+                        }
+                    }
+                    out.set(n, c, oy, ox, if count > 0 { sum / count as f32 } else { 0.0 });
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Global average pooling: collapses H×W to 1×1 per channel.
+#[must_use]
+pub fn global_avg_pool(input: &Tensor<f32>) -> Tensor<f32> {
+    let ishape = input.shape();
+    let mut out = Tensor::zeros(Shape4::new(ishape.n, ishape.c, 1, 1));
+    let area = (ishape.h * ishape.w) as f32;
+    for n in 0..ishape.n {
+        for c in 0..ishape.c {
+            let mut sum = 0.0;
+            for y in 0..ishape.h {
+                for x in 0..ishape.w {
+                    sum += input.get(n, c, y, x);
+                }
+            }
+            out.set(0, c, 0, 0, if area > 0.0 { sum / area } else { 0.0 });
+            let _ = n;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(shape: Shape4) -> Tensor<f32> {
+        let data = (0..shape.volume()).map(|i| i as f32).collect();
+        Tensor::from_vec(shape, data).unwrap()
+    }
+
+    #[test]
+    fn max_pool_2x2_picks_window_max() {
+        let input = ramp(Shape4::new(1, 1, 4, 4));
+        let out = max_pool(&input, &PoolParams::new(2)).unwrap();
+        assert_eq!(out.shape(), Shape4::new(1, 1, 2, 2));
+        assert_eq!(out.get(0, 0, 0, 0), 5.0);
+        assert_eq!(out.get(0, 0, 1, 1), 15.0);
+    }
+
+    #[test]
+    fn avg_pool_2x2_averages_window() {
+        let input = ramp(Shape4::new(1, 1, 4, 4));
+        let out = avg_pool(&input, &PoolParams::new(2)).unwrap();
+        assert_eq!(out.get(0, 0, 0, 0), (0.0 + 1.0 + 4.0 + 5.0) / 4.0);
+    }
+
+    #[test]
+    fn avg_pool_padding_divides_by_valid_count_only() {
+        let input = Tensor::<f32>::filled(Shape4::new(1, 1, 2, 2), 8.0);
+        let p = PoolParams::new(3).with_stride(1).with_padding(1);
+        let out = avg_pool(&input, &p).unwrap();
+        // Top-left window covers 4 valid cells of value 8 -> average 8.
+        assert_eq!(out.get(0, 0, 0, 0), 8.0);
+    }
+
+    #[test]
+    fn max_pool_ignores_padding() {
+        let input = Tensor::<f32>::filled(Shape4::new(1, 1, 2, 2), -3.0);
+        let p = PoolParams::new(3).with_stride(1).with_padding(1);
+        let out = max_pool(&input, &p).unwrap();
+        // Padded zeros must not beat the real -3 values.
+        assert_eq!(out.get(0, 0, 0, 0), -3.0);
+    }
+
+    #[test]
+    fn global_avg_pool_collapses_spatial() {
+        let input = ramp(Shape4::new(1, 2, 2, 2));
+        let out = global_avg_pool(&input);
+        assert_eq!(out.shape(), Shape4::new(1, 2, 1, 1));
+        assert_eq!(out.get(0, 0, 0, 0), 1.5);
+        assert_eq!(out.get(0, 1, 0, 0), 5.5);
+    }
+
+    #[test]
+    fn pool_rejects_zero_window() {
+        let input = ramp(Shape4::new(1, 1, 4, 4));
+        let p = PoolParams { window: 0, stride: 1, padding: 0 };
+        assert!(max_pool(&input, &p).is_err());
+    }
+
+    #[test]
+    fn pool_rejects_window_larger_than_input() {
+        let input = ramp(Shape4::new(1, 1, 2, 2));
+        assert!(max_pool(&input, &PoolParams::new(5)).is_err());
+    }
+}

@@ -1,0 +1,175 @@
+//! Int8 quantization with zero points and scales.
+//!
+//! The paper (footnote 3) quantizes weights, input activations and zero
+//! points to `int8`, and the quantization scale to `int32` fixed point.
+//! SushiAccel's Zero-Subtraction (ZS) stage computes
+//! `(iAct − zp_a) · (w − zp_w)` in int32 before rescaling — this module
+//! provides the same semantics so the accelerator's functional model can be
+//! validated bit-exactly.
+
+use serde::{Deserialize, Serialize};
+
+use crate::tensor::Tensor;
+
+/// Affine quantization parameters for one tensor: `real = scale * (q - zero_point)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QuantParams {
+    /// Multiplicative scale (strictly positive).
+    pub scale: f32,
+    /// Zero point in the int8 domain.
+    pub zero_point: i8,
+}
+
+impl QuantParams {
+    /// Creates quantization parameters.
+    ///
+    /// # Panics
+    /// Panics if `scale` is not strictly positive and finite.
+    #[must_use]
+    pub fn new(scale: f32, zero_point: i8) -> Self {
+        assert!(scale.is_finite() && scale > 0.0, "quantization scale must be positive, got {scale}");
+        Self { scale, zero_point }
+    }
+
+    /// Symmetric parameters (zero point 0) covering `[-max_abs, max_abs]`.
+    ///
+    /// A `max_abs` of zero degenerates to the smallest positive scale so that
+    /// all-zero tensors still quantize losslessly.
+    #[must_use]
+    pub fn symmetric(max_abs: f32) -> Self {
+        let max_abs = if max_abs > 0.0 { max_abs } else { f32::MIN_POSITIVE };
+        Self { scale: max_abs / 127.0, zero_point: 0 }
+    }
+
+    /// Asymmetric parameters covering `[lo, hi]`.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi` or either bound is non-finite.
+    #[must_use]
+    pub fn asymmetric(lo: f32, hi: f32) -> Self {
+        assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "invalid range [{lo}, {hi}]");
+        let span = (hi - lo).max(f32::MIN_POSITIVE);
+        let scale = span / 255.0;
+        let zp = (-128.0 - lo / scale).round().clamp(-128.0, 127.0) as i8;
+        Self { scale, zero_point: zp }
+    }
+
+    /// Quantizes a single value.
+    #[inline]
+    #[must_use]
+    pub fn quantize(&self, value: f32) -> i8 {
+        let q = (value / self.scale).round() + f32::from(self.zero_point);
+        q.clamp(-128.0, 127.0) as i8
+    }
+
+    /// Dequantizes a single value.
+    #[inline]
+    #[must_use]
+    pub fn dequantize(&self, q: i8) -> f32 {
+        self.scale * (f32::from(q) - f32::from(self.zero_point))
+    }
+}
+
+impl Default for QuantParams {
+    /// Unit scale, zero offset — the identity mapping over `[-128, 127]`.
+    fn default() -> Self {
+        Self { scale: 1.0, zero_point: 0 }
+    }
+}
+
+/// Quantizes an `f32` tensor with the given parameters.
+#[must_use]
+pub fn quantize_tensor(t: &Tensor<f32>, params: QuantParams) -> Tensor<i8> {
+    t.map(|v| params.quantize(v))
+}
+
+/// Dequantizes an `i8` tensor with the given parameters.
+#[must_use]
+pub fn dequantize_tensor(t: &Tensor<i8>, params: QuantParams) -> Tensor<f32> {
+    t.map(|q| params.dequantize(q))
+}
+
+/// Chooses symmetric parameters from a tensor's observed dynamic range.
+#[must_use]
+pub fn calibrate_symmetric(t: &Tensor<f32>) -> QuantParams {
+    let max_abs = t.as_slice().iter().fold(0.0_f32, |m, &v| m.max(v.abs()));
+    QuantParams::symmetric(max_abs)
+}
+
+/// Requantizes an int32 accumulator back to int8 output activations.
+///
+/// `acc_scale` is `in_scale * w_scale / out_scale`; the output zero point is
+/// added after rescaling, as done by the accelerator's output stage.
+#[inline]
+#[must_use]
+pub fn requantize_accumulator(acc: i32, acc_scale: f32, out_zp: i8) -> i8 {
+    let v = (acc as f32 * acc_scale).round() + f32::from(out_zp);
+    v.clamp(-128.0, 127.0) as i8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shape::Shape4;
+
+    #[test]
+    fn symmetric_roundtrip_is_within_half_scale() {
+        let p = QuantParams::symmetric(4.0);
+        for &v in &[-4.0, -1.3, 0.0, 0.02, 3.999] {
+            let rt = p.dequantize(p.quantize(v));
+            assert!((rt - v).abs() <= p.scale / 2.0 + 1e-6, "v={v} rt={rt}");
+        }
+    }
+
+    #[test]
+    fn symmetric_handles_zero_range() {
+        let p = QuantParams::symmetric(0.0);
+        assert_eq!(p.quantize(0.0), 0);
+        assert_eq!(p.dequantize(0), 0.0);
+    }
+
+    #[test]
+    fn asymmetric_maps_lo_near_min() {
+        let p = QuantParams::asymmetric(0.0, 6.0); // ReLU6-style range
+        let q_lo = p.quantize(0.0);
+        let q_hi = p.quantize(6.0);
+        assert!(q_lo <= -127, "lo mapped to {q_lo}");
+        assert!(q_hi >= 126, "hi mapped to {q_hi}");
+    }
+
+    #[test]
+    fn quantize_saturates_out_of_range() {
+        let p = QuantParams::symmetric(1.0);
+        assert_eq!(p.quantize(100.0), 127);
+        assert_eq!(p.quantize(-100.0), -128);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be positive")]
+    fn new_rejects_zero_scale() {
+        let _ = QuantParams::new(0.0, 0);
+    }
+
+    #[test]
+    fn tensor_roundtrip_error_bounded() {
+        let t = Tensor::from_vec(Shape4::new(1, 1, 1, 5), vec![-2.0, -0.5, 0.0, 1.25, 2.0]).unwrap();
+        let p = calibrate_symmetric(&t);
+        let rt = dequantize_tensor(&quantize_tensor(&t, p), p);
+        assert!(t.max_abs_diff(&rt).unwrap() <= p.scale / 2.0 + 1e-6);
+    }
+
+    #[test]
+    fn requantize_accumulator_clamps() {
+        assert_eq!(requantize_accumulator(1 << 20, 1.0, 0), 127);
+        assert_eq!(requantize_accumulator(-(1 << 20), 1.0, 0), -128);
+        assert_eq!(requantize_accumulator(100, 0.01, 3), 4);
+    }
+
+    #[test]
+    fn default_is_identity_over_int8() {
+        let p = QuantParams::default();
+        for q in [-128i8, -1, 0, 1, 127] {
+            assert_eq!(p.quantize(f32::from(q)), q);
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests for the tensor substrate: algebraic laws the
+//! reference operators must satisfy for any input.
+
+use proptest::prelude::*;
+
+use sushi_tensor::ops::conv::{conv2d_f32, Conv2dParams};
+use sushi_tensor::ops::pool::{avg_pool, max_pool, PoolParams};
+use sushi_tensor::quant::{calibrate_symmetric, dequantize_tensor, quantize_tensor, QuantParams};
+use sushi_tensor::{Shape4, Tensor};
+
+#[allow(dead_code)]
+fn tensor_strategy(shape: Shape4, range: f32) -> impl Strategy<Value = Tensor<f32>> {
+    proptest::collection::vec(-range..range, shape.volume())
+        .prop_map(move |v| Tensor::from_vec(shape, v).expect("len matches"))
+}
+
+fn small_conv_shapes() -> impl Strategy<Value = (Shape4, Shape4, Conv2dParams)> {
+    (1usize..=4, 1usize..=6, 4usize..=8, prop_oneof![Just(1usize), Just(3usize)], 1usize..=2)
+        .prop_map(|(c, k, hw, ks, stride)| {
+            let input = Shape4::new(1, c, hw, hw);
+            let weights = Shape4::new(k, c, ks, ks);
+            let params = Conv2dParams::new(ks, ks).with_stride(stride).with_padding(ks / 2);
+            (input, weights, params)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Convolution is linear in the input: conv(a + b) == conv(a) + conv(b).
+    #[test]
+    fn conv_is_linear_in_input(
+        (ishape, wshape, params) in small_conv_shapes(),
+        seed in 0u64..1000,
+    ) {
+        let mk = |s: u64, shape: Shape4| {
+            let mut rng = sushi_tensor::DetRng::new(s);
+            let v: Vec<f32> = (0..shape.volume()).map(|_| rng.uniform_f32(-1.0, 1.0)).collect();
+            Tensor::from_vec(shape, v).unwrap()
+        };
+        let a = mk(seed, ishape);
+        let b = mk(seed + 1, ishape);
+        let w = mk(seed + 2, wshape);
+        let sum_in = Tensor::from_vec(
+            ishape,
+            a.as_slice().iter().zip(b.as_slice()).map(|(x, y)| x + y).collect(),
+        ).unwrap();
+        let conv_sum = conv2d_f32(&sum_in, &w, None, &params).unwrap();
+        let ca = conv2d_f32(&a, &w, None, &params).unwrap();
+        let cb = conv2d_f32(&b, &w, None, &params).unwrap();
+        let sum_conv = Tensor::from_vec(
+            ca.shape(),
+            ca.as_slice().iter().zip(cb.as_slice()).map(|(x, y)| x + y).collect(),
+        ).unwrap();
+        prop_assert!(conv_sum.max_abs_diff(&sum_conv).unwrap() < 1e-3);
+    }
+
+    /// Scaling the kernel scales the output.
+    #[test]
+    fn conv_is_homogeneous_in_weights(
+        (ishape, wshape, params) in small_conv_shapes(),
+        seed in 0u64..1000,
+        alpha in 0.25f32..4.0,
+    ) {
+        let mk = |s: u64, shape: Shape4| {
+            let mut rng = sushi_tensor::DetRng::new(s);
+            let v: Vec<f32> = (0..shape.volume()).map(|_| rng.uniform_f32(-1.0, 1.0)).collect();
+            Tensor::from_vec(shape, v).unwrap()
+        };
+        let x = mk(seed, ishape);
+        let w = mk(seed + 1, wshape);
+        let w_scaled = w.map(|v| v * alpha);
+        let base = conv2d_f32(&x, &w, None, &params).unwrap();
+        let scaled = conv2d_f32(&x, &w_scaled, None, &params).unwrap();
+        let expect = base.map(|v| v * alpha);
+        prop_assert!(scaled.max_abs_diff(&expect).unwrap() < 1e-2);
+    }
+
+    /// Quantize -> dequantize error is bounded by half a step for in-range
+    /// values under symmetric calibration.
+    #[test]
+    fn quantization_roundtrip_error_bounded(values in proptest::collection::vec(-10.0f32..10.0, 1..64)) {
+        let n = values.len();
+        let t = Tensor::from_vec(Shape4::new(1, 1, 1, n), values).unwrap();
+        let q = calibrate_symmetric(&t);
+        let rt = dequantize_tensor(&quantize_tensor(&t, q), q);
+        prop_assert!(t.max_abs_diff(&rt).unwrap() <= q.scale / 2.0 + 1e-6);
+    }
+
+    /// Quantization is monotone: a <= b implies q(a) <= q(b).
+    #[test]
+    fn quantization_is_monotone(a in -20.0f32..20.0, b in -20.0f32..20.0, scale in 0.01f32..1.0, zp in -10i8..10) {
+        let q = QuantParams::new(scale, zp);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(q.quantize(lo) <= q.quantize(hi));
+    }
+
+    /// Max pooling never invents values: every output equals some input.
+    #[test]
+    fn max_pool_outputs_are_inputs(values in proptest::collection::vec(-5.0f32..5.0, 36)) {
+        let t = Tensor::from_vec(Shape4::new(1, 1, 6, 6), values.clone()).unwrap();
+        let out = max_pool(&t, &PoolParams::new(2)).unwrap();
+        for &v in out.as_slice() {
+            prop_assert!(values.iter().any(|&x| (x - v).abs() < 1e-6));
+        }
+    }
+
+    /// Average pooling stays within the input's range.
+    #[test]
+    fn avg_pool_within_input_range(values in proptest::collection::vec(-5.0f32..5.0, 36)) {
+        let t = Tensor::from_vec(Shape4::new(1, 1, 6, 6), values.clone()).unwrap();
+        let out = avg_pool(&t, &PoolParams::new(3)).unwrap();
+        let lo = values.iter().copied().fold(f32::INFINITY, f32::min);
+        let hi = values.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        for &v in out.as_slice() {
+            prop_assert!(v >= lo - 1e-6 && v <= hi + 1e-6);
+        }
+    }
+
+    /// Strided conv output dims match the closed-form formula.
+    #[test]
+    fn conv_output_shape_matches_formula((ishape, wshape, params) in small_conv_shapes()) {
+        let x = Tensor::<f32>::zeros(ishape);
+        let w = Tensor::<f32>::zeros(wshape);
+        let out = conv2d_f32(&x, &w, None, &params).unwrap();
+        let oh = sushi_tensor::shape::conv_out_dim(ishape.h, wshape.h, params.stride, params.padding).unwrap();
+        prop_assert_eq!(out.shape(), Shape4::new(1, wshape.n, oh, oh));
+    }
+}

@@ -1,0 +1,108 @@
+//! Pareto-frontier extraction over the latency/accuracy tradeoff space
+//! (Fig. 1b).
+
+/// A candidate point in the tradeoff space: lower `latency` and higher
+/// `accuracy` are both better.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TradeoffPoint {
+    /// Serving latency (any consistent unit).
+    pub latency: f64,
+    /// Accuracy in `[0, 1]`.
+    pub accuracy: f64,
+}
+
+/// Returns the indices of Pareto-optimal points (no other point is both
+/// faster and at least as accurate, or as fast and strictly more accurate).
+/// Indices are returned sorted by ascending latency.
+#[must_use]
+pub fn pareto_frontier(points: &[TradeoffPoint]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..points.len()).collect();
+    order.sort_by(|&a, &b| {
+        points[a]
+            .latency
+            .partial_cmp(&points[b].latency)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(
+                points[b]
+                    .accuracy
+                    .partial_cmp(&points[a].accuracy)
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
+    });
+    let mut frontier = Vec::new();
+    let mut best_acc = f64::NEG_INFINITY;
+    for &i in &order {
+        if points[i].accuracy > best_acc {
+            frontier.push(i);
+            best_acc = points[i].accuracy;
+        }
+    }
+    frontier
+}
+
+/// Whether point `a` dominates point `b` (at least as good on both axes,
+/// strictly better on one).
+#[must_use]
+pub fn dominates(a: TradeoffPoint, b: TradeoffPoint) -> bool {
+    (a.latency <= b.latency && a.accuracy >= b.accuracy)
+        && (a.latency < b.latency || a.accuracy > b.accuracy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(latency: f64, accuracy: f64) -> TradeoffPoint {
+        TradeoffPoint { latency, accuracy }
+    }
+
+    #[test]
+    fn single_point_is_frontier() {
+        assert_eq!(pareto_frontier(&[p(1.0, 0.8)]), vec![0]);
+    }
+
+    #[test]
+    fn dominated_point_excluded() {
+        // Point 1 is slower and less accurate than point 0.
+        let f = pareto_frontier(&[p(1.0, 0.8), p(2.0, 0.7)]);
+        assert_eq!(f, vec![0]);
+    }
+
+    #[test]
+    fn tradeoff_points_all_kept_sorted_by_latency() {
+        let f = pareto_frontier(&[p(3.0, 0.9), p(1.0, 0.7), p(2.0, 0.8)]);
+        assert_eq!(f, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn equal_latency_keeps_only_more_accurate() {
+        let f = pareto_frontier(&[p(1.0, 0.7), p(1.0, 0.9)]);
+        assert_eq!(f, vec![1]);
+    }
+
+    #[test]
+    fn frontier_members_are_mutually_nondominating() {
+        let pts = vec![p(1.0, 0.70), p(1.5, 0.75), p(2.0, 0.72), p(3.0, 0.80), p(2.5, 0.60)];
+        let f = pareto_frontier(&pts);
+        for &i in &f {
+            for &j in &f {
+                if i != j {
+                    assert!(!dominates(pts[i], pts[j]), "{i} dominates {j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dominates_requires_strict_improvement() {
+        assert!(!dominates(p(1.0, 0.8), p(1.0, 0.8)));
+        assert!(dominates(p(1.0, 0.8), p(1.0, 0.7)));
+        assert!(dominates(p(0.9, 0.8), p(1.0, 0.8)));
+        assert!(!dominates(p(0.9, 0.7), p(1.0, 0.8)));
+    }
+
+    #[test]
+    fn empty_input_empty_frontier() {
+        assert!(pareto_frontier(&[]).is_empty());
+    }
+}

@@ -1,0 +1,84 @@
+//! Quickstart: serve a constrained query stream on the full SUSHI stack.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds the OFA-MobileNetV3 SuperNet with the paper's seven Pareto
+//! SubNets, assembles the SushiSched → SushiAbs → SushiAccel pipeline on a
+//! ZCU104-class accelerator, and serves 200 random `(accuracy, latency)`
+//! constrained queries — printing how SubGraph-Stationary caching warms up.
+
+use std::sync::Arc;
+
+use sushi::core::metrics::summarize;
+use sushi::core::stream::{uniform_stream, ConstraintSpace};
+use sushi::core::variants::{build_stack, Variant};
+use sushi::sched::Policy;
+use sushi::wsnet::zoo;
+
+fn main() {
+    // 1. The weight-shared SuperNet and its serving SubNets (§2.1).
+    let net = Arc::new(zoo::mobilenet_v3_supernet());
+    let picks = zoo::paper_subnets(&net);
+    println!("SuperNet: {} ({} conv layers)", net.name, net.num_layers());
+    for p in &picks {
+        println!(
+            "  SubNet {}: {:5.2} MB, {:4.2} GFLOPs, top-1 {:.2}%",
+            p.name,
+            p.weight_mb(),
+            p.gflops(),
+            p.accuracy_pct()
+        );
+    }
+    let shared = net.shared_subgraph(&picks);
+    println!(
+        "  shared weights across all picks: {:.2} MB (the SGS opportunity)\n",
+        net.subgraph_weight_bytes(&shared) as f64 / 1e6
+    );
+
+    // 2. The vertically integrated stack (§3.1) on a ZCU104-class config.
+    let config = sushi::accel::config::zcu104();
+    let mut stack = build_stack(
+        Variant::Sushi,
+        Arc::clone(&net),
+        picks,
+        &config,
+        Policy::StrictAccuracy,
+        10, // cache window Q
+        12, // SubGraph candidates in SushiAbs
+        42,
+    );
+
+    // 3. A stream of 200 random constrained queries (§5.6).
+    let accs: Vec<f64> = stack.subnets().iter().map(|p| p.accuracy).collect();
+    let lats: Vec<f64> = (0..stack.subnets().len())
+        .map(|i| stack.scheduler().table().latency_ms(i, 0))
+        .collect();
+    let space = ConstraintSpace::from_serving_set(&accs, &lats);
+    let queries = uniform_stream(&space, 200, 7);
+
+    println!("serving {} queries (strict-accuracy policy) ...", queries.len());
+    let records = stack.serve_stream(&queries);
+    for r in records.iter().take(12) {
+        println!(
+            "  q{:<3} wants acc>={:.2}%  ->  served {} ({:.2}%) in {:5.2} ms  [PB hit {:4.1}%{}]",
+            r.query.id,
+            r.query.accuracy_constraint * 100.0,
+            r.subnet,
+            r.served_accuracy * 100.0,
+            r.served_latency_ms,
+            r.hit_ratio * 100.0,
+            if r.cache_updated { ", cache updated" } else { "" },
+        );
+    }
+
+    // 4. Aggregate metrics (§5.7 / Appendix A.4).
+    let s = summarize(&records);
+    println!("\nsummary over {} queries:", s.queries);
+    println!("  mean served latency : {:.3} ms", s.mean_latency_ms);
+    println!("  mean served accuracy: {:.2}%", s.mean_accuracy * 100.0);
+    println!("  accuracy attainment : {:.1}%", s.accuracy_attainment * 100.0);
+    println!("  mean PB hit ratio   : {:.1}%", s.mean_hit_ratio * 100.0);
+    println!("  off-chip energy     : {:.2} mJ total", s.total_offchip_mj);
+}

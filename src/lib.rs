@@ -1,0 +1,46 @@
+//! # sushi
+//!
+//! Facade crate for the SUSHI reproduction (MLSys'23, *Subgraph Stationary
+//! Hardware-Software Inference Co-Design*): re-exports the workspace crates
+//! under one roof and hosts the runnable examples and cross-crate
+//! integration tests.
+//!
+//! | Component | Crate | Paper section |
+//! |-----------|-------|---------------|
+//! | Tensor / int8 op substrate | [`tensor`] | §4 (datapath golden model) |
+//! | Weight-shared SuperNets | [`wsnet`] | §2.1 |
+//! | SushiAccel simulator | [`accel`] | §4 |
+//! | SushiSched + SushiAbs | [`sched`] | §3 |
+//! | Serving stack + experiments | [`core`] | §5 |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use std::sync::Arc;
+//! use sushi::core::variants::{build_stack, Variant};
+//! use sushi::core::stream::{uniform_stream, ConstraintSpace};
+//! use sushi::sched::Policy;
+//! use sushi::wsnet::zoo;
+//!
+//! let net = Arc::new(zoo::mobilenet_v3_supernet());
+//! let picks = zoo::paper_subnets(&net);
+//! let mut stack = build_stack(
+//!     Variant::Sushi, Arc::clone(&net), picks,
+//!     &sushi::accel::config::zcu104(), Policy::StrictAccuracy, 10, 8, 42,
+//! );
+//! let space = ConstraintSpace { acc_lo: 0.76, acc_hi: 0.79, lat_lo: 2.0, lat_hi: 30.0 };
+//! for record in stack.serve_stream(&uniform_stream(&space, 20, 1)) {
+//!     assert!(record.served_accuracy >= record.query.accuracy_constraint);
+//! }
+//! ```
+//!
+//! Regenerate every paper table/figure:
+//! `cargo run -p sushi-core --release --bin repro -- all`.
+
+#![warn(missing_docs)]
+
+pub use sushi_accel as accel;
+pub use sushi_core as core;
+pub use sushi_sched as sched;
+pub use sushi_tensor as tensor;
+pub use sushi_wsnet as wsnet;

@@ -24,7 +24,11 @@ pub struct CpuModel {
 impl Default for CpuModel {
     /// Calibrated to an i7-10750H-class mobile CPU running an int8 backend.
     fn default() -> Self {
-        Self { name: "CPU (i7-10750H)".into(), sustained_gflops: 100.0, per_layer_overhead_ms: 0.08 }
+        Self {
+            name: "CPU (i7-10750H)".into(),
+            sustained_gflops: 100.0,
+            per_layer_overhead_ms: 0.08,
+        }
     }
 }
 

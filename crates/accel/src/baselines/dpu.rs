@@ -76,7 +76,9 @@ impl DpuModel {
                 k_tiles * c_tiles * pixel_tiles * rs
             }
             // Depthwise: channel lanes idle, one kernel per lane group.
-            ConvKind::Depthwise => slice.kernels.div_ceil(self.channel_par) as u64 * pixel_tiles * rs,
+            ConvKind::Depthwise => {
+                slice.kernels.div_ceil(self.channel_par) as u64 * pixel_tiles * rs
+            }
         }
     }
 
@@ -111,11 +113,7 @@ impl DpuModel {
     /// End-to-end SubNet latency in milliseconds.
     #[must_use]
     pub fn latency_ms(&self, net: &SuperNet, subnet: &SubNet) -> f64 {
-        net.layers
-            .iter()
-            .zip(subnet.graph.slices())
-            .map(|(l, s)| self.layer_latency_ms(l, s))
-            .sum()
+        net.layers.iter().zip(subnet.graph.slices()).map(|(l, s)| self.layer_latency_ms(l, s)).sum()
     }
 }
 

@@ -59,13 +59,21 @@ pub fn lcm(a: u64, b: u64) -> u64 {
 /// Greatest common divisor (Euclid).
 #[must_use]
 pub fn gcd(a: u64, b: u64) -> u64 {
-    if b == 0 { a } else { gcd(b, a % b) }
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
 }
 
 /// Computes the Table-1 bandwidth requirements for a configuration and a
 /// kernel footprint `r × s` (iAct data width 1 byte, oAct 1 byte).
 #[must_use]
-pub fn bandwidth_requirements(config: &AccelConfig, r: usize, s: usize) -> Vec<BandwidthRequirement> {
+pub fn bandwidth_requirements(
+    config: &AccelConfig,
+    r: usize,
+    s: usize,
+) -> Vec<BandwidthRequirement> {
     let offchip = config.offchip_bytes_per_cycle().ceil() as u64;
     // The DPE array demands KP·CP·9 weight bytes per cycle at full rate.
     let dpe_demand = (config.kp * config.cp * DPE_SIZE) as u64;

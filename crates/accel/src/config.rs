@@ -33,7 +33,12 @@ impl BufferConfig {
     /// Total on-chip storage across all buffers.
     #[must_use]
     pub fn total_bytes(&self) -> u64 {
-        self.pb_bytes + 2 * self.db_bytes_each + self.sb_bytes + self.lb_bytes + self.ob_bytes + self.zsb_bytes
+        self.pb_bytes
+            + 2 * self.db_bytes_each
+            + self.sb_bytes
+            + self.lb_bytes
+            + self.ob_bytes
+            + self.zsb_bytes
     }
 
     /// Whether the Persistent Buffer exists.
@@ -48,11 +53,7 @@ impl BufferConfig {
     /// comparison").
     #[must_use]
     pub fn without_pb(&self) -> Self {
-        Self {
-            pb_bytes: 0,
-            db_bytes_each: self.db_bytes_each + self.pb_bytes / 2,
-            ..*self
-        }
+        Self { pb_bytes: 0, db_bytes_each: self.db_bytes_each + self.pb_bytes / 2, ..*self }
     }
 }
 
@@ -114,7 +115,8 @@ impl AccelConfig {
         if bytes == 0 {
             return 0;
         }
-        (bytes as f64 / self.offchip_bytes_per_cycle()).ceil() as u64 + self.transfer_overhead_cycles
+        (bytes as f64 / self.offchip_bytes_per_cycle()).ceil() as u64
+            + self.transfer_overhead_cycles
     }
 
     /// Cycles to read `bytes` from on-chip storage.
@@ -148,7 +150,10 @@ impl AccelConfig {
     #[must_use]
     pub fn with_pb_bytes(&self, pb_bytes: u64) -> Self {
         let total = self.buffers.total_bytes();
-        let fixed = self.buffers.sb_bytes + self.buffers.lb_bytes + self.buffers.ob_bytes + self.buffers.zsb_bytes;
+        let fixed = self.buffers.sb_bytes
+            + self.buffers.lb_bytes
+            + self.buffers.ob_bytes
+            + self.buffers.zsb_bytes;
         let db_pool = total.saturating_sub(fixed).saturating_sub(pb_bytes);
         Self {
             name: format!("{} (PB={} KB)", self.name, pb_bytes / 1024),

@@ -65,20 +65,28 @@ impl DpeArray {
         }
         let depthwise = params.groups > 1;
         if depthwise && (params.groups != wshape.n || wshape.c != 1) {
-            return Err(TensorError::InvalidParam { what: "depthwise requires groups == K and C == 1" });
+            return Err(TensorError::InvalidParam {
+                what: "depthwise requires groups == K and C == 1",
+            });
         }
         if !depthwise && wshape.c != ishape.c {
-            return Err(TensorError::ShapeMismatch { what: "input channels", lhs: ishape, rhs: wshape });
+            return Err(TensorError::ShapeMismatch {
+                what: "input channels",
+                lhs: ishape,
+                rhs: wshape,
+            });
         }
         if let Some(b) = bias {
             if b.len() != wshape.n {
                 return Err(TensorError::LengthMismatch { expected: wshape.n, actual: b.len() });
             }
         }
-        let oh = sushi_tensor::shape::conv_out_dim(ishape.h, wshape.h, params.stride, params.padding)
-            .ok_or(TensorError::EmptyOutput { input: ishape })?;
-        let ow = sushi_tensor::shape::conv_out_dim(ishape.w, wshape.w, params.stride, params.padding)
-            .ok_or(TensorError::EmptyOutput { input: ishape })?;
+        let oh =
+            sushi_tensor::shape::conv_out_dim(ishape.h, wshape.h, params.stride, params.padding)
+                .ok_or(TensorError::EmptyOutput { input: ishape })?;
+        let ow =
+            sushi_tensor::shape::conv_out_dim(ishape.w, wshape.w, params.stride, params.padding)
+                .ok_or(TensorError::EmptyOutput { input: ishape })?;
 
         let acc_scale = in_q.scale * w_q.scale / out_q.scale;
         let k_total = wshape.n;
@@ -91,9 +99,13 @@ impl DpeArray {
                 let k_hi = (k_tile + self.kp).min(k_total);
                 ob.iter_mut().for_each(|v| *v = 0);
                 if depthwise {
-                    self.depthwise_tile(input, in_q, weights, w_q, params, n, k_tile, k_hi, oh, ow, &mut ob);
+                    self.depthwise_tile(
+                        input, in_q, weights, w_q, params, n, k_tile, k_hi, oh, ow, &mut ob,
+                    );
                 } else {
-                    self.dense_tile(input, in_q, weights, w_q, params, n, k_tile, k_hi, oh, ow, &mut ob);
+                    self.dense_tile(
+                        input, in_q, weights, w_q, params, n, k_tile, k_hi, oh, ow, &mut ob,
+                    );
                 }
                 // Output stage: add bias, requantize, emit final oActs.
                 for k in k_tile..k_hi {
@@ -101,7 +113,13 @@ impl DpeArray {
                     for oy in 0..oh {
                         for ox in 0..ow {
                             let acc = ob[(k - k_tile) * oh * ow + oy * ow + ox] + b;
-                            out.set(n, k, oy, ox, requantize_accumulator(acc, acc_scale, out_q.zero_point));
+                            out.set(
+                                n,
+                                k,
+                                oy,
+                                ox,
+                                requantize_accumulator(acc, acc_scale, out_q.zero_point),
+                            );
                         }
                     }
                 }
@@ -171,16 +189,23 @@ impl DpeArray {
                                 for c in c_tile..c_hi {
                                     // The 9-MAC dot product of one DPE.
                                     for dy in pr..(pr + 3).min(r) {
-                                        let iy = (oy * params.stride + dy) as isize - params.padding as isize;
+                                        let iy = (oy * params.stride + dy) as isize
+                                            - params.padding as isize;
                                         if iy < 0 || iy >= ishape.h as isize {
                                             continue;
                                         }
                                         for dx in ps..(ps + 3).min(s) {
-                                            let ix = (ox * params.stride + dx) as isize - params.padding as isize;
+                                            let ix = (ox * params.stride + dx) as isize
+                                                - params.padding as isize;
                                             if ix < 0 || ix >= ishape.w as isize {
                                                 continue;
                                             }
-                                            let a = i32::from(input.get(n, c, iy as usize, ix as usize)) - zp_a;
+                                            let a = i32::from(input.get(
+                                                n,
+                                                c,
+                                                iy as usize,
+                                                ix as usize,
+                                            )) - zp_a;
                                             let w = i32::from(weights.get(k, c, dy, dx)) - zp_w;
                                             acc += a * w;
                                         }
@@ -278,43 +303,79 @@ mod tests {
     #[test]
     fn dense_3x3_matches_reference_bit_exactly() {
         let arr = DpeArray::new(4, 3);
-        check_equal(&arr, Shape4::new(1, 7, 9, 9), Shape4::new(10, 7, 3, 3),
-            &Conv2dParams::new(3, 3).with_padding(1), true, 10);
+        check_equal(
+            &arr,
+            Shape4::new(1, 7, 9, 9),
+            Shape4::new(10, 7, 3, 3),
+            &Conv2dParams::new(3, 3).with_padding(1),
+            true,
+            10,
+        );
     }
 
     #[test]
     fn dense_1x1_matches_reference_bit_exactly() {
         let arr = DpeArray::new(4, 2);
-        check_equal(&arr, Shape4::new(1, 40, 5, 5), Shape4::new(12, 40, 1, 1),
-            &Conv2dParams::new(1, 1), false, 20);
+        check_equal(
+            &arr,
+            Shape4::new(1, 40, 5, 5),
+            Shape4::new(12, 40, 1, 1),
+            &Conv2dParams::new(1, 1),
+            false,
+            20,
+        );
     }
 
     #[test]
     fn dense_5x5_decomposition_matches_reference() {
         let arr = DpeArray::new(2, 2);
-        check_equal(&arr, Shape4::new(1, 3, 11, 11), Shape4::new(5, 3, 5, 5),
-            &Conv2dParams::new(5, 5).with_padding(2), true, 30);
+        check_equal(
+            &arr,
+            Shape4::new(1, 3, 11, 11),
+            Shape4::new(5, 3, 5, 5),
+            &Conv2dParams::new(5, 5).with_padding(2),
+            true,
+            30,
+        );
     }
 
     #[test]
     fn dense_7x7_stride_2_matches_reference() {
         let arr = DpeArray::new(3, 3);
-        check_equal(&arr, Shape4::new(1, 3, 16, 16), Shape4::new(6, 3, 7, 7),
-            &Conv2dParams::new(7, 7).with_stride(2).with_padding(3), false, 40);
+        check_equal(
+            &arr,
+            Shape4::new(1, 3, 16, 16),
+            Shape4::new(6, 3, 7, 7),
+            &Conv2dParams::new(7, 7).with_stride(2).with_padding(3),
+            false,
+            40,
+        );
     }
 
     #[test]
     fn depthwise_matches_reference_bit_exactly() {
         let arr = DpeArray::new(4, 4);
-        check_equal(&arr, Shape4::new(1, 10, 8, 8), Shape4::new(10, 1, 3, 3),
-            &Conv2dParams::new(3, 3).with_padding(1).with_groups(10), true, 50);
+        check_equal(
+            &arr,
+            Shape4::new(1, 10, 8, 8),
+            Shape4::new(10, 1, 3, 3),
+            &Conv2dParams::new(3, 3).with_padding(1).with_groups(10),
+            true,
+            50,
+        );
     }
 
     #[test]
     fn depthwise_5x5_stride2_matches_reference() {
         let arr = DpeArray::new(8, 2);
-        check_equal(&arr, Shape4::new(1, 12, 9, 9), Shape4::new(12, 1, 5, 5),
-            &Conv2dParams::new(5, 5).with_stride(2).with_padding(2).with_groups(12), false, 60);
+        check_equal(
+            &arr,
+            Shape4::new(1, 12, 9, 9),
+            Shape4::new(12, 1, 5, 5),
+            &Conv2dParams::new(5, 5).with_stride(2).with_padding(2).with_groups(12),
+            false,
+            60,
+        );
     }
 
     #[test]

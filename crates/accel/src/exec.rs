@@ -61,7 +61,12 @@ impl Accelerator {
     /// Creates an accelerator with an empty Persistent Buffer.
     #[must_use]
     pub fn new(config: AccelConfig) -> Self {
-        Self { config, energy_model: EnergyModel::default(), cached: None, pending_reload_cycles: 0 }
+        Self {
+            config,
+            energy_model: EnergyModel::default(),
+            cached: None,
+            pending_reload_cycles: 0,
+        }
     }
 
     /// Overrides the energy model.
@@ -115,11 +120,7 @@ impl Accelerator {
     /// # Panics
     /// Panics if the SubNet does not belong to `net` (layer count mismatch).
     pub fn serve(&mut self, net: &SuperNet, subnet: &SubNet) -> QueryReport {
-        assert_eq!(
-            subnet.graph.num_layers(),
-            net.num_layers(),
-            "SubNet does not match SuperNet"
-        );
+        assert_eq!(subnet.graph.num_layers(), net.num_layers(), "SubNet does not match SuperNet");
         let empty = LayerSlice::empty();
         let mut layers = Vec::new();
         let mut cycles = CycleBreakdown::default();

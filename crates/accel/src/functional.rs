@@ -47,7 +47,11 @@ pub fn forward(
 ) -> Result<FunctionalOutput, TensorError> {
     let expect = Shape4::new(1, 3, net.input_hw, net.input_hw);
     if input.shape() != expect {
-        return Err(TensorError::ShapeMismatch { what: "network input", lhs: input.shape(), rhs: expect });
+        return Err(TensorError::ShapeMismatch {
+            what: "network input",
+            lhs: input.shape(),
+            rhs: expect,
+        });
     }
     let mut rt = Runtime { dpe, net, store, subnet };
     rt.run(input)
@@ -93,10 +97,23 @@ impl Runtime<'_> {
             .with_stride(layer.stride)
             .with_padding(slice.kernel_size / 2)
             .with_groups(groups);
-        self.dpe.conv2d_i8(x, ACT_Q, &weights, self.store.layer(idx).w_q, Some(bias), ACT_Q, &params)
+        self.dpe.conv2d_i8(
+            x,
+            ACT_Q,
+            &weights,
+            self.store.layer(idx).w_q,
+            Some(bias),
+            ACT_Q,
+            &params,
+        )
     }
 
-    fn conv_act(&self, idx: usize, x: &Tensor<i8>, act: Activation) -> Result<Tensor<i8>, TensorError> {
+    fn conv_act(
+        &self,
+        idx: usize,
+        x: &Tensor<i8>,
+        act: Activation,
+    ) -> Result<Tensor<i8>, TensorError> {
         let y = self.conv(idx, x)?;
         Ok(apply_activation(&y, act))
     }
@@ -139,7 +156,11 @@ impl Runtime<'_> {
 
     /// Executes one block starting at layer `idx`; returns the index after
     /// the block and the block output (`None` when the block is inactive).
-    fn run_block(&self, idx: usize, x: &Tensor<i8>) -> Result<(usize, Option<Tensor<i8>>), TensorError> {
+    fn run_block(
+        &self,
+        idx: usize,
+        x: &Tensor<i8>,
+    ) -> Result<(usize, Option<Tensor<i8>>), TensorError> {
         let layers = &self.net.layers;
         let stage = layers[idx].stage;
         let block = layers[idx].block;
@@ -150,9 +171,8 @@ impl Runtime<'_> {
         if !self.layer_active(idx) {
             return Ok((end, None));
         }
-        let find = |role: LayerRole| -> Option<usize> {
-            (idx..end).find(|&i| layers[i].role == role)
-        };
+        let find =
+            |role: LayerRole| -> Option<usize> { (idx..end).find(|&i| layers[i].role == role) };
         match self.net.family {
             Family::OfaResNet50 => {
                 let c1 = find(LayerRole::Expand).expect("bottleneck conv1");
@@ -180,15 +200,13 @@ impl Runtime<'_> {
                 let pj = find(LayerRole::Project).expect("mbconv project");
                 let y = self.conv_act(ex, x, Activation::HSwish)?;
                 let mut y = self.conv_act(dw, &y, Activation::HSwish)?;
-                if let (Some(se_r), Some(se_e)) = (find(LayerRole::SeReduce), find(LayerRole::SeExpand)) {
+                if let (Some(se_r), Some(se_e)) =
+                    (find(LayerRole::SeReduce), find(LayerRole::SeExpand))
+                {
                     y = self.squeeze_excite(se_r, se_e, &y)?;
                 }
                 let y = self.conv(pj, &y)?;
-                let out = if x.shape() == y.shape() {
-                    saturating_add_i8(&y, x)?
-                } else {
-                    y
-                };
+                let out = if x.shape() == y.shape() { saturating_add_i8(&y, x)? } else { y };
                 Ok((end, Some(out)))
             }
         }
@@ -196,7 +214,12 @@ impl Runtime<'_> {
 
     /// SE module: pooled 1×1 reduce (ReLU) → 1×1 expand (h-sigmoid) →
     /// channel-wise rescale of `y`.
-    fn squeeze_excite(&self, se_r: usize, se_e: usize, y: &Tensor<i8>) -> Result<Tensor<i8>, TensorError> {
+    fn squeeze_excite(
+        &self,
+        se_r: usize,
+        se_e: usize,
+        y: &Tensor<i8>,
+    ) -> Result<Tensor<i8>, TensorError> {
         let pooled = quantize_tensor(&global_avg_pool(&dequantize_tensor(y, ACT_Q)), ACT_Q);
         let g = self.conv_act(se_r, &pooled, Activation::Relu)?;
         let g = self.conv(se_e, &g)?;
@@ -235,14 +258,13 @@ fn apply_activation(x: &Tensor<i8>, act: Activation) -> Tensor<i8> {
 /// Saturating elementwise int8 add of equal-scale activations.
 fn saturating_add_i8(a: &Tensor<i8>, b: &Tensor<i8>) -> Result<Tensor<i8>, TensorError> {
     if a.shape() != b.shape() {
-        return Err(TensorError::ShapeMismatch { what: "residual add", lhs: a.shape(), rhs: b.shape() });
+        return Err(TensorError::ShapeMismatch {
+            what: "residual add",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
     }
-    let data = a
-        .as_slice()
-        .iter()
-        .zip(b.as_slice())
-        .map(|(&x, &y)| x.saturating_add(y))
-        .collect();
+    let data = a.as_slice().iter().zip(b.as_slice()).map(|(&x, &y)| x.saturating_add(y)).collect();
     Tensor::from_vec(a.shape(), data)
 }
 
@@ -261,7 +283,11 @@ mod tests {
     fn rand_input(net: &SuperNet, seed: u64) -> Tensor<i8> {
         let shape = Shape4::new(1, 3, net.input_hw, net.input_hw);
         let mut rng = DetRng::new(seed);
-        let f = Tensor::from_vec(shape, (0..shape.volume()).map(|_| rng.uniform_f32(-1.0, 1.0)).collect()).unwrap();
+        let f = Tensor::from_vec(
+            shape,
+            (0..shape.volume()).map(|_| rng.uniform_f32(-1.0, 1.0)).collect(),
+        )
+        .unwrap();
         quantize_tensor(&f, ACT_Q)
     }
 
@@ -368,10 +394,16 @@ mod tests {
         let dpe = DpeArray::new(4, 4);
         let min_a = forward(&dpe, &net, &store_a, &min_sn, &x).unwrap();
         let min_b = forward(&dpe, &net, &store_b, &min_sn, &x).unwrap();
-        assert_eq!(min_a.logits, min_b.logits, "perturbation outside min slice must not affect min SubNet");
+        assert_eq!(
+            min_a.logits, min_b.logits,
+            "perturbation outside min slice must not affect min SubNet"
+        );
         let max_a = forward(&dpe, &net, &store_a, &max_sn, &x).unwrap();
         let max_b = forward(&dpe, &net, &store_b, &max_sn, &x).unwrap();
-        assert_ne!(max_a.logits, max_b.logits, "perturbation inside max slice must affect max SubNet");
+        assert_ne!(
+            max_a.logits, max_b.logits,
+            "perturbation inside max slice must affect max SubNet"
+        );
     }
 
     /// Test helper: mutable access to a stored kernel tensor.

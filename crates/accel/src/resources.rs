@@ -56,8 +56,9 @@ pub fn estimate(config: &AccelConfig) -> ResourceEstimate {
     let uram_banks = uram_kb.div_ceil(72) * if has_pb { 2 } else { 1 };
 
     // BRAM holds LB, OB, ZSB and the SB head, double-banked for dual ports.
-    let bram_kb = (config.buffers.lb_bytes + config.buffers.ob_bytes + config.buffers.zsb_bytes + 8 * 1024)
-        / 1024;
+    let bram_kb =
+        (config.buffers.lb_bytes + config.buffers.ob_bytes + config.buffers.zsb_bytes + 8 * 1024)
+            / 1024;
     let bram = (bram_kb as f64 / 4.5 * 2.18 * 10.0).round() / 10.0;
 
     ResourceEstimate {

@@ -131,8 +131,10 @@ mod tests {
         let max = net.materialize("max", &net.max_config()).unwrap();
         let series = layer_ai_series(&net, &max);
         let n = series.len();
-        let early: f64 = series[1..n / 4].iter().map(|(_, ai)| ai).sum::<f64>() / (n / 4 - 1) as f64;
-        let late: f64 = series[3 * n / 4..].iter().map(|(_, ai)| ai).sum::<f64>() / (n - 3 * n / 4) as f64;
+        let early: f64 =
+            series[1..n / 4].iter().map(|(_, ai)| ai).sum::<f64>() / (n / 4 - 1) as f64;
+        let late: f64 =
+            series[3 * n / 4..].iter().map(|(_, ai)| ai).sum::<f64>() / (n - 3 * n / 4) as f64;
         assert!(late < early, "late {late} !< early {early}");
     }
 

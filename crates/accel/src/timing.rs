@@ -36,7 +36,11 @@ impl CycleBreakdown {
     /// Total critical-path cycles.
     #[must_use]
     pub fn total(&self) -> u64 {
-        self.compute + self.offchip_iact + self.offchip_weights + self.onchip_weights + self.offchip_oact
+        self.compute
+            + self.offchip_iact
+            + self.offchip_weights
+            + self.onchip_weights
+            + self.offchip_oact
     }
 
     /// Elementwise accumulation.
@@ -163,10 +167,12 @@ pub fn layer_timing(
         };
     }
     // Only a PB-equipped config can serve cached weights.
-    let cached = if config.buffers.has_pb() { slice.intersect(cached) } else { LayerSlice::empty() };
+    let cached =
+        if config.buffers.has_pb() { slice.intersect(cached) } else { LayerSlice::empty() };
 
     let pkb = per_kernel_bytes(layer, slice);
-    let kernels_per_tile = ((config.buffers.db_bytes_each / pkb).max(1) as usize).min(slice.kernels);
+    let kernels_per_tile =
+        ((config.buffers.db_bytes_each / pkb).max(1) as usize).min(slice.kernels);
     let num_tiles = slice.kernels.div_ceil(kernels_per_tile);
 
     let total_compute = compute_cycles(layer, slice, config.kp, config.cp);

@@ -25,7 +25,9 @@ fn bench_layer_timing(c: &mut Criterion) {
         .expect("mid-network layer");
     let cached = LayerSlice::new(slice.kernels / 2, slice.channels, slice.kernel_size);
     c.bench_function("layer_timing_single_conv", |b| {
-        b.iter(|| layer_timing(black_box(&cfg), black_box(&layer), black_box(&slice), black_box(&cached)))
+        b.iter(|| {
+            layer_timing(black_box(&cfg), black_box(&layer), black_box(&slice), black_box(&cached))
+        })
     });
 }
 
@@ -56,8 +58,10 @@ fn bench_dpe_functional_conv(c: &mut Criterion) {
     let mut rng = DetRng::new(1);
     let ishape = Shape4::new(1, 32, 14, 14);
     let wshape = Shape4::new(32, 32, 3, 3);
-    let x = Tensor::from_vec(ishape, (0..ishape.volume()).map(|_| rng.next_i8()).collect()).unwrap();
-    let w = Tensor::from_vec(wshape, (0..wshape.volume()).map(|_| rng.next_i8()).collect()).unwrap();
+    let x =
+        Tensor::from_vec(ishape, (0..ishape.volume()).map(|_| rng.next_i8()).collect()).unwrap();
+    let w =
+        Tensor::from_vec(wshape, (0..wshape.volume()).map(|_| rng.next_i8()).collect()).unwrap();
     let q = QuantParams::new(0.02, 3);
     let params = Conv2dParams::new(3, 3).with_padding(1);
     let arr = DpeArray::new(16, 18);

@@ -14,16 +14,15 @@ use sushi_core::experiments::{run, ExpOptions, ALL_IDS};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let save_dir = args
-        .iter()
-        .position(|a| a == "--save")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
+    let save_pos = args.iter().position(|a| a == "--save");
+    let save_dir = save_pos.and_then(|i| args.get(i + 1)).cloned();
+    // Skip the --save *operand by position*, not by value, so an id that
+    // happens to equal the directory name is still run.
     let ids: Vec<String> = args
         .iter()
-        .filter(|a| !a.starts_with("--"))
-        .filter(|a| save_dir.as_deref() != Some(a.as_str()))
-        .cloned()
+        .enumerate()
+        .filter(|(i, a)| !a.starts_with("--") && save_pos.map_or(true, |s| *i != s + 1))
+        .map(|(_, a)| a.clone())
         .collect();
     let opts = if quick { ExpOptions::quick() } else { ExpOptions::default() };
 

@@ -20,11 +20,7 @@ use crate::stack::SushiStack;
 use crate::stream::uniform_stream;
 use crate::variants::{build_table, Variant};
 
-fn run_selection(
-    wl: &Workload,
-    selection: CacheSelection,
-    opts: &ExpOptions,
-) -> (f64, f64) {
+fn run_selection(wl: &Workload, selection: CacheSelection, opts: &ExpOptions) -> (f64, f64) {
     let zcu = sushi_accel::config::zcu104();
     let space = wl.constraint_space(&zcu, opts);
     let table = build_table(&wl.net, &wl.picks, &zcu, opts.candidates, opts.seed);
@@ -81,15 +77,19 @@ pub fn abl_pb_split(opts: &ExpOptions) -> ExpReport {
     let shares: &[f64] = &[0.0, 0.15, 0.30, 0.45, 0.60];
     for wl in crate::experiments::common::both_workloads() {
         let mut t = TextTable::new(vec![
-            "PB share", "PB (KB)", "DB each (KB)", "mean latency (ms)", "hit ratio",
+            "PB share",
+            "PB (KB)",
+            "DB each (KB)",
+            "mean latency (ms)",
+            "hit ratio",
         ]);
-        let weight_pool =
-            base.buffers.pb_bytes + 2 * base.buffers.db_bytes_each; // what PB and DBs split
+        let weight_pool = base.buffers.pb_bytes + 2 * base.buffers.db_bytes_each; // what PB and DBs split
         for &share in shares {
             let pb = (weight_pool as f64 * share) as u64;
             let cfg = base.with_pb_bytes(pb);
             let space = wl.constraint_space(&cfg, opts);
-            let mut stack = wl.stack(Variant::Sushi, &cfg, Policy::StrictAccuracy, wl.q_window, opts);
+            let mut stack =
+                wl.stack(Variant::Sushi, &cfg, Policy::StrictAccuracy, wl.q_window, opts);
             let queries = uniform_stream(&space, opts.queries, opts.seed ^ 0xAB2);
             let records = stack.serve_stream(&queries);
             let s = summarize(&records);
@@ -122,7 +122,8 @@ pub fn abl_candidates(opts: &ExpOptions) -> ExpReport {
     for wl in crate::experiments::common::both_workloads() {
         let space = wl.constraint_space(&zcu, opts);
         let queries = uniform_stream(&space, opts.queries, opts.seed ^ 0xAB3);
-        let mut t = TextTable::new(vec!["candidate set", "columns", "mean latency (ms)", "hit ratio"]);
+        let mut t =
+            TextTable::new(vec!["candidate set", "columns", "mean latency (ms)", "hit ratio"]);
         // Uniform-only: each pick truncated once (bias 0).
         let uniform: Vec<_> = wl
             .picks

@@ -15,10 +15,7 @@ pub fn fig2(_opts: &ExpOptions) -> ExpReport {
     let mut report = ExpReport::new("fig2", "Arithmetic intensity per conv layer (FLOPs/Byte)");
     let cfg = roofline_board();
     for wl in crate::experiments::common::both_workloads() {
-        let max = wl
-            .net
-            .materialize("max", &wl.net.max_config())
-            .expect("max config");
+        let max = wl.net.materialize("max", &wl.net.max_config()).expect("max config");
         let series = layer_ai_series(&wl.net, &max);
         let mut t = TextTable::new(vec!["layer", "AI (F/B)", "bound"]);
         let mut memory_bound = 0usize;
@@ -27,11 +24,7 @@ pub fn fig2(_opts: &ExpOptions) -> ExpReport {
             if bound == Boundedness::MemoryBound {
                 memory_bound += 1;
             }
-            t.push_row(vec![
-                i.to_string(),
-                fmt_f(*ai, 1),
-                format!("{bound:?}"),
-            ]);
+            t.push_row(vec![i.to_string(), fmt_f(*ai, 1), format!("{bound:?}")]);
         }
         report.add_note(format!(
             "{}: {}/{} conv layers are memory-bound on the 19.2 GB/s / 1.296 TFLOPS system",

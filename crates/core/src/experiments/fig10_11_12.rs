@@ -29,7 +29,15 @@ fn fig10_for(wl: &Workload, report: &mut ExpReport) -> (f64, f64) {
     let shared = wl.net.shared_subgraph(&wl.picks);
     let cached = wl.net.subgraph_to_budget(&shared, cfg.buffers.pb_bytes);
     let mut t = TextTable::new(vec![
-        "SubNet", "PB", "compute", "iAct", "off-W", "on-W", "oAct", "total(ms)", "acc(%)",
+        "SubNet",
+        "PB",
+        "compute",
+        "iAct",
+        "off-W",
+        "on-W",
+        "oAct",
+        "total(ms)",
+        "acc(%)",
     ]);
     let mut min_red = f64::INFINITY;
     let mut max_red = f64::NEG_INFINITY;
@@ -64,8 +72,10 @@ fn fig10_for(wl: &Workload, report: &mut ExpReport) -> (f64, f64) {
 /// Fig. 10: potential latency reduction with SGS.
 #[must_use]
 pub fn fig10(_opts: &ExpOptions) -> ExpReport {
-    let mut report =
-        ExpReport::new("fig10", "Latency breakdown per SubNet, w/o PB vs w/ PB (shared SubGraph cached)");
+    let mut report = ExpReport::new(
+        "fig10",
+        "Latency breakdown per SubNet, w/o PB vs w/ PB (shared SubGraph cached)",
+    );
     for wl in crate::experiments::common::both_workloads() {
         let (lo, hi) = fig10_for(&wl, &mut report);
         report.add_note(format!(
@@ -86,8 +96,14 @@ pub fn fig11(_opts: &ExpOptions) -> ExpReport {
     for wl in crate::experiments::common::both_workloads() {
         let shared = wl.net.shared_subgraph(&wl.picks);
         let cached = wl.net.subgraph_to_budget(&shared, cfg.buffers.pb_bytes);
-        let mut t =
-            TextTable::new(vec!["SubNet", "AI base", "AI SGS", "TFLOPS base", "TFLOPS SGS", "bound SGS"]);
+        let mut t = TextTable::new(vec![
+            "SubNet",
+            "AI base",
+            "AI SGS",
+            "TFLOPS base",
+            "TFLOPS SGS",
+            "bound SGS",
+        ]);
         for sn in &wl.picks {
             let base = subnet_roofline(&cfg, &wl.net, sn, None);
             let sgs = subnet_roofline(&cfg, &wl.net, sn, Some(&cached));
@@ -121,12 +137,22 @@ pub fn fig12(opts: &ExpOptions) -> ExpReport {
     };
     for wl in crate::experiments::common::both_workloads() {
         let points = sweep(&sushi_accel::config::zcu104(), &wl.net, &wl.picks, &grid);
-        let mut t = TextTable::new(vec!["PB (MB)", "BW (GB/s)", "MACs/cy", "w/o PB (ms)", "w/ PB (ms)", "save %"]);
+        let mut t = TextTable::new(vec![
+            "PB (MB)",
+            "BW (GB/s)",
+            "MACs/cy",
+            "w/o PB (ms)",
+            "w/ PB (ms)",
+            "save %",
+        ]);
         let mut best = (0.0_f64, String::new());
         for p in &points {
             let save = p.time_save_pct();
             if save > best.0 {
-                best = (save, format!("PB={:.2}MB BW={} MACs={}", p.pb_mb, p.bw_gbps, p.macs_per_cycle));
+                best = (
+                    save,
+                    format!("PB={:.2}MB BW={} MACs={}", p.pb_mb, p.bw_gbps, p.macs_per_cycle),
+                );
             }
             t.push_row(vec![
                 fmt_f(p.pb_mb, 2),

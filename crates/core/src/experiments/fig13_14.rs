@@ -18,10 +18,7 @@ fn board_latencies(cfg: &sushi_accel::AccelConfig, wl: &Workload) -> Vec<f64> {
         let shared = wl.net.shared_subgraph(&wl.picks);
         wl.net.subgraph_to_budget(&shared, cfg.buffers.pb_bytes)
     });
-    wl.picks
-        .iter()
-        .map(|sn| acc.probe(&wl.net, sn, cached.as_ref()).latency_ms)
-        .collect()
+    wl.picks.iter().map(|sn| acc.probe(&wl.net, sn, cached.as_ref()).latency_ms).collect()
 }
 
 /// Fig. 13a: CPU vs ZCU104 / Alveo U50, each w/o and w/ PB, on ResNet50.
@@ -64,7 +61,8 @@ pub fn fig13a(_opts: &ExpOptions) -> ExpReport {
 /// Fig. 13b: off-chip/on-chip access energy per SubNet, w/o vs w/ PB.
 #[must_use]
 pub fn fig13b(_opts: &ExpOptions) -> ExpReport {
-    let mut report = ExpReport::new("fig13b", "Data-access energy per SubNet (mJ), w/o PB vs w/ PB");
+    let mut report =
+        ExpReport::new("fig13b", "Data-access energy per SubNet (mJ), w/o PB vs w/ PB");
     let zcu = sushi_accel::config::zcu104();
     for wl in crate::experiments::common::both_workloads() {
         let shared = wl.net.shared_subgraph(&wl.picks);
@@ -72,7 +70,12 @@ pub fn fig13b(_opts: &ExpOptions) -> ExpReport {
         let acc_pb = Accelerator::new(zcu.clone());
         let acc_wo = Accelerator::new(zcu.without_pb());
         let mut t = TextTable::new(vec![
-            "SubNet", "off-chip w/o", "on-chip w/o", "off-chip w/", "on-chip w/", "off-chip save %",
+            "SubNet",
+            "off-chip w/o",
+            "on-chip w/o",
+            "off-chip w/",
+            "on-chip w/",
+            "off-chip save %",
         ]);
         let mut saves = Vec::new();
         for sn in &wl.picks {
@@ -105,7 +108,8 @@ pub fn fig13b(_opts: &ExpOptions) -> ExpReport {
 /// the 3×3 convolution layers of the ResNet50 min-SubNet (ZCU104).
 #[must_use]
 pub fn fig14(_opts: &ExpOptions) -> ExpReport {
-    let mut report = ExpReport::new("fig14", "SushiAccel w/o PB vs Xilinx DPU, per 3x3 conv layer (ms)");
+    let mut report =
+        ExpReport::new("fig14", "SushiAccel w/o PB vs Xilinx DPU, per 3x3 conv layer (ms)");
     let wl = crate::experiments::common::resnet50_workload();
     let min_sn = &wl.picks[0];
     let cfg = sushi_accel::config::zcu104().without_pb();
@@ -121,12 +125,7 @@ pub fn fig14(_opts: &ExpOptions) -> ExpReport {
         let theirs = dpu.layer_latency_ms(layer, slice);
         let speedup = theirs / ours;
         speedups.push(speedup);
-        t.push_row(vec![
-            layer.name.clone(),
-            fmt_f(ours, 4),
-            fmt_f(theirs, 4),
-            fmt_f(speedup, 2),
-        ]);
+        t.push_row(vec![layer.name.clone(), fmt_f(ours, 4), fmt_f(theirs, 4), fmt_f(speedup, 2)]);
     }
     let gm = geomean(&speedups);
     report.add_section("per-layer latency", t);
@@ -177,8 +176,16 @@ mod tests {
             let note = r.notes.iter().find(|n| n.starts_with(label)).unwrap();
             let inner = note.split('[').nth(1).unwrap();
             let lo: f64 = inner.split('%').next().unwrap().trim().parse().unwrap();
-            let hi: f64 =
-                inner.split(", ").nth(1).unwrap().split('%').next().unwrap().trim().parse().unwrap();
+            let hi: f64 = inner
+                .split(", ")
+                .nth(1)
+                .unwrap()
+                .split('%')
+                .next()
+                .unwrap()
+                .trim()
+                .parse()
+                .unwrap();
             (lo, hi)
         };
         let (r_lo, r_hi) = span("ResNet50");

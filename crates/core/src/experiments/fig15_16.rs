@@ -72,12 +72,7 @@ pub fn fig15(opts: &ExpOptions) -> ExpReport {
 }
 
 /// Runs one variant over a stream and returns `(mean latency, mean acc %)`.
-fn run_variant(
-    wl: &Workload,
-    variant: Variant,
-    policy: Policy,
-    opts: &ExpOptions,
-) -> (f64, f64) {
+fn run_variant(wl: &Workload, variant: Variant, policy: Policy, opts: &ExpOptions) -> (f64, f64) {
     let zcu = sushi_accel::config::zcu104();
     let space = wl.constraint_space(&zcu, opts);
     let mut stack = wl.stack(variant, &zcu, policy, wl.q_window, opts);
@@ -125,11 +120,8 @@ mod tests {
     use super::*;
 
     fn satisfied_fraction(report: &ExpReport, model: &str, policy: &str) -> f64 {
-        let note = report
-            .notes
-            .iter()
-            .find(|n| n.starts_with(model) && n.contains(policy))
-            .unwrap();
+        let note =
+            report.notes.iter().find(|n| n.starts_with(model) && n.contains(policy)).unwrap();
         let frac = note.split(": ").nth(1).unwrap().split(' ').next().unwrap();
         let mut parts = frac.split('/');
         let num: f64 = parts.next().unwrap().parse().unwrap();
@@ -159,8 +151,7 @@ mod tests {
         let r = fig16(&ExpOptions::quick());
         for section in &r.sections {
             let t = &section.1;
-            let lat =
-                |row: usize| -> f64 { t.cell(row, 1).unwrap().parse().unwrap() };
+            let lat = |row: usize| -> f64 { t.cell(row, 1).unwrap().parse().unwrap() };
             let no_sushi = lat(0);
             let sushi = lat(2);
             assert!(sushi < no_sushi, "{}: {sushi} !< {no_sushi}", section.0);

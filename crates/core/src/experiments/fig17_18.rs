@@ -18,7 +18,11 @@ fn q_sweep(wl: &Workload, windows: &[usize], opts: &ExpOptions) -> TextTable {
     let space = wl.constraint_space(&zcu, opts);
     let queries = uniform_stream(&space, opts.queries, opts.seed ^ 0x17);
     let mut t = TextTable::new(vec![
-        "Q", "mean latency (ms)", "mean accuracy (%)", "hit ratio", "cache updates",
+        "Q",
+        "mean latency (ms)",
+        "mean accuracy (%)",
+        "hit ratio",
+        "cache updates",
     ]);
     for &q in windows {
         let mut stack = wl.stack(Variant::Sushi, &zcu, Policy::StrictAccuracy, q, opts);
@@ -90,8 +94,10 @@ mod tests {
         let r = fig18(&ExpOptions::quick());
         let lats = latencies(&r.sections[0].1);
         let best = lats.iter().copied().fold(f64::INFINITY, f64::min);
-        assert!(lats[1..].iter().any(|&l| l <= lats[0] + 1e-9) || best == lats[0],
-            "no amortized window competitive with Q=1: {lats:?}");
+        assert!(
+            lats[1..].iter().any(|&l| l <= lats[0] + 1e-9) || best == lats[0],
+            "no amortized window competitive with Q=1: {lats:?}"
+        );
     }
 
     #[test]

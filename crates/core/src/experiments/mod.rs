@@ -28,9 +28,28 @@ use crate::report::ExpReport;
 
 /// All experiment ids, in paper order.
 pub const ALL_IDS: &[&str] = &[
-    "fig2", "fig3", "fig10", "fig11", "fig12", "fig13a", "fig13b", "fig14", "fig15", "fig16",
-    "fig17", "fig18", "tab1", "tab2", "tab3", "tab4", "tab5", "tab6", "hit_ratio",
-    "abl_distance", "abl_pb_split", "abl_candidates",
+    "fig2",
+    "fig3",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13a",
+    "fig13b",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "fig18",
+    "tab1",
+    "tab2",
+    "tab3",
+    "tab4",
+    "tab5",
+    "tab6",
+    "hit_ratio",
+    "abl_distance",
+    "abl_pb_split",
+    "abl_candidates",
 ];
 
 /// Runs one experiment by id. Returns `None` for an unknown id.

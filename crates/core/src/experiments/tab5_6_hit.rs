@@ -45,20 +45,23 @@ pub fn tab5(opts: &ExpOptions) -> ExpReport {
         "tab5",
         "Latency improvement vs Latency-Table size (normalized to SUSHI w/o scheduler)",
     );
-    let sizes: &[usize] =
-        if opts.queries <= ExpOptions::quick().queries { &[10, 40, 100] } else { &[10, 40, 80, 100, 500] };
+    let sizes: &[usize] = if opts.queries <= ExpOptions::quick().queries {
+        &[10, 40, 100]
+    } else {
+        &[10, 40, 80, 100, 500]
+    };
     let zcu = sushi_accel::config::zcu104();
     for wl in crate::experiments::common::both_workloads() {
         let max_cols = *sizes.last().unwrap();
         let full_table = build_table(&wl.net, &wl.picks, &zcu, max_cols, opts.seed);
         // Baseline: state-unaware caching with the small default table.
         let base_table = full_table.with_columns(opts.candidates);
-        let base =
-            run_with_table(&wl, base_table, CacheSelection::FollowLast, wl.q_window, opts);
+        let base = run_with_table(&wl, base_table, CacheSelection::FollowLast, wl.q_window, opts);
         let mut t = TextTable::new(vec!["columns", "mean latency (ms)", "improvement"]);
         for &n in sizes {
             let table = full_table.with_columns(n);
-            let lat = run_with_table(&wl, table, CacheSelection::MinDistanceToAvg, wl.q_window, opts);
+            let lat =
+                run_with_table(&wl, table, CacheSelection::MinDistanceToAvg, wl.q_window, opts);
             t.push_row(vec![
                 n.to_string(),
                 fmt_f(lat, 3),
@@ -96,8 +99,12 @@ pub fn tab6(opts: &ExpOptions) -> ExpReport {
         let start = Instant::now();
         let mut sink = 0usize;
         for i in 0..iters {
-            sink =
-                sink.wrapping_add(table.select(Policy::StrictAccuracy, 0.78, 10.0, (i as usize) % table.num_columns()));
+            sink = sink.wrapping_add(table.select(
+                Policy::StrictAccuracy,
+                0.78,
+                10.0,
+                (i as usize) % table.num_columns(),
+            ));
         }
         let select_us = start.elapsed().as_secs_f64() * 1e6 / f64::from(iters);
         let start = Instant::now();
@@ -181,9 +188,8 @@ mod tests {
     fn hit_ratio_is_substantial_and_higher_for_mobv3() {
         let r = hit_ratio(&ExpOptions::quick());
         let t = &r.sections[0].1;
-        let parse = |row: usize| -> f64 {
-            t.cell(row, 1).unwrap().trim_end_matches('%').parse().unwrap()
-        };
+        let parse =
+            |row: usize| -> f64 { t.cell(row, 1).unwrap().trim_end_matches('%').parse().unwrap() };
         let r50 = parse(0);
         let mob = parse(1);
         assert!(r50 > 20.0, "ResNet50 hit ratio {r50}%");

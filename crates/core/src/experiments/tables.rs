@@ -17,8 +17,9 @@ pub fn tab1(_opts: &ExpOptions) -> ExpReport {
         let mut t = TextTable::new(vec!["buffer", "min bandwidth (B/cycle)", "rule"]);
         for row in bandwidth_requirements(&cfg, 3, 3) {
             let rule = match row.buffer {
-                sushi_accel::buffers::BufferKind::Db
-                | sushi_accel::buffers::BufferKind::Pb => "LCM(off-chip BW, DPE demand)",
+                sushi_accel::buffers::BufferKind::Db | sushi_accel::buffers::BufferKind::Pb => {
+                    "LCM(off-chip BW, DPE demand)"
+                }
                 sushi_accel::buffers::BufferKind::Sb => "LCM(off-chip BW, CPxRxS)",
                 sushi_accel::buffers::BufferKind::Lb => "DPE demand",
                 sushi_accel::buffers::BufferKind::Ob => "KP x oAct width",
@@ -106,7 +107,13 @@ pub fn tab4(_opts: &ExpOptions) -> ExpReport {
         } else {
             "-".to_string()
         };
-        t.push_row(vec![p.name.clone(), mark(p.iact_reuse), mark(p.oact_reuse), mark(p.weight_reuse_temporal), subgraph]);
+        t.push_row(vec![
+            p.name.clone(),
+            mark(p.iact_reuse),
+            mark(p.oact_reuse),
+            mark(p.weight_reuse_temporal),
+            subgraph,
+        ]);
     }
     report.add_section("capabilities", t);
     report

@@ -130,8 +130,8 @@ impl SushiStack {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::variants::{build_stack, Variant};
     use crate::stream::{uniform_stream, ConstraintSpace};
+    use crate::variants::{build_stack, Variant};
     use sushi_accel::config::zcu104;
     use sushi_wsnet::zoo;
 
@@ -143,8 +143,9 @@ mod tests {
 
     fn space(s: &SushiStack) -> ConstraintSpace {
         let accs: Vec<f64> = s.subnets().iter().map(|p| p.accuracy).collect();
-        let lats: Vec<f64> =
-            (0..s.scheduler().table().num_rows()).map(|i| s.scheduler().table().latency_ms(i, 0)).collect();
+        let lats: Vec<f64> = (0..s.scheduler().table().num_rows())
+            .map(|i| s.scheduler().table().latency_ms(i, 0))
+            .collect();
         ConstraintSpace::from_serving_set(&accs, &lats)
     }
 
@@ -194,7 +195,16 @@ mod tests {
         let net = Arc::new(zoo::mobilenet_v3_supernet());
         let picks = zoo::paper_subnets(&net);
         let mk = |v| {
-            build_stack(v, Arc::clone(&net), picks.clone(), &zcu104(), Policy::StrictAccuracy, 10, 12, 42)
+            build_stack(
+                v,
+                Arc::clone(&net),
+                picks.clone(),
+                &zcu104(),
+                Policy::StrictAccuracy,
+                10,
+                12,
+                42,
+            )
         };
         let mut no_sushi = mk(Variant::NoSushi);
         let mut sushi = mk(Variant::Sushi);

@@ -182,8 +182,10 @@ mod tests {
     #[test]
     fn icu_bursts_tighten_latency() {
         let qs = icu_burst_stream(&space(), 300, 30, 10, 4);
-        let burst: Vec<f64> = qs.iter().filter(|(b, _)| *b).map(|(_, q)| q.latency_constraint_ms).collect();
-        let calm: Vec<f64> = qs.iter().filter(|(b, _)| !*b).map(|(_, q)| q.latency_constraint_ms).collect();
+        let burst: Vec<f64> =
+            qs.iter().filter(|(b, _)| *b).map(|(_, q)| q.latency_constraint_ms).collect();
+        let calm: Vec<f64> =
+            qs.iter().filter(|(b, _)| !*b).map(|(_, q)| q.latency_constraint_ms).collect();
         let mb = burst.iter().sum::<f64>() / burst.len() as f64;
         let mc = calm.iter().sum::<f64>() / calm.len() as f64;
         assert!(mb < mc, "burst {mb} !< calm {mc}");

@@ -59,9 +59,7 @@ pub fn build_table(
         Vec::new()
     };
     let probe = Accelerator::new(config.clone());
-    LatencyTable::build(subnets, candidates, |sn, cached| {
-        probe.probe(net, sn, cached).latency_ms
-    })
+    LatencyTable::build(subnets, candidates, |sn, cached| probe.probe(net, sn, cached).latency_ms)
 }
 
 /// Assembles a full serving stack for a variant.

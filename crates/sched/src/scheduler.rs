@@ -66,7 +66,12 @@ impl Scheduler {
     /// # Panics
     /// Panics if `q_window == 0`.
     #[must_use]
-    pub fn new(table: LatencyTable, policy: Policy, cache_selection: CacheSelection, q_window: usize) -> Self {
+    pub fn new(
+        table: LatencyTable,
+        policy: Policy,
+        cache_selection: CacheSelection,
+        q_window: usize,
+    ) -> Self {
         assert!(q_window > 0, "Q must be positive");
         let dim = table.row(0).vector.dim();
         Self {
@@ -159,8 +164,7 @@ mod tests {
     use crate::table::test_support::{subnet, synthetic_latency};
 
     fn table() -> LatencyTable {
-        let subnets =
-            vec![subnet("A", 1, 0.75), subnet("B", 2, 0.77), subnet("C", 3, 0.79)];
+        let subnets = vec![subnet("A", 1, 0.75), subnet("B", 2, 0.77), subnet("C", 3, 0.79)];
         let candidates = vec![
             subnet("gA", 1, 0.0).graph,
             subnet("gB", 2, 0.0).graph,
@@ -175,14 +179,16 @@ mod tests {
 
     #[test]
     fn serves_hard_accuracy_constraint() {
-        let mut s = Scheduler::new(table(), Policy::StrictAccuracy, CacheSelection::MinDistanceToAvg, 4);
+        let mut s =
+            Scheduler::new(table(), Policy::StrictAccuracy, CacheSelection::MinDistanceToAvg, 4);
         let d = s.decide(&query(0.78, 100.0));
         assert!(s.table().row(d.subnet_row).accuracy >= 0.78);
     }
 
     #[test]
     fn cache_updates_only_every_q_queries() {
-        let mut s = Scheduler::new(table(), Policy::StrictAccuracy, CacheSelection::MinDistanceToAvg, 3);
+        let mut s =
+            Scheduler::new(table(), Policy::StrictAccuracy, CacheSelection::MinDistanceToAvg, 3);
         let mut updates = Vec::new();
         for i in 0..9 {
             let d = s.decide(&query(0.76, 100.0));
@@ -198,7 +204,8 @@ mod tests {
 
     #[test]
     fn steady_stream_converges_to_matching_subgraph() {
-        let mut s = Scheduler::new(table(), Policy::StrictAccuracy, CacheSelection::MinDistanceToAvg, 2);
+        let mut s =
+            Scheduler::new(table(), Policy::StrictAccuracy, CacheSelection::MinDistanceToAvg, 2);
         for _ in 0..6 {
             let _ = s.decide(&query(0.785, 100.0)); // always serves C
         }
@@ -210,7 +217,8 @@ mod tests {
     fn mixed_stream_caches_intermediate_shape() {
         // Alternate A-heavy and B queries; the average sits between A and B,
         // and gB (index 2) should win over gC.
-        let mut s = Scheduler::new(table(), Policy::StrictAccuracy, CacheSelection::MinDistanceToAvg, 4);
+        let mut s =
+            Scheduler::new(table(), Policy::StrictAccuracy, CacheSelection::MinDistanceToAvg, 4);
         for i in 0..8 {
             let a = if i % 2 == 0 { 0.74 } else { 0.76 };
             let _ = s.decide(&query(a, 100.0));
@@ -252,7 +260,8 @@ mod tests {
     fn latency_policy_exploits_cache_state() {
         // After caching gC, C becomes feasible at a constraint that only
         // admitted B when cold.
-        let mut s = Scheduler::new(table(), Policy::StrictLatency, CacheSelection::MinDistanceToAvg, 1);
+        let mut s =
+            Scheduler::new(table(), Policy::StrictLatency, CacheSelection::MinDistanceToAvg, 1);
         let d1 = s.decide(&query(0.0, 2.5));
         assert_eq!(s.table().row(d1.subnet_row).name, "B");
         // Serving B caches gB; B latency drops to 1.4, still only B feasible
@@ -268,12 +277,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "Q must be positive")]
     fn zero_window_rejected() {
-        let _ = Scheduler::new(table(), Policy::StrictAccuracy, CacheSelection::MinDistanceToAvg, 0);
+        let _ =
+            Scheduler::new(table(), Policy::StrictAccuracy, CacheSelection::MinDistanceToAvg, 0);
     }
 
     #[test]
     fn served_counter_increments() {
-        let mut s = Scheduler::new(table(), Policy::StrictAccuracy, CacheSelection::MinDistanceToAvg, 2);
+        let mut s =
+            Scheduler::new(table(), Policy::StrictAccuracy, CacheSelection::MinDistanceToAvg, 2);
         for _ in 0..5 {
             let _ = s.decide(&query(0.75, 10.0));
         }

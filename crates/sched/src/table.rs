@@ -85,9 +85,7 @@ impl LatencyTable {
                 latency_ms: columns
                     .iter()
                     .enumerate()
-                    .map(|(j, col)| {
-                        latency_of(sn, (j != EMPTY_COLUMN).then_some(&col.graph))
-                    })
+                    .map(|(j, col)| latency_of(sn, (j != EMPTY_COLUMN).then_some(&col.graph)))
                     .collect(),
             })
             .collect();
@@ -262,9 +260,8 @@ pub(crate) mod test_support {
     /// shrinks with cached overlap.
     pub fn synthetic_latency(sn: &SubNet, cached: Option<&SubGraph>) -> f64 {
         let base = sn.weight_bytes as f64 / 10_000.0;
-        let saving = cached.map_or(0.0, |g| {
-            sushi_wsnet::encoding::overlap_ratio(&sn.graph, g) * 0.3 * base
-        });
+        let saving =
+            cached.map_or(0.0, |g| sushi_wsnet::encoding::overlap_ratio(&sn.graph, g) * 0.3 * base);
         base - saving
     }
 }
@@ -275,11 +272,7 @@ mod tests {
     use super::*;
 
     fn table() -> LatencyTable {
-        let subnets = vec![
-            subnet("A", 1, 0.75),
-            subnet("B", 2, 0.77),
-            subnet("C", 3, 0.79),
-        ];
+        let subnets = vec![subnet("A", 1, 0.75), subnet("B", 2, 0.77), subnet("C", 3, 0.79)];
         let candidates = vec![subnet("gA", 1, 0.0).graph, subnet("gC", 3, 0.0).graph];
         LatencyTable::build(&subnets, candidates, synthetic_latency)
     }

@@ -28,10 +28,7 @@ fn make_table(n: usize, m: usize) -> LatencyTable {
         .collect();
     let candidates: Vec<SubGraph> = (1..=m)
         .map(|j| {
-            SubGraph::new(vec![
-                LayerSlice::new(8 * j, 4 * j, 3),
-                LayerSlice::new(16 * j, 8 * j, 3),
-            ])
+            SubGraph::new(vec![LayerSlice::new(8 * j, 4 * j, 3), LayerSlice::new(16 * j, 8 * j, 3)])
         })
         .collect();
     LatencyTable::build(&subnets, candidates, |sn, cached| {

@@ -70,10 +70,18 @@ impl Conv2dParams {
             return Err(TensorError::InvalidParam { what: "channels not divisible by groups" });
         }
         if weights.c != input.c / self.groups {
-            return Err(TensorError::ShapeMismatch { what: "input channels per group", lhs: input, rhs: weights });
+            return Err(TensorError::ShapeMismatch {
+                what: "input channels per group",
+                lhs: input,
+                rhs: weights,
+            });
         }
         if weights.h != self.kernel_h || weights.w != self.kernel_w {
-            return Err(TensorError::ShapeMismatch { what: "kernel spatial dims", lhs: input, rhs: weights });
+            return Err(TensorError::ShapeMismatch {
+                what: "kernel spatial dims",
+                lhs: input,
+                rhs: weights,
+            });
         }
         let oh = conv_out_dim(input.h, self.kernel_h, self.stride, self.padding);
         let ow = conv_out_dim(input.w, self.kernel_w, self.stride, self.padding);
@@ -125,7 +133,8 @@ pub fn conv2d_f32(
                                 continue;
                             }
                             for rx in 0..params.kernel_w {
-                                let ix = (ox * params.stride + rx) as isize - params.padding as isize;
+                                let ix =
+                                    (ox * params.stride + rx) as isize - params.padding as isize;
                                 if ix < 0 || ix >= ishape.w as isize {
                                     continue;
                                 }
@@ -192,7 +201,8 @@ pub fn conv2d_i8(
                                 continue;
                             }
                             for rx in 0..params.kernel_w {
-                                let ix = (ox * params.stride + rx) as isize - params.padding as isize;
+                                let ix =
+                                    (ox * params.stride + rx) as isize - params.padding as isize;
                                 if ix < 0 || ix >= ishape.w as isize {
                                     continue;
                                 }

@@ -83,8 +83,7 @@ mod tests {
 
     #[test]
     fn linear_handles_batches_independently() {
-        let input =
-            Tensor::from_vec(Shape4::new(2, 1, 1, 2), vec![1.0, 0.0, 0.0, 1.0]).unwrap();
+        let input = Tensor::from_vec(Shape4::new(2, 1, 1, 2), vec![1.0, 0.0, 0.0, 1.0]).unwrap();
         let out = linear_f32(&input, &[2.0, 3.0], None, 1).unwrap();
         assert_eq!(out, vec![vec![2.0], vec![3.0]]);
     }

@@ -27,7 +27,10 @@ impl QuantParams {
     /// Panics if `scale` is not strictly positive and finite.
     #[must_use]
     pub fn new(scale: f32, zero_point: i8) -> Self {
-        assert!(scale.is_finite() && scale > 0.0, "quantization scale must be positive, got {scale}");
+        assert!(
+            scale.is_finite() && scale > 0.0,
+            "quantization scale must be positive, got {scale}"
+        );
         Self { scale, zero_point }
     }
 
@@ -152,7 +155,8 @@ mod tests {
 
     #[test]
     fn tensor_roundtrip_error_bounded() {
-        let t = Tensor::from_vec(Shape4::new(1, 1, 1, 5), vec![-2.0, -0.5, 0.0, 1.25, 2.0]).unwrap();
+        let t =
+            Tensor::from_vec(Shape4::new(1, 1, 1, 5), vec![-2.0, -0.5, 0.0, 1.25, 2.0]).unwrap();
         let p = calibrate_symmetric(&t);
         let rt = dequantize_tensor(&quantize_tensor(&t, p), p);
         assert!(t.max_abs_diff(&rt).unwrap() <= p.scale / 2.0 + 1e-6);

@@ -54,8 +54,10 @@ impl Shape4 {
     #[inline]
     #[must_use]
     pub fn offset(&self, n: usize, c: usize, h: usize, w: usize) -> usize {
-        debug_assert!(n < self.n && c < self.c && h < self.h && w < self.w,
-            "index ({n},{c},{h},{w}) out of bounds for {self}");
+        debug_assert!(
+            n < self.n && c < self.c && h < self.h && w < self.w,
+            "index ({n},{c},{h},{w}) out of bounds for {self}"
+        );
         ((n * self.c + c) * self.h + h) * self.w + w
     }
 

@@ -11,7 +11,10 @@ use crate::shape::Shape4;
 ///
 /// Sealed to the three types the SUSHI datapath uses: `f32` reference math,
 /// `i8` quantized weights/activations and `i32` accumulators.
-pub trait Element: Copy + Default + PartialEq + fmt::Debug + Send + Sync + 'static + private::Sealed {}
+pub trait Element:
+    Copy + Default + PartialEq + fmt::Debug + Send + Sync + 'static + private::Sealed
+{
+}
 
 impl Element for f32 {}
 impl Element for i8 {}
@@ -60,7 +63,10 @@ impl<T: Element> Tensor<T> {
     /// Returns [`TensorError::LengthMismatch`] if `data.len() != shape.volume()`.
     pub fn from_vec(shape: Shape4, data: Vec<T>) -> Result<Self, TensorError> {
         if data.len() != shape.volume() {
-            return Err(TensorError::LengthMismatch { expected: shape.volume(), actual: data.len() });
+            return Err(TensorError::LengthMismatch {
+                expected: shape.volume(),
+                actual: data.len(),
+            });
         }
         Ok(Self { shape, data })
     }
@@ -134,14 +140,13 @@ impl Tensor<f32> {
     /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
     pub fn max_abs_diff(&self, other: &Self) -> Result<f32, TensorError> {
         if self.shape != other.shape {
-            return Err(TensorError::ShapeMismatch { what: "max_abs_diff operands", lhs: self.shape, rhs: other.shape });
+            return Err(TensorError::ShapeMismatch {
+                what: "max_abs_diff operands",
+                lhs: self.shape,
+                rhs: other.shape,
+            });
         }
-        Ok(self
-            .data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0_f32, f32::max))
+        Ok(self.data.iter().zip(&other.data).map(|(a, b)| (a - b).abs()).fold(0.0_f32, f32::max))
     }
 }
 

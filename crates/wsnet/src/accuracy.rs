@@ -57,8 +57,7 @@ impl AccuracyModel {
         if self.f_max <= self.f_min {
             return self.a_max;
         }
-        let x = ((flops.saturating_sub(self.f_min)) as f64
-            / (self.f_max - self.f_min) as f64)
+        let x = ((flops.saturating_sub(self.f_min)) as f64 / (self.f_max - self.f_min) as f64)
             .clamp(0.0, 1.0);
         let k = self.curvature;
         let shaped = (1.0 - (-k * x).exp()) / (1.0 - (-k).exp());

@@ -175,18 +175,26 @@ impl SuperNet {
     ///
     /// # Errors
     /// Returns an error when the config fails [`Self::validate_config`].
-    pub fn materialize(&self, name: impl Into<String>, config: &SubNetConfig) -> Result<SubNet, String> {
+    pub fn materialize(
+        &self,
+        name: impl Into<String>,
+        config: &SubNetConfig,
+    ) -> Result<SubNet, String> {
         self.validate_config(config)?;
-        let slices: Vec<LayerSlice> = self
-            .layers
-            .iter()
-            .map(|layer| self.active_slice(layer, config))
-            .collect();
+        let slices: Vec<LayerSlice> =
+            self.layers.iter().map(|layer| self.active_slice(layer, config)).collect();
         let graph = SubGraph::new(slices);
         let flops = self.subgraph_flops(&graph);
         let weight_bytes = self.subgraph_weight_bytes(&graph);
         let accuracy = self.accuracy.accuracy_for_flops(flops);
-        Ok(SubNet { name: name.into(), config: config.clone(), graph, accuracy, flops, weight_bytes })
+        Ok(SubNet {
+            name: name.into(),
+            config: config.clone(),
+            graph,
+            accuracy,
+            flops,
+            weight_bytes,
+        })
     }
 
     /// Computes the active slice of one layer under a config.
@@ -246,9 +254,8 @@ impl SuperNet {
     /// multi-layer heads).
     fn stem_or_head_slice(&self, layer: &ConvLayerDesc, config: &SubNetConfig) -> LayerSlice {
         let w = config.width_mult;
-        let last_out = round_channels(
-            self.stages.last().expect("at least one stage").base_out as f64 * w,
-        );
+        let last_out =
+            round_channels(self.stages.last().expect("at least one stage").base_out as f64 * w);
         match (self.family, layer.role, layer.block) {
             (_, LayerRole::Stem, _) => {
                 LayerSlice::new(round_channels(self.stem_base as f64 * w), 3, layer.max_kernel_size)
@@ -286,21 +293,13 @@ impl SuperNet {
     /// for any weight subset).
     #[must_use]
     pub fn subgraph_flops(&self, graph: &SubGraph) -> u64 {
-        self.layers
-            .iter()
-            .zip(graph.slices())
-            .map(|(l, s)| l.flops(s))
-            .sum()
+        self.layers.iter().zip(graph.slices()).map(|(l, s)| l.flops(s)).sum()
     }
 
     /// Total weight bytes of a SubGraph.
     #[must_use]
     pub fn subgraph_weight_bytes(&self, graph: &SubGraph) -> u64 {
-        self.layers
-            .iter()
-            .zip(graph.slices())
-            .map(|(l, s)| l.weight_bytes(s))
-            .sum()
+        self.layers.iter().zip(graph.slices()).map(|(l, s)| l.weight_bytes(s)).sum()
     }
 
     /// The SubGraph shared by *all* given SubNets (fold of intersections) —
@@ -311,9 +310,7 @@ impl SuperNet {
     #[must_use]
     pub fn shared_subgraph(&self, subnets: &[SubNet]) -> SubGraph {
         assert!(!subnets.is_empty(), "need at least one SubNet");
-        subnets[1..]
-            .iter()
-            .fold(subnets[0].graph.clone(), |acc, sn| acc.intersect(&sn.graph))
+        subnets[1..].iter().fold(subnets[0].graph.clone(), |acc, sn| acc.intersect(&sn.graph))
     }
 
     /// Truncates `base` to approximately `budget_bytes` by uniformly scaling
@@ -330,7 +327,12 @@ impl SuperNet {
     /// uniform. Different tilts of the same SubNet produce shape-diverse
     /// cache candidates (§3.2's set `S`).
     #[must_use]
-    pub fn subgraph_to_budget_biased(&self, base: &SubGraph, budget_bytes: u64, bias: f64) -> SubGraph {
+    pub fn subgraph_to_budget_biased(
+        &self,
+        base: &SubGraph,
+        budget_bytes: u64,
+        bias: f64,
+    ) -> SubGraph {
         if bias == 0.0 && self.subgraph_weight_bytes(base) <= budget_bytes {
             return base.clone();
         }

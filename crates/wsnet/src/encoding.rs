@@ -52,12 +52,7 @@ impl NetVector {
     #[must_use]
     pub fn dist_l2(&self, other: &Self) -> f64 {
         assert_eq!(self.0.len(), other.0.len(), "vector dims differ");
-        self.0
-            .iter()
-            .zip(&other.0)
-            .map(|(a, b)| (a - b) * (a - b))
-            .sum::<f64>()
-            .sqrt()
+        self.0.iter().zip(&other.0).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt()
     }
 
     /// L2 norm.
@@ -126,7 +121,11 @@ impl RunningAvg {
     /// Number of vectors currently contributing to the average.
     #[must_use]
     pub fn len(&self) -> usize {
-        if self.filled { self.window } else { self.buf.len() }
+        if self.filled {
+            self.window
+        } else {
+            self.buf.len()
+        }
     }
 
     /// Whether no vectors have been pushed yet.

@@ -160,7 +160,11 @@ impl ConvLayerDesc {
         LayerSlice {
             kernels: s.kernels.min(self.max_kernels),
             channels: s.channels.min(self.max_channels),
-            kernel_size: if s.kernel_size == 0 { 0 } else { s.kernel_size.min(self.max_kernel_size) },
+            kernel_size: if s.kernel_size == 0 {
+                0
+            } else {
+                s.kernel_size.min(self.max_kernel_size)
+            },
         }
     }
 

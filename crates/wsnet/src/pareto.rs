@@ -18,16 +18,12 @@ pub struct TradeoffPoint {
 pub fn pareto_frontier(points: &[TradeoffPoint]) -> Vec<usize> {
     let mut order: Vec<usize> = (0..points.len()).collect();
     order.sort_by(|&a, &b| {
-        points[a]
-            .latency
-            .partial_cmp(&points[b].latency)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(
-                points[b]
-                    .accuracy
-                    .partial_cmp(&points[a].accuracy)
-                    .unwrap_or(std::cmp::Ordering::Equal),
-            )
+        points[a].latency.partial_cmp(&points[b].latency).unwrap_or(std::cmp::Ordering::Equal).then(
+            points[b]
+                .accuracy
+                .partial_cmp(&points[a].accuracy)
+                .unwrap_or(std::cmp::Ordering::Equal),
+        )
     });
     let mut frontier = Vec::new();
     let mut best_acc = f64::NEG_INFINITY;

@@ -87,12 +87,7 @@ impl SubGraph {
     pub fn intersect(&self, other: &Self) -> Self {
         assert_eq!(self.slices.len(), other.slices.len(), "SubGraphs from different SuperNets");
         Self {
-            slices: self
-                .slices
-                .iter()
-                .zip(&other.slices)
-                .map(|(a, b)| a.intersect(b))
-                .collect(),
+            slices: self.slices.iter().zip(&other.slices).map(|(a, b)| a.intersect(b)).collect(),
         }
     }
 
@@ -103,9 +98,7 @@ impl SubGraph {
     #[must_use]
     pub fn union(&self, other: &Self) -> Self {
         assert_eq!(self.slices.len(), other.slices.len(), "SubGraphs from different SuperNets");
-        Self {
-            slices: self.slices.iter().zip(&other.slices).map(|(a, b)| a.union(b)).collect(),
-        }
+        Self { slices: self.slices.iter().zip(&other.slices).map(|(a, b)| a.union(b)).collect() }
     }
 
     /// Whether every weight of `self` is also in `other`.

@@ -59,11 +59,7 @@ impl SubNetConfig {
         self.depths.len() == other.depths.len()
             && self.depths.iter().zip(&other.depths).all(|(a, b)| a <= b)
             && self.expands.iter().zip(&other.expands).all(|(a, b)| a <= b)
-            && self
-                .kernels
-                .iter()
-                .zip(&other.kernels)
-                .all(|(a, b)| a <= b)
+            && self.kernels.iter().zip(&other.kernels).all(|(a, b)| a <= b)
             && self.width_mult <= other.width_mult
     }
 }
@@ -115,9 +111,8 @@ mod tests {
 
     #[test]
     fn config_builder_sets_fields() {
-        let c = SubNetConfig::new(vec![2, 3], vec![0.2, 0.25])
-            .with_kernels(vec![3, 5])
-            .with_width(0.8);
+        let c =
+            SubNetConfig::new(vec![2, 3], vec![0.2, 0.25]).with_kernels(vec![3, 5]).with_width(0.8);
         assert_eq!(c.depths, vec![2, 3]);
         assert_eq!(c.kernels, vec![3, 5]);
         assert_eq!(c.width_mult, 0.8);

@@ -53,9 +53,8 @@ impl WeightStore {
                 // unit variance through the network instead of saturating.
                 let fan_in = (c * layer.max_kernel_size * layer.max_kernel_size) as f32;
                 let w_q = QuantParams::new((0.02 / fan_in.sqrt()).max(1e-6), 0);
-                let bias = (0..layer.max_kernels)
-                    .map(|_| (rng.next_u64() % 512) as i32 - 256)
-                    .collect();
+                let bias =
+                    (0..layer.max_kernels).map(|_| (rng.next_u64() % 512) as i32 - 256).collect();
                 LayerWeights { kernels, w_q, bias }
             })
             .collect();
@@ -182,7 +181,11 @@ mod tests {
         let ws = WeightStore::synthesize(&net, 7);
         let layer = 1; // a stage conv with nontrivial dims
         let full = net.layers[layer].max_slice();
-        let half = LayerSlice::new((full.kernels / 2).max(1), (full.channels / 2).max(1), full.kernel_size);
+        let half = LayerSlice::new(
+            (full.kernels / 2).max(1),
+            (full.channels / 2).max(1),
+            full.kernel_size,
+        );
         let t = ws.slice_tensor(layer, &half).unwrap();
         assert_eq!(t.shape().n, half.kernels);
         // Shared prefix property: slice values match the full tensor's top corner.

@@ -5,7 +5,9 @@
 //! (2.97 MB … 4.74 MB int8, ~2.90 MB shared) and the ~76–80% top-1 band.
 
 use crate::accuracy::AccuracyModel;
-use crate::arch::{finalize_supernet, ElasticSpace, Family, LayerListBuilder, StageSpec, SuperNet, NO_STAGE};
+use crate::arch::{
+    finalize_supernet, ElasticSpace, Family, LayerListBuilder, StageSpec, SuperNet, NO_STAGE,
+};
 use crate::layer::{ConvKind, LayerRole};
 use crate::subnet::{SubNet, SubNetConfig};
 
@@ -27,7 +29,9 @@ const MAX_BLOCKS: usize = 4;
 pub fn mobilenet_v3_supernet() -> SuperNet {
     let mut b = LayerListBuilder::new(224);
     b.push("stem".into(), NO_STAGE, 0, LayerRole::Stem, ConvKind::Dense, 3, false, 2);
-    for (s, ((&_base, &stride), &se)) in BASE_OUT.iter().zip(STRIDES.iter()).zip(SE.iter()).enumerate() {
+    for (s, ((&_base, &stride), &se)) in
+        BASE_OUT.iter().zip(STRIDES.iter()).zip(SE.iter()).enumerate()
+    {
         for blk in 0..MAX_BLOCKS {
             let bs = if blk == 0 { stride } else { 1 };
             let p = format!("s{s}.b{blk}");
@@ -37,7 +41,16 @@ pub fn mobilenet_v3_supernet() -> SuperNet {
                 b.push_pooled(format!("{p}.se_reduce"), s, blk, LayerRole::SeReduce);
                 b.push_pooled(format!("{p}.se_expand"), s, blk, LayerRole::SeExpand);
             }
-            b.push(format!("{p}.project"), s, blk, LayerRole::Project, ConvKind::Dense, 1, false, 1);
+            b.push(
+                format!("{p}.project"),
+                s,
+                blk,
+                LayerRole::Project,
+                ConvKind::Dense,
+                1,
+                false,
+                1,
+            );
         }
     }
     // Final 1x1 expand + two classifier layers, all on pooled features.
@@ -100,8 +113,8 @@ pub fn mobilenet_v3_paper_subnets(net: &SuperNet) -> Vec<SubNet> {
     picks
         .iter()
         .map(|(name, depths, expand, kernels)| {
-            let cfg = SubNetConfig::new(depths.to_vec(), vec![*expand; 5])
-                .with_kernels(kernels.to_vec());
+            let cfg =
+                SubNetConfig::new(depths.to_vec(), vec![*expand; 5]).with_kernels(kernels.to_vec());
             net.materialize(*name, &cfg).expect("paper pick must be valid")
         })
         .collect()
@@ -133,8 +146,18 @@ mod tests {
     #[test]
     fn elastic_kernel_shrinks_weight_bytes() {
         let net = mobilenet_v3_supernet();
-        let k7 = net.materialize("k7", &SubNetConfig::new(vec![2; 5], vec![3.0; 5]).with_kernels(vec![7; 5])).unwrap();
-        let k3 = net.materialize("k3", &SubNetConfig::new(vec![2; 5], vec![3.0; 5]).with_kernels(vec![3; 5])).unwrap();
+        let k7 = net
+            .materialize(
+                "k7",
+                &SubNetConfig::new(vec![2; 5], vec![3.0; 5]).with_kernels(vec![7; 5]),
+            )
+            .unwrap();
+        let k3 = net
+            .materialize(
+                "k3",
+                &SubNetConfig::new(vec![2; 5], vec![3.0; 5]).with_kernels(vec![3; 5]),
+            )
+            .unwrap();
         assert!(k3.weight_bytes < k7.weight_bytes);
         assert!(k3.graph.is_subset_of(&k7.graph));
     }

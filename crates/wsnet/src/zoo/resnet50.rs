@@ -3,8 +3,10 @@
 //! Calibrated so the six paper picks (A–F) span the §5.1 size band
 //! (7.58 MB … 27.47 MB int8, ~7.55 MB shared) and the 75–80% top-1 band.
 
-use crate::arch::{finalize_supernet, ElasticSpace, Family, LayerListBuilder, StageSpec, SuperNet, NO_STAGE};
 use crate::accuracy::AccuracyModel;
+use crate::arch::{
+    finalize_supernet, ElasticSpace, Family, LayerListBuilder, StageSpec, SuperNet, NO_STAGE,
+};
 use crate::layer::{ConvKind, LayerRole};
 use crate::subnet::{SubNet, SubNetConfig};
 
@@ -31,7 +33,15 @@ pub fn resnet50_supernet() -> SuperNet {
             let p = format!("s{s}.b{blk}");
             b.push(format!("{p}.conv1"), s, blk, LayerRole::Expand, ConvKind::Dense, 1, false, 1);
             if blk == 0 {
-                b.push_parallel(format!("{p}.downsample"), s, blk, LayerRole::Downsample, ConvKind::Dense, 1, bs);
+                b.push_parallel(
+                    format!("{p}.downsample"),
+                    s,
+                    blk,
+                    LayerRole::Downsample,
+                    ConvKind::Dense,
+                    1,
+                    bs,
+                );
             }
             b.push(format!("{p}.conv2"), s, blk, LayerRole::Spatial, ConvKind::Dense, 3, false, bs);
             b.push(format!("{p}.conv3"), s, blk, LayerRole::Project, ConvKind::Dense, 1, false, 1);
@@ -120,11 +130,8 @@ mod tests {
     #[test]
     fn final_stage_runs_at_7x7() {
         let net = resnet50_supernet();
-        let last_conv = net
-            .layers
-            .iter()
-            .rfind(|l| l.stage == 3 && l.role == LayerRole::Project)
-            .unwrap();
+        let last_conv =
+            net.layers.iter().rfind(|l| l.stage == 3 && l.role == LayerRole::Project).unwrap();
         assert_eq!(last_conv.in_h, 7);
     }
 
@@ -193,9 +200,7 @@ mod tests {
     #[test]
     fn dropped_blocks_are_trailing_ones() {
         let net = resnet50_supernet();
-        let sn = net
-            .materialize("d2", &SubNetConfig::new(vec![2; 4], vec![0.25; 4]))
-            .unwrap();
+        let sn = net.materialize("d2", &SubNetConfig::new(vec![2; 4], vec![0.25; 4])).unwrap();
         for (layer, slice) in net.layers.iter().zip(sn.graph.slices()) {
             if layer.stage != NO_STAGE {
                 let active = layer.block < 2;

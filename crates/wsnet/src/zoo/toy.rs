@@ -5,7 +5,9 @@
 //! materialization rules as the full zoo entries.
 
 use crate::accuracy::AccuracyModel;
-use crate::arch::{finalize_supernet, ElasticSpace, Family, LayerListBuilder, StageSpec, SuperNet, NO_STAGE};
+use crate::arch::{
+    finalize_supernet, ElasticSpace, Family, LayerListBuilder, StageSpec, SuperNet, NO_STAGE,
+};
 use crate::layer::{ConvKind, LayerRole};
 
 /// A miniature ResNet-style SuperNet: 16×16 input, two stages of ≤2
@@ -22,7 +24,15 @@ pub fn toy_supernet() -> SuperNet {
             let p = format!("s{s}.b{blk}");
             b.push(format!("{p}.conv1"), s, blk, LayerRole::Expand, ConvKind::Dense, 1, false, 1);
             if blk == 0 {
-                b.push_parallel(format!("{p}.downsample"), s, blk, LayerRole::Downsample, ConvKind::Dense, 1, bs);
+                b.push_parallel(
+                    format!("{p}.downsample"),
+                    s,
+                    blk,
+                    LayerRole::Downsample,
+                    ConvKind::Dense,
+                    1,
+                    bs,
+                );
             }
             b.push(format!("{p}.conv2"), s, blk, LayerRole::Spatial, ConvKind::Dense, 3, false, bs);
             b.push(format!("{p}.conv3"), s, blk, LayerRole::Project, ConvKind::Dense, 1, false, 1);
@@ -69,7 +79,9 @@ pub fn toy_mobilenet_supernet() -> SuperNet {
     let se = [false, true];
     let mut b = LayerListBuilder::new(16);
     b.push("stem".into(), NO_STAGE, 0, LayerRole::Stem, ConvKind::Dense, 3, false, 1);
-    for (s, ((&_base, &stride), &has_se)) in bases.iter().zip(strides.iter()).zip(se.iter()).enumerate() {
+    for (s, ((&_base, &stride), &has_se)) in
+        bases.iter().zip(strides.iter()).zip(se.iter()).enumerate()
+    {
         for blk in 0..2 {
             let bs = if blk == 0 { stride } else { 1 };
             let p = format!("s{s}.b{blk}");
@@ -79,7 +91,16 @@ pub fn toy_mobilenet_supernet() -> SuperNet {
                 b.push_pooled(format!("{p}.se_reduce"), s, blk, LayerRole::SeReduce);
                 b.push_pooled(format!("{p}.se_expand"), s, blk, LayerRole::SeExpand);
             }
-            b.push(format!("{p}.project"), s, blk, LayerRole::Project, ConvKind::Dense, 1, false, 1);
+            b.push(
+                format!("{p}.project"),
+                s,
+                blk,
+                LayerRole::Project,
+                ConvKind::Dense,
+                1,
+                false,
+                1,
+            );
         }
     }
     b.push_pooled("head.final_expand".into(), NO_STAGE, 0, LayerRole::Head);

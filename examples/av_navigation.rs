@@ -37,9 +37,8 @@ fn main() {
     );
 
     let accs: Vec<f64> = stack.subnets().iter().map(|p| p.accuracy).collect();
-    let lats: Vec<f64> = (0..stack.subnets().len())
-        .map(|i| stack.scheduler().table().latency_ms(i, 0))
-        .collect();
+    let lats: Vec<f64> =
+        (0..stack.subnets().len()).map(|i| stack.scheduler().table().latency_ms(i, 0)).collect();
     let space = ConstraintSpace::from_serving_set(&accs, &lats);
 
     // 400 frames alternating phases every 50 frames.

@@ -17,10 +17,9 @@ fn main() {
     let grid = DseGrid::paper_grid();
     let base = sushi::accel::config::zcu104();
 
-    for (label, net) in [
-        ("ResNet50", zoo::resnet50_supernet()),
-        ("MobV3", zoo::mobilenet_v3_supernet()),
-    ] {
+    for (label, net) in
+        [("ResNet50", zoo::resnet50_supernet()), ("MobV3", zoo::mobilenet_v3_supernet())]
+    {
         let picks = zoo::paper_subnets(&net);
         println!("=== {label}: PB size sweep at 19.2 GB/s, 16x18 array ===");
         println!("{:>9} {:>14} {:>14} {:>9}", "PB (MB)", "w/o PB (ms)", "w/ PB (ms)", "save %");
@@ -43,14 +42,22 @@ fn main() {
         println!("--- bandwidth sensitivity at the best PB size ---");
         println!("{:>10} {:>9}", "BW (GB/s)", "save %");
         for &bw in &grid.bw_gbps {
-            let p = evaluate_point(&base, &net, &picks, (best.1 * 1024.0 * 1024.0) as u64, bw, (16, 18));
+            let p = evaluate_point(
+                &base,
+                &net,
+                &picks,
+                (best.1 * 1024.0 * 1024.0) as u64,
+                bw,
+                (16, 18),
+            );
             println!("{bw:>10.1} {:>8.1}%", p.time_save_pct());
         }
 
         println!("--- throughput sensitivity (DPE array geometry) ---");
         println!("{:>10} {:>9}", "MACs/cy", "save %");
         for &geo in &grid.geometries {
-            let p = evaluate_point(&base, &net, &picks, (best.1 * 1024.0 * 1024.0) as u64, 19.2, geo);
+            let p =
+                evaluate_point(&base, &net, &picks, (best.1 * 1024.0 * 1024.0) as u64, 19.2, geo);
             println!("{:>10} {:>8.1}%", p.macs_per_cycle, p.time_save_pct());
         }
         println!();

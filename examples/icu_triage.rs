@@ -36,9 +36,8 @@ fn main() {
         42,
     );
     let accs: Vec<f64> = probe.subnets().iter().map(|p| p.accuracy).collect();
-    let lats: Vec<f64> = (0..probe.subnets().len())
-        .map(|i| probe.scheduler().table().latency_ms(i, 0))
-        .collect();
+    let lats: Vec<f64> =
+        (0..probe.subnets().len()).map(|i| probe.scheduler().table().latency_ms(i, 0)).collect();
     let space = ConstraintSpace::from_serving_set(&accs, &lats);
 
     // 600 queries; a 12-query burst every 40 queries.
@@ -68,12 +67,8 @@ fn main() {
         );
         let records = stack.serve_stream(&queries);
         let all = summarize(&records);
-        let burst_records: Vec<_> = records
-            .iter()
-            .zip(&burst_mask)
-            .filter(|(_, &b)| b)
-            .map(|(r, _)| r.clone())
-            .collect();
+        let burst_records: Vec<_> =
+            records.iter().zip(&burst_mask).filter(|(_, &b)| b).map(|(r, _)| r.clone()).collect();
         let burst = summarize(&burst_records);
         println!(
             "{:<14} {:>12.3} {:>12.2} {:>13.1}% {:>13.1}%",

@@ -52,9 +52,8 @@ fn main() {
 
     // 3. A stream of 200 random constrained queries (§5.6).
     let accs: Vec<f64> = stack.subnets().iter().map(|p| p.accuracy).collect();
-    let lats: Vec<f64> = (0..stack.subnets().len())
-        .map(|i| stack.scheduler().table().latency_ms(i, 0))
-        .collect();
+    let lats: Vec<f64> =
+        (0..stack.subnets().len()).map(|i| stack.scheduler().table().latency_ms(i, 0)).collect();
     let space = ConstraintSpace::from_serving_set(&accs, &lats);
     let queries = uniform_stream(&space, 200, 7);
 

@@ -11,11 +11,9 @@ use sushi::wsnet::{zoo, WeightStore};
 fn rand_image(hw: usize, seed: u64) -> Tensor<i8> {
     let shape = Shape4::new(1, 3, hw, hw);
     let mut rng = DetRng::new(seed);
-    let f = Tensor::from_vec(
-        shape,
-        (0..shape.volume()).map(|_| rng.uniform_f32(-1.0, 1.0)).collect(),
-    )
-    .unwrap();
+    let f =
+        Tensor::from_vec(shape, (0..shape.volume()).map(|_| rng.uniform_f32(-1.0, 1.0)).collect())
+            .unwrap();
     quantize_tensor(&f, act_quant())
 }
 

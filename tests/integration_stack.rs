@@ -13,9 +13,8 @@ use sushi::wsnet::zoo;
 
 fn space_for(stack: &sushi::core::SushiStack) -> ConstraintSpace {
     let accs: Vec<f64> = stack.subnets().iter().map(|p| p.accuracy).collect();
-    let lats: Vec<f64> = (0..stack.subnets().len())
-        .map(|i| stack.scheduler().table().latency_ms(i, 0))
-        .collect();
+    let lats: Vec<f64> =
+        (0..stack.subnets().len()).map(|i| stack.scheduler().table().latency_ms(i, 0)).collect();
     ConstraintSpace::from_serving_set(&accs, &lats)
 }
 
@@ -75,11 +74,7 @@ fn variant_ordering_holds_on_both_workloads() {
         let no_sched = mean(Variant::SushiNoSched);
         let full = mean(Variant::Sushi);
         assert!(full < no_sushi, "{}: SUSHI {full} !< No-SUSHI {no_sushi}", net.name);
-        assert!(
-            full <= no_sched * 1.01,
-            "{}: SUSHI {full} !<= state-unaware {no_sched}",
-            net.name
-        );
+        assert!(full <= no_sched * 1.01, "{}: SUSHI {full} !<= state-unaware {no_sched}", net.name);
     }
 }
 

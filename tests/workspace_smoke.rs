@@ -1,0 +1,59 @@
+//! Workspace smoke test: pins the README / `src/lib.rs` quickstart path as
+//! a real integration test, so the facade API (`sushi::…` re-exports, stack
+//! construction, stream serving, and the per-record guarantees) cannot
+//! silently drift from the documented entry point.
+
+use std::sync::Arc;
+
+use sushi::core::stream::{uniform_stream, ConstraintSpace};
+use sushi::core::variants::{build_stack, Variant};
+use sushi::sched::Policy;
+use sushi::wsnet::zoo;
+
+#[test]
+fn quickstart_serves_20_queries_within_constraints() {
+    let net = Arc::new(zoo::mobilenet_v3_supernet());
+    let picks = zoo::paper_subnets(&net);
+    let mut stack = build_stack(
+        Variant::Sushi,
+        Arc::clone(&net),
+        picks,
+        &sushi::accel::config::zcu104(),
+        Policy::StrictAccuracy,
+        10, // cache re-decision window Q
+        8,  // SubGraph candidate set size
+        42, // stream seed
+    );
+
+    let space = ConstraintSpace { acc_lo: 0.76, acc_hi: 0.79, lat_lo: 2.0, lat_hi: 30.0 };
+    let stream = uniform_stream(&space, 20, 1);
+    let records = stack.serve_stream(&stream);
+
+    assert_eq!(records.len(), 20, "every query must produce a record");
+    for record in &records {
+        assert!(
+            record.served_accuracy >= record.query.accuracy_constraint,
+            "query {} served {:.4} below its constraint {:.4}",
+            record.query.id,
+            record.served_accuracy,
+            record.query.accuracy_constraint
+        );
+        assert!(
+            record.served_latency_ms > 0.0,
+            "query {} has non-positive latency",
+            record.query.id
+        );
+    }
+}
+
+#[test]
+fn facade_reexports_resolve_the_whole_stack() {
+    // One symbol per re-exported crate: breaks if a `pub use` disappears.
+    let _t = sushi::tensor::Shape4::new(1, 1, 1, 1);
+    let net = zoo::toy_supernet();
+    let _g = sushi::wsnet::SubGraph::new(vec![]);
+    let cfg = sushi::accel::config::zcu104();
+    let _a = sushi::accel::exec::Accelerator::new(cfg);
+    let _p: Policy = Policy::StrictAccuracy;
+    assert!(net.num_layers() > 0);
+}

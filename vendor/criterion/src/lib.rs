@@ -1,0 +1,163 @@
+//! Offline mini-criterion.
+//!
+//! The build environment has no crates.io access, so this crate implements
+//! the subset of [criterion](https://docs.rs/criterion) the SUSHI benches
+//! use: `criterion_group!`/`criterion_main!`, `Criterion::bench_function`,
+//! benchmark groups with `bench_function`/`bench_with_input`/`sample_size`,
+//! `BenchmarkId`, and `black_box`. Each benchmark is timed with
+//! `std::time::Instant` over a fixed warm-up plus `sample_size` timed
+//! iterations, reporting mean wall-clock time per iteration — no outlier
+//! analysis, plots, or saved baselines. Delete `vendor/` and re-point the
+//! manifests at crates.io to use real criterion.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver (mirror of `criterion::Criterion`).
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Times `f` under `id` and prints the mean per-iteration wall time.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, self.sample_size, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        let sample_size = self.sample_size;
+        BenchmarkGroup { criterion: self, sample_size }
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    #[allow(dead_code)]
+    criterion: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations for subsequent benches.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Times `f` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into().0, self.sample_size, &mut f);
+        self
+    }
+
+    /// Times `f` with an explicit input value, criterion-style.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&id.0, self.sample_size, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Ends the group (printing only; statistics are not aggregated).
+    pub fn finish(self) {}
+}
+
+/// A function-plus-parameter benchmark label.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Label rendered as `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self(format!("{}/{}", name.into(), parameter))
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self(s.to_string())
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] times the hot loop.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    nanos_per_iter: f64,
+    samples: usize,
+}
+
+impl Bencher {
+    /// Runs `f` for warm-up, then `samples` timed iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..3.min(self.samples) {
+            black_box(f());
+        }
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(f());
+        }
+        let total = start.elapsed();
+        self.nanos_per_iter = total.as_nanos() as f64 / self.samples as f64;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, samples: usize, f: &mut F) {
+    let mut b = Bencher { nanos_per_iter: 0.0, samples: samples.max(1) };
+    f(&mut b);
+    let ns = b.nanos_per_iter;
+    if ns >= 1_000_000.0 {
+        println!("bench {id:<48} {:>12.3} ms/iter", ns / 1_000_000.0);
+    } else if ns >= 1_000.0 {
+        println!("bench {id:<48} {:>12.3} us/iter", ns / 1_000.0);
+    } else {
+        println!("bench {id:<48} {ns:>12.1} ns/iter");
+    }
+}
+
+/// Collects benchmark functions into a runnable group function
+/// (mirror of `criterion::criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups
+/// (mirror of `criterion::criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

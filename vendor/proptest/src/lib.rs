@@ -1,0 +1,156 @@
+//! Offline mini-proptest.
+//!
+//! The build environment has no crates.io access, so this crate implements
+//! the subset of [proptest](https://docs.rs/proptest) that the SUSHI
+//! property tests use, with two deliberate simplifications:
+//!
+//! * **Deterministic sampling** — each test derives its RNG seed from the
+//!   test name, so runs are reproducible and CI is stable.
+//! * **No shrinking** — a failing case reports the failing assertion (and
+//!   whatever the test's own message interpolates) but the sampled inputs
+//!   are not echoed back or minimized; rely on the deterministic seeding
+//!   to re-run the identical sequence under a debugger.
+//!
+//! Supported surface: `proptest!` (with `#![proptest_config(..)]`),
+//! `prop_assert!`, `prop_assert_eq!`, `prop_assume!`, `prop_oneof!`,
+//! [`strategy::Strategy`] with `prop_map`, [`strategy::Just`], numeric
+//! range strategies, tuple strategies (arity ≤ 12), and
+//! [`collection::vec`]. Delete `vendor/` and re-point the manifests at
+//! crates.io to use real proptest.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// One-stop imports mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+/// Defines property tests: each `fn` runs `Config::cases` times with
+/// inputs sampled from the strategies on the right of each `in`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { $crate::test_runner::Config::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($parm:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::Config = $cfg;
+                let mut __rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+                let mut __passed: u32 = 0;
+                let mut __attempts: u32 = 0;
+                let __max_attempts = __config.cases.saturating_mul(16).max(256);
+                while __passed < __config.cases && __attempts < __max_attempts {
+                    __attempts += 1;
+                    $(let $parm = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)+
+                    let __outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            let _unit: () = $body;
+                            ::core::result::Result::Ok(())
+                        })();
+                    match __outcome {
+                        ::core::result::Result::Ok(()) => __passed += 1,
+                        ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {}
+                        ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!("proptest '{}' failed at case {}: {}", stringify!($name), __passed, msg)
+                        }
+                    }
+                }
+                // Mirror real proptest's global-reject abort: a test whose
+                // assumptions discard (almost) every sample must not pass
+                // vacuously.
+                assert!(
+                    __passed >= __config.cases,
+                    "proptest '{}': too many prop_assume! rejects ({} of {} attempts); only {} of {} cases ran",
+                    stringify!($name),
+                    __attempts - __passed,
+                    __attempts,
+                    __passed,
+                    __config.cases,
+                );
+            }
+        )*
+    };
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, "fmt", args..)`: fails the
+/// current case (without aborting the whole process) when `cond` is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// `prop_assert_eq!(left, right)`: fails the current case when the two
+/// sides differ, printing both.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `{:?}` != `{:?}`", __l, __r),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `{:?}` != `{:?}`: {}", __l, __r, format!($($fmt)+)),
+            ));
+        }
+    }};
+}
+
+/// `prop_assume!(cond)`: discards the current case (it counts toward the
+/// attempt cap but not toward `Config::cases`) when `cond` is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// `prop_oneof![s1, s2, ..]`: a strategy choosing uniformly among the
+/// listed strategies (all must produce the same value type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {{
+        let mut __options: ::std::vec::Vec<
+            ::std::boxed::Box<dyn $crate::strategy::Strategy<Value = _>>,
+        > = ::std::vec::Vec::new();
+        $(__options.push(::std::boxed::Box::new($strat));)+
+        $crate::strategy::Union::new(__options)
+    }};
+}

@@ -1,0 +1,22 @@
+//! Offline API-shim for `serde`.
+//!
+//! The build environment cannot reach crates.io, so this crate provides
+//! just enough of serde's surface for the SUSHI workspace to compile:
+//! the `Serialize`/`Deserialize` marker traits and the no-op derives from
+//! the sibling [`serde_derive`] stub. No actual (de)serialization is
+//! implemented — nothing in the repository performs it yet. Delete
+//! `vendor/` and re-point the manifests at crates.io to use real serde.
+
+/// Marker stand-in for `serde::Serialize`.
+///
+/// The real trait's methods are intentionally absent: the no-op derive
+/// emits no impl, and no code in this workspace calls serialization.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+///
+/// Lifetime parameter kept so `#[derive(Deserialize)]`-annotated generic
+/// bounds written against real serde stay source-compatible.
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,22 @@
+//! Offline no-op stand-in for `serde_derive`.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the smallest possible replacement: `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` expand to nothing. The derives exist so that
+//! annotated types keep compiling; nothing in the repository serializes
+//! through serde yet. Swap in the real `serde`/`serde_derive` by deleting
+//! `vendor/` and pointing the workspace manifests at crates.io.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`: accepts the input, emits no code.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`: accepts the input, emits no code.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -12,10 +12,17 @@
 //! accumulation is associative and the output stage requantizes exactly like
 //! the reference, the result equals [`sushi_tensor::ops::conv::conv2d_i8`]
 //! bit-for-bit — the property the tests pin down.
+//!
+//! Host-simulation speed is decoupled from the modeled schedule through a
+//! [`KernelPolicy`]: under `Auto` (the default) large dense convolutions are
+//! executed via the bit-identical im2col + blocked-GEMM fast path from
+//! `sushi-tensor`, while `Naive` forces the cycle-faithful tiled schedule.
+//! The policy can never change the numbers — only how fast the host
+//! computes them.
 
-use sushi_tensor::ops::conv::Conv2dParams;
+use sushi_tensor::ops::conv::{conv2d_i8_with, Conv2dParams};
 use sushi_tensor::quant::requantize_accumulator;
-use sushi_tensor::{QuantParams, Shape4, Tensor, TensorError};
+use sushi_tensor::{KernelPolicy, QuantParams, Shape4, Tensor, TensorError};
 
 use crate::config::DPE_SIZE;
 
@@ -26,17 +33,36 @@ pub struct DpeArray {
     pub kp: usize,
     /// Channel-level parallelism (columns).
     pub cp: usize,
+    /// Host-simulation kernel policy (never affects results).
+    policy: KernelPolicy,
 }
 
 impl DpeArray {
-    /// Creates a DPE array.
+    /// Creates a DPE array with the default [`KernelPolicy::Auto`] host
+    /// simulation policy.
     ///
     /// # Panics
     /// Panics if either dimension is zero.
     #[must_use]
     pub fn new(kp: usize, cp: usize) -> Self {
         assert!(kp > 0 && cp > 0, "DPE array dims must be positive");
-        Self { kp, cp }
+        Self { kp, cp, policy: KernelPolicy::Auto }
+    }
+
+    /// Returns the same array with a different host-simulation policy.
+    ///
+    /// `Naive` pins the cycle-faithful tiled DPE schedule (the oracle);
+    /// `Im2colGemm` forces the fast path; `Auto` picks per problem size.
+    #[must_use]
+    pub fn with_policy(mut self, policy: KernelPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The active host-simulation policy.
+    #[must_use]
+    pub fn policy(&self) -> KernelPolicy {
+        self.policy
     }
 
     /// Quantized convolution executed in the DPE array's tiled schedule.
@@ -87,6 +113,24 @@ impl DpeArray {
         let ow =
             sushi_tensor::shape::conv_out_dim(ishape.w, wshape.w, params.stride, params.padding)
                 .ok_or(TensorError::EmptyOutput { input: ishape })?;
+
+        // Fast host path: when the policy resolves to GEMM, execute the
+        // layer through the bit-identical im2col + blocked-GEMM lowering.
+        // The tiled schedule below remains the cycle-faithful oracle.
+        if params.backend(ishape, wshape, oh, ow, self.policy)
+            == sushi_tensor::ops::gemm::ConvBackend::Im2colGemm
+        {
+            return conv2d_i8_with(
+                input,
+                in_q,
+                weights,
+                w_q,
+                bias,
+                out_q,
+                params,
+                KernelPolicy::Im2colGemm,
+            );
+        }
 
         let acc_scale = in_q.scale * w_q.scale / out_q.scale;
         let k_total = wshape.n;
@@ -270,7 +314,6 @@ impl DpeArray {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sushi_tensor::ops::conv::conv2d_i8;
     use sushi_tensor::DetRng;
 
     fn rand_i8(shape: Shape4, seed: u64) -> Tensor<i8> {
@@ -295,9 +338,21 @@ mod tests {
             let mut rng = DetRng::new(seed + 2);
             (0..weights.n).map(|_| (rng.next_u64() % 1000) as i32 - 500).collect()
         });
-        let reference = conv2d_i8(&x, in_q, &w, w_q, b.as_deref(), out_q, params).unwrap();
-        let dpe = arr.conv2d_i8(&x, in_q, &w, w_q, b.as_deref(), out_q, params).unwrap();
-        assert_eq!(reference, dpe, "DPE schedule diverged from reference");
+        let reference =
+            conv2d_i8_with(&x, in_q, &w, w_q, b.as_deref(), out_q, params, KernelPolicy::Naive)
+                .unwrap();
+        // The cycle-faithful tiled schedule and the GEMM fast path must both
+        // reproduce the naive oracle bit-for-bit.
+        let tiled = arr
+            .with_policy(KernelPolicy::Naive)
+            .conv2d_i8(&x, in_q, &w, w_q, b.as_deref(), out_q, params)
+            .unwrap();
+        assert_eq!(reference, tiled, "DPE tiled schedule diverged from reference");
+        let gemm = arr
+            .with_policy(KernelPolicy::Im2colGemm)
+            .conv2d_i8(&x, in_q, &w, w_q, b.as_deref(), out_q, params)
+            .unwrap();
+        assert_eq!(reference, gemm, "DPE GEMM fast path diverged from reference");
     }
 
     #[test]
@@ -405,6 +460,33 @@ mod tests {
         let p = Conv2dParams::new(3, 3).with_padding(1);
         let out = arr.conv2d_i8(&x, in_q, &w, w_q, None, out_q, &p).unwrap();
         assert!(out.as_slice().iter().all(|&v| v == 0), "all-zero input must give zero output");
+    }
+
+    #[test]
+    fn policy_never_changes_results() {
+        // The host-simulation policy is a pure speed knob; all three
+        // settings must produce the same bytes, above and below the Auto
+        // problem-size threshold.
+        let q = QuantParams::new(0.03, -2);
+        for (ishape, wshape, seed) in [
+            (Shape4::new(1, 16, 12, 12), Shape4::new(24, 16, 3, 3), 100), // above threshold
+            (Shape4::new(1, 2, 5, 5), Shape4::new(2, 2, 3, 3), 102),      // below threshold
+        ] {
+            let x = rand_i8(ishape, seed);
+            let w = rand_i8(wshape, seed + 1);
+            let p = Conv2dParams::new(3, 3).with_padding(1);
+            let arr = DpeArray::new(4, 4);
+            let a =
+                arr.with_policy(KernelPolicy::Naive).conv2d_i8(&x, q, &w, q, None, q, &p).unwrap();
+            let b = arr
+                .with_policy(KernelPolicy::Im2colGemm)
+                .conv2d_i8(&x, q, &w, q, None, q, &p)
+                .unwrap();
+            let c =
+                arr.with_policy(KernelPolicy::Auto).conv2d_i8(&x, q, &w, q, None, q, &p).unwrap();
+            assert_eq!(a, b);
+            assert_eq!(b, c);
+        }
     }
 
     #[test]

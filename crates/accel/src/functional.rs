@@ -35,6 +35,12 @@ pub struct FunctionalOutput {
 /// activation parameters returned by [`act_quant`], at the SuperNet's input
 /// resolution.
 ///
+/// Every convolution executes through `dpe`, so the array's
+/// [`sushi_tensor::KernelPolicy`] (see [`DpeArray::with_policy`]) governs
+/// host-simulation speed: `Naive` pins the cycle-faithful tiled schedule,
+/// `Auto`/`Im2colGemm` route large dense layers through the bit-identical
+/// im2col + blocked-GEMM fast path. Logits are unaffected by the policy.
+///
 /// # Errors
 /// Returns an error when the input shape does not match the SuperNet, or a
 /// layer fails to execute (programming error in the zoo definitions).
@@ -225,18 +231,17 @@ impl Runtime<'_> {
         let g = self.conv(se_e, &g)?;
         let gate_f = Activation::HSigmoid.apply_tensor(&dequantize_tensor(&g, ACT_Q));
         // Channel-wise multiply in the dequantized domain, then requantize.
-        let yf = dequantize_tensor(y, ACT_Q);
+        let mut yf = dequantize_tensor(y, ACT_Q);
         let shape = yf.shape();
-        let mut out = Tensor::<f32>::zeros(shape);
         for c in 0..shape.c {
             let gv = gate_f.get(0, c, 0, 0);
             for h in 0..shape.h {
-                for w in 0..shape.w {
-                    out.set(0, c, h, w, yf.get(0, c, h, w) * gv);
+                for v in yf.row_mut(0, c, h) {
+                    *v *= gv;
                 }
             }
         }
-        Ok(quantize_tensor(&out, ACT_Q))
+        Ok(quantize_tensor(&yf, ACT_Q))
     }
 
     #[allow(dead_code)]
@@ -330,6 +335,22 @@ mod tests {
         let a = forward(&DpeArray::new(1, 1), &net, &store, &sn, &x).unwrap();
         let b = forward(&DpeArray::new(8, 8), &net, &store, &sn, &x).unwrap();
         assert_eq!(a.logits, b.logits);
+    }
+
+    #[test]
+    fn forward_is_independent_of_kernel_policy() {
+        use sushi_tensor::KernelPolicy;
+        let net = zoo::toy_mobilenet_supernet();
+        let store = WeightStore::synthesize(&net, 18);
+        let sn = net.materialize("max", &net.max_config()).unwrap();
+        let x = rand_input(&net, 8);
+        let base = DpeArray::new(4, 4);
+        let naive = forward(&base.with_policy(KernelPolicy::Naive), &net, &store, &sn, &x).unwrap();
+        let gemm =
+            forward(&base.with_policy(KernelPolicy::Im2colGemm), &net, &store, &sn, &x).unwrap();
+        let auto = forward(&base, &net, &store, &sn, &x).unwrap();
+        assert_eq!(naive, gemm, "kernel policy must not change logits");
+        assert_eq!(naive, auto);
     }
 
     #[test]

@@ -8,7 +8,7 @@ use sushi_accel::dpe::DpeArray;
 use sushi_accel::exec::Accelerator;
 use sushi_accel::timing::layer_timing;
 use sushi_tensor::ops::conv::Conv2dParams;
-use sushi_tensor::{DetRng, QuantParams, Shape4, Tensor};
+use sushi_tensor::{DetRng, KernelPolicy, QuantParams, Shape4, Tensor};
 use sushi_wsnet::layer::LayerSlice;
 use sushi_wsnet::zoo;
 
@@ -64,10 +64,18 @@ fn bench_dpe_functional_conv(c: &mut Criterion) {
         Tensor::from_vec(wshape, (0..wshape.volume()).map(|_| rng.next_i8()).collect()).unwrap();
     let q = QuantParams::new(0.02, 3);
     let params = Conv2dParams::new(3, 3).with_padding(1);
-    let arr = DpeArray::new(16, 18);
-    c.bench_function("dpe_int8_conv_32x32x14x14", |b| {
-        b.iter(|| arr.conv2d_i8(black_box(&x), q, black_box(&w), q, None, q, &params).unwrap())
-    });
+    // Same DPE geometry, three host-simulation kernel policies: the
+    // naive-vs-gemm spread is the win `KernelPolicy::Auto` locks in.
+    for (name, policy) in [
+        ("naive", KernelPolicy::Naive),
+        ("gemm", KernelPolicy::Im2colGemm),
+        ("auto", KernelPolicy::Auto),
+    ] {
+        let arr = DpeArray::new(16, 18).with_policy(policy);
+        c.bench_function(&format!("dpe_int8_conv_32x32x14x14_{name}"), |b| {
+            b.iter(|| arr.conv2d_i8(black_box(&x), q, black_box(&w), q, None, q, &params).unwrap())
+        });
+    }
 }
 
 criterion_group!(

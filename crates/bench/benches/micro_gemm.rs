@@ -1,0 +1,84 @@
+//! Microbenchmarks of the sushi-tensor kernel backend: raw GEMM kernels
+//! (f32 and zero-point-aware i8→i32) and the naive-vs-im2col+GEMM
+//! convolution comparison that motivates `KernelPolicy::Auto`.
+//!
+//! Set `SUSHI_BENCH_QUICK=1` (CI's bench-smoke job) to shrink problem sizes
+//! so the whole target finishes in seconds.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sushi_tensor::ops::conv::{conv2d_f32_with, conv2d_i8_with, Conv2dParams};
+use sushi_tensor::ops::gemm::{gemm_f32, gemm_i8_i32};
+use sushi_tensor::{DetRng, KernelPolicy, QuantParams, Shape4, Tensor};
+
+fn quick() -> bool {
+    std::env::var("SUSHI_BENCH_QUICK").is_ok_and(|v| v != "0")
+}
+
+fn bench_gemm_f32(c: &mut Criterion) {
+    let dim = if quick() { 96 } else { 256 };
+    let mut rng = DetRng::new(1);
+    let a: Vec<f32> = (0..dim * dim).map(|_| rng.uniform_f32(-1.0, 1.0)).collect();
+    let b: Vec<f32> = (0..dim * dim).map(|_| rng.uniform_f32(-1.0, 1.0)).collect();
+    let mut out = vec![0.0f32; dim * dim];
+    c.bench_function(&format!("gemm_f32_{dim}x{dim}x{dim}"), |bch| {
+        bch.iter(|| {
+            out.fill(0.0);
+            gemm_f32(dim, dim, dim, black_box(&a), black_box(&b), &mut out);
+            black_box(out[0])
+        })
+    });
+}
+
+fn bench_gemm_i8(c: &mut Criterion) {
+    let dim = if quick() { 96 } else { 256 };
+    let mut rng = DetRng::new(2);
+    let a: Vec<i8> = (0..dim * dim).map(|_| rng.next_i8()).collect();
+    let b: Vec<i8> = (0..dim * dim).map(|_| rng.next_i8()).collect();
+    let mut out = vec![0i32; dim * dim];
+    c.bench_function(&format!("gemm_i8_i32_{dim}x{dim}x{dim}"), |bch| {
+        bch.iter(|| {
+            out.fill(0);
+            gemm_i8_i32(dim, dim, dim, black_box(&a), 3, black_box(&b), -7, &mut out);
+            black_box(out[0])
+        })
+    });
+}
+
+fn bench_conv_backends(c: &mut Criterion) {
+    let (ch, hw) = if quick() { (16, 14) } else { (64, 28) };
+    let ishape = Shape4::new(1, ch, hw, hw);
+    let wshape = Shape4::new(ch, ch, 3, 3);
+    let mut rng = DetRng::new(3);
+    let xf = Tensor::from_vec(
+        ishape,
+        (0..ishape.volume()).map(|_| rng.uniform_f32(-1.0, 1.0)).collect(),
+    )
+    .unwrap();
+    let wf = Tensor::from_vec(
+        wshape,
+        (0..wshape.volume()).map(|_| rng.uniform_f32(-0.5, 0.5)).collect(),
+    )
+    .unwrap();
+    let xi =
+        Tensor::from_vec(ishape, (0..ishape.volume()).map(|_| rng.next_i8()).collect()).unwrap();
+    let wi =
+        Tensor::from_vec(wshape, (0..wshape.volume()).map(|_| rng.next_i8()).collect()).unwrap();
+    let q = QuantParams::new(0.02, 3);
+    let params = Conv2dParams::new(3, 3).with_padding(1);
+
+    let mut group = c.benchmark_group(&format!("conv2d_{ch}x{ch}x{hw}x{hw}_3x3"));
+    for (name, policy) in [("naive", KernelPolicy::Naive), ("gemm", KernelPolicy::Im2colGemm)] {
+        group.bench_function(BenchmarkId::new("f32", name), |bch| {
+            bch.iter(|| conv2d_f32_with(black_box(&xf), &wf, None, &params, policy).unwrap())
+        });
+        group.bench_function(BenchmarkId::new("i8", name), |bch| {
+            bch.iter(|| {
+                conv2d_i8_with(black_box(&xi), q, &wi, q, None, q, &params, policy).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemm_f32, bench_gemm_i8, bench_conv_backends);
+criterion_main!(benches);

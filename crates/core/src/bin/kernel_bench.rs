@@ -1,0 +1,160 @@
+//! Naive-vs-GEMM wall-clock benchmark of the functional int8 forward pass.
+//!
+//! Times the largest ("max") SubNet of each zoo SuperNet through the full
+//! DPE datapath under [`KernelPolicy::Naive`] (the cycle-faithful tiled
+//! schedule) and [`KernelPolicy::Im2colGemm`] (the im2col + blocked-GEMM
+//! fast path), verifying on the way that both produce identical logits.
+//!
+//! ```text
+//! kernel_bench                        # paper zoo (ResNet50 + MobileNetV3)
+//! kernel_bench --quick                # toy zoo (CI-sized, seconds)
+//! kernel_bench --runs 3               # best-of-3 timing
+//! kernel_bench --out BENCH_kernels.json
+//! kernel_bench --check BENCH_kernels.json   # fail if gemm regressed >20%
+//! kernel_bench --min-speedup 5.0      # gate the largest workload's speedup
+//! ```
+//!
+//! `scripts/bench_baseline.sh` combines `--check` (against the committed
+//! baseline) and `--out` (regenerating it) in one measured run.
+
+use std::time::Instant;
+
+use sushi_accel::dpe::DpeArray;
+use sushi_accel::functional::{act_quant, forward};
+use sushi_core::metrics::{
+    kernel_bench_from_json, kernel_bench_to_json, kernel_regressions, KernelBenchEntry,
+};
+use sushi_tensor::quant::quantize_tensor;
+use sushi_tensor::{DetRng, KernelPolicy, Shape4, Tensor};
+use sushi_wsnet::{zoo, SuperNet, WeightStore};
+
+/// Allowed slowdown of the GEMM path vs the committed baseline.
+const REGRESSION_TOLERANCE_PCT: f64 = 20.0;
+
+fn die(msg: &str) -> ! {
+    eprintln!("kernel_bench: {msg}");
+    std::process::exit(1);
+}
+
+fn parse_flag_value<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
+    let pos = args.iter().position(|a| a == flag)?;
+    let raw = args.get(pos + 1).unwrap_or_else(|| die(&format!("{flag} requires a value")));
+    match raw.parse() {
+        Ok(v) => Some(v),
+        Err(_) => die(&format!("invalid value '{raw}' for {flag}")),
+    }
+}
+
+fn bench_net(net: &SuperNet, runs: usize, seed: u64) -> KernelBenchEntry {
+    let store = WeightStore::synthesize(net, seed);
+    let sn = net.materialize("max", &net.max_config()).expect("max config");
+    let shape = Shape4::new(1, 3, net.input_hw, net.input_hw);
+    let mut rng = DetRng::new(seed ^ 0xBEEF);
+    let input_f =
+        Tensor::from_vec(shape, (0..shape.volume()).map(|_| rng.uniform_f32(-1.0, 1.0)).collect())
+            .expect("shape matches");
+    let input = quantize_tensor(&input_f, act_quant());
+    // ZCU104 geometry; the policy is the only variable.
+    let naive_dpe = DpeArray::new(16, 18).with_policy(KernelPolicy::Naive);
+    let gemm_dpe = DpeArray::new(16, 18).with_policy(KernelPolicy::Im2colGemm);
+
+    let mut naive_ms = f64::INFINITY;
+    let mut gemm_ms = f64::INFINITY;
+    let mut naive_out = None;
+    let mut gemm_out = None;
+    for _ in 0..runs.max(1) {
+        let t = Instant::now();
+        let out = forward(&gemm_dpe, net, &store, &sn, &input).expect("gemm forward");
+        gemm_ms = gemm_ms.min(t.elapsed().as_secs_f64() * 1e3);
+        gemm_out = Some(out);
+
+        let t = Instant::now();
+        let out = forward(&naive_dpe, net, &store, &sn, &input).expect("naive forward");
+        naive_ms = naive_ms.min(t.elapsed().as_secs_f64() * 1e3);
+        naive_out = Some(out);
+    }
+    assert_eq!(
+        naive_out, gemm_out,
+        "{}: kernel backends diverged — benchmark numbers would be meaningless",
+        net.name
+    );
+    KernelBenchEntry { label: format!("{}/max", net.name), naive_ms, gemm_ms }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let runs: usize = parse_flag_value(&args, "--runs").unwrap_or(1);
+    let out_path: Option<String> = parse_flag_value(&args, "--out");
+    let check_path: Option<String> = parse_flag_value(&args, "--check");
+    let min_speedup: Option<f64> = parse_flag_value(&args, "--min-speedup");
+
+    let nets: Vec<SuperNet> = if quick {
+        vec![zoo::toy_supernet(), zoo::toy_mobilenet_supernet()]
+    } else {
+        vec![zoo::resnet50_supernet(), zoo::mobilenet_v3_supernet()]
+    };
+
+    println!("timing largest SubNet forward pass, best of {runs} run(s) per backend\n");
+    let mut entries = Vec::new();
+    for net in &nets {
+        let entry = bench_net(net, runs, 2024);
+        println!(
+            "{:<24} naive {:>10.2} ms   gemm {:>10.2} ms   speedup {:>6.2}x",
+            entry.label,
+            entry.naive_ms,
+            entry.gemm_ms,
+            entry.speedup()
+        );
+        entries.push(entry);
+    }
+
+    let mut failed = false;
+    if let Some(path) = &check_path {
+        match std::fs::read_to_string(path) {
+            Err(e) => die(&format!("cannot read baseline {path}: {e}")),
+            Ok(text) => match kernel_bench_from_json(&text) {
+                Err(e) => die(&format!("malformed baseline {path}: {e}")),
+                Ok(baseline) => {
+                    match kernel_regressions(&entries, &baseline, REGRESSION_TOLERANCE_PCT) {
+                        Ok(()) => println!(
+                            "\nno regression vs {path} (tolerance {REGRESSION_TOLERANCE_PCT}%)"
+                        ),
+                        Err(msg) => {
+                            eprintln!("\nREGRESSION vs {path}:\n{msg}");
+                            failed = true;
+                        }
+                    }
+                }
+            },
+        }
+    }
+    if let Some(min) = min_speedup {
+        // The headline target applies to the largest workload (the one the
+        // perf trajectory is anchored on); depthwise-dominated nets win
+        // less because depthwise stays on the direct schedule.
+        if let Some(largest) = entries.iter().max_by(|a, b| a.naive_ms.total_cmp(&b.naive_ms)) {
+            if largest.speedup() < min {
+                eprintln!(
+                    "{}: speedup {:.2}x below target {min}x",
+                    largest.label,
+                    largest.speedup()
+                );
+                failed = true;
+            }
+        }
+    }
+    if let Some(path) = &out_path {
+        if failed {
+            eprintln!("not writing {path}: a failing run must not become the baseline");
+        } else {
+            if let Err(e) = std::fs::write(path, kernel_bench_to_json(&entries)) {
+                die(&format!("cannot write {path}: {e}"));
+            }
+            println!("wrote {path}");
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -1,30 +1,54 @@
 //! Regenerates the SUSHI paper's tables and figures.
 //!
 //! ```text
-//! repro -- all                # every experiment, paper-scale
-//! repro -- fig10 fig16        # specific experiments
-//! repro -- all --quick        # reduced streams (CI-sized)
-//! repro -- all --save results # also write results/<id>.txt
+//! repro -- all                          # every experiment, paper-scale
+//! repro -- fig10 fig16                  # specific experiments
+//! repro -- all --quick                  # reduced streams (CI-sized)
+//! repro -- all --save results           # also write results/<id>.txt
+//! repro -- kernels --kernel-policy gemm # pin the functional kernel backend
 //! ```
+//!
+//! `--kernel-policy naive|gemm|auto` selects the kernel backend used by
+//! experiments that execute the functional int8 datapath. Experiment
+//! outputs are identical across policies (the backends compute the same
+//! function); only wall time changes.
 
 use std::io::Write as _;
 
 use sushi_core::experiments::{run, ExpOptions, ALL_IDS};
+use sushi_tensor::KernelPolicy;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let save_pos = args.iter().position(|a| a == "--save");
     let save_dir = save_pos.and_then(|i| args.get(i + 1)).cloned();
-    // Skip the --save *operand by position*, not by value, so an id that
-    // happens to equal the directory name is still run.
+    let policy_pos = args.iter().position(|a| a == "--kernel-policy");
+    let kernel_policy = match policy_pos.map(|i| args.get(i + 1)) {
+        None => KernelPolicy::Auto,
+        Some(Some(v)) => match v.parse::<KernelPolicy>() {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        },
+        Some(None) => {
+            eprintln!("--kernel-policy requires a value (naive|gemm|auto)");
+            std::process::exit(2);
+        }
+    };
+    // Skip flag *operands by position*, not by value, so an id that happens
+    // to equal an operand (e.g. a directory named "fig10") is still run.
+    let operand_pos: Vec<usize> = [save_pos, policy_pos].iter().flatten().map(|i| i + 1).collect();
     let ids: Vec<String> = args
         .iter()
         .enumerate()
-        .filter(|(i, a)| !a.starts_with("--") && save_pos.map_or(true, |s| *i != s + 1))
+        .filter(|(i, a)| !a.starts_with("--") && !operand_pos.contains(i))
         .map(|(_, a)| a.clone())
         .collect();
-    let opts = if quick { ExpOptions::quick() } else { ExpOptions::default() };
+    let mut opts = if quick { ExpOptions::quick() } else { ExpOptions::default() };
+    opts.kernel_policy = kernel_policy;
 
     let selected: Vec<&str> = if ids.is_empty() || ids.iter().any(|i| i == "all") {
         ALL_IDS.to_vec()

@@ -5,6 +5,7 @@ use std::sync::Arc;
 use sushi_accel::config::{alveo_u50, roofline_system, zcu104};
 use sushi_accel::AccelConfig;
 use sushi_sched::Policy;
+use sushi_tensor::KernelPolicy;
 use sushi_wsnet::{zoo, SubNet, SuperNet};
 
 use crate::stream::ConstraintSpace;
@@ -20,11 +21,16 @@ pub struct ExpOptions {
     pub candidates: usize,
     /// Master seed.
     pub seed: u64,
+    /// Kernel backend for experiments that execute the functional int8
+    /// datapath (`repro --kernel-policy naive|gemm|auto`). Experiment
+    /// *outputs* are policy-independent by construction; only wall time
+    /// changes.
+    pub kernel_policy: KernelPolicy,
 }
 
 impl Default for ExpOptions {
     fn default() -> Self {
-        Self { queries: 600, candidates: 16, seed: 0xC0FFEE }
+        Self { queries: 600, candidates: 16, seed: 0xC0FFEE, kernel_policy: KernelPolicy::Auto }
     }
 }
 
@@ -32,7 +38,7 @@ impl ExpOptions {
     /// A reduced configuration for quick smoke runs and benches.
     #[must_use]
     pub fn quick() -> Self {
-        Self { queries: 120, candidates: 8, seed: 0xC0FFEE }
+        Self { queries: 120, candidates: 8, ..Self::default() }
     }
 }
 

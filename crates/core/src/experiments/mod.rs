@@ -11,6 +11,7 @@ mod fig10_11_12;
 mod fig13_14;
 mod fig15_16;
 mod fig17_18;
+mod kernels;
 mod tab5_6_hit;
 mod tables;
 
@@ -21,6 +22,7 @@ pub use fig10_11_12::{fig10, fig11, fig12};
 pub use fig13_14::{fig13a, fig13b, fig14};
 pub use fig15_16::{fig15, fig16};
 pub use fig17_18::{fig17, fig18};
+pub use kernels::kernels;
 pub use tab5_6_hit::{hit_ratio, tab5, tab6};
 pub use tables::{tab1, tab2, tab3, tab4};
 
@@ -47,6 +49,7 @@ pub const ALL_IDS: &[&str] = &[
     "tab5",
     "tab6",
     "hit_ratio",
+    "kernels",
     "abl_distance",
     "abl_pb_split",
     "abl_candidates",
@@ -75,6 +78,7 @@ pub fn run(id: &str, opts: &ExpOptions) -> Option<ExpReport> {
         "tab5" => tab5(opts),
         "tab6" => tab6(opts),
         "hit_ratio" => hit_ratio(opts),
+        "kernels" => kernels(opts),
         "abl_distance" => abl_distance(opts),
         "abl_pb_split" => abl_pb_split(opts),
         "abl_candidates" => abl_candidates(opts),
@@ -101,6 +105,6 @@ mod tests {
             let r = run(id, &ExpOptions::quick()).unwrap();
             assert_eq!(r.id, id);
         }
-        assert_eq!(ALL_IDS.len(), 22);
+        assert_eq!(ALL_IDS.len(), 23);
     }
 }

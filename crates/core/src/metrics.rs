@@ -73,6 +73,138 @@ pub fn reduction_pct(base: f64, ours: f64) -> f64 {
     100.0 * (base - ours) / base
 }
 
+/// Wall-clock timing of one workload's forward pass under the naive kernel
+/// backend vs the im2col + GEMM backend (see `BENCH_kernels.json`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelBenchEntry {
+    /// Workload label, e.g. `"ResNet50/max"`.
+    pub label: String,
+    /// Best-of-N wall time of the naive (tiled-schedule) forward pass, ms.
+    pub naive_ms: f64,
+    /// Best-of-N wall time of the GEMM forward pass, ms.
+    pub gemm_ms: f64,
+}
+
+impl KernelBenchEntry {
+    /// Naive-over-GEMM speedup (`> 1` means the GEMM path is faster).
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        if self.gemm_ms > 0.0 {
+            self.naive_ms / self.gemm_ms
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Serializes kernel bench entries as the `BENCH_kernels.json` baseline.
+///
+/// Hand-rolled writer: the vendored `serde` stub does not serialize, and the
+/// format is a stable three-field schema consumed by
+/// [`kernel_bench_from_json`] and `scripts/bench_baseline.sh`.
+///
+/// # Panics
+/// Panics if a label contains `"`, `,`, `{` or `}` — the minimal parser
+/// does not escape, so such a label would silently round-trip wrong.
+#[must_use]
+pub fn kernel_bench_to_json(entries: &[KernelBenchEntry]) -> String {
+    let mut out = String::from("{\n  \"schema\": \"sushi-kernel-bench-v1\",\n  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        use std::fmt::Write as _;
+        assert!(
+            !e.label.contains(['"', ',', '{', '}']),
+            "kernel bench label '{}' contains characters the minimal JSON format cannot carry",
+            e.label
+        );
+        let _ = write!(
+            out,
+            "    {{\"label\": \"{}\", \"naive_ms\": {:.3}, \"gemm_ms\": {:.3}, \"speedup\": {:.2}}}",
+            e.label,
+            e.naive_ms,
+            e.gemm_ms,
+            e.speedup()
+        );
+        out.push_str(if i + 1 < entries.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Parses the `BENCH_kernels.json` format written by
+/// [`kernel_bench_to_json`].
+///
+/// # Errors
+/// Returns a description of the first malformed entry.
+pub fn kernel_bench_from_json(text: &str) -> Result<Vec<KernelBenchEntry>, String> {
+    fn field<'a>(obj: &'a str, key: &str) -> Result<&'a str, String> {
+        let pat = format!("\"{key}\":");
+        let start = obj.find(&pat).ok_or_else(|| format!("missing field '{key}'"))? + pat.len();
+        let rest = obj[start..].trim_start();
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        Ok(rest[..end].trim())
+    }
+    let mut entries = Vec::new();
+    // Each entry object lives on its own line; skip the top-level braces.
+    for obj in text.split('{').skip(2) {
+        let obj = match obj.find('}') {
+            Some(end) => &obj[..end + 1],
+            // An opened-but-never-closed object means the file was
+            // truncated; dropping it would silently weaken the regression
+            // gate, so refuse the whole baseline.
+            None => return Err("truncated kernel bench entry (missing '}')".to_string()),
+        };
+        let label = field(obj, "label")?.trim_matches('"').to_string();
+        let naive_ms: f64 =
+            field(obj, "naive_ms")?.parse().map_err(|e| format!("bad naive_ms: {e}"))?;
+        let gemm_ms: f64 =
+            field(obj, "gemm_ms")?.parse().map_err(|e| format!("bad gemm_ms: {e}"))?;
+        entries.push(KernelBenchEntry { label, naive_ms, gemm_ms });
+    }
+    if entries.is_empty() {
+        return Err("no kernel bench entries found".to_string());
+    }
+    Ok(entries)
+}
+
+/// Compares a fresh measurement against a committed baseline, failing when
+/// the GEMM path regressed by more than `tolerance_pct` on any workload.
+///
+/// Only `gemm_ms` gates: it is the serving hot path. Baseline labels absent
+/// from `current` fail too (a silently dropped workload is a regression).
+///
+/// # Errors
+/// Returns a human-readable description of every regression found.
+pub fn kernel_regressions(
+    current: &[KernelBenchEntry],
+    baseline: &[KernelBenchEntry],
+    tolerance_pct: f64,
+) -> Result<(), String> {
+    let mut problems = Vec::new();
+    for base in baseline {
+        match current.iter().find(|c| c.label == base.label) {
+            None => problems.push(format!("workload '{}' missing from current run", base.label)),
+            Some(cur) => {
+                let limit = base.gemm_ms * (1.0 + tolerance_pct / 100.0);
+                if cur.gemm_ms > limit {
+                    problems.push(format!(
+                        "'{}' gemm path regressed: {:.3} ms vs baseline {:.3} ms (+{:.1}% > {:.0}% tolerance)",
+                        base.label,
+                        cur.gemm_ms,
+                        base.gemm_ms,
+                        100.0 * (cur.gemm_ms / base.gemm_ms - 1.0),
+                        tolerance_pct
+                    ));
+                }
+            }
+        }
+    }
+    if problems.is_empty() {
+        Ok(())
+    } else {
+        Err(problems.join("\n"))
+    }
+}
+
 /// Serializes served records as CSV (header + one row per query), the raw
 /// data behind the paper's scatter plots (Figs. 15–16). Plot-friendly:
 /// constraints and served values side by side.
@@ -152,6 +284,57 @@ mod tests {
         assert_eq!(reduction_pct(10.0, 8.0), 20.0);
         assert_eq!(reduction_pct(10.0, 12.0), -20.0);
         assert_eq!(reduction_pct(0.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn kernel_bench_json_round_trips() {
+        let entries = vec![
+            KernelBenchEntry { label: "ResNet50/max".into(), naive_ms: 1234.5, gemm_ms: 98.7 },
+            KernelBenchEntry { label: "MobV3/max".into(), naive_ms: 456.0, gemm_ms: 45.6 },
+        ];
+        let json = kernel_bench_to_json(&entries);
+        assert!(json.contains("sushi-kernel-bench-v1"));
+        let parsed = kernel_bench_from_json(&json).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].label, "ResNet50/max");
+        assert!((parsed[0].naive_ms - 1234.5).abs() < 1e-9);
+        assert!((parsed[1].gemm_ms - 45.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kernel_bench_rejects_garbage() {
+        assert!(kernel_bench_from_json("not json").is_err());
+        assert!(kernel_bench_from_json("{\"entries\": []}").is_err());
+    }
+
+    #[test]
+    fn kernel_bench_rejects_truncated_baseline() {
+        let entries = vec![KernelBenchEntry { label: "a".into(), naive_ms: 10.0, gemm_ms: 1.0 }];
+        let json = kernel_bench_to_json(&entries);
+        // Chop inside the entry object (before its closing brace): the
+        // parse must fail, not return a shorter entry list.
+        let truncated = &json[..json.find("speedup").unwrap()];
+        assert!(kernel_bench_from_json(truncated).is_err());
+    }
+
+    #[test]
+    fn kernel_speedup_is_naive_over_gemm() {
+        let e = KernelBenchEntry { label: "x".into(), naive_ms: 100.0, gemm_ms: 10.0 };
+        assert!((e.speedup() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kernel_regressions_gate_on_gemm_time() {
+        let base = vec![KernelBenchEntry { label: "a".into(), naive_ms: 50.0, gemm_ms: 10.0 }];
+        // 15% slower: within the 20% tolerance.
+        let ok = vec![KernelBenchEntry { label: "a".into(), naive_ms: 60.0, gemm_ms: 11.5 }];
+        assert!(kernel_regressions(&ok, &base, 20.0).is_ok());
+        // 50% slower: regression.
+        let slow = vec![KernelBenchEntry { label: "a".into(), naive_ms: 50.0, gemm_ms: 15.0 }];
+        let err = kernel_regressions(&slow, &base, 20.0).unwrap_err();
+        assert!(err.contains("regressed"));
+        // Missing workload: regression.
+        assert!(kernel_regressions(&[], &base, 20.0).is_err());
     }
 
     #[test]

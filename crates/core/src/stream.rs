@@ -24,8 +24,18 @@ pub struct ConstraintSpace {
 }
 
 impl ConstraintSpace {
+    /// Minimum half-width of a constraint band. A single-SubNet serving set
+    /// (or one where every SubNet reports the same accuracy/latency) would
+    /// otherwise collapse a band to a point, making every sampled stream
+    /// issue one identical constraint.
+    pub const DEGENERATE_BAND_EPS: f64 = 1e-3;
+
     /// Derives a constraint space from the serving SubNets' accuracy band
     /// and their cold latencies.
+    ///
+    /// Degenerate bands (all accuracies equal, or all latencies equal with
+    /// a zero-width `[0.8x, 1.1x]` window when `x == 0`) are widened by
+    /// [`Self::DEGENERATE_BAND_EPS`] so the space always has positive area.
     ///
     /// # Panics
     /// Panics if `accuracies` or `cold_latencies_ms` is empty.
@@ -36,7 +46,18 @@ impl ConstraintSpace {
         let acc_hi = accuracies.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         let lat_min = cold_latencies_ms.iter().copied().fold(f64::INFINITY, f64::min);
         let lat_max = cold_latencies_ms.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        Self { acc_lo, acc_hi, lat_lo: lat_min * 0.8, lat_hi: lat_max * 1.1 }
+        let (acc_lo, acc_hi) = Self::widen_if_degenerate(acc_lo, acc_hi);
+        let (lat_lo, lat_hi) = Self::widen_if_degenerate(lat_min * 0.8, lat_max * 1.1);
+        Self { acc_lo, acc_hi, lat_lo, lat_hi }
+    }
+
+    fn widen_if_degenerate(lo: f64, hi: f64) -> (f64, f64) {
+        if hi - lo >= Self::DEGENERATE_BAND_EPS {
+            (lo, hi)
+        } else {
+            let mid = f64::midpoint(lo, hi);
+            (mid - Self::DEGENERATE_BAND_EPS, mid + Self::DEGENERATE_BAND_EPS)
+        }
     }
 }
 
@@ -139,6 +160,25 @@ mod tests {
         assert_eq!(s.acc_lo, 0.75);
         assert_eq!(s.acc_hi, 0.80);
         assert!(s.lat_lo < 5.0 && s.lat_hi > 18.0);
+    }
+
+    #[test]
+    fn single_subnet_serving_set_widens_degenerate_bands() {
+        // One SubNet => acc_lo == acc_hi before widening; the space must
+        // still have positive area so streams sample distinct constraints.
+        let s = ConstraintSpace::from_serving_set(&[0.77], &[5.0]);
+        assert!(s.acc_lo < 0.77 && 0.77 < s.acc_hi);
+        assert!(s.lat_lo < s.lat_hi);
+        let qs = uniform_stream(&s, 8, 3);
+        assert!(qs.iter().any(|q| q.accuracy_constraint != qs[0].accuracy_constraint));
+    }
+
+    #[test]
+    fn equal_accuracies_widen_but_latency_band_survives() {
+        let s = ConstraintSpace::from_serving_set(&[0.8, 0.8, 0.8], &[4.0, 10.0]);
+        assert!(s.acc_hi - s.acc_lo >= 2.0 * ConstraintSpace::DEGENERATE_BAND_EPS - 1e-12);
+        // Non-degenerate latency band is untouched.
+        assert!((s.lat_lo - 3.2).abs() < 1e-12 && (s.lat_hi - 11.0).abs() < 1e-12);
     }
 
     #[test]

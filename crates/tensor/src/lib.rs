@@ -13,9 +13,11 @@
 //!   scales, matching the paper's footnote 3 ("weights, input activations,
 //!   and zero points are quantized to int8, and the quantization scale is
 //!   quantized into int32").
-//! * [`ops`] — reference implementations of 2-D convolution (including
-//!   depthwise and 1×1), pooling, fully-connected layers and the activation
-//!   functions used by OFA-ResNet50 / OFA-MobileNetV3.
+//! * [`ops`] — 2-D convolution (including depthwise and 1×1), pooling,
+//!   fully-connected layers and the activation functions used by
+//!   OFA-ResNet50 / OFA-MobileNetV3. Each op keeps a naive reference loop
+//!   as the correctness oracle and a fast im2col + cache-blocked GEMM
+//!   backend behind [`KernelPolicy`].
 //!
 //! # Example
 //!
@@ -44,6 +46,7 @@ pub mod shape;
 pub mod tensor;
 
 pub use error::TensorError;
+pub use ops::gemm::KernelPolicy;
 pub use quant::QuantParams;
 pub use rng::DetRng;
 pub use shape::Shape4;

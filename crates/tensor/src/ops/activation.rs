@@ -34,10 +34,26 @@ impl Activation {
         }
     }
 
+    /// Applies the activation elementwise to a mutable slice, in place.
+    ///
+    /// The hot-loop form: callers stream a tensor's backing buffer (or one
+    /// [`Tensor::row`]) without allocating an output tensor.
+    #[inline]
+    pub fn apply_slice(self, xs: &mut [f32]) {
+        if self == Activation::None {
+            return;
+        }
+        for x in xs {
+            *x = self.apply(*x);
+        }
+    }
+
     /// Applies the activation elementwise to a tensor.
     #[must_use]
     pub fn apply_tensor(self, t: &Tensor<f32>) -> Tensor<f32> {
-        t.map(|v| self.apply(v))
+        let mut out = t.clone();
+        self.apply_slice(out.as_mut_slice());
+        out
     }
 }
 
@@ -90,5 +106,23 @@ mod tests {
     #[test]
     fn default_activation_is_none() {
         assert_eq!(Activation::default(), Activation::None);
+    }
+
+    #[test]
+    fn apply_slice_matches_scalar_apply() {
+        let vals = [-7.5, -3.0, -0.1, 0.0, 2.9, 6.0, 11.0];
+        for act in [
+            Activation::None,
+            Activation::Relu,
+            Activation::Relu6,
+            Activation::HSwish,
+            Activation::HSigmoid,
+        ] {
+            let mut xs = vals;
+            act.apply_slice(&mut xs);
+            for (x, v) in xs.iter().zip(&vals) {
+                assert_eq!(*x, act.apply(*v));
+            }
+        }
     }
 }

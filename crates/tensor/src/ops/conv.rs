@@ -1,8 +1,24 @@
-//! Reference 2-D convolution: f32 and int8-quantized (zero-point aware).
+//! 2-D convolution: f32 and int8-quantized (zero-point aware).
+//!
+//! Two interchangeable backends sit behind [`KernelPolicy`]:
+//!
+//! * **Direct** — the original loop nests, kept as the correctness oracle.
+//!   Their padding clamp is hoisted: valid kernel ranges are precomputed per
+//!   output coordinate, so the innermost loops run branch-free over
+//!   contiguous rows.
+//! * **Im2colGemm** — patch-matrix lowering ([`crate::ops::im2col`]) plus
+//!   the cache-blocked, threaded GEMM kernels ([`crate::ops::gemm`]).
+//!
+//! The int8 results are bit-identical across backends (integer accumulation
+//! is associative); the f32 backends agree to within reassociation error.
+//! [`conv2d_f32`] / [`conv2d_i8`] resolve [`KernelPolicy::Auto`]; the
+//! `*_with` variants pin a backend explicitly.
 
 use serde::{Deserialize, Serialize};
 
 use crate::error::TensorError;
+use crate::ops::gemm::{gemm_f32, gemm_i8_i32, ConvBackend, KernelPolicy};
+use crate::ops::im2col::im2col;
 use crate::quant::{requantize_accumulator, QuantParams};
 use crate::shape::{conv_out_dim, Shape4};
 use crate::tensor::Tensor;
@@ -90,9 +106,54 @@ impl Conv2dParams {
             _ => Err(TensorError::EmptyOutput { input }),
         }
     }
+
+    /// Resolves the backend `policy` picks for this problem (`oh`/`ow` are
+    /// the validated output dims). The single source of the `Auto`
+    /// heuristic — every conv entry point, including `sushi-accel`'s
+    /// `DpeArray`, must route through it so policies resolve identically
+    /// across the stack.
+    #[must_use]
+    pub fn backend(
+        &self,
+        input: Shape4,
+        weights: Shape4,
+        oh: usize,
+        ow: usize,
+        policy: KernelPolicy,
+    ) -> ConvBackend {
+        let macs = input.n * weights.n * weights.c * weights.h * weights.w * oh * ow;
+        let depthwise = weights.c == 1 && self.groups > 1;
+        policy.resolve(macs, depthwise)
+    }
 }
 
-/// f32 reference convolution.
+/// Valid kernel coordinates `r_lo..r_hi` for output coordinate `o`: exactly
+/// those `r` with `0 <= o*stride + r - padding < in_len`. Hoisted out of the
+/// MAC loops so the direct backend never clamps per element.
+pub(crate) fn kernel_range(
+    o: usize,
+    stride: usize,
+    padding: usize,
+    in_len: usize,
+    k_len: usize,
+) -> (usize, usize) {
+    let base = o * stride;
+    let lo = padding.saturating_sub(base).min(k_len);
+    let hi = (in_len + padding).saturating_sub(base).min(k_len);
+    (lo, hi.max(lo))
+}
+
+pub(crate) fn kernel_ranges(
+    o_len: usize,
+    stride: usize,
+    padding: usize,
+    in_len: usize,
+    k_len: usize,
+) -> Vec<(usize, usize)> {
+    (0..o_len).map(|o| kernel_range(o, stride, padding, in_len, k_len)).collect()
+}
+
+/// f32 convolution under [`KernelPolicy::Auto`].
 ///
 /// `weights` has shape `(K, C/groups, R, S)`; `bias`, if given, has length `K`.
 ///
@@ -104,6 +165,23 @@ pub fn conv2d_f32(
     bias: Option<&[f32]>,
     params: &Conv2dParams,
 ) -> Result<Tensor<f32>, TensorError> {
+    conv2d_f32_with(input, weights, bias, params, KernelPolicy::Auto)
+}
+
+/// f32 convolution with an explicit kernel backend policy.
+///
+/// [`KernelPolicy::Naive`] runs the reference loop nest; the backends agree
+/// to within floating-point reassociation error (≪ 1e-4 on unit-range data).
+///
+/// # Errors
+/// Returns an error on shape/parameter mismatch (see [`Conv2dParams`]).
+pub fn conv2d_f32_with(
+    input: &Tensor<f32>,
+    weights: &Tensor<f32>,
+    bias: Option<&[f32]>,
+    params: &Conv2dParams,
+    policy: KernelPolicy,
+) -> Result<Tensor<f32>, TensorError> {
     let ishape = input.shape();
     let wshape = weights.shape();
     let (oh, ow) = params.validate(ishape, wshape)?;
@@ -112,52 +190,122 @@ pub fn conv2d_f32(
             return Err(TensorError::LengthMismatch { expected: wshape.n, actual: b.len() });
         }
     }
+    match params.backend(ishape, wshape, oh, ow, policy) {
+        ConvBackend::Direct => Ok(conv2d_f32_direct(input, weights, bias, params, oh, ow)),
+        ConvBackend::Im2colGemm => Ok(conv2d_f32_gemm(input, weights, bias, params, oh, ow)),
+    }
+}
+
+/// Direct-loop oracle: shape checks already done.
+fn conv2d_f32_direct(
+    input: &Tensor<f32>,
+    weights: &Tensor<f32>,
+    bias: Option<&[f32]>,
+    params: &Conv2dParams,
+    oh: usize,
+    ow: usize,
+) -> Tensor<f32> {
+    let ishape = input.shape();
+    let wshape = weights.shape();
+    let (stride, padding) = (params.stride, params.padding);
     let k_total = wshape.n;
     let cg = wshape.c; // channels per group
     let kg = k_total / params.groups; // kernels per group
-    let oshape = Shape4::new(ishape.n, k_total, oh, ow);
-    let mut out = Tensor::zeros(oshape);
+    let mut out = Tensor::zeros(Shape4::new(ishape.n, k_total, oh, ow));
+    let ry_ranges = kernel_ranges(oh, stride, padding, ishape.h, params.kernel_h);
+    let rx_ranges = kernel_ranges(ow, stride, padding, ishape.w, params.kernel_w);
 
     for n in 0..ishape.n {
         for k in 0..k_total {
             let g = k / kg;
             let bias_v = bias.map_or(0.0, |b| b[k]);
             for oy in 0..oh {
-                for ox in 0..ow {
+                let (ry_lo, ry_hi) = ry_ranges[oy];
+                let orow = out.row_mut(n, k, oy);
+                for (ox, o) in orow.iter_mut().enumerate() {
+                    let (rx_lo, rx_hi) = rx_ranges[ox];
                     let mut acc = 0.0_f32;
                     for cc in 0..cg {
                         let c = g * cg + cc;
-                        for ry in 0..params.kernel_h {
-                            let iy = (oy * params.stride + ry) as isize - params.padding as isize;
-                            if iy < 0 || iy >= ishape.h as isize {
-                                continue;
-                            }
-                            for rx in 0..params.kernel_w {
-                                let ix =
-                                    (ox * params.stride + rx) as isize - params.padding as isize;
-                                if ix < 0 || ix >= ishape.w as isize {
-                                    continue;
+                        for ry in ry_lo..ry_hi {
+                            let irow = input.row(n, c, oy * stride + ry - padding);
+                            let wrow = weights.row(k, cc, ry);
+                            if stride == 1 && rx_lo < rx_hi {
+                                let ix0 = ox + rx_lo - padding;
+                                let iv = &irow[ix0..ix0 + (rx_hi - rx_lo)];
+                                for (x, w) in iv.iter().zip(&wrow[rx_lo..rx_hi]) {
+                                    acc += x * w;
                                 }
-                                acc += input.get(n, c, iy as usize, ix as usize)
-                                    * weights.get(k, cc, ry, rx);
+                            } else {
+                                for rx in rx_lo..rx_hi {
+                                    acc += irow[ox * stride + rx - padding] * wrow[rx];
+                                }
                             }
                         }
                     }
-                    out.set(n, k, oy, ox, acc + bias_v);
+                    *o = acc + bias_v;
                 }
             }
         }
     }
-    Ok(out)
+    out
 }
 
-/// Quantized int8 convolution with zero-point subtraction.
+/// im2col + GEMM backend: shape checks already done.
+fn conv2d_f32_gemm(
+    input: &Tensor<f32>,
+    weights: &Tensor<f32>,
+    bias: Option<&[f32]>,
+    params: &Conv2dParams,
+    oh: usize,
+    ow: usize,
+) -> Tensor<f32> {
+    let ishape = input.shape();
+    let wshape = weights.shape();
+    let k_total = wshape.n;
+    let cg = wshape.c;
+    let kg = k_total / params.groups;
+    let kdim = cg * params.kernel_h * params.kernel_w;
+    let npix = oh * ow;
+    let mut out = Tensor::zeros(Shape4::new(ishape.n, k_total, oh, ow));
+    let wdata = weights.as_slice();
+    let mut patches = vec![0.0_f32; kdim * npix];
+    let mut acc = vec![0.0_f32; kg * npix];
+    for n in 0..ishape.n {
+        for g in 0..params.groups {
+            im2col(input, n, g * cg, cg, params, oh, ow, 0.0, &mut patches);
+            acc.fill(0.0);
+            gemm_f32(
+                kg,
+                kdim,
+                npix,
+                &wdata[g * kg * kdim..(g + 1) * kg * kdim],
+                &patches,
+                &mut acc,
+            );
+            for kk in 0..kg {
+                let k = g * kg + kk;
+                let bias_v = bias.map_or(0.0, |b| b[k]);
+                let base = out.shape().row_offset(n, k, 0);
+                let dst = &mut out.as_mut_slice()[base..base + npix];
+                for (d, &v) in dst.iter_mut().zip(&acc[kk * npix..(kk + 1) * npix]) {
+                    *d = v + bias_v;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Quantized int8 convolution under [`KernelPolicy::Auto`].
 ///
 /// Implements the accelerator's Zero-Subtraction (ZS) semantics:
 /// `acc = Σ (iAct − zp_in) · (w − zp_w)` accumulated in `i32`, then
 /// requantized with `in.scale · w.scale / out.scale` and offset by the output
 /// zero point. Padding contributes *zero-valued real* input, i.e. the padded
 /// quantized activation equals `zp_in` and vanishes after subtraction.
+///
+/// The result is **bit-identical** across kernel backends.
 ///
 /// # Errors
 /// Returns an error on shape/parameter mismatch (see [`Conv2dParams`]).
@@ -171,6 +319,26 @@ pub fn conv2d_i8(
     out_q: QuantParams,
     params: &Conv2dParams,
 ) -> Result<Tensor<i8>, TensorError> {
+    conv2d_i8_with(input, in_q, weights, w_q, bias, out_q, params, KernelPolicy::Auto)
+}
+
+/// Quantized int8 convolution with an explicit kernel backend policy.
+///
+/// See [`conv2d_i8`]; backends produce bit-identical outputs.
+///
+/// # Errors
+/// Returns an error on shape/parameter mismatch (see [`Conv2dParams`]).
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_i8_with(
+    input: &Tensor<i8>,
+    in_q: QuantParams,
+    weights: &Tensor<i8>,
+    w_q: QuantParams,
+    bias: Option<&[i32]>,
+    out_q: QuantParams,
+    params: &Conv2dParams,
+    policy: KernelPolicy,
+) -> Result<Tensor<i8>, TensorError> {
     let ishape = input.shape();
     let wshape = weights.shape();
     let (oh, ow) = params.validate(ishape, wshape)?;
@@ -179,47 +347,132 @@ pub fn conv2d_i8(
             return Err(TensorError::LengthMismatch { expected: wshape.n, actual: b.len() });
         }
     }
+    match params.backend(ishape, wshape, oh, ow, policy) {
+        ConvBackend::Direct => {
+            Ok(conv2d_i8_direct(input, in_q, weights, w_q, bias, out_q, params, oh, ow))
+        }
+        ConvBackend::Im2colGemm => {
+            Ok(conv2d_i8_gemm(input, in_q, weights, w_q, bias, out_q, params, oh, ow))
+        }
+    }
+}
+
+/// Direct-loop oracle for the quantized path: shape checks already done.
+#[allow(clippy::too_many_arguments)]
+fn conv2d_i8_direct(
+    input: &Tensor<i8>,
+    in_q: QuantParams,
+    weights: &Tensor<i8>,
+    w_q: QuantParams,
+    bias: Option<&[i32]>,
+    out_q: QuantParams,
+    params: &Conv2dParams,
+    oh: usize,
+    ow: usize,
+) -> Tensor<i8> {
+    let ishape = input.shape();
+    let wshape = weights.shape();
+    let (stride, padding) = (params.stride, params.padding);
     let k_total = wshape.n;
     let cg = wshape.c;
     let kg = k_total / params.groups;
     let acc_scale = in_q.scale * w_q.scale / out_q.scale;
-    let oshape = Shape4::new(ishape.n, k_total, oh, ow);
-    let mut out = Tensor::zeros(oshape);
+    let zp_a = i32::from(in_q.zero_point);
+    let zp_w = i32::from(w_q.zero_point);
+    let mut out = Tensor::zeros(Shape4::new(ishape.n, k_total, oh, ow));
+    let ry_ranges = kernel_ranges(oh, stride, padding, ishape.h, params.kernel_h);
+    let rx_ranges = kernel_ranges(ow, stride, padding, ishape.w, params.kernel_w);
 
     for n in 0..ishape.n {
         for k in 0..k_total {
             let g = k / kg;
             let bias_v = bias.map_or(0, |b| b[k]);
             for oy in 0..oh {
-                for ox in 0..ow {
+                let (ry_lo, ry_hi) = ry_ranges[oy];
+                let orow = out.row_mut(n, k, oy);
+                for (ox, o) in orow.iter_mut().enumerate() {
+                    let (rx_lo, rx_hi) = rx_ranges[ox];
                     let mut acc: i32 = bias_v;
                     for cc in 0..cg {
                         let c = g * cg + cc;
-                        for ry in 0..params.kernel_h {
-                            let iy = (oy * params.stride + ry) as isize - params.padding as isize;
-                            if iy < 0 || iy >= ishape.h as isize {
-                                continue;
-                            }
-                            for rx in 0..params.kernel_w {
-                                let ix =
-                                    (ox * params.stride + rx) as isize - params.padding as isize;
-                                if ix < 0 || ix >= ishape.w as isize {
-                                    continue;
+                        for ry in ry_lo..ry_hi {
+                            let irow = input.row(n, c, oy * stride + ry - padding);
+                            let wrow = weights.row(k, cc, ry);
+                            if stride == 1 && rx_lo < rx_hi {
+                                let ix0 = ox + rx_lo - padding;
+                                let iv = &irow[ix0..ix0 + (rx_hi - rx_lo)];
+                                for (x, w) in iv.iter().zip(&wrow[rx_lo..rx_hi]) {
+                                    acc += (i32::from(*x) - zp_a) * (i32::from(*w) - zp_w);
                                 }
-                                let a = i32::from(input.get(n, c, iy as usize, ix as usize))
-                                    - i32::from(in_q.zero_point);
-                                let w = i32::from(weights.get(k, cc, ry, rx))
-                                    - i32::from(w_q.zero_point);
-                                acc += a * w;
+                            } else {
+                                for rx in rx_lo..rx_hi {
+                                    let x = i32::from(irow[ox * stride + rx - padding]) - zp_a;
+                                    acc += x * (i32::from(wrow[rx]) - zp_w);
+                                }
                             }
                         }
                     }
-                    out.set(n, k, oy, ox, requantize_accumulator(acc, acc_scale, out_q.zero_point));
+                    *o = requantize_accumulator(acc, acc_scale, out_q.zero_point);
                 }
             }
         }
     }
-    Ok(out)
+    out
+}
+
+/// im2col + GEMM backend for the quantized path: shape checks already done.
+#[allow(clippy::too_many_arguments)]
+fn conv2d_i8_gemm(
+    input: &Tensor<i8>,
+    in_q: QuantParams,
+    weights: &Tensor<i8>,
+    w_q: QuantParams,
+    bias: Option<&[i32]>,
+    out_q: QuantParams,
+    params: &Conv2dParams,
+    oh: usize,
+    ow: usize,
+) -> Tensor<i8> {
+    let ishape = input.shape();
+    let wshape = weights.shape();
+    let k_total = wshape.n;
+    let cg = wshape.c;
+    let kg = k_total / params.groups;
+    let kdim = cg * params.kernel_h * params.kernel_w;
+    let npix = oh * ow;
+    let acc_scale = in_q.scale * w_q.scale / out_q.scale;
+    let mut out = Tensor::zeros(Shape4::new(ishape.n, k_total, oh, ow));
+    let wdata = weights.as_slice();
+    let mut patches = vec![0_i8; kdim * npix];
+    let mut acc = vec![0_i32; kg * npix];
+    for n in 0..ishape.n {
+        for g in 0..params.groups {
+            // Padding cells are written as the input zero point so the
+            // GEMM's Zero-Subtraction stage cancels them exactly.
+            im2col(input, n, g * cg, cg, params, oh, ow, in_q.zero_point, &mut patches);
+            acc.fill(0);
+            gemm_i8_i32(
+                kg,
+                kdim,
+                npix,
+                &wdata[g * kg * kdim..(g + 1) * kg * kdim],
+                w_q.zero_point,
+                &patches,
+                in_q.zero_point,
+                &mut acc,
+            );
+            for kk in 0..kg {
+                let k = g * kg + kk;
+                let bias_v = bias.map_or(0, |b| b[k]);
+                let base = out.shape().row_offset(n, k, 0);
+                let dst = &mut out.as_mut_slice()[base..base + npix];
+                for (d, &v) in dst.iter_mut().zip(&acc[kk * npix..(kk + 1) * npix]) {
+                    *d = requantize_accumulator(v + bias_v, acc_scale, out_q.zero_point);
+                }
+            }
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -238,8 +491,11 @@ mod tests {
     fn identity_1x1_kernel_passes_input_through() {
         let input = rand_tensor(Shape4::new(1, 1, 4, 4), 1, 1.0);
         let weights = Tensor::from_vec(Shape4::new(1, 1, 1, 1), vec![1.0]).unwrap();
-        let out = conv2d_f32(&input, &weights, None, &Conv2dParams::new(1, 1)).unwrap();
-        assert_eq!(out, input);
+        for policy in [KernelPolicy::Naive, KernelPolicy::Im2colGemm, KernelPolicy::Auto] {
+            let out =
+                conv2d_f32_with(&input, &weights, None, &Conv2dParams::new(1, 1), policy).unwrap();
+            assert_eq!(out, input);
+        }
     }
 
     #[test]
@@ -247,11 +503,13 @@ mod tests {
         let input = Tensor::<f32>::filled(Shape4::new(1, 1, 5, 5), 1.0);
         let weights = Tensor::<f32>::filled(Shape4::new(1, 1, 3, 3), 1.0);
         let p = Conv2dParams::new(3, 3).with_padding(1);
-        let out = conv2d_f32(&input, &weights, None, &p).unwrap();
-        // Corner windows see 4 elements, edges 6, interior 9.
-        assert_eq!(out.get(0, 0, 0, 0), 4.0);
-        assert_eq!(out.get(0, 0, 0, 2), 6.0);
-        assert_eq!(out.get(0, 0, 2, 2), 9.0);
+        for policy in [KernelPolicy::Naive, KernelPolicy::Im2colGemm] {
+            let out = conv2d_f32_with(&input, &weights, None, &p, policy).unwrap();
+            // Corner windows see 4 elements, edges 6, interior 9.
+            assert_eq!(out.get(0, 0, 0, 0), 4.0);
+            assert_eq!(out.get(0, 0, 0, 2), 6.0);
+            assert_eq!(out.get(0, 0, 2, 2), 9.0);
+        }
     }
 
     #[test]
@@ -268,9 +526,11 @@ mod tests {
         let input = Tensor::<f32>::zeros(Shape4::new(1, 2, 3, 3));
         let weights = rand_tensor(Shape4::new(2, 2, 3, 3), 4, 1.0);
         let p = Conv2dParams::new(3, 3).with_padding(1);
-        let out = conv2d_f32(&input, &weights, Some(&[1.5, -2.0]), &p).unwrap();
-        assert_eq!(out.get(0, 0, 1, 1), 1.5);
-        assert_eq!(out.get(0, 1, 2, 2), -2.0);
+        for policy in [KernelPolicy::Naive, KernelPolicy::Im2colGemm] {
+            let out = conv2d_f32_with(&input, &weights, Some(&[1.5, -2.0]), &p, policy).unwrap();
+            assert_eq!(out.get(0, 0, 1, 1), 1.5);
+            assert_eq!(out.get(0, 1, 2, 2), -2.0);
+        }
     }
 
     #[test]
@@ -283,11 +543,13 @@ mod tests {
         weights.set(0, 0, 1, 1, 1.0);
         weights.set(1, 0, 1, 1, 2.0);
         let p = Conv2dParams::new(3, 3).with_padding(1).with_groups(2);
-        let out = conv2d_f32(&input, &weights, None, &p).unwrap();
-        assert_eq!(out.get(0, 0, 1, 1), 5.0);
-        assert_eq!(out.get(0, 1, 1, 1), 14.0);
-        // Cross-channel leakage must be zero.
-        assert_eq!(out.get(0, 0, 0, 0), 0.0);
+        for policy in [KernelPolicy::Naive, KernelPolicy::Im2colGemm] {
+            let out = conv2d_f32_with(&input, &weights, None, &p, policy).unwrap();
+            assert_eq!(out.get(0, 0, 1, 1), 5.0);
+            assert_eq!(out.get(0, 1, 1, 1), 14.0);
+            // Cross-channel leakage must be zero.
+            assert_eq!(out.get(0, 0, 0, 0), 0.0);
+        }
     }
 
     #[test]
@@ -347,9 +609,32 @@ mod tests {
         let out_q = QuantParams::symmetric(20.0);
         let qi = quantize_tensor(&input, in_q);
         let qw = quantize_tensor(&weights, w_q);
-        let qout = conv2d_i8(&qi, in_q, &qw, w_q, None, out_q, &p).unwrap();
-        let deq = dequantize_tensor(&qout, out_q);
-        assert!(ref_out.max_abs_diff(&deq).unwrap() <= 0.5);
+        for policy in [KernelPolicy::Naive, KernelPolicy::Im2colGemm] {
+            let qout = conv2d_i8_with(&qi, in_q, &qw, w_q, None, out_q, &p, policy).unwrap();
+            let deq = dequantize_tensor(&qout, out_q);
+            assert!(ref_out.max_abs_diff(&deq).unwrap() <= 0.5);
+        }
+    }
+
+    #[test]
+    fn gemm_backend_is_bit_identical_to_naive_on_i8() {
+        let mut rng = DetRng::new(77);
+        let ishape = Shape4::new(2, 6, 9, 9);
+        let wshape = Shape4::new(8, 3, 3, 3);
+        let x = Tensor::from_vec(ishape, (0..ishape.volume()).map(|_| rng.next_i8()).collect())
+            .unwrap();
+        let w = Tensor::from_vec(wshape, (0..wshape.volume()).map(|_| rng.next_i8()).collect())
+            .unwrap();
+        let in_q = QuantParams::new(0.05, 7);
+        let w_q = QuantParams::new(0.02, -3);
+        let out_q = QuantParams::new(0.3, 5);
+        let bias: Vec<i32> = (0..wshape.n).map(|i| (i as i32) * 17 - 40).collect();
+        let p = Conv2dParams::new(3, 3).with_stride(2).with_padding(1).with_groups(2);
+        let a =
+            conv2d_i8_with(&x, in_q, &w, w_q, Some(&bias), out_q, &p, KernelPolicy::Naive).unwrap();
+        let b = conv2d_i8_with(&x, in_q, &w, w_q, Some(&bias), out_q, &p, KernelPolicy::Im2colGemm)
+            .unwrap();
+        assert_eq!(a, b, "i8 backends must agree bit-for-bit");
     }
 
     #[test]

@@ -1,0 +1,387 @@
+//! Cache-blocked, register-tiled GEMM kernels and the kernel-backend policy.
+//!
+//! The SUSHI datapath lowers dense convolutions to matrix multiplication
+//! (see [`crate::ops::im2col`]): weights become an `M×K` row-major matrix,
+//! the im2col patch matrix is `K×N`, and the output activations fall out as
+//! `M×N` rows that map one-to-one onto contiguous NCHW output rows. The
+//! kernels here are the repo's hot path:
+//!
+//! * **Cache blocking** — the reduction dimension is processed in `KC`-wide
+//!   panels so one panel of `B` stays L1/L2-resident across `MR` rows of `A`.
+//! * **Register tiling** — `MR = 4` rows of `C` accumulate per pass, so each
+//!   loaded element of `B` is reused four times from registers.
+//! * **Threaded row tiling** — large products split `C` into disjoint
+//!   row blocks dispatched via `std::thread::scope` (no dependency, same
+//!   pattern PR 1 used to drop crossbeam).
+//!
+//! Integer GEMM ([`gemm_i8_i32`]) widens `i8` operands to `i32` and applies
+//! the Zero-Subtraction semantics `(a − zp_a)·(b − zp_b)` inline, so the
+//! result is bit-identical to the scalar reference loops: `i32` addition is
+//! associative, hence reassociating the reduction cannot change the sum.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Which kernel implementation `conv2d_*` / `linear_*` should use.
+///
+/// `Naive` keeps the original scalar loop nests — they stay the correctness
+/// oracle that the fast path is validated against. `Im2colGemm` forces the
+/// im2col + blocked-GEMM lowering. `Auto` (the default) resolves per problem
+/// size: depthwise and tiny convolutions stay on the direct loops, dense
+/// `1×1`/`3×3`-style layers go through GEMM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum KernelPolicy {
+    /// Always use the scalar reference loops (the correctness oracle).
+    Naive,
+    /// Always use the im2col + cache-blocked GEMM lowering.
+    Im2colGemm,
+    /// Pick per problem size (depthwise/tiny → direct, dense → GEMM).
+    #[default]
+    Auto,
+}
+
+/// The backend a [`KernelPolicy`] resolves to for one concrete problem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConvBackend {
+    /// Direct loop nest over the convolution window.
+    Direct,
+    /// im2col lowering followed by blocked GEMM.
+    Im2colGemm,
+}
+
+/// Below this many multiply-accumulates, `Auto` keeps the direct loops: the
+/// im2col materialization and scratch allocation would dominate.
+pub const AUTO_DIRECT_MAC_THRESHOLD: usize = 8 * 1024;
+
+impl KernelPolicy {
+    /// Resolves the policy for a convolution with `macs` multiply-accumulates
+    /// total. `depthwise` marks single-input-channel-per-group convolutions,
+    /// which `Auto` always keeps on the direct loops (their GEMM reduction
+    /// depth is just `R·S`, too shallow to amortize the im2col copy).
+    #[must_use]
+    pub fn resolve(self, macs: usize, depthwise: bool) -> ConvBackend {
+        match self {
+            KernelPolicy::Naive => ConvBackend::Direct,
+            KernelPolicy::Im2colGemm => ConvBackend::Im2colGemm,
+            KernelPolicy::Auto => {
+                if depthwise || macs < AUTO_DIRECT_MAC_THRESHOLD {
+                    ConvBackend::Direct
+                } else {
+                    ConvBackend::Im2colGemm
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for KernelPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            KernelPolicy::Naive => "naive",
+            KernelPolicy::Im2colGemm => "gemm",
+            KernelPolicy::Auto => "auto",
+        })
+    }
+}
+
+impl FromStr for KernelPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "naive" => Ok(KernelPolicy::Naive),
+            "gemm" | "im2col" | "im2col-gemm" => Ok(KernelPolicy::Im2colGemm),
+            "auto" => Ok(KernelPolicy::Auto),
+            other => Err(format!("unknown kernel policy '{other}' (expected naive|gemm|auto)")),
+        }
+    }
+}
+
+/// Reduction-panel width: one `KC×N` panel of `B` is streamed per pass.
+const KC: usize = 256;
+/// Register tile height: rows of `C` accumulated per inner pass.
+const MR: usize = 4;
+/// Products below this many scalar MACs stay single-threaded.
+const PARALLEL_MAC_THRESHOLD: usize = 1 << 20;
+
+fn worker_count(m: usize, k: usize, n: usize) -> usize {
+    if m.saturating_mul(k).saturating_mul(n) < PARALLEL_MAC_THRESHOLD {
+        return 1;
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get).min(m).max(1)
+}
+
+/// `C += A · B` over `f32`, where `A` is `m×k`, `B` is `k×n` and `C` is
+/// `m×n`, all dense row-major. `C` is accumulated into (zero it first for a
+/// plain product).
+///
+/// # Panics
+/// Panics if any slice length disagrees with its `m`/`k`/`n` dimensions.
+pub fn gemm_f32(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "A must be m*k");
+    assert_eq!(b.len(), k * n, "B must be k*n");
+    assert_eq!(c.len(), m * n, "C must be m*n");
+    if m == 0 || k == 0 || n == 0 {
+        return;
+    }
+    let threads = worker_count(m, k, n);
+    if threads <= 1 {
+        gemm_block_f32(a, k, n, b, c);
+        return;
+    }
+    let rows_per = m.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (chunk_idx, c_chunk) in c.chunks_mut(rows_per * n).enumerate() {
+            let row0 = chunk_idx * rows_per;
+            let rows = c_chunk.len() / n;
+            let a_chunk = &a[row0 * k..(row0 + rows) * k];
+            scope.spawn(move || gemm_block_f32(a_chunk, k, n, b, c_chunk));
+        }
+    });
+}
+
+/// Single-threaded blocked kernel: `C += A · B` for the rows present in `c`.
+fn gemm_block_f32(a: &[f32], k: usize, n: usize, b: &[f32], c: &mut [f32]) {
+    let m = c.len() / n;
+    for kb in (0..k).step_by(KC) {
+        let k_hi = (kb + KC).min(k);
+        let mut i = 0;
+        while i + MR <= m {
+            let (r0, rest) = c[i * n..(i + MR) * n].split_at_mut(n);
+            let (r1, rest) = rest.split_at_mut(n);
+            let (r2, r3) = rest.split_at_mut(n);
+            for kk in kb..k_hi {
+                let a0 = a[i * k + kk];
+                let a1 = a[(i + 1) * k + kk];
+                let a2 = a[(i + 2) * k + kk];
+                let a3 = a[(i + 3) * k + kk];
+                let brow = &b[kk * n..(kk + 1) * n];
+                for j in 0..n {
+                    let bv = brow[j];
+                    r0[j] += a0 * bv;
+                    r1[j] += a1 * bv;
+                    r2[j] += a2 * bv;
+                    r3[j] += a3 * bv;
+                }
+            }
+            i += MR;
+        }
+        // Row tail (< MR rows): single-row axpy passes.
+        while i < m {
+            let crow = &mut c[i * n..(i + 1) * n];
+            for kk in kb..k_hi {
+                let av = a[i * k + kk];
+                let brow = &b[kk * n..(kk + 1) * n];
+                for j in 0..n {
+                    crow[j] += av * brow[j];
+                }
+            }
+            i += 1;
+        }
+    }
+}
+
+/// `C += (A − zp_a) · (B − zp_b)` over `i8` operands widened to `i32`
+/// accumulators, with `A` `m×k`, `B` `k×n`, `C` `m×n`, all row-major.
+///
+/// Implements the accelerator's Zero-Subtraction semantics inline, so a
+/// padded im2col cell holding `zp_b` contributes exactly zero. The result
+/// is bit-identical to the scalar reference regardless of blocking, because
+/// `i32` addition is associative.
+///
+/// # Panics
+/// Panics if any slice length disagrees with its `m`/`k`/`n` dimensions.
+pub fn gemm_i8_i32(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[i8],
+    zp_a: i8,
+    b: &[i8],
+    zp_b: i8,
+    c: &mut [i32],
+) {
+    assert_eq!(a.len(), m * k, "A must be m*k");
+    assert_eq!(b.len(), k * n, "B must be k*n");
+    assert_eq!(c.len(), m * n, "C must be m*n");
+    if m == 0 || k == 0 || n == 0 {
+        return;
+    }
+    let threads = worker_count(m, k, n);
+    if threads <= 1 {
+        gemm_block_i8(a, zp_a, k, n, b, zp_b, c);
+        return;
+    }
+    let rows_per = m.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (chunk_idx, c_chunk) in c.chunks_mut(rows_per * n).enumerate() {
+            let row0 = chunk_idx * rows_per;
+            let rows = c_chunk.len() / n;
+            let a_chunk = &a[row0 * k..(row0 + rows) * k];
+            scope.spawn(move || gemm_block_i8(a_chunk, zp_a, k, n, b, zp_b, c_chunk));
+        }
+    });
+}
+
+fn gemm_block_i8(a: &[i8], zp_a: i8, k: usize, n: usize, b: &[i8], zp_b: i8, c: &mut [i32]) {
+    let m = c.len() / n;
+    let zp_a = i32::from(zp_a);
+    let zp_b = i32::from(zp_b);
+    for kb in (0..k).step_by(KC) {
+        let k_hi = (kb + KC).min(k);
+        let mut i = 0;
+        while i + MR <= m {
+            let (r0, rest) = c[i * n..(i + MR) * n].split_at_mut(n);
+            let (r1, rest) = rest.split_at_mut(n);
+            let (r2, r3) = rest.split_at_mut(n);
+            for kk in kb..k_hi {
+                let a0 = i32::from(a[i * k + kk]) - zp_a;
+                let a1 = i32::from(a[(i + 1) * k + kk]) - zp_a;
+                let a2 = i32::from(a[(i + 2) * k + kk]) - zp_a;
+                let a3 = i32::from(a[(i + 3) * k + kk]) - zp_a;
+                let brow = &b[kk * n..(kk + 1) * n];
+                for j in 0..n {
+                    let bv = i32::from(brow[j]) - zp_b;
+                    r0[j] += a0 * bv;
+                    r1[j] += a1 * bv;
+                    r2[j] += a2 * bv;
+                    r3[j] += a3 * bv;
+                }
+            }
+            i += MR;
+        }
+        while i < m {
+            let crow = &mut c[i * n..(i + 1) * n];
+            for kk in kb..k_hi {
+                let av = i32::from(a[i * k + kk]) - zp_a;
+                let brow = &b[kk * n..(kk + 1) * n];
+                for j in 0..n {
+                    crow[j] += av * (i32::from(brow[j]) - zp_b);
+                }
+            }
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::DetRng;
+
+    fn naive_f32(m: usize, k: usize, n: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+        let mut c = vec![0.0; m * n];
+        for i in 0..m {
+            for kk in 0..k {
+                for j in 0..n {
+                    c[i * n + j] += a[i * k + kk] * b[kk * n + j];
+                }
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn f32_matches_naive_on_awkward_dims() {
+        // Dims chosen to exercise the MR tail, the KC boundary and n=1.
+        for (m, k, n) in [(1, 1, 1), (5, 7, 3), (4, 300, 9), (7, 13, 1), (9, 257, 5)] {
+            let mut rng = DetRng::new((m * 1000 + k * 10 + n) as u64);
+            let a: Vec<f32> = (0..m * k).map(|_| rng.uniform_f32(-1.0, 1.0)).collect();
+            let b: Vec<f32> = (0..k * n).map(|_| rng.uniform_f32(-1.0, 1.0)).collect();
+            let mut c = vec![0.0; m * n];
+            gemm_f32(m, k, n, &a, &b, &mut c);
+            let expect = naive_f32(m, k, n, &a, &b);
+            for (x, y) in c.iter().zip(&expect) {
+                assert!((x - y).abs() < 1e-4, "({m},{k},{n}): {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn f32_accumulates_into_c() {
+        let a = [1.0, 2.0];
+        let b = [10.0, 100.0];
+        let mut c = [5.0];
+        gemm_f32(1, 2, 1, &a, &b, &mut c);
+        assert_eq!(c[0], 5.0 + 210.0);
+    }
+
+    #[test]
+    fn i8_matches_naive_with_zero_points() {
+        let (m, k, n) = (6, 20, 11);
+        let mut rng = DetRng::new(42);
+        let a: Vec<i8> = (0..m * k).map(|_| rng.next_i8()).collect();
+        let b: Vec<i8> = (0..k * n).map(|_| rng.next_i8()).collect();
+        let (zp_a, zp_b) = (-3i8, 7i8);
+        let mut c = vec![0i32; m * n];
+        gemm_i8_i32(m, k, n, &a, zp_a, &b, zp_b, &mut c);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0i32;
+                for kk in 0..k {
+                    acc += (i32::from(a[i * k + kk]) - i32::from(zp_a))
+                        * (i32::from(b[kk * n + j]) - i32::from(zp_b));
+                }
+                assert_eq!(c[i * n + j], acc, "mismatch at ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn i8_zero_point_cells_contribute_nothing() {
+        // A column of B equal to zp_b must vanish after Zero-Subtraction.
+        let a = [5i8, -9, 3];
+        let b = [4i8, 4, 4];
+        let mut c = [0i32];
+        gemm_i8_i32(1, 3, 1, &a, 0, &b, 4, &mut c);
+        assert_eq!(c[0], 0);
+    }
+
+    #[test]
+    fn degenerate_dims_are_no_ops() {
+        let mut c: [f32; 0] = [];
+        gemm_f32(0, 4, 0, &[], &[0.0; 0], &mut c);
+        let mut c2 = [1.0f32, 2.0];
+        gemm_f32(2, 0, 1, &[], &[], &mut c2);
+        assert_eq!(c2, [1.0, 2.0]); // k == 0 leaves C untouched
+    }
+
+    #[test]
+    #[should_panic(expected = "A must be m*k")]
+    fn rejects_wrong_a_len() {
+        let mut c = [0.0f32; 4];
+        gemm_f32(2, 2, 2, &[0.0; 3], &[0.0; 4], &mut c);
+    }
+
+    #[test]
+    fn large_product_crosses_thread_threshold_and_matches() {
+        // m*k*n > PARALLEL_MAC_THRESHOLD so the scoped-thread path runs.
+        let (m, k, n) = (64, 129, 130);
+        let mut rng = DetRng::new(7);
+        let a: Vec<f32> = (0..m * k).map(|_| rng.uniform_f32(-0.5, 0.5)).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| rng.uniform_f32(-0.5, 0.5)).collect();
+        let mut c = vec![0.0; m * n];
+        gemm_f32(m, k, n, &a, &b, &mut c);
+        let expect = naive_f32(m, k, n, &a, &b);
+        let max_err = c.iter().zip(&expect).map(|(x, y)| (x - y).abs()).fold(0.0f32, f32::max);
+        assert!(max_err < 1e-3, "max err {max_err}");
+    }
+
+    #[test]
+    fn policy_resolution_follows_heuristics() {
+        assert_eq!(KernelPolicy::Naive.resolve(usize::MAX, false), ConvBackend::Direct);
+        assert_eq!(KernelPolicy::Im2colGemm.resolve(1, true), ConvBackend::Im2colGemm);
+        assert_eq!(KernelPolicy::Auto.resolve(1 << 30, true), ConvBackend::Direct);
+        assert_eq!(KernelPolicy::Auto.resolve(1 << 30, false), ConvBackend::Im2colGemm);
+        assert_eq!(KernelPolicy::Auto.resolve(16, false), ConvBackend::Direct);
+    }
+
+    #[test]
+    fn policy_parses_and_displays_round_trip() {
+        for p in [KernelPolicy::Naive, KernelPolicy::Im2colGemm, KernelPolicy::Auto] {
+            assert_eq!(p.to_string().parse::<KernelPolicy>().unwrap(), p);
+        }
+        assert!("fpga".parse::<KernelPolicy>().is_err());
+        assert_eq!("im2col".parse::<KernelPolicy>().unwrap(), KernelPolicy::Im2colGemm);
+    }
+}

@@ -1,9 +1,11 @@
 //! Fully-connected (classifier head) operator.
 
 use crate::error::TensorError;
+use crate::ops::gemm::{gemm_f32, ConvBackend, KernelPolicy};
 use crate::tensor::Tensor;
 
-/// `y = W·x + b` where `x` is a flattened NCHW tensor per batch element.
+/// `y = W·x + b` where `x` is a flattened NCHW tensor per batch element,
+/// under [`KernelPolicy::Auto`].
 ///
 /// `weights` is row-major `(out_features, in_features)`; `bias` has length
 /// `out_features`. Returns one row of `out_features` scores per batch element.
@@ -16,6 +18,25 @@ pub fn linear_f32(
     weights: &[f32],
     bias: Option<&[f32]>,
     out_features: usize,
+) -> Result<Vec<Vec<f32>>, TensorError> {
+    linear_f32_with(input, weights, bias, out_features, KernelPolicy::Auto)
+}
+
+/// Fully-connected layer with an explicit kernel backend policy.
+///
+/// [`KernelPolicy::Naive`] keeps the original dot-product loop as the
+/// correctness oracle; `Im2colGemm` routes through the blocked GEMM
+/// (`C = W · Xᵀ`, no patch materialization needed for a dense layer).
+///
+/// # Errors
+/// Returns [`TensorError::LengthMismatch`] when `in_features` does not match
+/// the flattened input size or `bias` is the wrong length.
+pub fn linear_f32_with(
+    input: &Tensor<f32>,
+    weights: &[f32],
+    bias: Option<&[f32]>,
+    out_features: usize,
+    policy: KernelPolicy,
 ) -> Result<Vec<Vec<f32>>, TensorError> {
     let ishape = input.shape();
     let in_features = ishape.c * ishape.h * ishape.w;
@@ -33,9 +54,24 @@ pub fn linear_f32(
             return Err(TensorError::LengthMismatch { expected: out_features, actual: b.len() });
         }
     }
+    let macs = ishape.n * out_features * in_features;
+    match policy.resolve(macs, false) {
+        ConvBackend::Direct => Ok(linear_direct(input, weights, bias, out_features, in_features)),
+        ConvBackend::Im2colGemm => Ok(linear_gemm(input, weights, bias, out_features, in_features)),
+    }
+}
+
+fn linear_direct(
+    input: &Tensor<f32>,
+    weights: &[f32],
+    bias: Option<&[f32]>,
+    out_features: usize,
+    in_features: usize,
+) -> Vec<Vec<f32>> {
     let data = input.as_slice();
-    let mut out = Vec::with_capacity(ishape.n);
-    for n in 0..ishape.n {
+    let batch = input.shape().n;
+    let mut out = Vec::with_capacity(batch);
+    for n in 0..batch {
         let x = &data[n * in_features..(n + 1) * in_features];
         let mut row = Vec::with_capacity(out_features);
         for o in 0..out_features {
@@ -48,7 +84,30 @@ pub fn linear_f32(
         }
         out.push(row);
     }
-    Ok(out)
+    out
+}
+
+fn linear_gemm(
+    input: &Tensor<f32>,
+    weights: &[f32],
+    bias: Option<&[f32]>,
+    out_features: usize,
+    in_features: usize,
+) -> Vec<Vec<f32>> {
+    let data = input.as_slice();
+    let batch = input.shape().n;
+    // B = Xᵀ (in_features × batch), so C = W·B is (out_features × batch).
+    let mut xt = vec![0.0_f32; in_features * batch];
+    for n in 0..batch {
+        for (f, &v) in data[n * in_features..(n + 1) * in_features].iter().enumerate() {
+            xt[f * batch + n] = v;
+        }
+    }
+    let mut c = vec![0.0_f32; out_features * batch];
+    gemm_f32(out_features, in_features, batch, weights, &xt, &mut c);
+    (0..batch)
+        .map(|n| (0..out_features).map(|o| c[o * batch + n] + bias.map_or(0.0, |b| b[o])).collect())
+        .collect()
 }
 
 /// Index of the maximum score (argmax) per batch row.
@@ -64,14 +123,17 @@ pub fn argmax(scores: &[f32]) -> Option<usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rng::DetRng;
     use crate::shape::Shape4;
 
     #[test]
     fn linear_computes_dot_products() {
         let input = Tensor::from_vec(Shape4::new(1, 1, 1, 3), vec![1.0, 2.0, 3.0]).unwrap();
         let weights = vec![1.0, 0.0, 0.0, /* row2 */ 0.0, 1.0, 1.0];
-        let out = linear_f32(&input, &weights, None, 2).unwrap();
-        assert_eq!(out, vec![vec![1.0, 5.0]]);
+        for policy in [KernelPolicy::Naive, KernelPolicy::Im2colGemm] {
+            let out = linear_f32_with(&input, &weights, None, 2, policy).unwrap();
+            assert_eq!(out, vec![vec![1.0, 5.0]]);
+        }
     }
 
     #[test]
@@ -84,8 +146,36 @@ mod tests {
     #[test]
     fn linear_handles_batches_independently() {
         let input = Tensor::from_vec(Shape4::new(2, 1, 1, 2), vec![1.0, 0.0, 0.0, 1.0]).unwrap();
-        let out = linear_f32(&input, &[2.0, 3.0], None, 1).unwrap();
-        assert_eq!(out, vec![vec![2.0], vec![3.0]]);
+        for policy in [KernelPolicy::Naive, KernelPolicy::Im2colGemm] {
+            let out = linear_f32_with(&input, &[2.0, 3.0], None, 1, policy).unwrap();
+            assert_eq!(out, vec![vec![2.0], vec![3.0]]);
+        }
+    }
+
+    #[test]
+    fn gemm_backend_matches_naive_on_random_data() {
+        let shape = Shape4::new(3, 2, 4, 5);
+        let in_features = 2 * 4 * 5;
+        let out_features = 7;
+        let mut rng = DetRng::new(123);
+        let input = Tensor::from_vec(
+            shape,
+            (0..shape.volume()).map(|_| rng.uniform_f32(-1.0, 1.0)).collect(),
+        )
+        .unwrap();
+        let weights: Vec<f32> =
+            (0..out_features * in_features).map(|_| rng.uniform_f32(-0.5, 0.5)).collect();
+        let bias: Vec<f32> = (0..out_features).map(|_| rng.uniform_f32(-1.0, 1.0)).collect();
+        let a = linear_f32_with(&input, &weights, Some(&bias), out_features, KernelPolicy::Naive)
+            .unwrap();
+        let b =
+            linear_f32_with(&input, &weights, Some(&bias), out_features, KernelPolicy::Im2colGemm)
+                .unwrap();
+        for (ra, rb) in a.iter().zip(&b) {
+            for (x, y) in ra.iter().zip(rb) {
+                assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+            }
+        }
     }
 
     #[test]

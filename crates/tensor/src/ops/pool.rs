@@ -1,6 +1,10 @@
 //! Pooling operators: max, average and global-average.
+//!
+//! Inner loops stream contiguous [`Tensor::row`] slices with the padding
+//! clamp hoisted out of the window scan (see `conv::kernel_ranges`).
 
 use crate::error::TensorError;
+use crate::ops::conv::kernel_ranges;
 use crate::shape::{conv_out_dim, Shape4};
 use crate::tensor::Tensor;
 
@@ -56,26 +60,32 @@ impl PoolParams {
 pub fn max_pool(input: &Tensor<f32>, params: &PoolParams) -> Result<Tensor<f32>, TensorError> {
     let ishape = input.shape();
     let (oh, ow) = params.out_dims(ishape)?;
+    let (stride, padding) = (params.stride, params.padding);
     let mut out = Tensor::zeros(Shape4::new(ishape.n, ishape.c, oh, ow));
+    let ry_ranges = kernel_ranges(oh, stride, padding, ishape.h, params.window);
+    let rx_ranges = kernel_ranges(ow, stride, padding, ishape.w, params.window);
     for n in 0..ishape.n {
         for c in 0..ishape.c {
             for oy in 0..oh {
-                for ox in 0..ow {
+                let (ry_lo, ry_hi) = ry_ranges[oy];
+                let orow = out.row_mut(n, c, oy);
+                for (ox, o) in orow.iter_mut().enumerate() {
+                    let (rx_lo, rx_hi) = rx_ranges[ox];
                     let mut best = f32::NEG_INFINITY;
-                    for ry in 0..params.window {
-                        let iy = (oy * params.stride + ry) as isize - params.padding as isize;
-                        if iy < 0 || iy >= ishape.h as isize {
-                            continue;
-                        }
-                        for rx in 0..params.window {
-                            let ix = (ox * params.stride + rx) as isize - params.padding as isize;
-                            if ix < 0 || ix >= ishape.w as isize {
-                                continue;
+                    for ry in ry_lo..ry_hi {
+                        let irow = input.row(n, c, oy * stride + ry - padding);
+                        if stride == 1 && rx_lo < rx_hi {
+                            let ix0 = ox + rx_lo - padding;
+                            for &v in &irow[ix0..ix0 + (rx_hi - rx_lo)] {
+                                best = best.max(v);
                             }
-                            best = best.max(input.get(n, c, iy as usize, ix as usize));
+                        } else {
+                            for rx in rx_lo..rx_hi {
+                                best = best.max(irow[ox * stride + rx - padding]);
+                            }
                         }
                     }
-                    out.set(n, c, oy, ox, best);
+                    *o = best;
                 }
             }
         }
@@ -90,28 +100,31 @@ pub fn max_pool(input: &Tensor<f32>, params: &PoolParams) -> Result<Tensor<f32>,
 pub fn avg_pool(input: &Tensor<f32>, params: &PoolParams) -> Result<Tensor<f32>, TensorError> {
     let ishape = input.shape();
     let (oh, ow) = params.out_dims(ishape)?;
+    let (stride, padding) = (params.stride, params.padding);
     let mut out = Tensor::zeros(Shape4::new(ishape.n, ishape.c, oh, ow));
+    let ry_ranges = kernel_ranges(oh, stride, padding, ishape.h, params.window);
+    let rx_ranges = kernel_ranges(ow, stride, padding, ishape.w, params.window);
     for n in 0..ishape.n {
         for c in 0..ishape.c {
             for oy in 0..oh {
-                for ox in 0..ow {
+                let (ry_lo, ry_hi) = ry_ranges[oy];
+                let orow = out.row_mut(n, c, oy);
+                for (ox, o) in orow.iter_mut().enumerate() {
+                    let (rx_lo, rx_hi) = rx_ranges[ox];
                     let mut sum = 0.0;
-                    let mut count = 0u32;
-                    for ry in 0..params.window {
-                        let iy = (oy * params.stride + ry) as isize - params.padding as isize;
-                        if iy < 0 || iy >= ishape.h as isize {
-                            continue;
-                        }
-                        for rx in 0..params.window {
-                            let ix = (ox * params.stride + rx) as isize - params.padding as isize;
-                            if ix < 0 || ix >= ishape.w as isize {
-                                continue;
+                    for ry in ry_lo..ry_hi {
+                        let irow = input.row(n, c, oy * stride + ry - padding);
+                        if stride == 1 && rx_lo < rx_hi {
+                            let ix0 = ox + rx_lo - padding;
+                            sum += irow[ix0..ix0 + (rx_hi - rx_lo)].iter().sum::<f32>();
+                        } else {
+                            for rx in rx_lo..rx_hi {
+                                sum += irow[ox * stride + rx - padding];
                             }
-                            sum += input.get(n, c, iy as usize, ix as usize);
-                            count += 1;
                         }
                     }
-                    out.set(n, c, oy, ox, if count > 0 { sum / count as f32 } else { 0.0 });
+                    let count = (ry_hi - ry_lo) * (rx_hi - rx_lo);
+                    *o = if count > 0 { sum / count as f32 } else { 0.0 };
                 }
             }
         }
@@ -129,12 +142,9 @@ pub fn global_avg_pool(input: &Tensor<f32>) -> Tensor<f32> {
         for c in 0..ishape.c {
             let mut sum = 0.0;
             for y in 0..ishape.h {
-                for x in 0..ishape.w {
-                    sum += input.get(n, c, y, x);
-                }
+                sum += input.row(n, c, y).iter().sum::<f32>();
             }
-            out.set(0, c, 0, 0, if area > 0.0 { sum / area } else { 0.0 });
-            let _ = n;
+            out.set(n, c, 0, 0, if area > 0.0 { sum / area } else { 0.0 });
         }
     }
     out

@@ -61,6 +61,23 @@ impl Shape4 {
         ((n * self.c + c) * self.h + h) * self.w + w
     }
 
+    /// Flat offset of the first element of row `(n, c, h)`.
+    ///
+    /// Hot loops iterate `[row_offset .. row_offset + w]` as one contiguous
+    /// slice instead of calling [`Shape4::offset`] per element.
+    ///
+    /// # Panics
+    /// Panics in debug builds if any index is out of bounds.
+    #[inline]
+    #[must_use]
+    pub fn row_offset(&self, n: usize, c: usize, h: usize) -> usize {
+        debug_assert!(
+            n < self.n && c < self.c && h < self.h,
+            "row ({n},{c},{h}) out of bounds for {self}"
+        );
+        ((n * self.c + c) * self.h + h) * self.w
+    }
+
     /// Returns the same shape with a different channel count.
     #[must_use]
     pub const fn with_c(mut self, c: usize) -> Self {
@@ -125,6 +142,18 @@ mod tests {
         assert_eq!(s.offset(0, 1, 0, 0), 20);
         assert_eq!(s.offset(1, 0, 0, 0), 60);
         assert_eq!(s.offset(1, 2, 3, 4), 119);
+    }
+
+    #[test]
+    fn row_offset_matches_offset_of_first_column() {
+        let s = Shape4::new(2, 3, 4, 5);
+        for n in 0..2 {
+            for c in 0..3 {
+                for h in 0..4 {
+                    assert_eq!(s.row_offset(n, c, h), s.offset(n, c, h, 0));
+                }
+            }
+        }
     }
 
     #[test]

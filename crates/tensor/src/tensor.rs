@@ -114,6 +114,30 @@ impl<T: Element> Tensor<T> {
         self.data[off] = value;
     }
 
+    /// Contiguous row `(n, c, h, 0..w)` as a slice.
+    ///
+    /// Hot loops use this (plus [`Shape4::row_offset`]) to stream whole rows
+    /// instead of paying the four-term offset arithmetic per element.
+    ///
+    /// # Panics
+    /// Panics if the row is out of bounds (debug builds check each axis).
+    #[inline]
+    #[must_use]
+    pub fn row(&self, n: usize, c: usize, h: usize) -> &[T] {
+        let off = self.shape.row_offset(n, c, h);
+        &self.data[off..off + self.shape.w]
+    }
+
+    /// Mutable contiguous row `(n, c, h, 0..w)`.
+    ///
+    /// # Panics
+    /// Panics if the row is out of bounds (debug builds check each axis).
+    #[inline]
+    pub fn row_mut(&mut self, n: usize, c: usize, h: usize) -> &mut [T] {
+        let off = self.shape.row_offset(n, c, h);
+        &mut self.data[off..off + self.shape.w]
+    }
+
     /// Number of elements.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -180,6 +204,15 @@ mod tests {
         t.set(1, 0, 2, 1, 7.5);
         assert_eq!(t.get(1, 0, 2, 1), 7.5);
         assert_eq!(t.get(0, 0, 2, 1), 0.0);
+    }
+
+    #[test]
+    fn row_views_match_element_accessors() {
+        let mut t = Tensor::<f32>::zeros(Shape4::new(2, 2, 3, 4));
+        t.set(1, 1, 2, 3, 9.0);
+        assert_eq!(t.row(1, 1, 2), &[0.0, 0.0, 0.0, 9.0]);
+        t.row_mut(0, 1, 0).copy_from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(t.get(0, 1, 0, 2), 3.0);
     }
 
     #[test]

@@ -1,0 +1,170 @@
+//! Property-based equivalence suite for the kernel backends: the im2col +
+//! blocked-GEMM path must reproduce the naive oracle across random shapes,
+//! strides, paddings and group structures — bit-identically for int8
+//! (integer accumulation is associative) and within 1e-4 for f32.
+
+use proptest::prelude::*;
+
+use sushi_tensor::ops::conv::{conv2d_f32_with, conv2d_i8_with, Conv2dParams};
+use sushi_tensor::ops::linear::linear_f32_with;
+use sushi_tensor::shape::conv_out_dim;
+use sushi_tensor::{DetRng, KernelPolicy, QuantParams, Shape4, Tensor};
+
+/// A random-but-valid conv problem: `(input, weights, params)` shapes.
+///
+/// Covers dense (`groups == 1`), grouped (`1 < groups < C`) and depthwise
+/// (`groups == C`) structures, kernels 1/3/5, strides 1–2 and paddings up
+/// to `kernel/2`.
+fn conv_cases() -> impl Strategy<Value = (Shape4, Shape4, Conv2dParams)> {
+    (
+        1usize..=2,                                            // batch
+        1usize..=3,                                            // channels per group
+        1usize..=3,                                            // groups
+        1usize..=3,                                            // kernels per group
+        4usize..=9,                                            // spatial size
+        prop_oneof![Just(1usize), Just(3usize), Just(5usize)], // kernel
+        1usize..=2,                                            // stride
+        0usize..=2,                                            // padding
+    )
+        .prop_map(|(n, cg, groups, kg, hw, ks, stride, padding)| {
+            let padding = padding.min(ks / 2 + 1);
+            let input = Shape4::new(n, cg * groups, hw, hw);
+            let weights = Shape4::new(kg * groups, cg, ks, ks);
+            let params = Conv2dParams::new(ks, ks)
+                .with_stride(stride)
+                .with_padding(padding)
+                .with_groups(groups);
+            (input, weights, params)
+        })
+}
+
+fn depthwise_cases() -> impl Strategy<Value = (Shape4, Shape4, Conv2dParams)> {
+    (1usize..=8, 4usize..=9, prop_oneof![Just(3usize), Just(5usize)], 1usize..=2).prop_map(
+        |(c, hw, ks, stride)| {
+            let input = Shape4::new(1, c, hw, hw);
+            let weights = Shape4::new(c, 1, ks, ks);
+            let params =
+                Conv2dParams::new(ks, ks).with_stride(stride).with_padding(ks / 2).with_groups(c);
+            (input, weights, params)
+        },
+    )
+}
+
+fn rand_f32(shape: Shape4, seed: u64) -> Tensor<f32> {
+    let mut rng = DetRng::new(seed);
+    Tensor::from_vec(shape, (0..shape.volume()).map(|_| rng.uniform_f32(-1.0, 1.0)).collect())
+        .unwrap()
+}
+
+fn rand_i8(shape: Shape4, seed: u64) -> Tensor<i8> {
+    let mut rng = DetRng::new(seed);
+    Tensor::from_vec(shape, (0..shape.volume()).map(|_| rng.next_i8()).collect()).unwrap()
+}
+
+fn output_nonempty(ishape: Shape4, params: &Conv2dParams) -> bool {
+    conv_out_dim(ishape.h, params.kernel_h, params.stride, params.padding).is_some_and(|d| d > 0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// f32: the GEMM backend tracks the naive oracle within 1e-4.
+    #[test]
+    fn f32_gemm_matches_naive((ishape, wshape, params) in conv_cases(), seed in 0u64..10_000) {
+        prop_assume!(output_nonempty(ishape, &params));
+        let x = rand_f32(ishape, seed);
+        let w = rand_f32(wshape, seed + 1);
+        let bias: Vec<f32> = {
+            let mut rng = DetRng::new(seed + 2);
+            (0..wshape.n).map(|_| rng.uniform_f32(-1.0, 1.0)).collect()
+        };
+        let naive =
+            conv2d_f32_with(&x, &w, Some(&bias), &params, KernelPolicy::Naive).unwrap();
+        let gemm =
+            conv2d_f32_with(&x, &w, Some(&bias), &params, KernelPolicy::Im2colGemm).unwrap();
+        let err = naive.max_abs_diff(&gemm).unwrap();
+        prop_assert!(err <= 1e-4, "f32 backends diverged by {err} on {ishape}*{wshape} {params:?}");
+    }
+
+    /// int8: the GEMM backend is bit-identical to the naive oracle,
+    /// including nonzero zero points and bias.
+    #[test]
+    fn i8_gemm_is_bit_identical(
+        (ishape, wshape, params) in conv_cases(),
+        seed in 0u64..10_000,
+        zp_in in -9i8..9,
+        zp_w in -9i8..9,
+    ) {
+        prop_assume!(output_nonempty(ishape, &params));
+        let x = rand_i8(ishape, seed);
+        let w = rand_i8(wshape, seed + 1);
+        let in_q = QuantParams::new(0.05, zp_in);
+        let w_q = QuantParams::new(0.02, zp_w);
+        let out_q = QuantParams::new(0.4, 3);
+        let bias: Option<Vec<i32>> = Some({
+            let mut rng = DetRng::new(seed + 2);
+            (0..wshape.n).map(|_| (rng.next_u64() % 600) as i32 - 300).collect()
+        });
+        let naive = conv2d_i8_with(
+            &x, in_q, &w, w_q, bias.as_deref(), out_q, &params, KernelPolicy::Naive,
+        ).unwrap();
+        let gemm = conv2d_i8_with(
+            &x, in_q, &w, w_q, bias.as_deref(), out_q, &params, KernelPolicy::Im2colGemm,
+        ).unwrap();
+        prop_assert_eq!(naive, gemm);
+    }
+
+    /// Depthwise edge case (the shape `Auto` keeps on the direct loops):
+    /// forcing the GEMM backend must still be bit-identical.
+    #[test]
+    fn depthwise_i8_gemm_is_bit_identical(
+        (ishape, wshape, params) in depthwise_cases(),
+        seed in 0u64..10_000,
+    ) {
+        prop_assume!(output_nonempty(ishape, &params));
+        let x = rand_i8(ishape, seed);
+        let w = rand_i8(wshape, seed + 1);
+        let q = QuantParams::new(0.03, -5);
+        let naive =
+            conv2d_i8_with(&x, q, &w, q, None, q, &params, KernelPolicy::Naive).unwrap();
+        let gemm =
+            conv2d_i8_with(&x, q, &w, q, None, q, &params, KernelPolicy::Im2colGemm).unwrap();
+        prop_assert_eq!(naive, gemm);
+    }
+
+    /// `Auto` must agree with whichever backend it picks — i.e. with both.
+    #[test]
+    fn auto_i8_matches_naive((ishape, wshape, params) in conv_cases(), seed in 0u64..10_000) {
+        prop_assume!(output_nonempty(ishape, &params));
+        let x = rand_i8(ishape, seed);
+        let w = rand_i8(wshape, seed + 1);
+        let q = QuantParams::new(0.05, 4);
+        let naive = conv2d_i8_with(&x, q, &w, q, None, q, &params, KernelPolicy::Naive).unwrap();
+        let auto = conv2d_i8_with(&x, q, &w, q, None, q, &params, KernelPolicy::Auto).unwrap();
+        prop_assert_eq!(naive, auto);
+    }
+
+    /// The fully-connected layer's GEMM path matches its dot-product oracle.
+    #[test]
+    fn linear_gemm_matches_naive(
+        batch in 1usize..=3,
+        feat in 1usize..=32,
+        out_features in 1usize..=8,
+        seed in 0u64..10_000,
+    ) {
+        let shape = Shape4::new(batch, 1, 1, feat);
+        let x = rand_f32(shape, seed);
+        let mut rng = DetRng::new(seed + 9);
+        let weights: Vec<f32> =
+            (0..out_features * feat).map(|_| rng.uniform_f32(-1.0, 1.0)).collect();
+        let naive =
+            linear_f32_with(&x, &weights, None, out_features, KernelPolicy::Naive).unwrap();
+        let gemm =
+            linear_f32_with(&x, &weights, None, out_features, KernelPolicy::Im2colGemm).unwrap();
+        for (ra, rb) in naive.iter().zip(&gemm) {
+            for (a, b) in ra.iter().zip(rb) {
+                prop_assert!((a - b).abs() <= 1e-4, "{a} vs {b}");
+            }
+        }
+    }
+}

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Gates and regenerates BENCH_kernels.json, the naive-vs-gemm kernel
+# baseline that anchors the repo's perf trajectory.
+#
+#   scripts/bench_baseline.sh            # measure + gate vs committed baseline
+#   scripts/bench_baseline.sh --update   # measure + gate, then rewrite baseline
+#
+# The run fails (exit 1) if the GEMM path regressed by more than 20% against
+# the committed baseline on any workload, or if the headline speedup on the
+# largest zoo SubNet drops below 5x. Rewriting is opt-in (--update) so
+# repeated sub-threshold slowdowns cannot silently ratchet the baseline;
+# kernel_bench additionally refuses to write a baseline from a failing run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE=BENCH_kernels.json
+RUNS="${RUNS:-2}"
+
+cargo build --release -p sushi-core --bin kernel_bench
+
+args=(--runs "$RUNS" --min-speedup 5.0)
+if [ -f "$BASELINE" ]; then
+  args+=(--check "$BASELINE")
+fi
+if [ "${1:-}" = "--update" ]; then
+  args+=(--out "$BASELINE")
+fi
+
+./target/release/kernel_bench "${args[@]}"

@@ -48,6 +48,45 @@ impl QueryReport {
     }
 }
 
+/// Result of serving one *batch* of queries that all resolved to the same
+/// SubNet (the serving runtime's dynamic batching path).
+///
+/// Weights are fetched once per batch — the within-batch analogue of the
+/// cross-query SubGraph-Stationary reuse of §2.2 — while activations move
+/// per item, so the marginal item pays only compute + activation traffic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchReport {
+    /// Name of the served SubNet.
+    pub subnet: String,
+    /// Number of queries in the batch.
+    pub batch: usize,
+    /// Cycles spent (re)loading the PB before this batch, if a cache update
+    /// was pending.
+    pub pb_reload_cycles: u64,
+    /// Total byte traffic for the whole batch (weights once, acts × batch).
+    pub traffic: TrafficBytes,
+    /// Data-movement energy for the whole batch.
+    pub energy: EnergyReport,
+    /// End-to-end latency of the whole batch in ms (including any PB
+    /// reload). Every query in the batch completes at this point.
+    pub total_latency_ms: f64,
+    /// Latency the *first* item alone would have seen (weights + one item).
+    pub first_item_ms: f64,
+}
+
+impl BatchReport {
+    /// Mean per-item latency (`total / batch`) — the throughput view.
+    ///
+    /// # Panics
+    /// Panics if the batch is empty (constructed only via
+    /// [`Accelerator::serve_batch`], which rejects `batch == 0`).
+    #[must_use]
+    pub fn per_item_ms(&self) -> f64 {
+        assert!(self.batch > 0);
+        self.total_latency_ms / self.batch as f64
+    }
+}
+
 /// The SushiAccel timing/energy simulator.
 #[derive(Debug, Clone)]
 pub struct Accelerator {
@@ -156,6 +195,68 @@ impl Accelerator {
             traffic,
             energy,
             latency_ms: self.config.cycles_to_ms(total_cycles),
+        }
+    }
+
+    /// Serves `batch` queries of the same SubNet back-to-back (timing-only
+    /// mode), fetching each layer's weights once for the whole batch.
+    ///
+    /// Per layer, the first item pays the full critical path (weight fetch
+    /// overlapped with compute, per [`crate::timing::layer_timing`]); every
+    /// additional item re-uses the now-resident weights and pays only its
+    /// compute and activation-movement cycles. Weight traffic (off-chip and
+    /// PB) is charged once; activation traffic `batch` times. A pending PB
+    /// reload is charged once to the whole batch, exactly as
+    /// [`Accelerator::serve`] charges it to a single query.
+    ///
+    /// `serve_batch(net, sn, 1)` agrees with [`Accelerator::serve`] on
+    /// latency, traffic and energy.
+    ///
+    /// # Panics
+    /// Panics if `batch == 0` or the SubNet does not belong to `net`.
+    pub fn serve_batch(&mut self, net: &SuperNet, subnet: &SubNet, batch: usize) -> BatchReport {
+        assert!(batch > 0, "cannot serve an empty batch");
+        assert_eq!(subnet.graph.num_layers(), net.num_layers(), "SubNet does not match SuperNet");
+        let empty = LayerSlice::empty();
+        let mut cycles_first = 0u64;
+        let mut cycles_marginal = 0u64;
+        let mut traffic = TrafficBytes::default();
+        for (idx, (layer, slice)) in net.layers.iter().zip(subnet.graph.slices()).enumerate() {
+            if slice.is_empty() {
+                continue;
+            }
+            let cached_slice = self.cached.as_ref().map_or(&empty, |g| {
+                debug_assert_eq!(g.num_layers(), net.num_layers());
+                &g.slices()[idx]
+            });
+            let t = layer_timing(&self.config, layer, slice, cached_slice);
+            cycles_first += t.cycles.total();
+            // Weights resident after item 1: the marginal item's critical
+            // path keeps the compute and activation buckets and drops both
+            // weight buckets.
+            cycles_marginal += t.cycles.compute + t.cycles.offchip_iact + t.cycles.offchip_oact;
+            let mut batch_traffic = t.traffic;
+            batch_traffic.offchip_iact *= batch as u64;
+            batch_traffic.offchip_oact *= batch as u64;
+            traffic.add(&batch_traffic);
+        }
+        let pb_reload_cycles = std::mem::take(&mut self.pending_reload_cycles);
+        let mut energy_traffic = traffic;
+        if pb_reload_cycles > 0 {
+            if let Some(g) = &self.cached {
+                energy_traffic.offchip_weights += net.subgraph_weight_bytes(g);
+            }
+        }
+        let energy = self.energy_model.energy(&energy_traffic);
+        let total_cycles = pb_reload_cycles + cycles_first + (batch as u64 - 1) * cycles_marginal;
+        BatchReport {
+            subnet: subnet.name.clone(),
+            batch,
+            pb_reload_cycles,
+            traffic,
+            energy,
+            total_latency_ms: self.config.cycles_to_ms(total_cycles),
+            first_item_ms: self.config.cycles_to_ms(pb_reload_cycles + cycles_first),
         }
     }
 
@@ -295,6 +396,51 @@ mod tests {
         let small = acc.serve(&net, &picks[0]);
         let large = acc.serve(&net, &picks[5]);
         assert!(large.latency_ms > small.latency_ms);
+    }
+
+    #[test]
+    fn batch_of_one_matches_single_serve() {
+        let (net, picks, mut acc) = setup();
+        let single = acc.serve(&net, &picks[0]);
+        let batch = acc.serve_batch(&net, &picks[0], 1);
+        assert_eq!(batch.total_latency_ms, single.latency_ms);
+        assert_eq!(batch.first_item_ms, single.latency_ms);
+        assert_eq!(batch.traffic, single.traffic);
+        assert_eq!(batch.energy, single.energy);
+    }
+
+    #[test]
+    fn batching_amortizes_weight_fetch() {
+        let (net, picks, mut acc) = setup();
+        let single = acc.serve(&net, &picks[1]);
+        let b = 8;
+        let batch = acc.serve_batch(&net, &picks[1], b);
+        // Cheaper than b independent serves...
+        assert!(batch.total_latency_ms < single.latency_ms * b as f64);
+        // ...but still at least the first item plus b-1 compute-bound items.
+        assert!(batch.total_latency_ms >= single.latency_ms);
+        assert!(batch.per_item_ms() < single.latency_ms);
+        // Weight bytes unchanged, activation bytes scaled by b.
+        assert_eq!(batch.traffic.offchip_weights, single.traffic.offchip_weights);
+        assert_eq!(batch.traffic.offchip_iact, single.traffic.offchip_iact * b as u64);
+    }
+
+    #[test]
+    fn batch_charges_pending_reload_once() {
+        let (net, picks, mut acc) = setup();
+        acc.install_cache(&net, picks[0].graph.clone());
+        let b1 = acc.serve_batch(&net, &picks[0], 4);
+        assert!(b1.pb_reload_cycles > 0);
+        let b2 = acc.serve_batch(&net, &picks[0], 4);
+        assert_eq!(b2.pb_reload_cycles, 0);
+        assert!(b2.total_latency_ms < b1.total_latency_ms);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty batch")]
+    fn empty_batch_rejected() {
+        let (net, picks, mut acc) = setup();
+        let _ = acc.serve_batch(&net, &picks[0], 0);
     }
 
     #[test]

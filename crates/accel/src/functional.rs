@@ -60,7 +60,68 @@ pub fn forward(
         });
     }
     let mut rt = Runtime { dpe, net, store, subnet };
-    rt.run(input)
+    let logits_t = rt.run(input)?;
+    Ok(split_outputs(&logits_t).remove(0))
+}
+
+/// Runs one int8 forward pass over a whole batch of inputs at once.
+///
+/// Each input must be a `(1, 3, H, W)` tensor quantized with [`act_quant`]
+/// at the SuperNet's input resolution. The inputs are stacked along the
+/// batch dimension and flow through the datapath as a single `(B, 3, H, W)`
+/// pass — every convolution touches each weight once per *batch* instead of
+/// once per *query*, the within-batch analogue of SubGraph-Stationary
+/// reuse. Outputs are returned in input order.
+///
+/// Batching is a speed knob, never semantics: int8 accumulation per output
+/// element is independent of the batch dimension, so
+/// `forward_batch(&[a, b])` returns bit-identical logits to
+/// `[forward(a), forward(b)]` under every [`sushi_tensor::KernelPolicy`]
+/// (pinned by `tests/proptest_batch.rs`).
+///
+/// # Errors
+/// Returns an error when the batch is empty, an input shape does not match
+/// the SuperNet, or a layer fails to execute.
+pub fn forward_batch(
+    dpe: &DpeArray,
+    net: &SuperNet,
+    store: &WeightStore,
+    subnet: &SubNet,
+    inputs: &[Tensor<i8>],
+) -> Result<Vec<FunctionalOutput>, TensorError> {
+    if inputs.is_empty() {
+        return Err(TensorError::InvalidParam { what: "forward_batch on empty batch" });
+    }
+    let expect = Shape4::new(1, 3, net.input_hw, net.input_hw);
+    let mut data = Vec::with_capacity(expect.volume() * inputs.len());
+    for input in inputs {
+        if input.shape() != expect {
+            return Err(TensorError::ShapeMismatch {
+                what: "network input",
+                lhs: input.shape(),
+                rhs: expect,
+            });
+        }
+        data.extend_from_slice(input.as_slice());
+    }
+    let stacked = Tensor::from_vec(Shape4::new(inputs.len(), 3, net.input_hw, net.input_hw), data)?;
+    let mut rt = Runtime { dpe, net, store, subnet };
+    let logits_t = rt.run(&stacked)?;
+    Ok(split_outputs(&logits_t))
+}
+
+/// Splits a `(B, classes, 1, 1)` logits tensor into per-item outputs.
+fn split_outputs(logits_t: &Tensor<f32>) -> Vec<FunctionalOutput> {
+    let shape = logits_t.shape();
+    let per_item = shape.volume() / shape.n;
+    logits_t
+        .as_slice()
+        .chunks_exact(per_item)
+        .map(|logits| FunctionalOutput {
+            logits: logits.to_vec(),
+            prediction: sushi_tensor::ops::linear::argmax(logits).unwrap_or(0),
+        })
+        .collect()
 }
 
 /// The activation quantization used by [`forward`]; quantize inputs with it.
@@ -124,7 +185,9 @@ impl Runtime<'_> {
         Ok(apply_activation(&y, act))
     }
 
-    fn run(&mut self, input: &Tensor<i8>) -> Result<FunctionalOutput, TensorError> {
+    /// Runs the datapath on a (possibly batched) input, returning the
+    /// dequantized `(B, classes, 1, 1)` logits tensor.
+    fn run(&mut self, input: &Tensor<i8>) -> Result<Tensor<f32>, TensorError> {
         let layers = &self.net.layers;
         let mut idx = 0usize;
         // Stem.
@@ -154,10 +217,7 @@ impl Runtime<'_> {
             last = h.clone();
             idx += 1;
         }
-        let logits_t = dequantize_tensor(&last, ACT_Q);
-        let logits: Vec<f32> = logits_t.as_slice().to_vec();
-        let prediction = sushi_tensor::ops::linear::argmax(&logits).unwrap_or(0);
-        Ok(FunctionalOutput { logits, prediction })
+        Ok(dequantize_tensor(&last, ACT_Q))
     }
 
     /// Executes one block starting at layer `idx`; returns the index after
@@ -231,13 +291,17 @@ impl Runtime<'_> {
         let g = self.conv(se_e, &g)?;
         let gate_f = Activation::HSigmoid.apply_tensor(&dequantize_tensor(&g, ACT_Q));
         // Channel-wise multiply in the dequantized domain, then requantize.
+        // Gates are per (batch item, channel): pooling and the SE convs all
+        // preserve the batch dimension.
         let mut yf = dequantize_tensor(y, ACT_Q);
         let shape = yf.shape();
-        for c in 0..shape.c {
-            let gv = gate_f.get(0, c, 0, 0);
-            for h in 0..shape.h {
-                for v in yf.row_mut(0, c, h) {
-                    *v *= gv;
+        for n in 0..shape.n {
+            for c in 0..shape.c {
+                let gv = gate_f.get(n, c, 0, 0);
+                for h in 0..shape.h {
+                    for v in yf.row_mut(n, c, h) {
+                        *v *= gv;
+                    }
                 }
             }
         }
@@ -351,6 +415,33 @@ mod tests {
         let auto = forward(&base, &net, &store, &sn, &x).unwrap();
         assert_eq!(naive, gemm, "kernel policy must not change logits");
         assert_eq!(naive, auto);
+    }
+
+    #[test]
+    fn batched_forward_matches_unbatched() {
+        for net in [zoo::toy_supernet(), zoo::toy_mobilenet_supernet()] {
+            let store = WeightStore::synthesize(&net, 21);
+            let sn = net.materialize("max", &net.max_config()).unwrap();
+            let dpe = DpeArray::new(4, 4);
+            let inputs: Vec<Tensor<i8>> = (0..3).map(|i| rand_input(&net, 30 + i)).collect();
+            let batched = forward_batch(&dpe, &net, &store, &sn, &inputs).unwrap();
+            assert_eq!(batched.len(), 3);
+            for (input, out) in inputs.iter().zip(&batched) {
+                let single = forward(&dpe, &net, &store, &sn, input).unwrap();
+                assert_eq!(&single, out, "batched logits must equal unbatched ({})", net.name);
+            }
+        }
+    }
+
+    #[test]
+    fn batched_forward_rejects_empty_and_bad_shapes() {
+        let net = zoo::toy_supernet();
+        let store = WeightStore::synthesize(&net, 22);
+        let sn = net.materialize("min", &net.min_config()).unwrap();
+        let dpe = DpeArray::new(2, 2);
+        assert!(forward_batch(&dpe, &net, &store, &sn, &[]).is_err());
+        let bad = Tensor::<i8>::zeros(Shape4::new(1, 3, 8, 8));
+        assert!(forward_batch(&dpe, &net, &store, &sn, &[rand_input(&net, 1), bad]).is_err());
     }
 
     #[test]

@@ -1,0 +1,41 @@
+//! Wall-clock throughput of the event-driven serving simulator.
+//!
+//! The simulated *metrics* are gated deterministically by `serve_bench` /
+//! `BENCH_serve.json`; this target tracks how fast the simulator itself
+//! chews through traffic (queries simulated per second of host time),
+//! which is what bounds large-scale scenario sweeps.
+//!
+//! Set `SUSHI_BENCH_QUICK=1` (CI's bench-smoke job) to shrink streams.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sushi_core::experiments::ExpOptions;
+use sushi_core::serving::{run_scenario, ServePreset};
+
+fn quick() -> bool {
+    std::env::var("SUSHI_BENCH_QUICK").is_ok_and(|v| v != "0")
+}
+
+fn opts() -> ExpOptions {
+    let mut o = if quick() { ExpOptions::quick() } else { ExpOptions::default() };
+    if quick() {
+        o.queries = 60;
+    }
+    o
+}
+
+fn bench_presets(c: &mut Criterion) {
+    let opts = opts();
+    let mut group = c.benchmark_group("serve_sim");
+    for preset in [ServePreset::Steady, ServePreset::Burst] {
+        group.bench_function(preset.name(), |b| {
+            b.iter(|| {
+                let result = run_scenario(black_box(preset), &opts);
+                black_box(result.served.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_presets);
+criterion_main!(benches);

@@ -6,7 +6,12 @@
 //! repro -- all --quick                  # reduced streams (CI-sized)
 //! repro -- all --save results           # also write results/<id>.txt
 //! repro -- kernels --kernel-policy gemm # pin the functional kernel backend
+//! repro -- --serve                      # the serving runtime presets
 //! ```
+//!
+//! `--serve` is shorthand for the `serve` experiment id: it runs the
+//! steady / burst / diurnal / multi-tenant traffic presets through the
+//! event-driven serving runtime (deterministic: same seed, same report).
 //!
 //! `--kernel-policy naive|gemm|auto` selects the kernel backend used by
 //! experiments that execute the functional int8 datapath. Experiment
@@ -41,12 +46,16 @@ fn main() {
     // Skip flag *operands by position*, not by value, so an id that happens
     // to equal an operand (e.g. a directory named "fig10") is still run.
     let operand_pos: Vec<usize> = [save_pos, policy_pos].iter().flatten().map(|i| i + 1).collect();
-    let ids: Vec<String> = args
+    let mut ids: Vec<String> = args
         .iter()
         .enumerate()
         .filter(|(i, a)| !a.starts_with("--") && !operand_pos.contains(i))
         .map(|(_, a)| a.clone())
         .collect();
+    // `--serve` selects the serving-runtime experiment (alongside any ids).
+    if args.iter().any(|a| a == "--serve") && !ids.iter().any(|i| i == "serve") {
+        ids.push("serve".to_string());
+    }
     let mut opts = if quick { ExpOptions::quick() } else { ExpOptions::default() };
     opts.kernel_policy = kernel_policy;
 

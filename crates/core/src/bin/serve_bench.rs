@@ -1,0 +1,92 @@
+//! Deterministic serving-runtime baseline: measures the four traffic
+//! presets and gates/regenerates `BENCH_serve.json`.
+//!
+//! ```text
+//! serve_bench                          # run presets, print summaries
+//! serve_bench --quick                  # CI-sized streams
+//! serve_bench --check BENCH_serve.json # fail on any metric drift
+//! serve_bench --out BENCH_serve.json   # (re)write the baseline
+//! ```
+//!
+//! Every recorded figure (p50/p95/p99, goodput, SLO-violation rate, drop
+//! count) is *simulated* — no wall clock — so the committed baseline is
+//! exact: the gate tolerance only absorbs the JSON decimal round-trip. Any
+//! real drift means serving semantics changed and must be acknowledged by
+//! rerunning with `--out` (via `scripts/bench_baseline.sh --update`).
+//! Wall-clock throughput of the simulator itself is tracked separately by
+//! the `serve_sim` criterion bench.
+
+use sushi_core::experiments::ExpOptions;
+use sushi_core::metrics::{
+    serve_bench_from_json, serve_bench_to_json, serve_regressions, ServeBenchEntry,
+};
+use sushi_core::serving::run_all_presets;
+
+/// Relative tolerance for the drift gate: wide enough for the `%.6` JSON
+/// round-trip, far below any semantic change.
+const DRIFT_TOLERANCE: f64 = 1e-6;
+
+fn die(msg: &str) -> ! {
+    eprintln!("serve_bench: {msg}");
+    std::process::exit(1);
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a String> {
+    let pos = args.iter().position(|a| a == flag)?;
+    Some(args.get(pos + 1).unwrap_or_else(|| die(&format!("{flag} requires a value"))))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = flag_value(&args, "--out").cloned();
+    let check_path = flag_value(&args, "--check").cloned();
+
+    let opts = if quick { ExpOptions::quick() } else { ExpOptions::default() };
+    println!("serving presets, {} queries each (simulated time — deterministic)\n", opts.queries);
+    let entries: Vec<ServeBenchEntry> = run_all_presets(&opts)
+        .into_iter()
+        .map(|(name, summary)| {
+            println!(
+                "{name:<14} p50 {:>8.3} ms   p95 {:>8.3} ms   p99 {:>8.3} ms   goodput {:>7.1} q/s   SLO viol {:>6.2}%   dropped {}",
+                summary.p50_ms,
+                summary.p95_ms,
+                summary.p99_ms,
+                summary.goodput_qps,
+                100.0 * summary.slo_violation_rate,
+                summary.dropped
+            );
+            ServeBenchEntry::from_summary(name, &summary)
+        })
+        .collect();
+
+    let mut failed = false;
+    if let Some(path) = &check_path {
+        match std::fs::read_to_string(path) {
+            Err(e) => die(&format!("cannot read baseline {path}: {e}")),
+            Ok(text) => match serve_bench_from_json(&text) {
+                Err(e) => die(&format!("malformed baseline {path}: {e}")),
+                Ok(baseline) => match serve_regressions(&entries, &baseline, DRIFT_TOLERANCE) {
+                    Ok(()) => println!("\nno drift vs {path}"),
+                    Err(msg) => {
+                        eprintln!("\nDRIFT vs {path} (serving semantics changed?):\n{msg}");
+                        failed = true;
+                    }
+                },
+            },
+        }
+    }
+    if let Some(path) = &out_path {
+        if failed {
+            eprintln!("not writing {path}: acknowledge the drift explicitly with --update");
+        } else {
+            if let Err(e) = std::fs::write(path, serve_bench_to_json(&entries)) {
+                die(&format!("cannot write {path}: {e}"));
+            }
+            println!("wrote {path}");
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

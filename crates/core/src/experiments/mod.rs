@@ -12,6 +12,7 @@ mod fig13_14;
 mod fig15_16;
 mod fig17_18;
 mod kernels;
+mod serve;
 mod tab5_6_hit;
 mod tables;
 
@@ -23,6 +24,7 @@ pub use fig13_14::{fig13a, fig13b, fig14};
 pub use fig15_16::{fig15, fig16};
 pub use fig17_18::{fig17, fig18};
 pub use kernels::kernels;
+pub use serve::serve;
 pub use tab5_6_hit::{hit_ratio, tab5, tab6};
 pub use tables::{tab1, tab2, tab3, tab4};
 
@@ -50,6 +52,7 @@ pub const ALL_IDS: &[&str] = &[
     "tab6",
     "hit_ratio",
     "kernels",
+    "serve",
     "abl_distance",
     "abl_pb_split",
     "abl_candidates",
@@ -79,6 +82,7 @@ pub fn run(id: &str, opts: &ExpOptions) -> Option<ExpReport> {
         "tab6" => tab6(opts),
         "hit_ratio" => hit_ratio(opts),
         "kernels" => kernels(opts),
+        "serve" => serve(opts),
         "abl_distance" => abl_distance(opts),
         "abl_pb_split" => abl_pb_split(opts),
         "abl_candidates" => abl_candidates(opts),
@@ -105,6 +109,6 @@ mod tests {
             let r = run(id, &ExpOptions::quick()).unwrap();
             assert_eq!(r.id, id);
         }
-        assert_eq!(ALL_IDS.len(), 23);
+        assert_eq!(ALL_IDS.len(), 24);
     }
 }

@@ -10,7 +10,11 @@
 //!   SUSHI).
 //! * [`stream`] — deterministic query-constraint generators (random,
 //!   AV-navigation phases, ICU bursts).
-//! * [`metrics`] — served latency/accuracy, SLO attainment, cache-hit ratio.
+//! * [`metrics`] — served latency/accuracy, SLO attainment, cache-hit
+//!   ratio, streaming latency percentiles.
+//! * [`serving`] — the event-driven serving runtime: open-loop arrivals,
+//!   bounded admission queue, dynamic batching, a multi-worker executor
+//!   pool, and SLO accounting (`repro --serve`).
 //! * [`experiments`] — a regenerator for **every** table and figure in the
 //!   paper's evaluation (run them all via the `repro` binary:
 //!   `cargo run -p sushi-core --release --bin repro -- all`).
@@ -47,6 +51,7 @@
 pub mod experiments;
 pub mod metrics;
 pub mod report;
+pub mod serving;
 pub mod stack;
 pub mod stream;
 pub mod variants;

@@ -205,6 +205,316 @@ pub fn kernel_regressions(
     }
 }
 
+/// A streaming log-bucketed latency histogram with percentile queries.
+///
+/// `push` is O(1) and the memory footprint is a fixed ~1 KB regardless of
+/// stream length, so the serving runtime can account millions of queries
+/// without retaining them. Buckets grow geometrically by
+/// [`Self::GROWTH`] per step from [`Self::MIN_MS`], giving ≤ 2% relative
+/// quantile error across nine decades (1 µs … 100 s); exact min/max are
+/// tracked separately and clamp the estimates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum_ms: f64,
+    min_ms: f64,
+    max_ms: f64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Lower edge of the first bucket, ms.
+    pub const MIN_MS: f64 = 1e-3;
+    /// Geometric bucket growth factor.
+    pub const GROWTH: f64 = 1.02;
+    /// Number of buckets: covers `MIN_MS .. MIN_MS * GROWTH^N` ≈ 1e5 ms.
+    const NUM_BUCKETS: usize = 931;
+
+    /// Creates an empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            counts: vec![0; Self::NUM_BUCKETS],
+            total: 0,
+            sum_ms: 0.0,
+            min_ms: f64::INFINITY,
+            max_ms: f64::NEG_INFINITY,
+        }
+    }
+
+    fn bucket(value_ms: f64) -> usize {
+        if value_ms <= Self::MIN_MS {
+            return 0;
+        }
+        let idx = (value_ms / Self::MIN_MS).ln() / Self::GROWTH.ln();
+        (idx as usize).min(Self::NUM_BUCKETS - 1)
+    }
+
+    /// Records one latency sample.
+    ///
+    /// # Panics
+    /// Panics on a negative or non-finite sample — serving latencies are
+    /// physical durations.
+    pub fn push(&mut self, value_ms: f64) {
+        assert!(value_ms.is_finite() && value_ms >= 0.0, "bad latency sample {value_ms}");
+        self.counts[Self::bucket(value_ms)] += 1;
+        self.total += 1;
+        self.sum_ms += value_ms;
+        self.min_ms = self.min_ms.min(value_ms);
+        self.max_ms = self.max_ms.max(value_ms);
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean of recorded samples.
+    ///
+    /// # Panics
+    /// Panics if the histogram is empty.
+    #[must_use]
+    pub fn mean_ms(&self) -> f64 {
+        assert!(self.total > 0, "mean of empty histogram");
+        self.sum_ms / self.total as f64
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) of recorded samples: the smallest
+    /// bucket boundary below which at least `q · count` samples fall,
+    /// clamped to the exact observed min/max.
+    ///
+    /// # Panics
+    /// Panics if the histogram is empty or `q` is outside `[0, 1]`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!(self.total > 0, "quantile of empty histogram");
+        assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                // Upper edge of bucket i, clamped to the observed range.
+                let edge = Self::MIN_MS * Self::GROWTH.powi(i as i32 + 1);
+                return edge.clamp(self.min_ms, self.max_ms);
+            }
+        }
+        self.max_ms
+    }
+}
+
+/// Summary of one serving-simulation run (a [`crate::serving`] scenario).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeSummary {
+    /// Queries that arrived (offered load).
+    pub offered: usize,
+    /// Queries served to completion (late ones included).
+    pub completed: usize,
+    /// Queries shed by the admission queue.
+    pub dropped: usize,
+    /// Median end-to-end latency (queueing + service), ms.
+    pub p50_ms: f64,
+    /// 95th-percentile end-to-end latency, ms.
+    pub p95_ms: f64,
+    /// 99th-percentile end-to-end latency, ms.
+    pub p99_ms: f64,
+    /// Mean end-to-end latency, ms.
+    pub mean_latency_ms: f64,
+    /// Completed-within-deadline queries per second of simulated time.
+    pub goodput_qps: f64,
+    /// Fraction of *offered* queries that missed their deadline or were
+    /// dropped (a shed query is an SLO violation, not a free pass).
+    pub slo_violation_rate: f64,
+    /// Time-weighted mean admission-queue depth.
+    pub mean_queue_depth: f64,
+    /// Maximum admission-queue depth observed.
+    pub max_queue_depth: usize,
+    /// Mean dispatched batch size.
+    pub mean_batch: f64,
+    /// Scheduler cache decisions enacted.
+    pub cache_installs: usize,
+    /// Total PB swap time charged to in-flight batches, ms.
+    pub swap_ms: f64,
+    /// End of the simulation (last completion or drop), ms.
+    pub makespan_ms: f64,
+}
+
+/// One scenario row of the `BENCH_serve.json` baseline.
+///
+/// Every field is *simulated* (not wall-clock), so the committed baseline
+/// is deterministic: same seed, same binary → identical values on any
+/// platform. The regression gate therefore runs with a near-zero
+/// tolerance; a drift means the serving semantics changed, not that the
+/// machine was noisy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeBenchEntry {
+    /// Scenario label, e.g. `"steady"`.
+    pub scenario: String,
+    /// p50 end-to-end latency, ms.
+    pub p50_ms: f64,
+    /// p95 end-to-end latency, ms.
+    pub p95_ms: f64,
+    /// p99 end-to-end latency, ms.
+    pub p99_ms: f64,
+    /// Goodput, queries/s.
+    pub goodput_qps: f64,
+    /// SLO violation rate over offered queries.
+    pub slo_violation_rate: f64,
+    /// Dropped-query count.
+    pub dropped: usize,
+}
+
+impl ServeBenchEntry {
+    /// Builds a baseline row from a scenario summary.
+    #[must_use]
+    pub fn from_summary(scenario: impl Into<String>, s: &ServeSummary) -> Self {
+        Self {
+            scenario: scenario.into(),
+            p50_ms: s.p50_ms,
+            p95_ms: s.p95_ms,
+            p99_ms: s.p99_ms,
+            goodput_qps: s.goodput_qps,
+            slo_violation_rate: s.slo_violation_rate,
+            dropped: s.dropped,
+        }
+    }
+}
+
+/// Serializes serve bench entries as the `BENCH_serve.json` baseline
+/// (hand-rolled for the same reason as [`kernel_bench_to_json`]).
+///
+/// # Panics
+/// Panics if a scenario label contains `"`, `,`, `{` or `}`.
+#[must_use]
+pub fn serve_bench_to_json(entries: &[ServeBenchEntry]) -> String {
+    let mut out = String::from("{\n  \"schema\": \"sushi-serve-bench-v1\",\n  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        use std::fmt::Write as _;
+        assert!(
+            !e.scenario.contains(['"', ',', '{', '}']),
+            "serve bench scenario '{}' contains characters the minimal JSON format cannot carry",
+            e.scenario
+        );
+        let _ =
+            write!(
+            out,
+            "    {{\"scenario\": \"{}\", \"p50_ms\": {:.6}, \"p95_ms\": {:.6}, \"p99_ms\": {:.6}, \
+             \"goodput_qps\": {:.6}, \"slo_violation_rate\": {:.6}, \"dropped\": {}}}",
+            e.scenario, e.p50_ms, e.p95_ms, e.p99_ms, e.goodput_qps, e.slo_violation_rate, e.dropped
+        );
+        out.push_str(if i + 1 < entries.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Parses the `BENCH_serve.json` format written by [`serve_bench_to_json`].
+///
+/// # Errors
+/// Returns a description of the first malformed entry.
+pub fn serve_bench_from_json(text: &str) -> Result<Vec<ServeBenchEntry>, String> {
+    fn field<'a>(obj: &'a str, key: &str) -> Result<&'a str, String> {
+        let pat = format!("\"{key}\":");
+        let start = obj.find(&pat).ok_or_else(|| format!("missing field '{key}'"))? + pat.len();
+        let rest = obj[start..].trim_start();
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        Ok(rest[..end].trim())
+    }
+    fn num(obj: &str, key: &str) -> Result<f64, String> {
+        field(obj, key)?.parse().map_err(|e| format!("bad {key}: {e}"))
+    }
+    if !text.contains("sushi-serve-bench-v1") {
+        return Err("missing sushi-serve-bench-v1 schema marker".to_string());
+    }
+    let mut entries = Vec::new();
+    for obj in text.split('{').skip(2) {
+        let obj = match obj.find('}') {
+            Some(end) => &obj[..end + 1],
+            None => return Err("truncated serve bench entry (missing '}')".to_string()),
+        };
+        entries.push(ServeBenchEntry {
+            scenario: field(obj, "scenario")?.trim_matches('"').to_string(),
+            p50_ms: num(obj, "p50_ms")?,
+            p95_ms: num(obj, "p95_ms")?,
+            p99_ms: num(obj, "p99_ms")?,
+            goodput_qps: num(obj, "goodput_qps")?,
+            slo_violation_rate: num(obj, "slo_violation_rate")?,
+            dropped: field(obj, "dropped")?.parse().map_err(|e| format!("bad dropped: {e}"))?,
+        });
+    }
+    if entries.is_empty() {
+        return Err("no serve bench entries found".to_string());
+    }
+    Ok(entries)
+}
+
+/// Compares a fresh deterministic serve run against the committed baseline.
+///
+/// All percentile/goodput/violation fields must agree within `rel_tol`
+/// (relative) and drop counts exactly; a scenario missing from `current`
+/// fails, and so does a scenario present in `current` but absent from the
+/// baseline (a newly added preset must enter the baseline via `--update`,
+/// not ship ungated). Because the simulation is deterministic, any
+/// non-zero difference means serving *semantics* drifted — the gate's
+/// tolerance exists only to absorb decimal formatting in the JSON
+/// round-trip.
+///
+/// # Errors
+/// Returns a human-readable description of every mismatch found.
+pub fn serve_regressions(
+    current: &[ServeBenchEntry],
+    baseline: &[ServeBenchEntry],
+    rel_tol: f64,
+) -> Result<(), String> {
+    let close = |a: f64, b: f64| (a - b).abs() <= rel_tol * a.abs().max(b.abs()).max(1.0);
+    let mut problems = Vec::new();
+    for base in baseline {
+        let Some(cur) = current.iter().find(|c| c.scenario == base.scenario) else {
+            problems.push(format!("scenario '{}' missing from current run", base.scenario));
+            continue;
+        };
+        let checks = [
+            ("p50_ms", cur.p50_ms, base.p50_ms),
+            ("p95_ms", cur.p95_ms, base.p95_ms),
+            ("p99_ms", cur.p99_ms, base.p99_ms),
+            ("goodput_qps", cur.goodput_qps, base.goodput_qps),
+            ("slo_violation_rate", cur.slo_violation_rate, base.slo_violation_rate),
+        ];
+        for (name, c, b) in checks {
+            if !close(c, b) {
+                problems
+                    .push(format!("'{}' {name} drifted: {c:.6} vs baseline {b:.6}", base.scenario));
+            }
+        }
+        if cur.dropped != base.dropped {
+            problems.push(format!(
+                "'{}' dropped count drifted: {} vs baseline {}",
+                base.scenario, cur.dropped, base.dropped
+            ));
+        }
+    }
+    for cur in current {
+        if !baseline.iter().any(|b| b.scenario == cur.scenario) {
+            problems.push(format!(
+                "scenario '{}' is not in the baseline — regenerate it with --update",
+                cur.scenario
+            ));
+        }
+    }
+    if problems.is_empty() {
+        Ok(())
+    } else {
+        Err(problems.join("\n"))
+    }
+}
+
 /// Serializes served records as CSV (header + one row per query), the raw
 /// data behind the paper's scatter plots (Figs. 15–16). Plot-friendly:
 /// constraints and served values side by side.
@@ -335,6 +645,87 @@ mod tests {
         assert!(err.contains("regressed"));
         // Missing workload: regression.
         assert!(kernel_regressions(&[], &base, 20.0).is_err());
+    }
+
+    #[test]
+    fn histogram_quantiles_bound_known_data() {
+        let mut h = LatencyHistogram::new();
+        for i in 1..=1000 {
+            h.push(i as f64); // 1..1000 ms uniform
+        }
+        assert_eq!(h.count(), 1000);
+        assert!((h.mean_ms() - 500.5).abs() < 1e-9);
+        // Log-bucketing guarantees ≤ ~2% relative error + bucket rounding.
+        let p50 = h.quantile(0.50);
+        let p99 = h.quantile(0.99);
+        assert!((p50 - 500.0).abs() / 500.0 < 0.03, "p50 {p50}");
+        assert!((p99 - 990.0).abs() / 990.0 < 0.03, "p99 {p99}");
+        assert!(h.quantile(0.0) >= 1.0 && h.quantile(1.0) <= 1000.0);
+        assert!(p50 <= h.quantile(0.95) && h.quantile(0.95) <= p99);
+    }
+
+    #[test]
+    fn histogram_clamps_to_observed_range() {
+        let mut h = LatencyHistogram::new();
+        h.push(7.25);
+        assert_eq!(h.quantile(0.5), 7.25);
+        assert_eq!(h.quantile(0.99), 7.25);
+        h.push(0.0); // below MIN_MS: lands in bucket 0.
+        assert!(h.quantile(0.0) <= LatencyHistogram::MIN_MS * LatencyHistogram::GROWTH);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty histogram")]
+    fn histogram_quantile_rejects_empty() {
+        let _ = LatencyHistogram::new().quantile(0.5);
+    }
+
+    fn serve_entry(scenario: &str, p99: f64, dropped: usize) -> ServeBenchEntry {
+        ServeBenchEntry {
+            scenario: scenario.into(),
+            p50_ms: 2.0,
+            p95_ms: 5.0,
+            p99_ms: p99,
+            goodput_qps: 140.0,
+            slo_violation_rate: 0.0125,
+            dropped,
+        }
+    }
+
+    #[test]
+    fn serve_bench_json_round_trips() {
+        let entries = vec![serve_entry("steady", 8.5, 0), serve_entry("burst", 21.25, 17)];
+        let json = serve_bench_to_json(&entries);
+        assert!(json.contains("sushi-serve-bench-v1"));
+        let parsed = serve_bench_from_json(&json).unwrap();
+        assert_eq!(parsed, entries);
+    }
+
+    #[test]
+    fn serve_bench_rejects_garbage_and_truncation() {
+        assert!(serve_bench_from_json("not json").is_err());
+        let json = serve_bench_to_json(&[serve_entry("steady", 8.5, 0)]);
+        let truncated = &json[..json.find("dropped").unwrap()];
+        assert!(serve_bench_from_json(truncated).is_err());
+    }
+
+    #[test]
+    fn serve_regressions_gate_on_drift() {
+        let base = vec![serve_entry("steady", 8.5, 3)];
+        assert!(serve_regressions(&base.clone(), &base, 1e-9).is_ok());
+        let mut drifted = base.clone();
+        drifted[0].p99_ms = 9.0;
+        assert!(serve_regressions(&drifted, &base, 1e-9).unwrap_err().contains("p99_ms"));
+        let mut dropped = base.clone();
+        dropped[0].dropped = 4;
+        assert!(serve_regressions(&dropped, &base, 1e-9).unwrap_err().contains("dropped"));
+        assert!(serve_regressions(&[], &base, 1e-9).unwrap_err().contains("missing"));
+        // A scenario the baseline has never seen fails too: new presets
+        // must enter the baseline explicitly via --update.
+        let extra = vec![base[0].clone(), serve_entry("brand_new", 1.0, 0)];
+        assert!(serve_regressions(&extra, &base, 1e-9)
+            .unwrap_err()
+            .contains("not in the baseline"));
     }
 
     #[test]

@@ -1,0 +1,297 @@
+//! Multi-worker executor pool.
+//!
+//! Each worker owns an [`Accelerator`] replica (its own Persistent-Buffer
+//! state) and a monotone `busy_until` clock; batches run to completion
+//! without preemption. Scheduler cache decisions are broadcast to every
+//! worker as a *pending install* and applied lazily at that worker's next
+//! dispatch, so the PB swap cost lands on the batch that first benefits
+//! from the new SubGraph — charging cache-swap time against the deadlines
+//! of the queries actually in flight (stage B of Fig. 9a, now under load).
+//!
+//! The pool serves two execution styles:
+//!
+//! * **Timing** — [`ExecutorPool::dispatch`] advances simulated time via
+//!   [`Accelerator::serve_batch`]; nothing numeric runs. Every `serve`
+//!   experiment uses this mode.
+//! * **Functional** — a [`FunctionalContext`] additionally executes the
+//!   real int8 datapath ([`sushi_accel::functional::forward_batch`]) for
+//!   each dispatched batch, under the context's
+//!   [`sushi_tensor::KernelPolicy`]. Logits are policy- and
+//!   batching-invariant (pinned by proptests), so this mode validates that
+//!   the serving layer never changes *what* is computed, only *when*.
+
+use sushi_accel::exec::{Accelerator, BatchReport};
+use sushi_accel::functional::{act_quant, forward_batch, FunctionalOutput};
+use sushi_accel::AccelConfig;
+use sushi_tensor::quant::quantize_tensor;
+use sushi_tensor::{DetRng, Shape4, Tensor};
+use sushi_wsnet::{SubGraph, SubNet, SuperNet, WeightStore};
+
+use crate::serving::queue::QueuedQuery;
+
+/// One simulated worker.
+#[derive(Debug, Clone)]
+struct Worker {
+    accel: Accelerator,
+    busy_until_ms: f64,
+    pending_install: Option<SubGraph>,
+}
+
+/// What one dispatch did.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DispatchReport {
+    /// Worker index that executed the batch.
+    pub worker: usize,
+    /// Dispatch (service start) time, ms.
+    pub start_ms: f64,
+    /// Completion time of every query in the batch, ms.
+    pub completion_ms: f64,
+    /// The accelerator's batched timing/energy report.
+    pub report: BatchReport,
+}
+
+/// A pool of accelerator workers with simulated availability clocks.
+#[derive(Debug, Clone)]
+pub struct ExecutorPool {
+    workers: Vec<Worker>,
+    cache_installs: usize,
+    swap_ms: f64,
+    batches: usize,
+}
+
+impl ExecutorPool {
+    /// Creates `workers` accelerator replicas of `config`.
+    ///
+    /// # Panics
+    /// Panics if `workers == 0`.
+    #[must_use]
+    pub fn new(config: &AccelConfig, workers: usize) -> Self {
+        assert!(workers > 0, "executor pool needs at least one worker");
+        let worker = Worker {
+            accel: Accelerator::new(config.clone()),
+            busy_until_ms: 0.0,
+            pending_install: None,
+        };
+        Self { workers: vec![worker; workers], cache_installs: 0, swap_ms: 0.0, batches: 0 }
+    }
+
+    /// Number of workers.
+    #[must_use]
+    pub fn num_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Lowest-index worker free at `now_ms`, if any (deterministic tie
+    /// break: index order).
+    #[must_use]
+    pub fn free_worker_at(&self, now_ms: f64) -> Option<usize> {
+        self.workers.iter().position(|w| w.busy_until_ms <= now_ms)
+    }
+
+    /// Earliest time any worker becomes free.
+    ///
+    /// # Panics
+    /// Never — the pool always has at least one worker.
+    #[must_use]
+    pub fn next_free_ms(&self) -> f64 {
+        self.workers.iter().map(|w| w.busy_until_ms).fold(f64::INFINITY, f64::min)
+    }
+
+    /// Time the last worker finishes (the pool's drain point).
+    #[must_use]
+    pub fn drain_ms(&self) -> f64 {
+        self.workers.iter().map(|w| w.busy_until_ms).fold(0.0, f64::max)
+    }
+
+    /// Broadcasts a cache decision: every worker installs `graph` before
+    /// its next batch (the newest decision overwrites an unapplied one).
+    pub fn broadcast_install(&mut self, graph: &SubGraph) {
+        self.cache_installs += 1;
+        for w in &mut self.workers {
+            w.pending_install = Some(graph.clone());
+        }
+    }
+
+    /// Runs `batch_size` same-SubNet queries on `worker`, applying any
+    /// pending cache install first (its reload time is charged to this
+    /// batch by the accelerator).
+    ///
+    /// # Panics
+    /// Panics if the worker is still busy at `now_ms` or `batch_size == 0`.
+    pub fn dispatch(
+        &mut self,
+        worker: usize,
+        now_ms: f64,
+        net: &SuperNet,
+        subnet: &SubNet,
+        batch_size: usize,
+    ) -> DispatchReport {
+        let w = &mut self.workers[worker];
+        assert!(w.busy_until_ms <= now_ms, "dispatch to a busy worker");
+        if let Some(graph) = w.pending_install.take() {
+            let _ = w.accel.install_cache(net, graph);
+        }
+        let report = w.accel.serve_batch(net, subnet, batch_size);
+        self.swap_ms += w.accel.config().cycles_to_ms(report.pb_reload_cycles);
+        self.batches += 1;
+        let completion_ms = now_ms + report.total_latency_ms;
+        w.busy_until_ms = completion_ms;
+        DispatchReport { worker, start_ms: now_ms, completion_ms, report }
+    }
+
+    /// Number of cache decisions broadcast so far.
+    #[must_use]
+    pub fn cache_installs(&self) -> usize {
+        self.cache_installs
+    }
+
+    /// Total PB swap (reload) time actually charged to batches, ms.
+    #[must_use]
+    pub fn total_swap_ms(&self) -> f64 {
+        self.swap_ms
+    }
+
+    /// Number of batches dispatched.
+    #[must_use]
+    pub fn batches(&self) -> usize {
+        self.batches
+    }
+}
+
+/// Real-datapath execution context for functional serving runs.
+///
+/// Synthesizes a deterministic input per query id and executes whole
+/// batches through [`forward_batch`] under the context's `DpeArray` kernel
+/// policy. Intended for the toy zoo (full-size SuperNets take seconds per
+/// forward); the timing simulation is identical either way.
+#[derive(Debug)]
+pub struct FunctionalContext {
+    dpe: sushi_accel::dpe::DpeArray,
+    store: WeightStore,
+    input_seed: u64,
+}
+
+impl FunctionalContext {
+    /// Creates a context with synthesized weights for `net`.
+    #[must_use]
+    pub fn new(dpe: sushi_accel::dpe::DpeArray, net: &SuperNet, seed: u64) -> Self {
+        Self { dpe, store: WeightStore::synthesize(net, seed), input_seed: seed ^ 0x1A7E }
+    }
+
+    /// The deterministic input tensor for a query id.
+    #[must_use]
+    pub fn input_for(&self, net: &SuperNet, query_id: u64) -> Tensor<i8> {
+        let shape = Shape4::new(1, 3, net.input_hw, net.input_hw);
+        let mut rng = DetRng::new(self.input_seed ^ query_id.wrapping_mul(0x9E37_79B9));
+        let f = Tensor::from_vec(
+            shape,
+            (0..shape.volume()).map(|_| rng.uniform_f32(-1.0, 1.0)).collect(),
+        )
+        .expect("shape matches");
+        quantize_tensor(&f, act_quant())
+    }
+
+    /// Executes one dispatched batch on the real datapath, returning one
+    /// output per query (input order).
+    ///
+    /// # Panics
+    /// Panics if the batch is empty or a layer fails to execute (zoo
+    /// definitions are programmer-controlled).
+    #[must_use]
+    pub fn run_batch(
+        &self,
+        net: &SuperNet,
+        subnet: &SubNet,
+        batch: &[QueuedQuery],
+    ) -> Vec<FunctionalOutput> {
+        let inputs: Vec<Tensor<i8>> =
+            batch.iter().map(|q| self.input_for(net, q.timed.query.id)).collect();
+        forward_batch(&self.dpe, net, &self.store, subnet, &inputs)
+            .expect("functional batch execution")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::TimedQuery;
+    use sushi_accel::config::zcu104;
+    use sushi_accel::dpe::DpeArray;
+    use sushi_accel::functional::forward;
+    use sushi_sched::Query;
+    use sushi_wsnet::zoo;
+
+    #[test]
+    fn free_worker_selection_is_lowest_index() {
+        let pool = ExecutorPool::new(&zcu104(), 3);
+        assert_eq!(pool.free_worker_at(0.0), Some(0));
+        assert_eq!(pool.next_free_ms(), 0.0);
+    }
+
+    #[test]
+    fn dispatch_advances_worker_clock() {
+        let net = zoo::mobilenet_v3_supernet();
+        let picks = zoo::paper_subnets(&net);
+        let mut pool = ExecutorPool::new(&zcu104(), 2);
+        let d = pool.dispatch(0, 5.0, &net, &picks[0], 4);
+        assert_eq!(d.start_ms, 5.0);
+        assert!(d.completion_ms > 5.0);
+        assert_eq!(pool.free_worker_at(5.0), Some(1));
+        assert_eq!(pool.free_worker_at(d.completion_ms), Some(0));
+        assert_eq!(pool.batches(), 1);
+    }
+
+    #[test]
+    fn pending_install_charges_swap_to_next_batch() {
+        let net = zoo::mobilenet_v3_supernet();
+        let picks = zoo::paper_subnets(&net);
+        let mut pool = ExecutorPool::new(&zcu104(), 1);
+        let cold = pool.dispatch(0, 0.0, &net, &picks[0], 2);
+        assert_eq!(cold.report.pb_reload_cycles, 0);
+        pool.broadcast_install(&picks[0].graph);
+        let t = cold.completion_ms;
+        let warmup = pool.dispatch(0, t, &net, &picks[0], 2);
+        assert!(warmup.report.pb_reload_cycles > 0, "swap charged to in-flight batch");
+        assert!(pool.total_swap_ms() > 0.0);
+        let steady = pool.dispatch(0, warmup.completion_ms, &net, &picks[0], 2);
+        assert_eq!(steady.report.pb_reload_cycles, 0);
+        assert!(steady.report.total_latency_ms < cold.report.total_latency_ms);
+        assert_eq!(pool.cache_installs(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "busy worker")]
+    fn dispatch_to_busy_worker_panics() {
+        let net = zoo::mobilenet_v3_supernet();
+        let picks = zoo::paper_subnets(&net);
+        let mut pool = ExecutorPool::new(&zcu104(), 1);
+        let _ = pool.dispatch(0, 0.0, &net, &picks[0], 1);
+        let _ = pool.dispatch(0, 0.0, &net, &picks[0], 1);
+    }
+
+    #[test]
+    fn functional_context_matches_single_query_forwards() {
+        let net = zoo::toy_supernet();
+        let ctx = FunctionalContext::new(DpeArray::new(4, 4), &net, 77);
+        let sn = net.materialize("max", &net.max_config()).unwrap();
+        let batch: Vec<QueuedQuery> = (0..3)
+            .map(|id| QueuedQuery {
+                timed: TimedQuery::new(id as f64, Query::new(id, 0.5, 100.0)),
+                subnet_row: 0,
+            })
+            .collect();
+        let outs = ctx.run_batch(&net, &sn, &batch);
+        assert_eq!(outs.len(), 3);
+        for (q, out) in batch.iter().zip(&outs) {
+            let single = forward(
+                &DpeArray::new(4, 4),
+                &net,
+                &ctx.store,
+                &sn,
+                &ctx.input_for(&net, q.timed.query.id),
+            )
+            .unwrap();
+            assert_eq!(&single, out);
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! The SUSHI serving runtime: an event-driven traffic simulator.
+//!
+//! The batch-replay experiments (§5.6–5.7) answer *which SubNet should
+//! serve each query*; this module answers the systems question the paper's
+//! premise raises but its evaluation replays offline: **what happens under
+//! real traffic** — arrival processes, bounded queues, dynamic batching,
+//! multi-worker concurrency, and tail-latency SLOs. It is a deterministic
+//! discrete-event simulation: simulated milliseconds, seeded randomness,
+//! bit-identical results across runs and platforms.
+//!
+//! The pieces compose bottom-up:
+//!
+//! * [`arrivals::ArrivalProcess`] — open-loop Poisson / MMPP / diurnal
+//!   arrival-time generators, attached to constraint streams via
+//!   [`crate::stream::attach_arrivals`] ([`crate::stream::TimedQuery`]).
+//! * [`queue::AdmissionQueue`] — bounded admission with drop/deadline
+//!   policies and time-weighted depth accounting.
+//! * [`batch::BatchPolicy`] — size/timeout hybrid batching keyed on the
+//!   scheduler's SubNet decision.
+//! * [`executor::ExecutorPool`] — accelerator-replica workers;
+//!   [`executor::FunctionalContext`] optionally dispatches *real* int8
+//!   forwards ([`sushi_accel::functional::forward_batch`]) per batch.
+//! * [`sim::ServingSim`] — the SLO-aware event loop tying scheduler,
+//!   queue, batcher and pool together.
+//! * [`scenario`] — canned presets (`steady`, `burst`, `diurnal`,
+//!   `multi_tenant`) behind `repro --serve` and the `BENCH_serve.json`
+//!   baseline.
+//!
+//! See `docs/SERVING.md` for the queueing model and SLO semantics.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use sushi_core::serving::{ArrivalProcess, BatchPolicy, DropPolicy, ServingSim, SimConfig};
+//! use sushi_core::stream::{attach_arrivals, uniform_stream, ConstraintSpace};
+//! use sushi_core::variants::build_table;
+//! use sushi_sched::{CacheSelection, Policy};
+//! use sushi_wsnet::zoo;
+//!
+//! let net = Arc::new(zoo::mobilenet_v3_supernet());
+//! let picks = zoo::paper_subnets(&net);
+//! let board = sushi_accel::config::zcu104();
+//! let table = build_table(&net, &picks, &board, 8, 42);
+//!
+//! // 50 uniform queries arriving as 120 qps Poisson traffic.
+//! let space = ConstraintSpace { acc_lo: 0.76, acc_hi: 0.79, lat_lo: 2.0, lat_hi: 30.0 };
+//! let queries = uniform_stream(&space, 50, 7);
+//! let arrivals = ArrivalProcess::Poisson { rate_qps: 120.0 }.timestamps(50, 7);
+//! let stream = attach_arrivals(&queries, &arrivals);
+//!
+//! let mut sim = ServingSim::new(
+//!     Arc::clone(&net), picks, table, &board,
+//!     Policy::StrictAccuracy, CacheSelection::MinDistanceToAvg, 10,
+//!     SimConfig {
+//!         workers: 2,
+//!         queue_capacity: 32,
+//!         drop_policy: DropPolicy::DropNewest,
+//!         batch: BatchPolicy::new(4, 2.0),
+//!     },
+//! );
+//! let result = sim.run(&stream);
+//! let summary = result.summary();
+//! assert_eq!(summary.offered, 50);
+//! assert!(summary.p50_ms <= summary.p99_ms);
+//! ```
+
+pub mod arrivals;
+pub mod batch;
+pub mod executor;
+pub mod queue;
+pub mod scenario;
+pub mod sim;
+
+pub use arrivals::ArrivalProcess;
+pub use batch::BatchPolicy;
+pub use executor::{ExecutorPool, FunctionalContext};
+pub use queue::{AdmissionQueue, DropPolicy, DropReason, DroppedQuery};
+pub use scenario::{build_scenario, run_all_presets, run_scenario, Scenario, ServePreset};
+pub use sim::{ServedQuery, ServingSim, SimConfig, SimResult};

@@ -1,0 +1,311 @@
+//! Bounded admission queue with drop and deadline policies.
+//!
+//! Arriving queries are admitted into a single FIFO of bounded capacity.
+//! When the queue is full, the configured [`DropPolicy`] picks a victim;
+//! dropped queries count as SLO violations in the serving report (a shed
+//! query is a broken promise, not a free pass). The queue also integrates
+//! its depth over simulated time so the report can state the *time-weighted*
+//! mean depth, not just a per-event average.
+
+use std::collections::VecDeque;
+
+use crate::stream::TimedQuery;
+
+/// What to evict when an arrival finds the queue full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropPolicy {
+    /// Reject the incoming query (tail drop).
+    DropNewest,
+    /// Evict the oldest queued query and admit the newcomer.
+    DropOldest,
+    /// Evict whichever query — queued or incoming — has the earliest
+    /// deadline, i.e. the one least likely to meet its SLO anyway.
+    DeadlineAware,
+}
+
+/// A query waiting for dispatch, with its admission-time SubNet decision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueuedQuery {
+    /// The query and its arrival time.
+    pub timed: TimedQuery,
+    /// SubNet row chosen by the scheduler at admission (the batching key).
+    pub subnet_row: usize,
+}
+
+/// Why a query was dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// Evicted by the queue's overflow policy.
+    QueueFull,
+    /// Its deadline lapsed while still queued (deadline-aware sweep).
+    DeadlineLapsed,
+}
+
+/// A dropped query and why.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DroppedQuery {
+    /// The query that was shed.
+    pub timed: TimedQuery,
+    /// The reason it was shed.
+    pub reason: DropReason,
+}
+
+/// Bounded FIFO admission queue with time-weighted depth accounting.
+#[derive(Debug, Clone)]
+pub struct AdmissionQueue {
+    capacity: usize,
+    policy: DropPolicy,
+    items: VecDeque<QueuedQuery>,
+    depth_integral_ms: f64,
+    last_event_ms: f64,
+    max_depth: usize,
+}
+
+impl AdmissionQueue {
+    /// Creates a queue.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    #[must_use]
+    pub fn new(capacity: usize, policy: DropPolicy) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        Self {
+            capacity,
+            policy,
+            items: VecDeque::with_capacity(capacity),
+            depth_integral_ms: 0.0,
+            last_event_ms: 0.0,
+            max_depth: 0,
+        }
+    }
+
+    /// Current queue depth.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Deepest the queue has ever been.
+    #[must_use]
+    pub fn max_depth(&self) -> usize {
+        self.max_depth
+    }
+
+    /// Whether the queue is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The oldest queued query, if any.
+    #[must_use]
+    pub fn head(&self) -> Option<&QueuedQuery> {
+        self.items.front()
+    }
+
+    /// Number of queued queries that resolved to `subnet_row`.
+    #[must_use]
+    pub fn count_row(&self, subnet_row: usize) -> usize {
+        self.items.iter().filter(|q| q.subnet_row == subnet_row).count()
+    }
+
+    /// Advances the depth integral to `now` (call before any mutation).
+    fn advance(&mut self, now_ms: f64) {
+        debug_assert!(now_ms >= self.last_event_ms, "time must not run backwards");
+        self.depth_integral_ms += self.items.len() as f64 * (now_ms - self.last_event_ms);
+        self.last_event_ms = now_ms;
+    }
+
+    /// Offers an arriving query. Returns the victim if one was shed.
+    pub fn offer(&mut self, now_ms: f64, item: QueuedQuery) -> Option<DroppedQuery> {
+        self.advance(now_ms);
+        let victim = if self.items.len() < self.capacity {
+            None
+        } else {
+            match self.policy {
+                DropPolicy::DropNewest => {
+                    return Some(DroppedQuery { timed: item.timed, reason: DropReason::QueueFull });
+                }
+                DropPolicy::DropOldest => self
+                    .items
+                    .pop_front()
+                    .map(|q| DroppedQuery { timed: q.timed, reason: DropReason::QueueFull }),
+                DropPolicy::DeadlineAware => {
+                    // Earliest deadline among queued ∪ {incoming} loses;
+                    // FIFO position breaks exact ties (oldest goes first).
+                    let (idx, earliest) = self
+                        .items
+                        .iter()
+                        .enumerate()
+                        .min_by(|(_, a), (_, b)| {
+                            a.timed.deadline_ms().total_cmp(&b.timed.deadline_ms())
+                        })
+                        .map(|(i, q)| (i, q.timed.deadline_ms()))
+                        .expect("queue is full, hence non-empty");
+                    if item.timed.deadline_ms() < earliest {
+                        return Some(DroppedQuery {
+                            timed: item.timed,
+                            reason: DropReason::QueueFull,
+                        });
+                    }
+                    self.items
+                        .remove(idx)
+                        .map(|q| DroppedQuery { timed: q.timed, reason: DropReason::QueueFull })
+                }
+            }
+        };
+        self.items.push_back(item);
+        self.max_depth = self.max_depth.max(self.items.len());
+        victim
+    }
+
+    /// Removes and returns every queued query whose deadline has already
+    /// lapsed at `now_ms`. Only meaningful under
+    /// [`DropPolicy::DeadlineAware`]; the FIFO policies let doomed queries
+    /// occupy their slot (and later count as served-late violations).
+    pub fn sweep_lapsed(&mut self, now_ms: f64) -> Vec<DroppedQuery> {
+        self.advance(now_ms);
+        if self.policy != DropPolicy::DeadlineAware {
+            return Vec::new();
+        }
+        let mut lapsed = Vec::new();
+        self.items.retain(|q| {
+            if q.timed.deadline_ms() < now_ms {
+                lapsed.push(DroppedQuery { timed: q.timed, reason: DropReason::DeadlineLapsed });
+                false
+            } else {
+                true
+            }
+        });
+        lapsed
+    }
+
+    /// Removes up to `max` queued queries with the given `subnet_row`, in
+    /// FIFO order — the dynamic batcher's extraction step.
+    pub fn take_row(&mut self, now_ms: f64, subnet_row: usize, max: usize) -> Vec<QueuedQuery> {
+        self.advance(now_ms);
+        let mut taken = Vec::new();
+        self.items.retain(|q| {
+            if taken.len() < max && q.subnet_row == subnet_row {
+                taken.push(*q);
+                false
+            } else {
+                true
+            }
+        });
+        taken
+    }
+
+    /// Time-weighted mean depth over `[0, end_ms]`.
+    ///
+    /// # Panics
+    /// Panics if `end_ms` is not positive or precedes the last event.
+    #[must_use]
+    pub fn mean_depth(&self, end_ms: f64) -> f64 {
+        assert!(end_ms > 0.0 && end_ms >= self.last_event_ms, "bad horizon");
+        (self.depth_integral_ms + self.items.len() as f64 * (end_ms - self.last_event_ms)) / end_ms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sushi_sched::Query;
+
+    fn tq(id: u64, arrival: f64, lat_ms: f64) -> TimedQuery {
+        TimedQuery::new(arrival, Query::new(id, 0.7, lat_ms))
+    }
+
+    fn qq(id: u64, arrival: f64, lat_ms: f64) -> QueuedQuery {
+        QueuedQuery { timed: tq(id, arrival, lat_ms), subnet_row: (id % 3) as usize }
+    }
+
+    #[test]
+    fn admits_until_capacity() {
+        let mut q = AdmissionQueue::new(2, DropPolicy::DropNewest);
+        assert!(q.offer(0.0, qq(0, 0.0, 10.0)).is_none());
+        assert!(q.offer(1.0, qq(1, 1.0, 10.0)).is_none());
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.max_depth(), 2);
+    }
+
+    #[test]
+    fn drop_newest_rejects_incoming() {
+        let mut q = AdmissionQueue::new(1, DropPolicy::DropNewest);
+        let _ = q.offer(0.0, qq(0, 0.0, 10.0));
+        let victim = q.offer(1.0, qq(1, 1.0, 10.0)).unwrap();
+        assert_eq!(victim.timed.query.id, 1);
+        assert_eq!(victim.reason, DropReason::QueueFull);
+        assert_eq!(q.head().unwrap().timed.query.id, 0);
+    }
+
+    #[test]
+    fn drop_oldest_evicts_head() {
+        let mut q = AdmissionQueue::new(1, DropPolicy::DropOldest);
+        let _ = q.offer(0.0, qq(0, 0.0, 10.0));
+        let victim = q.offer(1.0, qq(1, 1.0, 10.0)).unwrap();
+        assert_eq!(victim.timed.query.id, 0);
+        assert_eq!(q.head().unwrap().timed.query.id, 1);
+    }
+
+    #[test]
+    fn deadline_aware_evicts_most_hopeless() {
+        let mut q = AdmissionQueue::new(2, DropPolicy::DeadlineAware);
+        let _ = q.offer(0.0, qq(0, 0.0, 100.0)); // deadline 100
+        let _ = q.offer(1.0, qq(1, 1.0, 3.0)); // deadline 4 — the victim
+        let victim = q.offer(2.0, qq(2, 2.0, 50.0)).unwrap();
+        assert_eq!(victim.timed.query.id, 1);
+        assert_eq!(q.depth(), 2);
+        // An incoming query with the earliest deadline loses instead.
+        let victim = q.offer(3.0, qq(3, 3.0, 0.5)).unwrap();
+        assert_eq!(victim.timed.query.id, 3);
+    }
+
+    #[test]
+    fn sweep_lapsed_removes_expired_only_when_deadline_aware() {
+        let mut q = AdmissionQueue::new(4, DropPolicy::DeadlineAware);
+        let _ = q.offer(0.0, qq(0, 0.0, 2.0)); // deadline 2
+        let _ = q.offer(0.0, qq(1, 0.0, 50.0)); // deadline 50
+        let lapsed = q.sweep_lapsed(10.0);
+        assert_eq!(lapsed.len(), 1);
+        assert_eq!(lapsed[0].timed.query.id, 0);
+        assert_eq!(lapsed[0].reason, DropReason::DeadlineLapsed);
+        assert_eq!(q.depth(), 1);
+
+        let mut fifo = AdmissionQueue::new(4, DropPolicy::DropNewest);
+        let _ = fifo.offer(0.0, qq(0, 0.0, 2.0));
+        assert!(fifo.sweep_lapsed(10.0).is_empty());
+        assert_eq!(fifo.depth(), 1);
+    }
+
+    #[test]
+    fn take_row_extracts_fifo_order_and_respects_max() {
+        let mut q = AdmissionQueue::new(8, DropPolicy::DropNewest);
+        for id in 0..6 {
+            let _ = q.offer(id as f64, qq(id, id as f64, 100.0)); // rows 0,1,2,0,1,2
+        }
+        let taken = q.take_row(6.0, 0, 1);
+        assert_eq!(taken.len(), 1);
+        assert_eq!(taken[0].timed.query.id, 0);
+        assert_eq!(q.count_row(0), 1);
+        let taken = q.take_row(6.0, 1, 8);
+        assert_eq!(taken.iter().map(|t| t.timed.query.id).collect::<Vec<_>>(), vec![1, 4]);
+        assert_eq!(q.depth(), 3);
+    }
+
+    #[test]
+    fn mean_depth_is_time_weighted() {
+        let mut q = AdmissionQueue::new(4, DropPolicy::DropNewest);
+        let _ = q.offer(0.0, qq(0, 0.0, 100.0)); // depth 1 from t=0
+        let _ = q.offer(5.0, qq(1, 5.0, 100.0)); // depth 2 from t=5
+        let _ = q.take_row(10.0, 0, 4); // depth 1 from t=10
+                                        // Integral: 1*5 + 2*5 + 1*10 = 25 over [0, 20].
+        assert!((q.mean_depth(20.0) - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = AdmissionQueue::new(0, DropPolicy::DropNewest);
+    }
+}

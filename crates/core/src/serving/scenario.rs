@@ -1,0 +1,310 @@
+//! Scenario presets: canned traffic mixes for the serving runtime.
+//!
+//! Each preset pairs an arrival process with a constraint stream and a
+//! serving-loop configuration, sized relative to the workload's own
+//! service capacity (mean cold latency on the board) so the regimes stay
+//! meaningful as the simulator or zoo evolves:
+//!
+//! | Preset | Arrivals | Constraints | Queue policy |
+//! |--------|----------|-------------|--------------|
+//! | `steady` | Poisson @ 50% capacity | uniform | drop-newest |
+//! | `burst` | MMPP, 1.8× capacity bursts | ICU triage | deadline-aware |
+//! | `diurnal` | sinusoidal ramp 25%→135% | uniform | drop-oldest |
+//! | `multi_tenant` | AV Poisson + ICU MMPP | AV ∪ ICU | deadline-aware |
+//!
+//! All presets run the full SUSHI stack (state-aware caching, dynamic
+//! batching, two workers) on the MobileNetV3 workload over the ZCU104
+//! board model, and are deterministic in `(preset, opts)`.
+
+use std::sync::Arc;
+
+use sushi_accel::config::zcu104;
+use sushi_sched::{CacheSelection, Policy};
+
+use crate::experiments::common::{mobv3_workload, ExpOptions, Workload};
+use crate::metrics::ServeSummary;
+use crate::serving::arrivals::ArrivalProcess;
+use crate::serving::batch::BatchPolicy;
+use crate::serving::queue::DropPolicy;
+use crate::serving::sim::{ServingSim, SimConfig, SimResult};
+use crate::stream::{
+    attach_arrivals, av_navigation_stream, icu_burst_stream, merge_tenant_streams, uniform_stream,
+    ConstraintSpace, TimedQuery,
+};
+use crate::variants::build_table;
+
+/// The four canned serving scenarios.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServePreset {
+    /// Steady Poisson traffic at comfortable load.
+    Steady,
+    /// Calm/burst MMPP traffic that transiently exceeds capacity.
+    Burst,
+    /// Slow sinusoidal load swing crossing capacity at the crest.
+    Diurnal,
+    /// An AV tenant and an ICU tenant sharing the same serving stack.
+    MultiTenant,
+}
+
+impl ServePreset {
+    /// All presets, in report order.
+    pub const ALL: [ServePreset; 4] =
+        [ServePreset::Steady, ServePreset::Burst, ServePreset::Diurnal, ServePreset::MultiTenant];
+
+    /// Stable scenario label (used in reports and `BENCH_serve.json`).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            ServePreset::Steady => "steady",
+            ServePreset::Burst => "burst",
+            ServePreset::Diurnal => "diurnal",
+            ServePreset::MultiTenant => "multi_tenant",
+        }
+    }
+
+    /// Parses a scenario label.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|p| p.name() == name)
+    }
+}
+
+/// A fully materialized scenario: the stream plus every serving knob.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Scenario label.
+    pub name: &'static str,
+    /// Arrival-ordered query stream.
+    pub stream: Vec<TimedQuery>,
+    /// Serving-loop configuration.
+    pub sim: SimConfig,
+    /// Scheduler caching window `Q`.
+    pub q_window: usize,
+}
+
+/// Builds a preset scenario under the given experiment sizing.
+///
+/// # Panics
+/// Panics only on programmer error (empty zoo serving set).
+#[must_use]
+pub fn build_scenario(preset: ServePreset, opts: &ExpOptions) -> Scenario {
+    build_scenario_for(&mobv3_workload(), preset, opts)
+}
+
+/// [`build_scenario`] over an already-loaded workload (lets
+/// [`run_scenario`] share one workload and probe table per run).
+fn build_scenario_for(workload: &Workload, preset: ServePreset, opts: &ExpOptions) -> Scenario {
+    let board = zcu104();
+    // One candidate-free probe table yields both the constraint space and
+    // the capacity anchor (mean cold latency of the serving set).
+    let probe = build_table(&workload.net, &workload.picks, &board, 0, opts.seed);
+    let accs: Vec<f64> = workload.picks.iter().map(|p| p.accuracy).collect();
+    let colds: Vec<f64> = (0..probe.num_rows()).map(|i| probe.latency_ms(i, 0)).collect();
+    // The replay experiments' constraint band spans bare *service* latency
+    // (0.8×min cold … 1.1×max cold). An open-loop deadline must also cover
+    // queueing, batching delay and cache swaps, so serving scenarios widen
+    // the band: deadlines from 2× the fastest to 2.5× the slowest cold
+    // latency. Accuracy constraints are taken as-is.
+    let mut space = ConstraintSpace::from_serving_set(&accs, &colds);
+    space.lat_lo *= 2.0;
+    space.lat_hi *= 2.5;
+    let mean_cold_ms = colds.iter().sum::<f64>() / colds.len() as f64;
+    let workers = 2usize;
+    let capacity_qps = workers as f64 * 1e3 / mean_cold_ms;
+    let n = opts.queries;
+    let seed = opts.seed ^ 0x5E87;
+    let batch = BatchPolicy::new(4, 0.25 * mean_cold_ms);
+
+    let (stream, sim) = match preset {
+        ServePreset::Steady => {
+            let qs = uniform_stream(&space, n, seed);
+            let arrivals = ArrivalProcess::Poisson { rate_qps: 0.50 * capacity_qps }
+                .timestamps(n, seed ^ 0x01);
+            let sim = SimConfig {
+                workers,
+                queue_capacity: 64,
+                drop_policy: DropPolicy::DropNewest,
+                batch,
+            };
+            (attach_arrivals(&qs, &arrivals), sim)
+        }
+        ServePreset::Burst => {
+            let qs: Vec<_> =
+                icu_burst_stream(&space, n, 40, 12, seed).into_iter().map(|(_, q)| q).collect();
+            let arrivals = ArrivalProcess::Mmpp {
+                calm_qps: 0.30 * capacity_qps,
+                burst_qps: 1.8 * capacity_qps,
+                mean_calm_ms: 40.0 * mean_cold_ms,
+                mean_burst_ms: 10.0 * mean_cold_ms,
+            }
+            .timestamps(n, seed ^ 0x02);
+            let sim = SimConfig {
+                workers,
+                queue_capacity: 32,
+                drop_policy: DropPolicy::DeadlineAware,
+                batch,
+            };
+            (attach_arrivals(&qs, &arrivals), sim)
+        }
+        ServePreset::Diurnal => {
+            let qs = uniform_stream(&space, n, seed);
+            // Aim for ~3 full day/night cycles across the run.
+            let mean_qps = f64::midpoint(0.25, 1.35) * capacity_qps;
+            let period_ms = (n as f64 / mean_qps) * 1e3 / 3.0;
+            let arrivals = ArrivalProcess::DiurnalRamp {
+                base_qps: 0.25 * capacity_qps,
+                peak_qps: 1.35 * capacity_qps,
+                period_ms,
+            }
+            .timestamps(n, seed ^ 0x03);
+            let sim = SimConfig {
+                workers,
+                queue_capacity: 48,
+                drop_policy: DropPolicy::DropOldest,
+                batch,
+            };
+            (attach_arrivals(&qs, &arrivals), sim)
+        }
+        ServePreset::MultiTenant => {
+            let n_av = n / 2;
+            let n_icu = n - n_av;
+            let av: Vec<_> = av_navigation_stream(&space, n_av, n_av.max(8) / 4, seed)
+                .into_iter()
+                .map(|(_, q)| q)
+                .collect();
+            let av_arrivals = ArrivalProcess::Poisson { rate_qps: 0.25 * capacity_qps }
+                .timestamps(n_av, seed ^ 0x04);
+            let icu: Vec<_> = icu_burst_stream(&space, n_icu, 30, 10, seed ^ 0x05)
+                .into_iter()
+                .map(|(_, q)| q)
+                .collect();
+            let icu_arrivals = ArrivalProcess::Mmpp {
+                calm_qps: 0.20 * capacity_qps,
+                burst_qps: 1.2 * capacity_qps,
+                mean_calm_ms: 50.0 * mean_cold_ms,
+                mean_burst_ms: 12.0 * mean_cold_ms,
+            }
+            .timestamps(n_icu, seed ^ 0x06);
+            let merged = merge_tenant_streams(&[
+                attach_arrivals(&av, &av_arrivals),
+                attach_arrivals(&icu, &icu_arrivals),
+            ]);
+            let sim = SimConfig {
+                workers,
+                queue_capacity: 48,
+                drop_policy: DropPolicy::DeadlineAware,
+                batch,
+            };
+            (merged, sim)
+        }
+    };
+    Scenario { name: preset.name(), stream, sim, q_window: workload.q_window }
+}
+
+/// Builds the serving stack for a scenario and runs it to completion.
+#[must_use]
+pub fn run_scenario(preset: ServePreset, opts: &ExpOptions) -> SimResult {
+    let workload = mobv3_workload();
+    let scenario = build_scenario_for(&workload, preset, opts);
+    let board = zcu104();
+    let table = build_table(&workload.net, &workload.picks, &board, opts.candidates, opts.seed);
+    let mut sim = ServingSim::new(
+        Arc::clone(&workload.net),
+        workload.picks,
+        table,
+        &board,
+        Policy::StrictAccuracy,
+        CacheSelection::MinDistanceToAvg,
+        scenario.q_window,
+        scenario.sim,
+    );
+    sim.run(&scenario.stream)
+}
+
+/// Runs every preset and returns `(label, summary)` rows in report order.
+#[must_use]
+pub fn run_all_presets(opts: &ExpOptions) -> Vec<(&'static str, ServeSummary)> {
+    ServePreset::ALL.into_iter().map(|p| (p.name(), run_scenario(p, opts).summary())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preset_names_round_trip() {
+        for p in ServePreset::ALL {
+            assert_eq!(ServePreset::from_name(p.name()), Some(p));
+        }
+        assert_eq!(ServePreset::from_name("nope"), None);
+    }
+
+    #[test]
+    fn scenarios_build_sorted_streams_of_requested_length() {
+        let opts = ExpOptions::quick();
+        for p in ServePreset::ALL {
+            let s = build_scenario(p, &opts);
+            assert_eq!(s.stream.len(), opts.queries, "{}", s.name);
+            assert!(s.stream.windows(2).all(|w| w[0].arrival_ms <= w[1].arrival_ms));
+        }
+    }
+
+    #[test]
+    fn multi_tenant_scenario_mixes_tenants() {
+        let s = build_scenario(ServePreset::MultiTenant, &ExpOptions::quick());
+        assert!(s.stream.iter().any(|tq| tq.tenant == 0));
+        assert!(s.stream.iter().any(|tq| tq.tenant == 1));
+    }
+
+    #[test]
+    fn burst_scenario_stresses_harder_than_steady() {
+        let opts = ExpOptions::quick();
+        let steady = run_scenario(ServePreset::Steady, &opts).summary();
+        let burst = run_scenario(ServePreset::Burst, &opts).summary();
+        assert!(
+            burst.p99_ms > steady.p99_ms,
+            "burst p99 {} !> steady {}",
+            burst.p99_ms,
+            steady.p99_ms
+        );
+        assert!(burst.slo_violation_rate >= steady.slo_violation_rate);
+    }
+
+    #[test]
+    fn presets_are_deterministic() {
+        let opts = ExpOptions::quick();
+        assert_eq!(run_all_presets(&opts), run_all_presets(&opts));
+    }
+
+    /// Pins the quick-scenario tail metrics to exact values. The serving
+    /// simulation runs on simulated time with seeded randomness, so these
+    /// figures are reproducible to the last bit on any platform; a change
+    /// here means serving *semantics* changed and `BENCH_serve.json` needs
+    /// regenerating too (`scripts/bench_baseline.sh --update`).
+    #[test]
+    fn quick_scenario_metrics_are_pinned() {
+        let opts = ExpOptions::quick();
+        let steady = run_scenario(ServePreset::Steady, &opts).summary();
+        assert!((steady.p99_ms - 23.382_301_440).abs() < 1e-6, "steady p99 {}", steady.p99_ms);
+        assert!(
+            (steady.goodput_qps - 75.097_068_028).abs() < 1e-6,
+            "steady goodput {}",
+            steady.goodput_qps
+        );
+        assert!(
+            (steady.slo_violation_rate - 1.0 / 6.0).abs() < 1e-9,
+            "steady violation rate {}",
+            steady.slo_violation_rate
+        );
+        assert_eq!(steady.dropped, 0);
+
+        let burst = run_scenario(ServePreset::Burst, &opts).summary();
+        assert!((burst.p99_ms - 101.102_122_735).abs() < 1e-6, "burst p99 {}", burst.p99_ms);
+        assert!(
+            (burst.goodput_qps - 47.104_057_652).abs() < 1e-6,
+            "burst goodput {}",
+            burst.goodput_qps
+        );
+        assert_eq!(burst.dropped, 25);
+    }
+}

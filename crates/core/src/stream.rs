@@ -6,6 +6,8 @@
 //! covering the evaluation's random queries (§5.6–5.7) plus two motivating
 //! scenarios: autonomous-vehicle terrain phases and ICU triage bursts.
 
+use serde::{Deserialize, Serialize};
+
 use sushi_sched::Query;
 use sushi_tensor::DetRng;
 
@@ -59,6 +61,83 @@ impl ConstraintSpace {
             (mid - Self::DEGENERATE_BAND_EPS, mid + Self::DEGENERATE_BAND_EPS)
         }
     }
+}
+
+/// A [`Query`] annotated with its open-loop arrival time and tenant.
+///
+/// The batch-replay experiments (§5.6–5.7) consume bare `Vec<Query>`
+/// streams; the serving runtime ([`crate::serving`]) needs *when* each
+/// query arrives and, for multi-tenant mixes, *who* issued it. One shared
+/// wrapper keeps the two views consistent instead of threading parallel
+/// `Vec<f64>` timestamp arrays next to every stream.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimedQuery {
+    /// Simulated arrival time in milliseconds since stream start.
+    pub arrival_ms: f64,
+    /// Tenant index (0 for single-tenant streams).
+    pub tenant: u32,
+    /// The constraint query itself.
+    pub query: Query,
+}
+
+impl TimedQuery {
+    /// Wraps a query with an arrival timestamp (tenant 0).
+    #[must_use]
+    pub fn new(arrival_ms: f64, query: Query) -> Self {
+        Self { arrival_ms, tenant: 0, query }
+    }
+
+    /// Tags the query with a tenant index.
+    #[must_use]
+    pub fn with_tenant(mut self, tenant: u32) -> Self {
+        self.tenant = tenant;
+        self
+    }
+
+    /// Absolute completion deadline implied by the latency constraint
+    /// (arrival + `Lₜ`): the serving runtime's SLO reference point.
+    #[must_use]
+    pub fn deadline_ms(&self) -> f64 {
+        self.arrival_ms + self.query.latency_constraint_ms
+    }
+}
+
+/// Zips a constraint stream with arrival timestamps into [`TimedQuery`]s.
+///
+/// Existing `Vec<Query>` consumers are untouched; the serving runtime
+/// attaches timestamps produced by a [`crate::serving::ArrivalProcess`].
+///
+/// # Panics
+/// Panics if the two slices differ in length or `arrivals_ms` is not
+/// sorted in non-decreasing order.
+#[must_use]
+pub fn attach_arrivals(queries: &[Query], arrivals_ms: &[f64]) -> Vec<TimedQuery> {
+    assert_eq!(queries.len(), arrivals_ms.len(), "queries / arrivals length mismatch");
+    assert!(
+        arrivals_ms.windows(2).all(|w| w[0] <= w[1]),
+        "arrival timestamps must be non-decreasing"
+    );
+    queries.iter().zip(arrivals_ms).map(|(q, &t)| TimedQuery::new(t, *q)).collect()
+}
+
+/// Merges per-tenant timed streams into one arrival-ordered stream.
+///
+/// The merge is stable: ties in arrival time keep the lower tenant first,
+/// so the result is deterministic. Query ids are reassigned to the merged
+/// order (`0..n`) so downstream consumers see a single monotone stream.
+#[must_use]
+pub fn merge_tenant_streams(streams: &[Vec<TimedQuery>]) -> Vec<TimedQuery> {
+    let mut merged: Vec<TimedQuery> = Vec::with_capacity(streams.iter().map(Vec::len).sum());
+    for (tenant, stream) in streams.iter().enumerate() {
+        merged.extend(stream.iter().map(|tq| tq.with_tenant(tenant as u32)));
+    }
+    merged.sort_by(|a, b| {
+        a.arrival_ms.total_cmp(&b.arrival_ms).then_with(|| a.tenant.cmp(&b.tenant))
+    });
+    for (i, tq) in merged.iter_mut().enumerate() {
+        tq.query.id = i as u64;
+    }
+    merged
 }
 
 /// Uniform random constraints over the space (§5.6's "random queries").
@@ -229,6 +308,44 @@ mod tests {
         let mb = burst.iter().sum::<f64>() / burst.len() as f64;
         let mc = calm.iter().sum::<f64>() / calm.len() as f64;
         assert!(mb < mc, "burst {mb} !< calm {mc}");
+    }
+
+    #[test]
+    fn attach_arrivals_pairs_in_order() {
+        let qs = uniform_stream(&space(), 4, 1);
+        let ts = vec![0.0, 1.5, 1.5, 9.0];
+        let timed = attach_arrivals(&qs, &ts);
+        assert_eq!(timed.len(), 4);
+        assert_eq!(timed[3].arrival_ms, 9.0);
+        assert_eq!(timed[2].query, qs[2]);
+        assert_eq!(timed[0].tenant, 0);
+        assert!((timed[1].deadline_ms() - (1.5 + qs[1].latency_constraint_ms)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn attach_arrivals_rejects_unsorted_timestamps() {
+        let qs = uniform_stream(&space(), 2, 1);
+        let _ = attach_arrivals(&qs, &[5.0, 1.0]);
+    }
+
+    #[test]
+    fn merge_tenant_streams_is_sorted_and_tagged() {
+        let qs = uniform_stream(&space(), 3, 1);
+        let a = attach_arrivals(&qs, &[0.0, 4.0, 8.0]);
+        let b = attach_arrivals(&qs, &[1.0, 4.0, 10.0]);
+        let merged = merge_tenant_streams(&[a, b]);
+        assert_eq!(merged.len(), 6);
+        assert!(merged.windows(2).all(|w| w[0].arrival_ms <= w[1].arrival_ms));
+        // Tie at t=4.0 keeps tenant 0 first.
+        let tie: Vec<u32> =
+            merged.iter().filter(|tq| tq.arrival_ms == 4.0).map(|tq| tq.tenant).collect();
+        assert_eq!(tie, vec![0, 1]);
+        // Ids are reassigned to the merged order.
+        assert_eq!(
+            merged.iter().map(|tq| tq.query.id).collect::<Vec<_>>(),
+            (0..6).collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -15,6 +15,14 @@
 //! * [`candidates`] — construction of the bounded SubGraph candidate set
 //!   `S` (§3.2's requirement R1).
 //!
+//! Everything that needs a scheduler *and* an accelerator — the serving
+//! stack, the event-driven serving runtime, experiment regenerators —
+//! lives in `sushi-core`, never here (see the paper-to-code map in
+//! `docs/ARCHITECTURE.md`). Under the serving runtime, `decide` is called
+//! once per *arrival* (in arrival order) and its cache decisions are
+//! enacted lazily on a worker pool; nothing about that loop leaks back
+//! into this crate.
+//!
 //! # Example
 //!
 //! ```

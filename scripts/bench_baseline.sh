@@ -1,29 +1,45 @@
 #!/usr/bin/env bash
-# Gates and regenerates BENCH_kernels.json, the naive-vs-gemm kernel
-# baseline that anchors the repo's perf trajectory.
+# Gates and regenerates the committed benchmark baselines:
 #
-#   scripts/bench_baseline.sh            # measure + gate vs committed baseline
-#   scripts/bench_baseline.sh --update   # measure + gate, then rewrite baseline
+#   BENCH_kernels.json  naive-vs-gemm wall-clock (kernel_bench; 20% perf
+#                       tolerance + 5x headline-speedup floor)
+#   BENCH_serve.json    serving-runtime simulated metrics (serve_bench;
+#                       deterministic, near-zero drift tolerance)
 #
-# The run fails (exit 1) if the GEMM path regressed by more than 20% against
-# the committed baseline on any workload, or if the headline speedup on the
-# largest zoo SubNet drops below 5x. Rewriting is opt-in (--update) so
-# repeated sub-threshold slowdowns cannot silently ratchet the baseline;
-# kernel_bench additionally refuses to write a baseline from a failing run.
+#   scripts/bench_baseline.sh            # measure + gate vs committed baselines
+#   scripts/bench_baseline.sh --update   # measure, then rewrite baselines
+#
+# Kernel numbers are wall-clock, so the gate tolerates noise but refuses to
+# ratchet: a failing run never becomes the baseline. Serve numbers are
+# simulated and deterministic, so any drift is a semantic change; --update
+# is the explicit acknowledgment that rewrites the serve baseline without
+# re-checking it.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BASELINE=BENCH_kernels.json
+KERNEL_BASELINE=BENCH_kernels.json
+SERVE_BASELINE=BENCH_serve.json
 RUNS="${RUNS:-2}"
 
-cargo build --release -p sushi-core --bin kernel_bench
+cargo build --release -p sushi-core --bin kernel_bench --bin serve_bench
 
+echo "== kernel baseline ($KERNEL_BASELINE) =="
 args=(--runs "$RUNS" --min-speedup 5.0)
-if [ -f "$BASELINE" ]; then
-  args+=(--check "$BASELINE")
+if [ -f "$KERNEL_BASELINE" ]; then
+  args+=(--check "$KERNEL_BASELINE")
 fi
 if [ "${1:-}" = "--update" ]; then
-  args+=(--out "$BASELINE")
+  args+=(--out "$KERNEL_BASELINE")
 fi
-
 ./target/release/kernel_bench "${args[@]}"
+
+echo
+echo "== serve baseline ($SERVE_BASELINE) =="
+if [ "${1:-}" = "--update" ]; then
+  ./target/release/serve_bench --out "$SERVE_BASELINE"
+elif [ -f "$SERVE_BASELINE" ]; then
+  ./target/release/serve_bench --check "$SERVE_BASELINE"
+else
+  echo "no $SERVE_BASELINE yet; run with --update to create it" >&2
+  exit 1
+fi

@@ -1,0 +1,107 @@
+//! Cross-crate integration tests for the serving runtime: arrival
+//! processes → admission queue → scheduler → batched executor pool, end to
+//! end through the `sushi` facade.
+
+use std::sync::Arc;
+
+use sushi::accel::dpe::DpeArray;
+use sushi::core::experiments::{run, ExpOptions};
+use sushi::core::serving::{
+    run_scenario, ArrivalProcess, BatchPolicy, DropPolicy, FunctionalContext, ServePreset,
+    ServingSim, SimConfig,
+};
+use sushi::core::stream::{attach_arrivals, uniform_stream, ConstraintSpace};
+use sushi::core::variants::build_table;
+use sushi::sched::{CacheSelection, Policy};
+use sushi::tensor::KernelPolicy;
+use sushi::wsnet::zoo;
+
+#[test]
+fn serve_experiment_is_deterministic_end_to_end() {
+    let opts = ExpOptions::quick();
+    let a = run("serve", &opts).expect("serve id registered").render();
+    let b = run("serve", &opts).expect("serve id registered").render();
+    assert_eq!(a, b, "same seed must produce a bit-identical serving report");
+    assert!(a.contains("steady") && a.contains("multi_tenant"));
+}
+
+#[test]
+fn preset_summaries_are_internally_consistent() {
+    let opts = ExpOptions::quick();
+    for preset in ServePreset::ALL {
+        let result = run_scenario(preset, &opts);
+        let s = result.summary();
+        assert_eq!(s.offered, opts.queries, "{}", preset.name());
+        assert_eq!(s.offered, s.completed + s.dropped);
+        assert!(s.p50_ms <= s.p95_ms && s.p95_ms <= s.p99_ms, "{}", preset.name());
+        assert!(s.goodput_qps > 0.0, "{}", preset.name());
+        assert!((0.0..=1.0).contains(&s.slo_violation_rate));
+        assert!(s.mean_batch >= 1.0);
+        // Causality of every served record.
+        for q in &result.served {
+            assert!(q.start_ms >= q.arrival_ms && q.completion_ms > q.start_ms);
+        }
+    }
+}
+
+#[test]
+fn burst_preset_sheds_load_steady_does_not() {
+    let opts = ExpOptions::quick();
+    let steady = run_scenario(ServePreset::Steady, &opts).summary();
+    let burst = run_scenario(ServePreset::Burst, &opts).summary();
+    assert_eq!(steady.dropped, 0, "steady load must not overflow the queue");
+    assert!(burst.dropped > 0, "burst load must exercise the drop path");
+    assert!(burst.p99_ms > steady.p99_ms);
+}
+
+#[test]
+fn functional_serving_runs_real_forwards_through_the_facade() {
+    let net = Arc::new(zoo::toy_mobilenet_supernet());
+    let picks = {
+        let mut s = sushi::wsnet::sampler::ConfigSampler::new(&net, 3);
+        s.sample_subnets(3)
+    };
+    let board = sushi::accel::config::zcu104();
+    let table = build_table(&net, &picks, &board, 3, 11);
+    let accs: Vec<f64> = picks.iter().map(|p| p.accuracy).collect();
+    let lats: Vec<f64> = (0..table.num_rows()).map(|i| table.latency_ms(i, 0)).collect();
+    let mut space = ConstraintSpace::from_serving_set(&accs, &lats);
+    space.lat_lo *= 4.0;
+    space.lat_hi *= 10.0;
+
+    let n = 12;
+    let queries = uniform_stream(&space, n, 5);
+    let arrivals = ArrivalProcess::Poisson { rate_qps: 20_000.0 }.timestamps(n, 5);
+    let stream = attach_arrivals(&queries, &arrivals);
+
+    let build = |policy: KernelPolicy| {
+        let mut sim = ServingSim::new(
+            Arc::clone(&net),
+            picks.clone(),
+            build_table(&net, &picks, &board, 3, 11),
+            &board,
+            Policy::StrictAccuracy,
+            CacheSelection::MinDistanceToAvg,
+            4,
+            SimConfig {
+                workers: 2,
+                queue_capacity: 16,
+                drop_policy: DropPolicy::DropNewest,
+                batch: BatchPolicy::new(3, 0.1),
+            },
+        )
+        .with_functional(FunctionalContext::new(
+            DpeArray::new(4, 4).with_policy(policy),
+            &net,
+            42,
+        ));
+        sim.run(&stream)
+    };
+    let naive = build(KernelPolicy::Naive);
+    assert!(!naive.served.is_empty());
+    assert!(naive.served.iter().all(|q| q.prediction.is_some()));
+    // The executor's kernel policy changes host speed, never results: the
+    // whole simulation — timings *and* predictions — is policy-invariant.
+    let gemm = build(KernelPolicy::Im2colGemm);
+    assert_eq!(naive, gemm);
+}

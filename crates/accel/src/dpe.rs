@@ -20,9 +20,9 @@
 //! The policy can never change the numbers — only how fast the host
 //! computes them.
 
-use sushi_tensor::ops::conv::{conv2d_i8_with, Conv2dParams};
+use sushi_tensor::ops::conv::{conv2d_i8_in, conv2d_i8_prepacked, Conv2dParams};
 use sushi_tensor::quant::requantize_accumulator;
-use sushi_tensor::{KernelPolicy, QuantParams, Shape4, Tensor, TensorError};
+use sushi_tensor::{Arena, KernelPolicy, PackedConv2d, QuantParams, Shape4, Tensor, TensorError};
 
 use crate::config::DPE_SIZE;
 
@@ -69,6 +69,9 @@ impl DpeArray {
     ///
     /// Supports dense convolutions (any odd kernel) and depthwise
     /// convolutions (`groups == K`, weights shaped `(K, 1, R, S)`).
+    /// Allocates private scratch per call; the serving hot path uses
+    /// [`DpeArray::conv2d_i8_in`] with a reused [`Arena`] and optional
+    /// pre-packed weights instead.
     ///
     /// # Errors
     /// Returns an error on shape/parameter mismatch, mirroring the
@@ -80,6 +83,35 @@ impl DpeArray {
         in_q: QuantParams,
         weights: &Tensor<i8>,
         w_q: QuantParams,
+        bias: Option<&[i32]>,
+        out_q: QuantParams,
+        params: &Conv2dParams,
+    ) -> Result<Tensor<i8>, TensorError> {
+        self.conv2d_i8_in(&mut Arena::new(), input, in_q, weights, w_q, None, bias, out_q, params)
+    }
+
+    /// Quantized convolution with caller-owned scratch and optional
+    /// pre-packed weight panels.
+    ///
+    /// When the resolved backend is the GEMM fast path and `packed` is
+    /// given, the panels are read in place — no weight copy, subtraction or
+    /// re-pack happens per query (the subgraph-stationary contract pinned
+    /// by `tests/pack_once.rs`). The tiled DPE schedule and the direct
+    /// fallback ignore `packed`. The policy can never change the numbers —
+    /// only how fast the host computes them.
+    ///
+    /// # Errors
+    /// Returns an error on shape/parameter mismatch, mirroring the
+    /// reference implementation.
+    #[allow(clippy::too_many_arguments)]
+    pub fn conv2d_i8_in(
+        &self,
+        arena: &mut Arena,
+        input: &Tensor<i8>,
+        in_q: QuantParams,
+        weights: &Tensor<i8>,
+        w_q: QuantParams,
+        packed: Option<&PackedConv2d>,
         bias: Option<&[i32]>,
         out_q: QuantParams,
         params: &Conv2dParams,
@@ -115,12 +147,16 @@ impl DpeArray {
                 .ok_or(TensorError::EmptyOutput { input: ishape })?;
 
         // Fast host path: when the policy resolves to GEMM, execute the
-        // layer through the bit-identical im2col + blocked-GEMM lowering.
-        // The tiled schedule below remains the cycle-faithful oracle.
+        // layer through the bit-identical im2col + packed-GEMM lowering —
+        // against pre-packed panels when the caller installed them. The
+        // tiled schedule below remains the cycle-faithful oracle.
         if params.backend(ishape, wshape, oh, ow, self.policy)
             == sushi_tensor::ops::gemm::ConvBackend::Im2colGemm
         {
-            return conv2d_i8_with(
+            if let Some(p) = packed {
+                return conv2d_i8_prepacked(input, in_q, p, bias, out_q, params, arena);
+            }
+            return conv2d_i8_in(
                 input,
                 in_q,
                 weights,
@@ -129,6 +165,7 @@ impl DpeArray {
                 out_q,
                 params,
                 KernelPolicy::Im2colGemm,
+                arena,
             );
         }
 
@@ -314,6 +351,7 @@ impl DpeArray {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sushi_tensor::ops::conv::conv2d_i8_with;
     use sushi_tensor::DetRng;
 
     fn rand_i8(shape: Shape4, seed: u64) -> Tensor<i8> {
@@ -486,6 +524,30 @@ mod tests {
                 arr.with_policy(KernelPolicy::Auto).conv2d_i8(&x, q, &w, q, None, q, &p).unwrap();
             assert_eq!(a, b);
             assert_eq!(b, c);
+        }
+    }
+
+    #[test]
+    fn prepacked_panels_never_change_results() {
+        // Pre-packed weights are a pure speed knob, like the policy: the
+        // same bytes must come out with and without them, under every
+        // policy (Naive resolves to Direct and simply ignores the panels).
+        let x = rand_i8(Shape4::new(1, 8, 10, 10), 200);
+        let w = rand_i8(Shape4::new(12, 8, 3, 3), 201);
+        let in_q = QuantParams::new(0.05, 4);
+        let w_q = QuantParams::new(0.02, -6);
+        let out_q = QuantParams::new(0.3, 1);
+        let p = Conv2dParams::new(3, 3).with_padding(1);
+        let arr = DpeArray::new(4, 4);
+        let plain = arr.conv2d_i8(&x, in_q, &w, w_q, None, out_q, &p).unwrap();
+        let packed = PackedConv2d::pack(&w, w_q, &p).unwrap();
+        let mut arena = Arena::new();
+        for policy in [KernelPolicy::Naive, KernelPolicy::Im2colGemm, KernelPolicy::Auto] {
+            let out = arr
+                .with_policy(policy)
+                .conv2d_i8_in(&mut arena, &x, in_q, &w, w_q, Some(&packed), None, out_q, &p)
+                .unwrap();
+            assert_eq!(plain, out, "prepacked panels changed results under {policy}");
         }
     }
 

@@ -1,0 +1,102 @@
+//! Pins the subgraph-stationary packing contract: installing a SubGraph
+//! packs its weights exactly once, and no amount of serving under that
+//! cache ever packs again — while logits stay bit-identical to the naive
+//! (direct-loop) oracle.
+//!
+//! This test lives in its own integration binary because
+//! [`sushi_tensor::ops::pack::pack_invocations`] is a process-global
+//! counter: unit tests running concurrently in another binary's process
+//! would make exact-count assertions racy.
+
+use sushi_accel::dpe::DpeArray;
+use sushi_accel::exec::Accelerator;
+use sushi_accel::functional::{act_quant, forward, forward_cached, SubgraphCache};
+use sushi_tensor::ops::pack::pack_invocations;
+use sushi_tensor::quant::quantize_tensor;
+use sushi_tensor::{Arena, DetRng, KernelPolicy, Shape4, Tensor};
+use sushi_wsnet::layer::ConvKind;
+use sushi_wsnet::{zoo, SuperNet, WeightStore};
+
+fn rand_input(net: &SuperNet, seed: u64) -> Tensor<i8> {
+    let shape = Shape4::new(1, 3, net.input_hw, net.input_hw);
+    let mut rng = DetRng::new(seed);
+    let f =
+        Tensor::from_vec(shape, (0..shape.volume()).map(|_| rng.uniform_f32(-1.0, 1.0)).collect())
+            .unwrap();
+    quantize_tensor(&f, act_quant())
+}
+
+#[test]
+fn install_packs_exactly_once_and_serving_never_repacks() {
+    let net = zoo::toy_supernet();
+    let store = WeightStore::synthesize(&net, 404);
+    let sn = net.materialize("max", &net.max_config()).unwrap();
+    let mut acc = Accelerator::new(sushi_accel::config::zcu104());
+
+    // Install: weight packing happens here, once per dense active layer.
+    let before_install = pack_invocations();
+    acc.install_cache_with_weights(&net, sn.graph.clone(), &store).expect("PB present");
+    let after_install = pack_invocations();
+    let cache = acc.packed_weights().expect("packed at install");
+    let dense_active = net
+        .layers
+        .iter()
+        .enumerate()
+        .filter(|(i, l)| l.kind == ConvKind::Dense && !sn.graph.slice(*i).is_empty())
+        .count();
+    assert_eq!(cache.packed_layers(), dense_active);
+    assert_eq!(
+        after_install - before_install,
+        dense_active,
+        "install must pack each dense active layer exactly once"
+    );
+
+    // The naive oracle (direct loops never pack anything).
+    let dpe = DpeArray::new(8, 8);
+    let x = rand_input(&net, 7);
+    let naive =
+        forward(&dpe.with_policy(KernelPolicy::Naive), &net, &store, &sn, &x).expect("oracle");
+    assert_eq!(pack_invocations(), after_install, "the naive oracle must not pack");
+
+    // Steady state: timing serves + functional forwards through the
+    // installed panels. Zero further packs; logits bit-identical to naive.
+    let mut arena = Arena::new();
+    for round in 0..4 {
+        let _ = acc.serve(&net, &sn);
+        let _ = acc.serve_batch(&net, &sn, 3);
+        let cache = acc.packed_weights().expect("cache survives serving");
+        let out = forward_cached(&dpe, &net, &store, &sn, Some(cache), &mut arena, &x)
+            .expect("cached forward");
+        assert_eq!(out, naive, "round {round}: cached serving changed the logits");
+    }
+    assert_eq!(pack_invocations(), after_install, "serving must never repack weights");
+
+    // Re-installing the resident SubGraph is free: no reload, no re-pack.
+    acc.install_cache_with_weights(&net, sn.graph.clone(), &store).expect("PB present");
+    assert_eq!(pack_invocations(), after_install, "re-install of resident SubGraph repacked");
+
+    // Installing a *different* SubGraph packs again (once).
+    let min_sn = net.materialize("min", &net.min_config()).unwrap();
+    acc.install_cache_with_weights(&net, min_sn.graph.clone(), &store).expect("PB present");
+    assert!(pack_invocations() > after_install, "new SubGraph must pack its own panels");
+}
+
+#[test]
+fn cached_forward_rejects_mismatched_subgraph() {
+    let net = zoo::toy_supernet();
+    let store = WeightStore::synthesize(&net, 405);
+    let max_sn = net.materialize("max", &net.max_config()).unwrap();
+    let min_sn = net.materialize("min", &net.min_config()).unwrap();
+    let cache = SubgraphCache::build(&net, &store, &min_sn.graph).unwrap();
+    let err = forward_cached(
+        &DpeArray::new(4, 4),
+        &net,
+        &store,
+        &max_sn,
+        Some(&cache),
+        &mut Arena::new(),
+        &rand_input(&net, 9),
+    )
+    .unwrap_err();
+    assert!(format!("{err:?}").contains("different SubGraph"));
+}

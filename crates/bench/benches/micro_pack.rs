@@ -1,0 +1,98 @@
+//! Microbenchmarks of the packed-GEMM building blocks: operand-packing
+//! throughput and microkernel arithmetic rate at representative OFA layer
+//! shapes, plus the prepacked-vs-cold GEMM comparison that motivates
+//! pack-once-per-install.
+//!
+//! Shapes mirror real OFA-ResNet50 conv-as-GEMM problems (`m` = kernels,
+//! `k` = C·R·S, `n` = OH·OW). Set `SUSHI_BENCH_QUICK=1` (CI's bench-smoke
+//! job) to shrink problem sizes so the whole target finishes in seconds.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sushi_tensor::ops::gemm::{gemm_i8_i32, gemm_i8_packed};
+use sushi_tensor::ops::pack::{pack_a_i8_into, pack_b_i8_into, packed_a_len, packed_b_len};
+use sushi_tensor::DetRng;
+
+fn quick() -> bool {
+    std::env::var("SUSHI_BENCH_QUICK").is_ok_and(|v| v != "0")
+}
+
+/// Representative OFA-ResNet50 conv-as-GEMM shapes: (label, m, k, n).
+fn shapes() -> Vec<(&'static str, usize, usize, usize)> {
+    if quick() {
+        vec![("stage2_3x3_quick", 32, 288, 196)]
+    } else {
+        vec![
+            // stage-2 3×3: 128 kernels over 128·3·3 at 28².
+            ("stage2_3x3", 128, 1152, 784),
+            // stage-4 1×1 expand: 512 kernels over 1024 channels at 7².
+            ("stage4_1x1", 512, 1024, 49),
+            // stem-adjacent 3×3 with a wide patch matrix.
+            ("stage1_3x3", 64, 576, 3136),
+        ]
+    }
+}
+
+fn bench_pack_throughput(c: &mut Criterion) {
+    let mut rng = DetRng::new(11);
+    let mut group = c.benchmark_group("pack");
+    for (label, m, k, n) in shapes() {
+        let a: Vec<i8> = (0..m * k).map(|_| rng.next_i8()).collect();
+        let b: Vec<i8> = (0..k * n).map(|_| rng.next_i8()).collect();
+        let mut pa = vec![0i16; packed_a_len(m, k)];
+        let mut pb = vec![0i16; packed_b_len(k, n)];
+        // Weight-side pack: paid once per SubGraph install.
+        group.bench_function(&*format!("a_{label}_{m}x{k}"), |bch| {
+            bch.iter(|| {
+                pack_a_i8_into(&mut pa, black_box(&a), 3, m, k);
+                black_box(pa[0])
+            })
+        });
+        // Patch-side pack: paid per query, so its throughput bounds the
+        // packed path's fixed per-call cost.
+        group.bench_function(&*format!("b_{label}_{k}x{n}"), |bch| {
+            bch.iter(|| {
+                pack_b_i8_into(&mut pb, black_box(&b), -7, k, n);
+                black_box(pb[0])
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_microkernel_rate(c: &mut Criterion) {
+    let mut rng = DetRng::new(12);
+    let mut group = c.benchmark_group("microkernel");
+    for (label, m, k, n) in shapes() {
+        let a: Vec<i8> = (0..m * k).map(|_| rng.next_i8()).collect();
+        let b: Vec<i8> = (0..k * n).map(|_| rng.next_i8()).collect();
+        let mut pa = vec![0i16; packed_a_len(m, k)];
+        let mut pb = vec![0i16; packed_b_len(k, n)];
+        pack_a_i8_into(&mut pa, &a, 3, m, k);
+        pack_b_i8_into(&mut pb, &b, -7, k, n);
+        let mut acc = vec![0i32; m * n];
+        let gflop = 2.0 * (m * k * n) as f64 / 1e9;
+        // Pre-packed sweep: pure microkernel arithmetic (the per-query
+        // steady state once weights are install-packed). The printed mean
+        // time per iteration × this constant gives GFLOP/s:
+        println!("microkernel/prepacked_{label}: {gflop:.3} GFLOP per iteration");
+        group.bench_function(&*format!("prepacked_{label}_{m}x{k}x{n}"), |bch| {
+            bch.iter(|| {
+                acc.fill(0);
+                gemm_i8_packed(m, k, n, black_box(&pa), black_box(&pb), &mut acc);
+                black_box(acc[0])
+            })
+        });
+        // Cold path: packs both operands per call (the no-cache fallback).
+        group.bench_function(&*format!("coldpack_{label}_{m}x{k}x{n}"), |bch| {
+            bch.iter(|| {
+                acc.fill(0);
+                gemm_i8_i32(m, k, n, black_box(&a), 3, black_box(&b), -7, &mut acc);
+                black_box(acc[0])
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pack_throughput, bench_microkernel_rate);
+criterion_main!(benches);

@@ -1,34 +1,46 @@
-//! Naive-vs-GEMM wall-clock benchmark of the functional int8 forward pass.
+//! Wall-clock benchmark of the functional int8 forward pass across kernel
+//! backends: naive tiled schedule, per-call-packing GEMM, and the serving
+//! hot path (weights pre-packed once per install, arena scratch reused).
 //!
 //! Times the largest ("max") SubNet of each zoo SuperNet through the full
-//! DPE datapath under [`KernelPolicy::Naive`] (the cycle-faithful tiled
-//! schedule) and [`KernelPolicy::Im2colGemm`] (the im2col + blocked-GEMM
-//! fast path), verifying on the way that both produce identical logits.
+//! DPE datapath, verifying on the way that every backend produces identical
+//! logits. Reports four columns (BENCH_kernels.json schema v2):
+//!
+//! * `naive`  — [`KernelPolicy::Naive`], the cycle-faithful tiled schedule;
+//! * `gemm`   — [`KernelPolicy::Im2colGemm`], packing both operands per call;
+//! * `packed` — pre-packed [`SubgraphCache`] + reused [`Arena`], steady state
+//!              (pack-amortized: what every query after the install pays);
+//! * `cold`   — cache build + first packed forward (what the install-bearing
+//!              query pays before amortization begins).
 //!
 //! ```text
 //! kernel_bench                        # paper zoo (ResNet50 + MobileNetV3)
 //! kernel_bench --quick                # toy zoo (CI-sized, seconds)
 //! kernel_bench --runs 3               # best-of-3 timing
 //! kernel_bench --out BENCH_kernels.json
-//! kernel_bench --check BENCH_kernels.json   # fail if gemm regressed >20%
-//! kernel_bench --min-speedup 5.0      # gate the largest workload's speedup
+//! kernel_bench --check BENCH_kernels.json   # fail if gemm/packed regressed >20%
+//! kernel_bench --check-schema BENCH_kernels.json  # machine-independent v2 gate
+//! kernel_bench --min-speedup 8.0      # gate the largest workload's packed speedup
 //! ```
 //!
 //! `scripts/bench_baseline.sh` combines `--check` (against the committed
-//! baseline) and `--out` (regenerating it) in one measured run.
+//! baseline) and `--out` (regenerating it) in one measured run; CI's
+//! bench-smoke job runs `--quick` (correctness + relative sanity) and
+//! `--check-schema` (the committed baseline's v2 invariants), which do not
+//! depend on the runner's absolute speed.
 
 use std::time::Instant;
 
 use sushi_accel::dpe::DpeArray;
-use sushi_accel::functional::{act_quant, forward};
+use sushi_accel::functional::{act_quant, forward, forward_cached, SubgraphCache};
 use sushi_core::metrics::{
     kernel_bench_from_json, kernel_bench_to_json, kernel_regressions, KernelBenchEntry,
 };
 use sushi_tensor::quant::quantize_tensor;
-use sushi_tensor::{DetRng, KernelPolicy, Shape4, Tensor};
+use sushi_tensor::{Arena, DetRng, KernelPolicy, Shape4, Tensor};
 use sushi_wsnet::{zoo, SuperNet, WeightStore};
 
-/// Allowed slowdown of the GEMM path vs the committed baseline.
+/// Allowed slowdown of the gemm/packed paths vs the committed baseline.
 const REGRESSION_TOLERANCE_PCT: f64 = 20.0;
 
 fn die(msg: &str) -> ! {
@@ -54,15 +66,32 @@ fn bench_net(net: &SuperNet, runs: usize, seed: u64) -> KernelBenchEntry {
         Tensor::from_vec(shape, (0..shape.volume()).map(|_| rng.uniform_f32(-1.0, 1.0)).collect())
             .expect("shape matches");
     let input = quantize_tensor(&input_f, act_quant());
-    // ZCU104 geometry; the policy is the only variable.
+    // ZCU104 geometry; the policy/caching is the only variable.
     let naive_dpe = DpeArray::new(16, 18).with_policy(KernelPolicy::Naive);
     let gemm_dpe = DpeArray::new(16, 18).with_policy(KernelPolicy::Im2colGemm);
 
+    // Cold pack: build the install-time cache and run the first packed
+    // forward — the cost the install-bearing query pays, exactly once.
+    let mut arena = Arena::new();
+    let t = Instant::now();
+    let cache = SubgraphCache::build(net, &store, &sn.graph).expect("packable zoo weights");
+    let packed_out = forward_cached(&gemm_dpe, net, &store, &sn, Some(&cache), &mut arena, &input)
+        .expect("packed forward");
+    let cold_pack_ms = t.elapsed().as_secs_f64() * 1e3;
+    let mut packed_out = Some(packed_out);
+
     let mut naive_ms = f64::INFINITY;
     let mut gemm_ms = f64::INFINITY;
+    let mut packed_ms = f64::INFINITY;
     let mut naive_out = None;
     let mut gemm_out = None;
     for _ in 0..runs.max(1) {
+        let t = Instant::now();
+        let out = forward_cached(&gemm_dpe, net, &store, &sn, Some(&cache), &mut arena, &input)
+            .expect("packed forward");
+        packed_ms = packed_ms.min(t.elapsed().as_secs_f64() * 1e3);
+        packed_out = Some(out);
+
         let t = Instant::now();
         let out = forward(&gemm_dpe, net, &store, &sn, &input).expect("gemm forward");
         gemm_ms = gemm_ms.min(t.elapsed().as_secs_f64() * 1e3);
@@ -75,10 +104,69 @@ fn bench_net(net: &SuperNet, runs: usize, seed: u64) -> KernelBenchEntry {
     }
     assert_eq!(
         naive_out, gemm_out,
-        "{}: kernel backends diverged — benchmark numbers would be meaningless",
+        "{}: naive and gemm backends diverged — benchmark numbers would be meaningless",
         net.name
     );
-    KernelBenchEntry { label: format!("{}/max", net.name), naive_ms, gemm_ms }
+    assert_eq!(
+        naive_out, packed_out,
+        "{}: pre-packed serving path diverged from the naive oracle",
+        net.name
+    );
+    KernelBenchEntry {
+        label: format!("{}/max", net.name),
+        naive_ms,
+        gemm_ms,
+        packed_ms,
+        cold_pack_ms,
+    }
+}
+
+/// Machine-independent gate over a committed v2 baseline: schema parses,
+/// every column is positive, and the within-file invariants hold (packed
+/// not meaningfully slower than per-call packing; cold pack at least one
+/// packed run). The packed-vs-gemm bound carries a small tolerance:
+/// depthwise-dominated workloads amortize only a sliver of packing, so
+/// best-of-N scheduling noise at baseline regeneration time must not be
+/// able to commit a file that CI then rejects.
+const SCHEMA_PACKED_SLACK: f64 = 1.10;
+
+fn check_schema(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let entries = kernel_bench_from_json(&text)?;
+    for e in &entries {
+        if e.label.is_empty() {
+            return Err("entry with empty label".to_string());
+        }
+        for (what, v) in [
+            ("naive_ms", e.naive_ms),
+            ("gemm_ms", e.gemm_ms),
+            ("packed_ms", e.packed_ms),
+            ("cold_pack_ms", e.cold_pack_ms),
+        ] {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(format!("'{}': {what} must be positive, got {v}", e.label));
+            }
+        }
+        if e.packed_ms > e.gemm_ms * SCHEMA_PACKED_SLACK {
+            return Err(format!(
+                "'{}': packed_ms {:.3} exceeds gemm_ms {:.3} by more than {:.0}% — pre-packing \
+                 must not lose to per-call packing in the committed baseline",
+                e.label,
+                e.packed_ms,
+                e.gemm_ms,
+                (SCHEMA_PACKED_SLACK - 1.0) * 100.0
+            ));
+        }
+        if e.cold_pack_ms < e.packed_ms {
+            return Err(format!(
+                "'{}': cold_pack_ms {:.3} below packed_ms {:.3} — the cold pass includes a \
+                 packed forward, so this baseline is inconsistent",
+                e.label, e.cold_pack_ms, e.packed_ms
+            ));
+        }
+    }
+    println!("{path}: schema v2 OK ({} entries)", entries.len());
+    Ok(())
 }
 
 fn main() {
@@ -87,7 +175,18 @@ fn main() {
     let runs: usize = parse_flag_value(&args, "--runs").unwrap_or(1);
     let out_path: Option<String> = parse_flag_value(&args, "--out");
     let check_path: Option<String> = parse_flag_value(&args, "--check");
+    let schema_path: Option<String> = parse_flag_value(&args, "--check-schema");
     let min_speedup: Option<f64> = parse_flag_value(&args, "--min-speedup");
+
+    if let Some(path) = &schema_path {
+        if let Err(msg) = check_schema(path) {
+            die(&format!("schema gate failed for {path}: {msg}"));
+        }
+        // Schema-only invocation: no measurement requested.
+        if out_path.is_none() && check_path.is_none() && min_speedup.is_none() && !quick {
+            return;
+        }
+    }
 
     let nets: Vec<SuperNet> = if quick {
         vec![zoo::toy_supernet(), zoo::toy_mobilenet_supernet()]
@@ -100,11 +199,15 @@ fn main() {
     for net in &nets {
         let entry = bench_net(net, runs, 2024);
         println!(
-            "{:<24} naive {:>10.2} ms   gemm {:>10.2} ms   speedup {:>6.2}x",
+            "{:<24} naive {:>10.2} ms   gemm {:>9.2} ms   packed {:>9.2} ms   cold {:>9.2} ms   \
+             speedup {:>6.2}x (packed {:>6.2}x)",
             entry.label,
             entry.naive_ms,
             entry.gemm_ms,
-            entry.speedup()
+            entry.packed_ms,
+            entry.cold_pack_ms,
+            entry.speedup(),
+            entry.packed_speedup()
         );
         entries.push(entry);
     }
@@ -131,14 +234,15 @@ fn main() {
     }
     if let Some(min) = min_speedup {
         // The headline target applies to the largest workload (the one the
-        // perf trajectory is anchored on); depthwise-dominated nets win
-        // less because depthwise stays on the direct schedule.
+        // perf trajectory is anchored on) and to the serving hot path —
+        // the pack-amortized column; depthwise-dominated nets win less
+        // because depthwise stays on the direct schedule.
         if let Some(largest) = entries.iter().max_by(|a, b| a.naive_ms.total_cmp(&b.naive_ms)) {
-            if largest.speedup() < min {
+            if largest.packed_speedup() < min {
                 eprintln!(
-                    "{}: speedup {:.2}x below target {min}x",
+                    "{}: packed speedup {:.2}x below target {min}x",
                     largest.label,
-                    largest.speedup()
+                    largest.packed_speedup()
                 );
                 failed = true;
             }

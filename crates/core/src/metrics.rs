@@ -73,16 +73,27 @@ pub fn reduction_pct(base: f64, ours: f64) -> f64 {
     100.0 * (base - ours) / base
 }
 
-/// Wall-clock timing of one workload's forward pass under the naive kernel
-/// backend vs the im2col + GEMM backend (see `BENCH_kernels.json`).
+/// Wall-clock timing of one workload's forward pass under the kernel
+/// backends (see `BENCH_kernels.json`, schema v2):
+///
+/// * `naive_ms` — the direct-loop tiled schedule (the oracle);
+/// * `gemm_ms` — im2col + packed GEMM, packing **both** operands per call;
+/// * `packed_ms` — steady-state serving path: weights pre-packed once per
+///   SubGraph install, scratch arena reused (pack-amortized);
+/// * `cold_pack_ms` — building the weight cache *plus* the first forward,
+///   i.e. what the install-bearing query pays before amortization begins.
 #[derive(Debug, Clone, PartialEq)]
 pub struct KernelBenchEntry {
     /// Workload label, e.g. `"ResNet50/max"`.
     pub label: String,
     /// Best-of-N wall time of the naive (tiled-schedule) forward pass, ms.
     pub naive_ms: f64,
-    /// Best-of-N wall time of the GEMM forward pass, ms.
+    /// Best-of-N wall time of the per-call-packing GEMM forward pass, ms.
     pub gemm_ms: f64,
+    /// Best-of-N wall time of the pre-packed (pack-amortized) forward, ms.
+    pub packed_ms: f64,
+    /// Wall time of cache build + first pre-packed forward (cold pack), ms.
+    pub cold_pack_ms: f64,
 }
 
 impl KernelBenchEntry {
@@ -95,20 +106,35 @@ impl KernelBenchEntry {
             f64::INFINITY
         }
     }
+
+    /// Naive-over-packed speedup: the serving hot path's headline number.
+    #[must_use]
+    pub fn packed_speedup(&self) -> f64 {
+        if self.packed_ms > 0.0 {
+            self.naive_ms / self.packed_ms
+        } else {
+            f64::INFINITY
+        }
+    }
 }
 
-/// Serializes kernel bench entries as the `BENCH_kernels.json` baseline.
+/// The schema marker written into (and required from) `BENCH_kernels.json`.
+pub const KERNEL_BENCH_SCHEMA: &str = "sushi-kernel-bench-v2";
+
+/// Serializes kernel bench entries as the `BENCH_kernels.json` baseline
+/// (schema v2: adds the pack-amortized `packed_ms` and the `cold_pack_ms`
+/// install cost next to the v1 naive/gemm columns).
 ///
-/// Hand-rolled writer: the vendored `serde` stub does not serialize, and the
-/// format is a stable three-field schema consumed by
-/// [`kernel_bench_from_json`] and `scripts/bench_baseline.sh`.
+/// Hand-rolled writer: the vendored `serde` stub does not serialize, and
+/// the format is a stable schema consumed by [`kernel_bench_from_json`]
+/// and `scripts/bench_baseline.sh`.
 ///
 /// # Panics
 /// Panics if a label contains `"`, `,`, `{` or `}` — the minimal parser
 /// does not escape, so such a label would silently round-trip wrong.
 #[must_use]
 pub fn kernel_bench_to_json(entries: &[KernelBenchEntry]) -> String {
-    let mut out = String::from("{\n  \"schema\": \"sushi-kernel-bench-v1\",\n  \"entries\": [\n");
+    let mut out = format!("{{\n  \"schema\": \"{KERNEL_BENCH_SCHEMA}\",\n  \"entries\": [\n");
     for (i, e) in entries.iter().enumerate() {
         use std::fmt::Write as _;
         assert!(
@@ -118,11 +144,16 @@ pub fn kernel_bench_to_json(entries: &[KernelBenchEntry]) -> String {
         );
         let _ = write!(
             out,
-            "    {{\"label\": \"{}\", \"naive_ms\": {:.3}, \"gemm_ms\": {:.3}, \"speedup\": {:.2}}}",
+            "    {{\"label\": \"{}\", \"naive_ms\": {:.3}, \"gemm_ms\": {:.3}, \
+             \"packed_ms\": {:.3}, \"cold_pack_ms\": {:.3}, \"speedup\": {:.2}, \
+             \"packed_speedup\": {:.2}}}",
             e.label,
             e.naive_ms,
             e.gemm_ms,
-            e.speedup()
+            e.packed_ms,
+            e.cold_pack_ms,
+            e.speedup(),
+            e.packed_speedup()
         );
         out.push_str(if i + 1 < entries.len() { ",\n" } else { "\n" });
     }
@@ -134,7 +165,9 @@ pub fn kernel_bench_to_json(entries: &[KernelBenchEntry]) -> String {
 /// [`kernel_bench_to_json`].
 ///
 /// # Errors
-/// Returns a description of the first malformed entry.
+/// Returns a description of the first malformed entry, or a schema error
+/// for pre-v2 baselines (which lack the packed columns the regression gate
+/// now protects — regenerate with `scripts/bench_baseline.sh --update`).
 pub fn kernel_bench_from_json(text: &str) -> Result<Vec<KernelBenchEntry>, String> {
     fn field<'a>(obj: &'a str, key: &str) -> Result<&'a str, String> {
         let pat = format!("\"{key}\":");
@@ -142,6 +175,15 @@ pub fn kernel_bench_from_json(text: &str) -> Result<Vec<KernelBenchEntry>, Strin
         let rest = obj[start..].trim_start();
         let end = rest.find([',', '}']).unwrap_or(rest.len());
         Ok(rest[..end].trim())
+    }
+    fn num(obj: &str, key: &str) -> Result<f64, String> {
+        field(obj, key)?.parse().map_err(|e| format!("bad {key}: {e}"))
+    }
+    if !text.contains(KERNEL_BENCH_SCHEMA) {
+        return Err(format!(
+            "missing {KERNEL_BENCH_SCHEMA} schema marker (pre-v2 baseline? re-run \
+             scripts/bench_baseline.sh --update)"
+        ));
     }
     let mut entries = Vec::new();
     // Each entry object lives on its own line; skip the top-level braces.
@@ -153,12 +195,13 @@ pub fn kernel_bench_from_json(text: &str) -> Result<Vec<KernelBenchEntry>, Strin
             // gate, so refuse the whole baseline.
             None => return Err("truncated kernel bench entry (missing '}')".to_string()),
         };
-        let label = field(obj, "label")?.trim_matches('"').to_string();
-        let naive_ms: f64 =
-            field(obj, "naive_ms")?.parse().map_err(|e| format!("bad naive_ms: {e}"))?;
-        let gemm_ms: f64 =
-            field(obj, "gemm_ms")?.parse().map_err(|e| format!("bad gemm_ms: {e}"))?;
-        entries.push(KernelBenchEntry { label, naive_ms, gemm_ms });
+        entries.push(KernelBenchEntry {
+            label: field(obj, "label")?.trim_matches('"').to_string(),
+            naive_ms: num(obj, "naive_ms")?,
+            gemm_ms: num(obj, "gemm_ms")?,
+            packed_ms: num(obj, "packed_ms")?,
+            cold_pack_ms: num(obj, "cold_pack_ms")?,
+        });
     }
     if entries.is_empty() {
         return Err("no kernel bench entries found".to_string());
@@ -167,10 +210,12 @@ pub fn kernel_bench_from_json(text: &str) -> Result<Vec<KernelBenchEntry>, Strin
 }
 
 /// Compares a fresh measurement against a committed baseline, failing when
-/// the GEMM path regressed by more than `tolerance_pct` on any workload.
+/// the GEMM or pack-amortized path regressed by more than `tolerance_pct`
+/// on any workload.
 ///
-/// Only `gemm_ms` gates: it is the serving hot path. Baseline labels absent
-/// from `current` fail too (a silently dropped workload is a regression).
+/// `gemm_ms` and `packed_ms` both gate — `packed_ms` is the serving hot
+/// path, `gemm_ms` the no-cache fallback. Baseline labels absent from
+/// `current` fail too (a silently dropped workload is a regression).
 ///
 /// # Errors
 /// Returns a human-readable description of every regression found.
@@ -184,16 +229,21 @@ pub fn kernel_regressions(
         match current.iter().find(|c| c.label == base.label) {
             None => problems.push(format!("workload '{}' missing from current run", base.label)),
             Some(cur) => {
-                let limit = base.gemm_ms * (1.0 + tolerance_pct / 100.0);
-                if cur.gemm_ms > limit {
-                    problems.push(format!(
-                        "'{}' gemm path regressed: {:.3} ms vs baseline {:.3} ms (+{:.1}% > {:.0}% tolerance)",
-                        base.label,
-                        cur.gemm_ms,
-                        base.gemm_ms,
-                        100.0 * (cur.gemm_ms / base.gemm_ms - 1.0),
-                        tolerance_pct
-                    ));
+                for (what, cur_ms, base_ms) in
+                    [("gemm", cur.gemm_ms, base.gemm_ms), ("packed", cur.packed_ms, base.packed_ms)]
+                {
+                    let limit = base_ms * (1.0 + tolerance_pct / 100.0);
+                    if cur_ms > limit {
+                        problems.push(format!(
+                            "'{}' {what} path regressed: {:.3} ms vs baseline {:.3} ms \
+                             (+{:.1}% > {:.0}% tolerance)",
+                            base.label,
+                            cur_ms,
+                            base_ms,
+                            100.0 * (cur_ms / base_ms - 1.0),
+                            tolerance_pct
+                        ));
+                    }
                 }
             }
         }
@@ -596,30 +646,48 @@ mod tests {
         assert_eq!(reduction_pct(0.0, 5.0), 0.0);
     }
 
+    fn kb(label: &str, naive: f64, gemm: f64, packed: f64, cold: f64) -> KernelBenchEntry {
+        KernelBenchEntry {
+            label: label.into(),
+            naive_ms: naive,
+            gemm_ms: gemm,
+            packed_ms: packed,
+            cold_pack_ms: cold,
+        }
+    }
+
     #[test]
     fn kernel_bench_json_round_trips() {
         let entries = vec![
-            KernelBenchEntry { label: "ResNet50/max".into(), naive_ms: 1234.5, gemm_ms: 98.7 },
-            KernelBenchEntry { label: "MobV3/max".into(), naive_ms: 456.0, gemm_ms: 45.6 },
+            kb("ResNet50/max", 1234.5, 98.7, 55.5, 140.2),
+            kb("MobV3/max", 456.0, 45.6, 30.1, 60.9),
         ];
         let json = kernel_bench_to_json(&entries);
-        assert!(json.contains("sushi-kernel-bench-v1"));
+        assert!(json.contains(KERNEL_BENCH_SCHEMA));
         let parsed = kernel_bench_from_json(&json).unwrap();
         assert_eq!(parsed.len(), 2);
         assert_eq!(parsed[0].label, "ResNet50/max");
         assert!((parsed[0].naive_ms - 1234.5).abs() < 1e-9);
+        assert!((parsed[0].packed_ms - 55.5).abs() < 1e-9);
         assert!((parsed[1].gemm_ms - 45.6).abs() < 1e-9);
+        assert!((parsed[1].cold_pack_ms - 60.9).abs() < 1e-9);
     }
 
     #[test]
-    fn kernel_bench_rejects_garbage() {
+    fn kernel_bench_rejects_garbage_and_old_schema() {
         assert!(kernel_bench_from_json("not json").is_err());
         assert!(kernel_bench_from_json("{\"entries\": []}").is_err());
+        // A v1 baseline (no schema marker / packed columns) must be
+        // rejected with a regeneration hint, not silently half-parsed.
+        let v1 = "{\n  \"schema\": \"sushi-kernel-bench-v1\",\n  \"entries\": [\n    \
+                  {\"label\": \"a\", \"naive_ms\": 1.0, \"gemm_ms\": 0.5, \"speedup\": 2.00}\n  ]\n}\n";
+        let err = kernel_bench_from_json(v1).unwrap_err();
+        assert!(err.contains("schema"), "{err}");
     }
 
     #[test]
     fn kernel_bench_rejects_truncated_baseline() {
-        let entries = vec![KernelBenchEntry { label: "a".into(), naive_ms: 10.0, gemm_ms: 1.0 }];
+        let entries = vec![kb("a", 10.0, 1.0, 0.5, 1.5)];
         let json = kernel_bench_to_json(&entries);
         // Chop inside the entry object (before its closing brace): the
         // parse must fail, not return a shorter entry list.
@@ -628,21 +696,27 @@ mod tests {
     }
 
     #[test]
-    fn kernel_speedup_is_naive_over_gemm() {
-        let e = KernelBenchEntry { label: "x".into(), naive_ms: 100.0, gemm_ms: 10.0 };
+    fn kernel_speedups_are_naive_over_backend() {
+        let e = kb("x", 100.0, 10.0, 4.0, 12.0);
         assert!((e.speedup() - 10.0).abs() < 1e-12);
+        assert!((e.packed_speedup() - 25.0).abs() < 1e-12);
     }
 
     #[test]
-    fn kernel_regressions_gate_on_gemm_time() {
-        let base = vec![KernelBenchEntry { label: "a".into(), naive_ms: 50.0, gemm_ms: 10.0 }];
-        // 15% slower: within the 20% tolerance.
-        let ok = vec![KernelBenchEntry { label: "a".into(), naive_ms: 60.0, gemm_ms: 11.5 }];
+    fn kernel_regressions_gate_on_gemm_and_packed_time() {
+        let base = vec![kb("a", 50.0, 10.0, 5.0, 12.0)];
+        // 15% slower on both: within the 20% tolerance.
+        let ok = vec![kb("a", 60.0, 11.5, 5.7, 14.0)];
         assert!(kernel_regressions(&ok, &base, 20.0).is_ok());
-        // 50% slower: regression.
-        let slow = vec![KernelBenchEntry { label: "a".into(), naive_ms: 50.0, gemm_ms: 15.0 }];
-        let err = kernel_regressions(&slow, &base, 20.0).unwrap_err();
-        assert!(err.contains("regressed"));
+        // gemm 50% slower: regression.
+        let slow_gemm = vec![kb("a", 50.0, 15.0, 5.0, 12.0)];
+        let err = kernel_regressions(&slow_gemm, &base, 20.0).unwrap_err();
+        assert!(err.contains("gemm path regressed"));
+        // packed 50% slower (gemm fine): also a regression — the serving
+        // hot path is the column the perf trajectory actually rides on.
+        let slow_packed = vec![kb("a", 50.0, 10.0, 7.5, 12.0)];
+        let err = kernel_regressions(&slow_packed, &base, 20.0).unwrap_err();
+        assert!(err.contains("packed path regressed"));
         // Missing workload: regression.
         assert!(kernel_regressions(&[], &base, 20.0).is_err());
     }

@@ -14,17 +14,20 @@
 //!   [`Accelerator::serve_batch`]; nothing numeric runs. Every `serve`
 //!   experiment uses this mode.
 //! * **Functional** — a [`FunctionalContext`] additionally executes the
-//!   real int8 datapath ([`sushi_accel::functional::forward_batch`]) for
-//!   each dispatched batch, under the context's
-//!   [`sushi_tensor::KernelPolicy`]. Logits are policy- and
-//!   batching-invariant (pinned by proptests), so this mode validates that
+//!   real int8 datapath ([`sushi_accel::functional::forward_batch_cached`])
+//!   for each dispatched batch, under the context's
+//!   [`sushi_tensor::KernelPolicy`], against per-SubNet pre-packed weight
+//!   panels built once on first dispatch. Logits are policy-, batching- and
+//!   packing-invariant (pinned by proptests), so this mode validates that
 //!   the serving layer never changes *what* is computed, only *when*.
 
+use std::collections::HashMap;
+
 use sushi_accel::exec::{Accelerator, BatchReport};
-use sushi_accel::functional::{act_quant, forward_batch, FunctionalOutput};
+use sushi_accel::functional::{act_quant, forward_batch_cached, FunctionalOutput, SubgraphCache};
 use sushi_accel::AccelConfig;
 use sushi_tensor::quant::quantize_tensor;
-use sushi_tensor::{DetRng, Shape4, Tensor};
+use sushi_tensor::{Arena, DetRng, Shape4, Tensor};
 use sushi_wsnet::{SubGraph, SubNet, SuperNet, WeightStore};
 
 use crate::serving::queue::QueuedQuery;
@@ -161,21 +164,44 @@ impl ExecutorPool {
 /// Real-datapath execution context for functional serving runs.
 ///
 /// Synthesizes a deterministic input per query id and executes whole
-/// batches through [`forward_batch`] under the context's `DpeArray` kernel
-/// policy. Intended for the toy zoo (full-size SuperNets take seconds per
-/// forward); the timing simulation is identical either way.
+/// batches through [`forward_batch_cached`] under the context's `DpeArray`
+/// kernel policy. Intended for the toy zoo (full-size SuperNets take
+/// seconds per forward); the timing simulation is identical either way.
+///
+/// The context is the serving worker's *subgraph-stationary* state: the
+/// first batch served under a SubNet builds its [`SubgraphCache`] (sliced
+/// weights + packed GEMM panels, counted by
+/// [`sushi_tensor::ops::pack::pack_invocations`]); every later batch under
+/// that SubNet reads the panels in place, and all kernel scratch lives in
+/// one [`Arena`] reused across queries — the steady state allocates
+/// nothing per query.
 #[derive(Debug)]
 pub struct FunctionalContext {
     dpe: sushi_accel::dpe::DpeArray,
     store: WeightStore,
     input_seed: u64,
+    caches: HashMap<String, SubgraphCache>,
+    arena: Arena,
 }
 
 impl FunctionalContext {
     /// Creates a context with synthesized weights for `net`.
     #[must_use]
     pub fn new(dpe: sushi_accel::dpe::DpeArray, net: &SuperNet, seed: u64) -> Self {
-        Self { dpe, store: WeightStore::synthesize(net, seed), input_seed: seed ^ 0x1A7E }
+        Self {
+            dpe,
+            store: WeightStore::synthesize(net, seed),
+            input_seed: seed ^ 0x1A7E,
+            caches: HashMap::new(),
+            arena: Arena::new(),
+        }
+    }
+
+    /// Number of SubNets whose weights have been packed so far (each packed
+    /// exactly once, on first dispatch).
+    #[must_use]
+    pub fn packed_subnets(&self) -> usize {
+        self.caches.len()
     }
 
     /// The deterministic input tensor for a query id.
@@ -192,21 +218,30 @@ impl FunctionalContext {
     }
 
     /// Executes one dispatched batch on the real datapath, returning one
-    /// output per query (input order).
+    /// output per query (input order). Packs the SubNet's weights on first
+    /// use and serves every later batch from the pre-packed panels.
     ///
     /// # Panics
     /// Panics if the batch is empty or a layer fails to execute (zoo
     /// definitions are programmer-controlled).
     #[must_use]
     pub fn run_batch(
-        &self,
+        &mut self,
         net: &SuperNet,
         subnet: &SubNet,
         batch: &[QueuedQuery],
     ) -> Vec<FunctionalOutput> {
         let inputs: Vec<Tensor<i8>> =
             batch.iter().map(|q| self.input_for(net, q.timed.query.id)).collect();
-        forward_batch(&self.dpe, net, &self.store, subnet, &inputs)
+        let Self { dpe, store, caches, arena, .. } = self;
+        let cache = caches.entry(subnet.name.clone()).or_insert_with(|| {
+            SubgraphCache::build(net, store, &subnet.graph).expect("packable zoo weights")
+        });
+        if !cache.matches(&subnet.graph) {
+            // Same name, different SubGraph (defensive): repack.
+            *cache = SubgraphCache::build(net, store, &subnet.graph).expect("packable zoo weights");
+        }
+        forward_batch_cached(dpe, net, store, subnet, Some(cache), arena, &inputs)
             .expect("functional batch execution")
     }
 }
@@ -272,7 +307,7 @@ mod tests {
     #[test]
     fn functional_context_matches_single_query_forwards() {
         let net = zoo::toy_supernet();
-        let ctx = FunctionalContext::new(DpeArray::new(4, 4), &net, 77);
+        let mut ctx = FunctionalContext::new(DpeArray::new(4, 4), &net, 77);
         let sn = net.materialize("max", &net.max_config()).unwrap();
         let batch: Vec<QueuedQuery> = (0..3)
             .map(|id| QueuedQuery {
@@ -282,6 +317,11 @@ mod tests {
             .collect();
         let outs = ctx.run_batch(&net, &sn, &batch);
         assert_eq!(outs.len(), 3);
+        assert_eq!(ctx.packed_subnets(), 1, "first dispatch packs the SubNet once");
+        // A second dispatch reuses the packed panels (no new cache entry).
+        let again = ctx.run_batch(&net, &sn, &batch);
+        assert_eq!(outs, again);
+        assert_eq!(ctx.packed_subnets(), 1);
         for (q, out) in batch.iter().zip(&outs) {
             let single = forward(
                 &DpeArray::new(4, 4),

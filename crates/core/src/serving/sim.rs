@@ -309,7 +309,7 @@ impl ServingSim {
                     self.pool.dispatch(worker, now, &self.net, &self.subnets[row], batch.len());
                 let outputs = self
                     .functional
-                    .as_ref()
+                    .as_mut()
                     .map(|ctx| ctx.run_batch(&self.net, &self.subnets[row], &batch));
                 for (i, q) in batch.iter().enumerate() {
                     served.push(ServedQuery {

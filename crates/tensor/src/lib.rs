@@ -16,8 +16,11 @@
 //! * [`ops`] — 2-D convolution (including depthwise and 1×1), pooling,
 //!   fully-connected layers and the activation functions used by
 //!   OFA-ResNet50 / OFA-MobileNetV3. Each op keeps a naive reference loop
-//!   as the correctness oracle and a fast im2col + cache-blocked GEMM
-//!   backend behind [`KernelPolicy`].
+//!   as the correctness oracle and a fast im2col + panel-packed microkernel
+//!   GEMM backend behind [`KernelPolicy`] (see [`ops::pack`] for the
+//!   packed layouts and `docs/KERNELS.md` for the full contract).
+//! * [`arena`] — reusable scratch memory so steady-state serving performs
+//!   no per-query heap allocation for patch/packing/accumulator buffers.
 //!
 //! # Example
 //!
@@ -38,6 +41,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod arena;
 pub mod error;
 pub mod ops;
 pub mod quant;
@@ -45,8 +49,10 @@ pub mod rng;
 pub mod shape;
 pub mod tensor;
 
+pub use arena::Arena;
 pub use error::TensorError;
 pub use ops::gemm::KernelPolicy;
+pub use ops::pack::PackedConv2d;
 pub use quant::QuantParams;
 pub use rng::DetRng;
 pub use shape::Shape4;

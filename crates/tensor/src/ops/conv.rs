@@ -7,7 +7,15 @@
 //!   output coordinate, so the innermost loops run branch-free over
 //!   contiguous rows.
 //! * **Im2colGemm** — patch-matrix lowering ([`crate::ops::im2col`]) plus
-//!   the cache-blocked, threaded GEMM kernels ([`crate::ops::gemm`]).
+//!   the panel-packed microkernel GEMM ([`crate::ops::gemm`]). All scratch
+//!   (patch matrix, packed operands, accumulator) lives in an
+//!   [`Arena`]: the `*_in` entry points reuse a
+//!   caller-owned arena across calls, so steady-state serving performs no
+//!   heap allocation for scratch; the plain entry points create a private
+//!   arena per call. Weights can additionally be pre-packed once via
+//!   [`PackedConv2d`] and reused across every query
+//!   ([`conv2d_i8_prepacked`]) — the software analogue of the paper's
+//!   SubGraph-Stationary weight reuse.
 //!
 //! The int8 results are bit-identical across backends (integer accumulation
 //! is associative); the f32 backends agree to within reassociation error.
@@ -16,9 +24,14 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::arena::Arena;
 use crate::error::TensorError;
-use crate::ops::gemm::{gemm_f32, gemm_i8_i32, ConvBackend, KernelPolicy};
+use crate::ops::gemm::{gemm_f32_packed, gemm_i8_packed, ConvBackend, KernelPolicy};
 use crate::ops::im2col::im2col;
+use crate::ops::pack::{
+    pack_a_f32_into, pack_a_i8_into, pack_b_f32_into, pack_b_i8_into, packed_a_len, packed_b_len,
+    PackedConv2d,
+};
 use crate::quant::{requantize_accumulator, QuantParams};
 use crate::shape::{conv_out_dim, Shape4};
 use crate::tensor::Tensor;
@@ -172,6 +185,7 @@ pub fn conv2d_f32(
 ///
 /// [`KernelPolicy::Naive`] runs the reference loop nest; the backends agree
 /// to within floating-point reassociation error (≪ 1e-4 on unit-range data).
+/// Allocates private scratch; hot paths should use [`conv2d_f32_in`].
 ///
 /// # Errors
 /// Returns an error on shape/parameter mismatch (see [`Conv2dParams`]).
@@ -181,6 +195,21 @@ pub fn conv2d_f32_with(
     bias: Option<&[f32]>,
     params: &Conv2dParams,
     policy: KernelPolicy,
+) -> Result<Tensor<f32>, TensorError> {
+    conv2d_f32_in(input, weights, bias, params, policy, &mut Arena::new())
+}
+
+/// f32 convolution reusing a caller-owned [`Arena`] for all scratch.
+///
+/// # Errors
+/// Returns an error on shape/parameter mismatch (see [`Conv2dParams`]).
+pub fn conv2d_f32_in(
+    input: &Tensor<f32>,
+    weights: &Tensor<f32>,
+    bias: Option<&[f32]>,
+    params: &Conv2dParams,
+    policy: KernelPolicy,
+    arena: &mut Arena,
 ) -> Result<Tensor<f32>, TensorError> {
     let ishape = input.shape();
     let wshape = weights.shape();
@@ -192,7 +221,7 @@ pub fn conv2d_f32_with(
     }
     match params.backend(ishape, wshape, oh, ow, policy) {
         ConvBackend::Direct => Ok(conv2d_f32_direct(input, weights, bias, params, oh, ow)),
-        ConvBackend::Im2colGemm => Ok(conv2d_f32_gemm(input, weights, bias, params, oh, ow)),
+        ConvBackend::Im2colGemm => Ok(conv2d_f32_gemm(input, weights, bias, params, oh, ow, arena)),
     }
 }
 
@@ -251,7 +280,9 @@ fn conv2d_f32_direct(
     out
 }
 
-/// im2col + GEMM backend: shape checks already done.
+/// im2col + packed-GEMM backend: shape checks already done. The weight
+/// operand packs once per *group* (hoisted out of the batch loop); patches
+/// pack per `(batch, group)` into arena scratch.
 fn conv2d_f32_gemm(
     input: &Tensor<f32>,
     weights: &Tensor<f32>,
@@ -259,6 +290,7 @@ fn conv2d_f32_gemm(
     params: &Conv2dParams,
     oh: usize,
     ow: usize,
+    arena: &mut Arena,
 ) -> Tensor<f32> {
     let ishape = input.shape();
     let wshape = weights.shape();
@@ -269,20 +301,15 @@ fn conv2d_f32_gemm(
     let npix = oh * ow;
     let mut out = Tensor::zeros(Shape4::new(ishape.n, k_total, oh, ow));
     let wdata = weights.as_slice();
-    let mut patches = vec![0.0_f32; kdim * npix];
-    let mut acc = vec![0.0_f32; kg * npix];
-    for n in 0..ishape.n {
-        for g in 0..params.groups {
-            im2col(input, n, g * cg, cg, params, oh, ow, 0.0, &mut patches);
+    let (patches, pa, pb, acc) =
+        arena.f32_conv(kdim * npix, packed_a_len(kg, kdim), packed_b_len(kdim, npix), kg * npix);
+    for g in 0..params.groups {
+        pack_a_f32_into(pa, &wdata[g * kg * kdim..(g + 1) * kg * kdim], kg, kdim);
+        for n in 0..ishape.n {
+            im2col(input, n, g * cg, cg, params, oh, ow, 0.0, patches);
+            pack_b_f32_into(pb, patches, kdim, npix);
             acc.fill(0.0);
-            gemm_f32(
-                kg,
-                kdim,
-                npix,
-                &wdata[g * kg * kdim..(g + 1) * kg * kdim],
-                &patches,
-                &mut acc,
-            );
+            gemm_f32_packed(kg, kdim, npix, pa, pb, acc);
             for kk in 0..kg {
                 let k = g * kg + kk;
                 let bias_v = bias.map_or(0.0, |b| b[k]);
@@ -324,7 +351,8 @@ pub fn conv2d_i8(
 
 /// Quantized int8 convolution with an explicit kernel backend policy.
 ///
-/// See [`conv2d_i8`]; backends produce bit-identical outputs.
+/// See [`conv2d_i8`]; backends produce bit-identical outputs. Allocates
+/// private scratch; hot paths should use [`conv2d_i8_in`].
 ///
 /// # Errors
 /// Returns an error on shape/parameter mismatch (see [`Conv2dParams`]).
@@ -339,6 +367,25 @@ pub fn conv2d_i8_with(
     params: &Conv2dParams,
     policy: KernelPolicy,
 ) -> Result<Tensor<i8>, TensorError> {
+    conv2d_i8_in(input, in_q, weights, w_q, bias, out_q, params, policy, &mut Arena::new())
+}
+
+/// Quantized int8 convolution reusing a caller-owned [`Arena`].
+///
+/// # Errors
+/// Returns an error on shape/parameter mismatch (see [`Conv2dParams`]).
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_i8_in(
+    input: &Tensor<i8>,
+    in_q: QuantParams,
+    weights: &Tensor<i8>,
+    w_q: QuantParams,
+    bias: Option<&[i32]>,
+    out_q: QuantParams,
+    params: &Conv2dParams,
+    policy: KernelPolicy,
+    arena: &mut Arena,
+) -> Result<Tensor<i8>, TensorError> {
     let ishape = input.shape();
     let wshape = weights.shape();
     let (oh, ow) = params.validate(ishape, wshape)?;
@@ -351,10 +398,140 @@ pub fn conv2d_i8_with(
         ConvBackend::Direct => {
             Ok(conv2d_i8_direct(input, in_q, weights, w_q, bias, out_q, params, oh, ow))
         }
-        ConvBackend::Im2colGemm => {
-            Ok(conv2d_i8_gemm(input, in_q, weights, w_q, bias, out_q, params, oh, ow))
+        ConvBackend::Im2colGemm => Ok(conv2d_i8_gemm(
+            input,
+            in_q,
+            PackSource::Raw(weights.as_slice()),
+            wshape,
+            w_q,
+            bias,
+            out_q,
+            params,
+            oh,
+            ow,
+            arena,
+        )),
+    }
+}
+
+/// Quantized int8 convolution over weights packed once via
+/// [`PackedConv2d::pack`], always on the GEMM backend.
+///
+/// Per-query work is exactly: im2col + patch packing (arena scratch) + the
+/// microkernel sweep — the weight panels are read in place, never copied or
+/// re-packed. Output is bit-identical to [`conv2d_i8`] on the raw weights.
+///
+/// # Errors
+/// Returns an error on shape/parameter mismatch between `input`, the packed
+/// weight shape and `params`.
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_i8_prepacked(
+    input: &Tensor<i8>,
+    in_q: QuantParams,
+    packed: &PackedConv2d,
+    bias: Option<&[i32]>,
+    out_q: QuantParams,
+    params: &Conv2dParams,
+    arena: &mut Arena,
+) -> Result<Tensor<i8>, TensorError> {
+    let ishape = input.shape();
+    let wshape = packed.wshape();
+    let (oh, ow) = params.validate(ishape, wshape)?;
+    if params.groups != packed.groups() {
+        return Err(TensorError::InvalidParam { what: "packed weights built for other groups" });
+    }
+    if let Some(b) = bias {
+        if b.len() != wshape.n {
+            return Err(TensorError::LengthMismatch { expected: wshape.n, actual: b.len() });
         }
     }
+    Ok(conv2d_i8_gemm(
+        input,
+        in_q,
+        PackSource::Prepacked(packed),
+        wshape,
+        packed.w_q(),
+        bias,
+        out_q,
+        params,
+        oh,
+        ow,
+        arena,
+    ))
+}
+
+/// Where the GEMM core finds its packed weight panels.
+enum PackSource<'a> {
+    /// Raw row-major weights: pack each group into arena scratch per call.
+    Raw(&'a [i8]),
+    /// Panels packed once ahead of time (subgraph-stationary reuse).
+    Prepacked(&'a PackedConv2d),
+}
+
+/// im2col + packed-GEMM backend for the quantized path: shape checks
+/// already done. Weight panels come from `src` (arena-packed per call, or
+/// pre-packed once per cache install); patches pack per `(batch, group)`.
+#[allow(clippy::too_many_arguments)]
+fn conv2d_i8_gemm(
+    input: &Tensor<i8>,
+    in_q: QuantParams,
+    src: PackSource<'_>,
+    wshape: Shape4,
+    w_q: QuantParams,
+    bias: Option<&[i32]>,
+    out_q: QuantParams,
+    params: &Conv2dParams,
+    oh: usize,
+    ow: usize,
+    arena: &mut Arena,
+) -> Tensor<i8> {
+    let ishape = input.shape();
+    let k_total = wshape.n;
+    let cg = wshape.c;
+    let kg = k_total / params.groups;
+    let kdim = cg * params.kernel_h * params.kernel_w;
+    let npix = oh * ow;
+    let acc_scale = in_q.scale * w_q.scale / out_q.scale;
+    let mut out = Tensor::zeros(Shape4::new(ishape.n, k_total, oh, ow));
+    let pa_scratch = match src {
+        PackSource::Raw(_) => packed_a_len(kg, kdim),
+        PackSource::Prepacked(_) => 0,
+    };
+    let (patches, pa_buf, pb, acc) =
+        arena.i8_conv(kdim * npix, pa_scratch, packed_b_len(kdim, npix), kg * npix);
+    for g in 0..params.groups {
+        let pa: &[i16] = match src {
+            PackSource::Raw(wdata) => {
+                pack_a_i8_into(
+                    pa_buf,
+                    &wdata[g * kg * kdim..(g + 1) * kg * kdim],
+                    w_q.zero_point,
+                    kg,
+                    kdim,
+                );
+                pa_buf
+            }
+            PackSource::Prepacked(p) => p.group(g),
+        };
+        for n in 0..ishape.n {
+            // Padding cells are written as the input zero point so the
+            // pack-time Zero-Subtraction turns them into literal zeros.
+            im2col(input, n, g * cg, cg, params, oh, ow, in_q.zero_point, patches);
+            pack_b_i8_into(pb, patches, in_q.zero_point, kdim, npix);
+            acc.fill(0);
+            gemm_i8_packed(kg, kdim, npix, pa, pb, acc);
+            for kk in 0..kg {
+                let k = g * kg + kk;
+                let bias_v = bias.map_or(0, |b| b[k]);
+                let base = out.shape().row_offset(n, k, 0);
+                let dst = &mut out.as_mut_slice()[base..base + npix];
+                for (d, &v) in dst.iter_mut().zip(&acc[kk * npix..(kk + 1) * npix]) {
+                    *d = requantize_accumulator(v + bias_v, acc_scale, out_q.zero_point);
+                }
+            }
+        }
+    }
+    out
 }
 
 /// Direct-loop oracle for the quantized path: shape checks already done.
@@ -413,61 +590,6 @@ fn conv2d_i8_direct(
                         }
                     }
                     *o = requantize_accumulator(acc, acc_scale, out_q.zero_point);
-                }
-            }
-        }
-    }
-    out
-}
-
-/// im2col + GEMM backend for the quantized path: shape checks already done.
-#[allow(clippy::too_many_arguments)]
-fn conv2d_i8_gemm(
-    input: &Tensor<i8>,
-    in_q: QuantParams,
-    weights: &Tensor<i8>,
-    w_q: QuantParams,
-    bias: Option<&[i32]>,
-    out_q: QuantParams,
-    params: &Conv2dParams,
-    oh: usize,
-    ow: usize,
-) -> Tensor<i8> {
-    let ishape = input.shape();
-    let wshape = weights.shape();
-    let k_total = wshape.n;
-    let cg = wshape.c;
-    let kg = k_total / params.groups;
-    let kdim = cg * params.kernel_h * params.kernel_w;
-    let npix = oh * ow;
-    let acc_scale = in_q.scale * w_q.scale / out_q.scale;
-    let mut out = Tensor::zeros(Shape4::new(ishape.n, k_total, oh, ow));
-    let wdata = weights.as_slice();
-    let mut patches = vec![0_i8; kdim * npix];
-    let mut acc = vec![0_i32; kg * npix];
-    for n in 0..ishape.n {
-        for g in 0..params.groups {
-            // Padding cells are written as the input zero point so the
-            // GEMM's Zero-Subtraction stage cancels them exactly.
-            im2col(input, n, g * cg, cg, params, oh, ow, in_q.zero_point, &mut patches);
-            acc.fill(0);
-            gemm_i8_i32(
-                kg,
-                kdim,
-                npix,
-                &wdata[g * kg * kdim..(g + 1) * kg * kdim],
-                w_q.zero_point,
-                &patches,
-                in_q.zero_point,
-                &mut acc,
-            );
-            for kk in 0..kg {
-                let k = g * kg + kk;
-                let bias_v = bias.map_or(0, |b| b[k]);
-                let base = out.shape().row_offset(n, k, 0);
-                let dst = &mut out.as_mut_slice()[base..base + npix];
-                for (d, &v) in dst.iter_mut().zip(&acc[kk * npix..(kk + 1) * npix]) {
-                    *d = requantize_accumulator(v + bias_v, acc_scale, out_q.zero_point);
                 }
             }
         }
@@ -635,6 +757,81 @@ mod tests {
         let b = conv2d_i8_with(&x, in_q, &w, w_q, Some(&bias), out_q, &p, KernelPolicy::Im2colGemm)
             .unwrap();
         assert_eq!(a, b, "i8 backends must agree bit-for-bit");
+    }
+
+    #[test]
+    fn prepacked_conv_is_bit_identical_and_reuses_arena() {
+        let mut rng = DetRng::new(123);
+        let ishape = Shape4::new(1, 5, 8, 8);
+        let wshape = Shape4::new(6, 5, 3, 3);
+        let x = Tensor::from_vec(ishape, (0..ishape.volume()).map(|_| rng.next_i8()).collect())
+            .unwrap();
+        let w = Tensor::from_vec(wshape, (0..wshape.volume()).map(|_| rng.next_i8()).collect())
+            .unwrap();
+        let in_q = QuantParams::new(0.04, -6);
+        let w_q = QuantParams::new(0.03, 2);
+        let out_q = QuantParams::new(0.25, 1);
+        let bias: Vec<i32> = (0..wshape.n).map(|i| (i as i32) * 11 - 20).collect();
+        let p = Conv2dParams::new(3, 3).with_padding(1);
+        let naive =
+            conv2d_i8_with(&x, in_q, &w, w_q, Some(&bias), out_q, &p, KernelPolicy::Naive).unwrap();
+        let packed = PackedConv2d::pack(&w, w_q, &p).unwrap();
+        let mut arena = Arena::new();
+        let first =
+            conv2d_i8_prepacked(&x, in_q, &packed, Some(&bias), out_q, &p, &mut arena).unwrap();
+        assert_eq!(naive, first, "prepacked path must match the oracle bit-for-bit");
+        let reserved = arena.reserved_bytes();
+        assert!(reserved > 0);
+        // A second query reuses the arena without growing it.
+        let second =
+            conv2d_i8_prepacked(&x, in_q, &packed, Some(&bias), out_q, &p, &mut arena).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(arena.reserved_bytes(), reserved, "steady state must not reallocate");
+    }
+
+    #[test]
+    fn prepacked_conv_rejects_mismatched_shapes() {
+        let w = Tensor::<i8>::zeros(Shape4::new(4, 3, 3, 3));
+        let p = Conv2dParams::new(3, 3).with_padding(1);
+        let packed = PackedConv2d::pack(&w, QuantParams::new(0.1, 0), &p).unwrap();
+        let x = Tensor::<i8>::zeros(Shape4::new(1, 5, 8, 8)); // 5 channels != 3
+        let q = QuantParams::new(0.1, 0);
+        let err = conv2d_i8_prepacked(&x, q, &packed, None, q, &p, &mut Arena::new()).unwrap_err();
+        assert!(matches!(err, TensorError::ShapeMismatch { .. }));
+    }
+
+    /// Diagnostic, not a gate: prints direct-vs-packed-GEMM wall times
+    /// around the `Auto` crossover so `AUTO_DIRECT_MAC_THRESHOLD` can be
+    /// re-tuned when the kernels change. Run with
+    /// `cargo test --release -p sushi-tensor -- --ignored auto_crossover`.
+    #[test]
+    #[ignore = "diagnostic probe for the Auto threshold; run explicitly in release"]
+    fn auto_crossover_probe() {
+        use std::time::Instant;
+        let q = QuantParams::new(0.03, 2);
+        println!("{:>10}  {:>9}  {:>11}  {:>11}", "macs", "shape", "direct", "gemm");
+        for (c, hw, kk) in [(2, 4, 2), (4, 6, 4), (8, 8, 8), (8, 12, 8), (16, 14, 16), (32, 14, 32)]
+        {
+            let ishape = Shape4::new(1, c, hw, hw);
+            let wshape = Shape4::new(kk, c, 3, 3);
+            let x = rand_tensor(ishape, 1, 1.0).map(|v| (v * 100.0) as i8);
+            let w = rand_tensor(wshape, 2, 1.0).map(|v| (v * 100.0) as i8);
+            let p = Conv2dParams::new(3, 3).with_padding(1);
+            let macs = kk * c * 9 * hw * hw;
+            let mut arena = Arena::new();
+            let time = |policy: KernelPolicy, arena: &mut Arena| {
+                let mut best = f64::INFINITY;
+                for _ in 0..50 {
+                    let t = Instant::now();
+                    let _ = conv2d_i8_in(&x, q, &w, q, None, q, &p, policy, arena).unwrap();
+                    best = best.min(t.elapsed().as_secs_f64() * 1e6);
+                }
+                best
+            };
+            let direct = time(KernelPolicy::Naive, &mut arena);
+            let gemm = time(KernelPolicy::Im2colGemm, &mut arena);
+            println!("{macs:>10}  {c}x{hw}x{hw}x{kk}  {direct:>9.2} us  {gemm:>9.2} us");
+        }
     }
 
     #[test]

@@ -1,39 +1,75 @@
-//! Cache-blocked, register-tiled GEMM kernels and the kernel-backend policy.
+//! Panel-packed GEMM with register microkernels, and the kernel-backend
+//! policy.
 //!
 //! The SUSHI datapath lowers dense convolutions to matrix multiplication
 //! (see [`crate::ops::im2col`]): weights become an `M×K` row-major matrix,
 //! the im2col patch matrix is `K×N`, and the output activations fall out as
 //! `M×N` rows that map one-to-one onto contiguous NCHW output rows. The
-//! kernels here are the repo's hot path:
+//! kernels here are the repo's hot path, structured BLIS-style:
 //!
-//! * **Cache blocking** — the reduction dimension is processed in `KC`-wide
-//!   panels so one panel of `B` stays L1/L2-resident across `MR` rows of `A`.
-//! * **Register tiling** — `MR = 4` rows of `C` accumulate per pass, so each
-//!   loaded element of `B` is reused four times from registers.
+//! * **Packing** ([`crate::ops::pack`]) — both operands are repacked into
+//!   panel layouts whose inner stride equals the register tile, so the
+//!   microkernel only ever loads contiguous `MR`/`NR` runs. The quantized
+//!   path subtracts zero points *at pack time* (`i8 → i16`), removing all
+//!   per-MAC zero-point work.
+//! * **`MR×NR` microkernels** — a 4×8 register tile of `C` accumulates in
+//!   locals across a `KC` panel; each loaded A value is reused `NR` times
+//!   and each B value `MR` times from registers. A `std::arch` AVX2(+FMA)
+//!   path is selected at runtime via `is_x86_feature_detected!`; the
+//!   portable kernel is the always-correct fallback (and the two agree —
+//!   bit-exactly for int8, within reassociation error for f32).
+//! * **Cache blocking** — `KC`-deep reduction panels keep one `KC×NR` B
+//!   panel L1-resident, and `MC`-row blocks of packed A stay L2-resident
+//!   while the B block streams past.
 //! * **Threaded row tiling** — large products split `C` into disjoint
-//!   row blocks dispatched via `std::thread::scope` (no dependency, same
-//!   pattern PR 1 used to drop crossbeam).
+//!   row-panel blocks dispatched via `std::thread::scope`.
 //!
-//! Integer GEMM ([`gemm_i8_i32`]) widens `i8` operands to `i32` and applies
-//! the Zero-Subtraction semantics `(a − zp_a)·(b − zp_b)` inline, so the
-//! result is bit-identical to the scalar reference loops: `i32` addition is
-//! associative, hence reassociating the reduction cannot change the sum.
+//! Integer GEMM ([`gemm_i8_i32`]) is bit-identical to the scalar reference
+//! loops under every blocking/ISA choice: the packed operands hold exactly
+//! `(a − zp_a)` / `(b − zp_b)` and `i32` addition is associative, so
+//! reassociating the reduction cannot change the sum.
+//!
+//! # Tuned thresholds (measured on the repo's 8-core x86-64 CI box)
+//!
+//! * [`PARALLEL_MIN`] = 2²⁰ MACs: below this, `std::thread::scope` spawn
+//!   overhead (~10 µs/thread) exceeds the kernel time itself — a 64×129×130
+//!   product runs in ~0.3 ms single-threaded, so only products at least a
+//!   millisecond deep are worth fanning out.
+//! * [`AUTO_DIRECT_MAC_THRESHOLD`] = 2048 MACs: with pack-time zero-point
+//!   subtraction and arena-reused scratch, the packed path's fixed cost is
+//!   roughly one extra pass over each operand. The crossover probe
+//!   (`auto_crossover_probe` in `ops::conv`, release mode) measures the
+//!   direct loops vs the packed path at 1.2 µs vs 1.1 µs on a 576-MAC 3×3
+//!   conv and 8.5 µs vs 3.7 µs at 5.2k MACs — i.e. GEMM ties by ~0.6k MACs
+//!   and wins >2× by ~5k. PR 2's 8k-MAC threshold was re-measured after
+//!   the packed rewrite and lowered to 2k; below that only degenerate
+//!   shapes remain (SE-module 1×1 convs on pooled 1×1 pixels), where the
+//!   NR-padded patch panel would waste most of its lanes.
+//! * Depthwise stays on the direct loops under `Auto` regardless of size:
+//!   its GEMM reduction depth is just `R·S`, too shallow to amortize even
+//!   the cheaper packed im2col.
 
 use std::fmt;
 use std::str::FromStr;
+use std::sync::OnceLock;
+
+use crate::ops::pack::{
+    pack_a_f32_into, pack_a_i8_into, pack_b_f32_into, pack_b_i8_into, packed_a_len, packed_b_len,
+    MR, NR,
+};
 
 /// Which kernel implementation `conv2d_*` / `linear_*` should use.
 ///
 /// `Naive` keeps the original scalar loop nests — they stay the correctness
 /// oracle that the fast path is validated against. `Im2colGemm` forces the
-/// im2col + blocked-GEMM lowering. `Auto` (the default) resolves per problem
+/// im2col + packed-GEMM lowering. `Auto` (the default) resolves per problem
 /// size: depthwise and tiny convolutions stay on the direct loops, dense
 /// `1×1`/`3×3`-style layers go through GEMM.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum KernelPolicy {
     /// Always use the scalar reference loops (the correctness oracle).
     Naive,
-    /// Always use the im2col + cache-blocked GEMM lowering.
+    /// Always use the im2col + packed-GEMM lowering.
     Im2colGemm,
     /// Pick per problem size (depthwise/tiny → direct, dense → GEMM).
     #[default]
@@ -45,13 +81,14 @@ pub enum KernelPolicy {
 pub enum ConvBackend {
     /// Direct loop nest over the convolution window.
     Direct,
-    /// im2col lowering followed by blocked GEMM.
+    /// im2col lowering followed by packed GEMM.
     Im2colGemm,
 }
 
 /// Below this many multiply-accumulates, `Auto` keeps the direct loops: the
-/// im2col materialization and scratch allocation would dominate.
-pub const AUTO_DIRECT_MAC_THRESHOLD: usize = 8 * 1024;
+/// im2col materialization and packing would dominate. See the module docs
+/// for the measurement behind the value.
+pub const AUTO_DIRECT_MAC_THRESHOLD: usize = 2 * 1024;
 
 impl KernelPolicy {
     /// Resolves the policy for a convolution with `macs` multiply-accumulates
@@ -97,23 +134,354 @@ impl FromStr for KernelPolicy {
     }
 }
 
-/// Reduction-panel width: one `KC×N` panel of `B` is streamed per pass.
-const KC: usize = 256;
-/// Register tile height: rows of `C` accumulated per inner pass.
-const MR: usize = 4;
-/// Products below this many scalar MACs stay single-threaded.
-const PARALLEL_MAC_THRESHOLD: usize = 1 << 20;
+/// Reduction-panel depth: one `KC×NR` panel of B is kept L1-resident per
+/// microkernel sweep.
+pub const KC: usize = 256;
+/// Row-block height (multiple of `MR`): an `MC×KC` block of packed A stays
+/// L2-resident while the matching B block streams past it.
+pub const MC: usize = 128;
+/// Products below this many scalar MACs stay single-threaded. See the
+/// module docs for the measurement behind the value.
+pub const PARALLEL_MIN: usize = 1 << 20;
 
 fn worker_count(m: usize, k: usize, n: usize) -> usize {
-    if m.saturating_mul(k).saturating_mul(n) < PARALLEL_MAC_THRESHOLD {
+    if m.saturating_mul(k).saturating_mul(n) < PARALLEL_MIN {
         return 1;
     }
-    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get).min(m).max(1)
+    std::thread::available_parallelism()
+        .map_or(1, std::num::NonZeroUsize::get)
+        .min(m.div_ceil(MR))
+        .max(1)
+}
+
+/// Whether the runtime-dispatched SIMD microkernels are active on this
+/// machine (x86-64 with AVX2 and FMA). When `false`, the portable
+/// microkernels run; results are equivalent either way.
+#[must_use]
+pub fn simd_kernels_active() -> bool {
+    static DETECTED: OnceLock<bool> = OnceLock::new();
+    *DETECTED.get_or_init(detect_simd)
+}
+
+#[cfg(target_arch = "x86_64")]
+fn detect_simd() -> bool {
+    std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn detect_simd() -> bool {
+    false
+}
+
+// ---------------------------------------------------------------------------
+// Microkernels: MR×NR register tiles over packed panels.
+//
+// Contract: `a` is a k-major MR-row panel slice (`kc·MR` values), `b` a
+// k-major NR-column panel slice (`kc·NR` values); `acc` accumulates the
+// MR×NR product tile in row-major order. Padded panel cells are zero (after
+// zero-point subtraction for int8), so they can never perturb `acc`.
+// ---------------------------------------------------------------------------
+
+#[inline(always)]
+fn mk_f32_portable(kc: usize, a: &[f32], b: &[f32], acc: &mut [f32; MR * NR]) {
+    for kk in 0..kc {
+        let av = &a[kk * MR..kk * MR + MR];
+        let bv = &b[kk * NR..kk * NR + NR];
+        for r in 0..MR {
+            let ar = av[r];
+            for j in 0..NR {
+                acc[r * NR + j] += ar * bv[j];
+            }
+        }
+    }
+}
+
+#[inline(always)]
+fn mk_i16_portable(kc: usize, a: &[i16], b: &[i16], acc: &mut [i32; MR * NR]) {
+    for kk in 0..kc {
+        let av = &a[kk * MR..kk * MR + MR];
+        let bv = &b[kk * NR..kk * NR + NR];
+        for r in 0..MR {
+            let ar = i32::from(av[r]);
+            for j in 0..NR {
+                acc[r * NR + j] += ar * i32::from(bv[j]);
+            }
+        }
+    }
+}
+
+/// AVX2+FMA f32 microkernel: each of the four C rows lives in one ymm
+/// register; B rows load as a single 8-lane vector, A values broadcast.
+///
+/// # Safety
+/// Caller must have verified AVX2+FMA support (see [`simd_kernels_active`])
+/// and pass slices satisfying the microkernel contract above.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn mk_f32_avx2(kc: usize, a: &[f32], b: &[f32], acc: &mut [f32; MR * NR]) {
+    use std::arch::x86_64::{
+        _mm256_broadcast_ss, _mm256_fmadd_ps, _mm256_loadu_ps, _mm256_storeu_ps,
+    };
+    debug_assert!(a.len() >= kc * MR && b.len() >= kc * NR);
+    let mut c0 = _mm256_loadu_ps(acc.as_ptr());
+    let mut c1 = _mm256_loadu_ps(acc.as_ptr().add(NR));
+    let mut c2 = _mm256_loadu_ps(acc.as_ptr().add(2 * NR));
+    let mut c3 = _mm256_loadu_ps(acc.as_ptr().add(3 * NR));
+    for kk in 0..kc {
+        let bv = _mm256_loadu_ps(b.as_ptr().add(kk * NR));
+        let ap = a.as_ptr().add(kk * MR);
+        c0 = _mm256_fmadd_ps(_mm256_broadcast_ss(&*ap), bv, c0);
+        c1 = _mm256_fmadd_ps(_mm256_broadcast_ss(&*ap.add(1)), bv, c1);
+        c2 = _mm256_fmadd_ps(_mm256_broadcast_ss(&*ap.add(2)), bv, c2);
+        c3 = _mm256_fmadd_ps(_mm256_broadcast_ss(&*ap.add(3)), bv, c3);
+    }
+    _mm256_storeu_ps(acc.as_mut_ptr(), c0);
+    _mm256_storeu_ps(acc.as_mut_ptr().add(NR), c1);
+    _mm256_storeu_ps(acc.as_mut_ptr().add(2 * NR), c2);
+    _mm256_storeu_ps(acc.as_mut_ptr().add(3 * NR), c3);
+}
+
+/// AVX2 int microkernel: B's 8 i16 lanes widen to one i32 ymm; products use
+/// `mullo_epi32` + `add_epi32`, the exact portable arithmetic — so this
+/// path is bit-identical to [`mk_i16_portable`], not just close.
+///
+/// # Safety
+/// Caller must have verified AVX2 support and pass slices satisfying the
+/// microkernel contract above.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn mk_i16_avx2(kc: usize, a: &[i16], b: &[i16], acc: &mut [i32; MR * NR]) {
+    use std::arch::x86_64::{
+        _mm256_add_epi32, _mm256_cvtepi16_epi32, _mm256_loadu_si256, _mm256_mullo_epi32,
+        _mm256_set1_epi32, _mm256_storeu_si256, _mm_loadu_si128,
+    };
+    debug_assert!(a.len() >= kc * MR && b.len() >= kc * NR);
+    let mut c0 = _mm256_loadu_si256(acc.as_ptr().cast());
+    let mut c1 = _mm256_loadu_si256(acc.as_ptr().add(NR).cast());
+    let mut c2 = _mm256_loadu_si256(acc.as_ptr().add(2 * NR).cast());
+    let mut c3 = _mm256_loadu_si256(acc.as_ptr().add(3 * NR).cast());
+    for kk in 0..kc {
+        let bv = _mm256_cvtepi16_epi32(_mm_loadu_si128(b.as_ptr().add(kk * NR).cast()));
+        let ap = a.as_ptr().add(kk * MR);
+        c0 = _mm256_add_epi32(c0, _mm256_mullo_epi32(_mm256_set1_epi32(i32::from(*ap)), bv));
+        c1 = _mm256_add_epi32(c1, _mm256_mullo_epi32(_mm256_set1_epi32(i32::from(*ap.add(1))), bv));
+        c2 = _mm256_add_epi32(c2, _mm256_mullo_epi32(_mm256_set1_epi32(i32::from(*ap.add(2))), bv));
+        c3 = _mm256_add_epi32(c3, _mm256_mullo_epi32(_mm256_set1_epi32(i32::from(*ap.add(3))), bv));
+    }
+    _mm256_storeu_si256(acc.as_mut_ptr().cast(), c0);
+    _mm256_storeu_si256(acc.as_mut_ptr().add(NR).cast(), c1);
+    _mm256_storeu_si256(acc.as_mut_ptr().add(2 * NR).cast(), c2);
+    _mm256_storeu_si256(acc.as_mut_ptr().add(3 * NR).cast(), c3);
+}
+
+#[inline(always)]
+fn writeback<T: Copy + std::ops::AddAssign>(
+    c: &mut [T],
+    n: usize,
+    i0: usize,
+    j0: usize,
+    rows: usize,
+    cols: usize,
+    acc: &[T],
+) {
+    for r in 0..rows {
+        let row = &mut c[(i0 + r) * n + j0..(i0 + r) * n + j0 + cols];
+        for (j, cell) in row.iter_mut().enumerate() {
+            *cell += acc[r * NR + j];
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Packed-operand drivers: kb (KC) → row block (MC) → column panel (NR) →
+// row panel (MR) → microkernel. The B panel slice is L1-resident across the
+// inner row-panel sweep; the MC×KC block of packed A is L2-resident across
+// the column-panel sweep.
+// ---------------------------------------------------------------------------
+
+fn gemm_block_f32_packed(k: usize, n: usize, pa: &[f32], pb: &[f32], c: &mut [f32], simd: bool) {
+    let m = c.len() / n;
+    let n_panels = n.div_ceil(NR);
+    for kb in (0..k).step_by(KC) {
+        let kc = KC.min(k - kb);
+        for i0 in (0..m).step_by(MC) {
+            let rows_block = MC.min(m - i0);
+            for jp in 0..n_panels {
+                let j0 = jp * NR;
+                let cols = NR.min(n - j0);
+                let bp = &pb[jp * k * NR + kb * NR..jp * k * NR + (kb + kc) * NR];
+                for ip in (i0 / MR)..(i0 + rows_block).div_ceil(MR) {
+                    let ap = &pa[ip * k * MR + kb * MR..ip * k * MR + (kb + kc) * MR];
+                    let mut acc = [0.0f32; MR * NR];
+                    #[cfg(target_arch = "x86_64")]
+                    if simd {
+                        // SAFETY: `simd` is only true when AVX2+FMA were
+                        // detected; slices satisfy the kernel contract.
+                        unsafe { mk_f32_avx2(kc, ap, bp, &mut acc) }
+                    } else {
+                        mk_f32_portable(kc, ap, bp, &mut acc);
+                    }
+                    #[cfg(not(target_arch = "x86_64"))]
+                    {
+                        let _ = simd;
+                        mk_f32_portable(kc, ap, bp, &mut acc);
+                    }
+                    writeback(c, n, ip * MR, j0, MR.min(m - ip * MR), cols, &acc);
+                }
+            }
+        }
+    }
+}
+
+fn gemm_block_i8_packed(k: usize, n: usize, pa: &[i16], pb: &[i16], c: &mut [i32], simd: bool) {
+    let m = c.len() / n;
+    let n_panels = n.div_ceil(NR);
+    for kb in (0..k).step_by(KC) {
+        let kc = KC.min(k - kb);
+        for i0 in (0..m).step_by(MC) {
+            let rows_block = MC.min(m - i0);
+            for jp in 0..n_panels {
+                let j0 = jp * NR;
+                let cols = NR.min(n - j0);
+                let bp = &pb[jp * k * NR + kb * NR..jp * k * NR + (kb + kc) * NR];
+                for ip in (i0 / MR)..(i0 + rows_block).div_ceil(MR) {
+                    let ap = &pa[ip * k * MR + kb * MR..ip * k * MR + (kb + kc) * MR];
+                    let mut acc = [0i32; MR * NR];
+                    #[cfg(target_arch = "x86_64")]
+                    if simd {
+                        // SAFETY: `simd` is only true when AVX2 was
+                        // detected; slices satisfy the kernel contract.
+                        unsafe { mk_i16_avx2(kc, ap, bp, &mut acc) }
+                    } else {
+                        mk_i16_portable(kc, ap, bp, &mut acc);
+                    }
+                    #[cfg(not(target_arch = "x86_64"))]
+                    {
+                        let _ = simd;
+                        mk_i16_portable(kc, ap, bp, &mut acc);
+                    }
+                    writeback(c, n, ip * MR, j0, MR.min(m - ip * MR), cols, &acc);
+                }
+            }
+        }
+    }
+}
+
+fn run_packed_f32(m: usize, k: usize, n: usize, pa: &[f32], pb: &[f32], c: &mut [f32], simd: bool) {
+    let threads = worker_count(m, k, n);
+    if threads <= 1 {
+        gemm_block_f32_packed(k, n, pa, pb, c, simd);
+        return;
+    }
+    // Split C into row-panel-aligned chunks; each thread owns a disjoint
+    // range of packed-A panels and C rows.
+    let panels_per = m.div_ceil(MR).div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (chunk_idx, c_chunk) in c.chunks_mut(panels_per * MR * n).enumerate() {
+            let pa_chunk = &pa[chunk_idx * panels_per * MR * k..];
+            scope.spawn(move || gemm_block_f32_packed(k, n, pa_chunk, pb, c_chunk, simd));
+        }
+    });
+}
+
+fn run_packed_i8(m: usize, k: usize, n: usize, pa: &[i16], pb: &[i16], c: &mut [i32], simd: bool) {
+    let threads = worker_count(m, k, n);
+    if threads <= 1 {
+        gemm_block_i8_packed(k, n, pa, pb, c, simd);
+        return;
+    }
+    let panels_per = m.div_ceil(MR).div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (chunk_idx, c_chunk) in c.chunks_mut(panels_per * MR * n).enumerate() {
+            let pa_chunk = &pa[chunk_idx * panels_per * MR * k..];
+            scope.spawn(move || gemm_block_i8_packed(k, n, pa_chunk, pb, c_chunk, simd));
+        }
+    });
+}
+
+/// `C += A·B` over pre-packed operands: `pa` is the MR-row-panel packing of
+/// the `m×k` A matrix ([`crate::ops::pack::pack_a_f32_into`]), `pb` the
+/// NR-column-panel packing of the `k×n` B matrix. `C` is dense row-major
+/// `m×n`, accumulated into.
+///
+/// # Panics
+/// Panics if any slice length disagrees with the packed-layout lengths.
+pub fn gemm_f32_packed(m: usize, k: usize, n: usize, pa: &[f32], pb: &[f32], c: &mut [f32]) {
+    assert_eq!(pa.len(), packed_a_len(m, k), "packed A length");
+    assert_eq!(pb.len(), packed_b_len(k, n), "packed B length");
+    assert_eq!(c.len(), m * n, "C must be m*n");
+    if m == 0 || k == 0 || n == 0 {
+        return;
+    }
+    run_packed_f32(m, k, n, pa, pb, c, simd_kernels_active());
+}
+
+/// Portable-microkernel variant of [`gemm_f32_packed`], bypassing runtime
+/// SIMD dispatch. Exists so tests can pin AVX2-vs-portable agreement; use
+/// [`gemm_f32_packed`] everywhere else.
+#[doc(hidden)]
+pub fn gemm_f32_packed_portable(
+    m: usize,
+    k: usize,
+    n: usize,
+    pa: &[f32],
+    pb: &[f32],
+    c: &mut [f32],
+) {
+    assert_eq!(pa.len(), packed_a_len(m, k), "packed A length");
+    assert_eq!(pb.len(), packed_b_len(k, n), "packed B length");
+    assert_eq!(c.len(), m * n, "C must be m*n");
+    if m == 0 || k == 0 || n == 0 {
+        return;
+    }
+    run_packed_f32(m, k, n, pa, pb, c, false);
+}
+
+/// `C += (A − zp_a)·(B − zp_b)` over pre-packed, zero-point-subtracted
+/// `i16` operands (see [`crate::ops::pack::pack_a_i8_into`] /
+/// [`crate::ops::pack::pack_b_i8_into`]); `C` is a dense row-major `m×n`
+/// `i32` accumulator.
+///
+/// Bit-identical to the scalar reference for every blocking and ISA choice.
+///
+/// # Panics
+/// Panics if any slice length disagrees with the packed-layout lengths.
+pub fn gemm_i8_packed(m: usize, k: usize, n: usize, pa: &[i16], pb: &[i16], c: &mut [i32]) {
+    assert_eq!(pa.len(), packed_a_len(m, k), "packed A length");
+    assert_eq!(pb.len(), packed_b_len(k, n), "packed B length");
+    assert_eq!(c.len(), m * n, "C must be m*n");
+    if m == 0 || k == 0 || n == 0 {
+        return;
+    }
+    run_packed_i8(m, k, n, pa, pb, c, simd_kernels_active());
+}
+
+/// Portable-microkernel variant of [`gemm_i8_packed`], bypassing runtime
+/// SIMD dispatch. Exists so tests can pin AVX2-vs-portable bit-identity;
+/// use [`gemm_i8_packed`] everywhere else.
+#[doc(hidden)]
+pub fn gemm_i8_packed_portable(
+    m: usize,
+    k: usize,
+    n: usize,
+    pa: &[i16],
+    pb: &[i16],
+    c: &mut [i32],
+) {
+    assert_eq!(pa.len(), packed_a_len(m, k), "packed A length");
+    assert_eq!(pb.len(), packed_b_len(k, n), "packed B length");
+    assert_eq!(c.len(), m * n, "C must be m*n");
+    if m == 0 || k == 0 || n == 0 {
+        return;
+    }
+    run_packed_i8(m, k, n, pa, pb, c, false);
 }
 
 /// `C += A · B` over `f32`, where `A` is `m×k`, `B` is `k×n` and `C` is
 /// `m×n`, all dense row-major. `C` is accumulated into (zero it first for a
-/// plain product).
+/// plain product). Packs both operands into fresh buffers and runs the
+/// panel kernels; hot paths that can reuse scratch or pre-packed weights
+/// should call [`gemm_f32_packed`] directly.
 ///
 /// # Panics
 /// Panics if any slice length disagrees with its `m`/`k`/`n` dimensions.
@@ -124,70 +492,20 @@ pub fn gemm_f32(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32
     if m == 0 || k == 0 || n == 0 {
         return;
     }
-    let threads = worker_count(m, k, n);
-    if threads <= 1 {
-        gemm_block_f32(a, k, n, b, c);
-        return;
-    }
-    let rows_per = m.div_ceil(threads);
-    std::thread::scope(|scope| {
-        for (chunk_idx, c_chunk) in c.chunks_mut(rows_per * n).enumerate() {
-            let row0 = chunk_idx * rows_per;
-            let rows = c_chunk.len() / n;
-            let a_chunk = &a[row0 * k..(row0 + rows) * k];
-            scope.spawn(move || gemm_block_f32(a_chunk, k, n, b, c_chunk));
-        }
-    });
-}
-
-/// Single-threaded blocked kernel: `C += A · B` for the rows present in `c`.
-fn gemm_block_f32(a: &[f32], k: usize, n: usize, b: &[f32], c: &mut [f32]) {
-    let m = c.len() / n;
-    for kb in (0..k).step_by(KC) {
-        let k_hi = (kb + KC).min(k);
-        let mut i = 0;
-        while i + MR <= m {
-            let (r0, rest) = c[i * n..(i + MR) * n].split_at_mut(n);
-            let (r1, rest) = rest.split_at_mut(n);
-            let (r2, r3) = rest.split_at_mut(n);
-            for kk in kb..k_hi {
-                let a0 = a[i * k + kk];
-                let a1 = a[(i + 1) * k + kk];
-                let a2 = a[(i + 2) * k + kk];
-                let a3 = a[(i + 3) * k + kk];
-                let brow = &b[kk * n..(kk + 1) * n];
-                for j in 0..n {
-                    let bv = brow[j];
-                    r0[j] += a0 * bv;
-                    r1[j] += a1 * bv;
-                    r2[j] += a2 * bv;
-                    r3[j] += a3 * bv;
-                }
-            }
-            i += MR;
-        }
-        // Row tail (< MR rows): single-row axpy passes.
-        while i < m {
-            let crow = &mut c[i * n..(i + 1) * n];
-            for kk in kb..k_hi {
-                let av = a[i * k + kk];
-                let brow = &b[kk * n..(kk + 1) * n];
-                for j in 0..n {
-                    crow[j] += av * brow[j];
-                }
-            }
-            i += 1;
-        }
-    }
+    let mut pa = vec![0.0f32; packed_a_len(m, k)];
+    let mut pb = vec![0.0f32; packed_b_len(k, n)];
+    pack_a_f32_into(&mut pa, a, m, k);
+    pack_b_f32_into(&mut pb, b, k, n);
+    run_packed_f32(m, k, n, &pa, &pb, c, simd_kernels_active());
 }
 
 /// `C += (A − zp_a) · (B − zp_b)` over `i8` operands widened to `i32`
 /// accumulators, with `A` `m×k`, `B` `k×n`, `C` `m×n`, all row-major.
 ///
-/// Implements the accelerator's Zero-Subtraction semantics inline, so a
-/// padded im2col cell holding `zp_b` contributes exactly zero. The result
-/// is bit-identical to the scalar reference regardless of blocking, because
-/// `i32` addition is associative.
+/// Implements the accelerator's Zero-Subtraction semantics — applied once
+/// at pack time, so a padded im2col cell holding `zp_b` packs to literal
+/// zero. The result is bit-identical to the scalar reference regardless of
+/// blocking, because `i32` addition is associative.
 ///
 /// # Panics
 /// Panics if any slice length disagrees with its `m`/`k`/`n` dimensions.
@@ -207,61 +525,11 @@ pub fn gemm_i8_i32(
     if m == 0 || k == 0 || n == 0 {
         return;
     }
-    let threads = worker_count(m, k, n);
-    if threads <= 1 {
-        gemm_block_i8(a, zp_a, k, n, b, zp_b, c);
-        return;
-    }
-    let rows_per = m.div_ceil(threads);
-    std::thread::scope(|scope| {
-        for (chunk_idx, c_chunk) in c.chunks_mut(rows_per * n).enumerate() {
-            let row0 = chunk_idx * rows_per;
-            let rows = c_chunk.len() / n;
-            let a_chunk = &a[row0 * k..(row0 + rows) * k];
-            scope.spawn(move || gemm_block_i8(a_chunk, zp_a, k, n, b, zp_b, c_chunk));
-        }
-    });
-}
-
-fn gemm_block_i8(a: &[i8], zp_a: i8, k: usize, n: usize, b: &[i8], zp_b: i8, c: &mut [i32]) {
-    let m = c.len() / n;
-    let zp_a = i32::from(zp_a);
-    let zp_b = i32::from(zp_b);
-    for kb in (0..k).step_by(KC) {
-        let k_hi = (kb + KC).min(k);
-        let mut i = 0;
-        while i + MR <= m {
-            let (r0, rest) = c[i * n..(i + MR) * n].split_at_mut(n);
-            let (r1, rest) = rest.split_at_mut(n);
-            let (r2, r3) = rest.split_at_mut(n);
-            for kk in kb..k_hi {
-                let a0 = i32::from(a[i * k + kk]) - zp_a;
-                let a1 = i32::from(a[(i + 1) * k + kk]) - zp_a;
-                let a2 = i32::from(a[(i + 2) * k + kk]) - zp_a;
-                let a3 = i32::from(a[(i + 3) * k + kk]) - zp_a;
-                let brow = &b[kk * n..(kk + 1) * n];
-                for j in 0..n {
-                    let bv = i32::from(brow[j]) - zp_b;
-                    r0[j] += a0 * bv;
-                    r1[j] += a1 * bv;
-                    r2[j] += a2 * bv;
-                    r3[j] += a3 * bv;
-                }
-            }
-            i += MR;
-        }
-        while i < m {
-            let crow = &mut c[i * n..(i + 1) * n];
-            for kk in kb..k_hi {
-                let av = i32::from(a[i * k + kk]) - zp_a;
-                let brow = &b[kk * n..(kk + 1) * n];
-                for j in 0..n {
-                    crow[j] += av * (i32::from(brow[j]) - zp_b);
-                }
-            }
-            i += 1;
-        }
-    }
+    let mut pa = vec![0i16; packed_a_len(m, k)];
+    let mut pb = vec![0i16; packed_b_len(k, n)];
+    pack_a_i8_into(&mut pa, a, zp_a, m, k);
+    pack_b_i8_into(&mut pb, b, zp_b, k, n);
+    run_packed_i8(m, k, n, &pa, &pb, c, simd_kernels_active());
 }
 
 #[cfg(test)]
@@ -283,8 +551,8 @@ mod tests {
 
     #[test]
     fn f32_matches_naive_on_awkward_dims() {
-        // Dims chosen to exercise the MR tail, the KC boundary and n=1.
-        for (m, k, n) in [(1, 1, 1), (5, 7, 3), (4, 300, 9), (7, 13, 1), (9, 257, 5)] {
+        // Dims chosen to exercise the MR/NR tails, the KC boundary and n=1.
+        for (m, k, n) in [(1, 1, 1), (5, 7, 3), (4, 300, 9), (7, 13, 1), (9, 257, 5), (3, 40, 17)] {
             let mut rng = DetRng::new((m * 1000 + k * 10 + n) as u64);
             let a: Vec<f32> = (0..m * k).map(|_| rng.uniform_f32(-1.0, 1.0)).collect();
             let b: Vec<f32> = (0..k * n).map(|_| rng.uniform_f32(-1.0, 1.0)).collect();
@@ -328,6 +596,18 @@ mod tests {
     }
 
     #[test]
+    fn i8_zero_point_extremes_cannot_overflow_the_packing() {
+        // (a − zp) spans ±255, beyond i8 but exact in the widened i16 cells.
+        let (m, k, n) = (5, 9, 10);
+        let a = vec![i8::MIN; m * k];
+        let b = vec![i8::MAX; k * n];
+        let mut c = vec![0i32; m * n];
+        gemm_i8_i32(m, k, n, &a, i8::MAX, &b, i8::MIN, &mut c);
+        // Every MAC is (−128 − 127)·(127 − (−128)) = −255·255.
+        assert!(c.iter().all(|&v| v == (k as i32) * -255 * 255));
+    }
+
+    #[test]
     fn i8_zero_point_cells_contribute_nothing() {
         // A column of B equal to zp_b must vanish after Zero-Subtraction.
         let a = [5i8, -9, 3];
@@ -355,7 +635,7 @@ mod tests {
 
     #[test]
     fn large_product_crosses_thread_threshold_and_matches() {
-        // m*k*n > PARALLEL_MAC_THRESHOLD so the scoped-thread path runs.
+        // m*k*n > PARALLEL_MIN so the scoped-thread path runs.
         let (m, k, n) = (64, 129, 130);
         let mut rng = DetRng::new(7);
         let a: Vec<f32> = (0..m * k).map(|_| rng.uniform_f32(-0.5, 0.5)).collect();
@@ -365,6 +645,58 @@ mod tests {
         let expect = naive_f32(m, k, n, &a, &b);
         let max_err = c.iter().zip(&expect).map(|(x, y)| (x - y).abs()).fold(0.0f32, f32::max);
         assert!(max_err < 1e-3, "max err {max_err}");
+    }
+
+    #[test]
+    fn threaded_i8_is_bit_identical_to_single_threaded() {
+        // Crosses PARALLEL_MIN with awkward row/column tails.
+        let (m, k, n) = (66, 130, 131);
+        let mut rng = DetRng::new(99);
+        let a: Vec<i8> = (0..m * k).map(|_| rng.next_i8()).collect();
+        let b: Vec<i8> = (0..k * n).map(|_| rng.next_i8()).collect();
+        let mut threaded = vec![0i32; m * n];
+        gemm_i8_i32(m, k, n, &a, 5, &b, -11, &mut threaded);
+        let mut pa = vec![0i16; packed_a_len(m, k)];
+        let mut pb = vec![0i16; packed_b_len(k, n)];
+        pack_a_i8_into(&mut pa, &a, 5, m, k);
+        pack_b_i8_into(&mut pb, &b, -11, k, n);
+        let mut single = vec![0i32; m * n];
+        gemm_block_i8_packed(k, n, &pa, &pb, &mut single, simd_kernels_active());
+        assert_eq!(threaded, single);
+    }
+
+    #[test]
+    fn simd_and_portable_i8_agree_bit_exactly() {
+        let (m, k, n) = (13, 70, 21);
+        let mut rng = DetRng::new(17);
+        let a: Vec<i8> = (0..m * k).map(|_| rng.next_i8()).collect();
+        let b: Vec<i8> = (0..k * n).map(|_| rng.next_i8()).collect();
+        let mut pa = vec![0i16; packed_a_len(m, k)];
+        let mut pb = vec![0i16; packed_b_len(k, n)];
+        pack_a_i8_into(&mut pa, &a, -2, m, k);
+        pack_b_i8_into(&mut pb, &b, 9, k, n);
+        let mut dispatched = vec![0i32; m * n];
+        gemm_i8_packed(m, k, n, &pa, &pb, &mut dispatched);
+        let mut portable = vec![0i32; m * n];
+        gemm_i8_packed_portable(m, k, n, &pa, &pb, &mut portable);
+        assert_eq!(dispatched, portable);
+    }
+
+    #[test]
+    fn prepacked_f32_matches_packing_entry_point() {
+        let (m, k, n) = (10, 33, 14);
+        let mut rng = DetRng::new(31);
+        let a: Vec<f32> = (0..m * k).map(|_| rng.uniform_f32(-1.0, 1.0)).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| rng.uniform_f32(-1.0, 1.0)).collect();
+        let mut pa = vec![0.0; packed_a_len(m, k)];
+        let mut pb = vec![0.0; packed_b_len(k, n)];
+        pack_a_f32_into(&mut pa, &a, m, k);
+        pack_b_f32_into(&mut pb, &b, k, n);
+        let mut via_packed = vec![0.0; m * n];
+        gemm_f32_packed(m, k, n, &pa, &pb, &mut via_packed);
+        let mut via_raw = vec![0.0; m * n];
+        gemm_f32(m, k, n, &a, &b, &mut via_raw);
+        assert_eq!(via_packed, via_raw, "same packing must give the same bits");
     }
 
     #[test]

@@ -12,6 +12,11 @@
 //! the same semantics as the reference loops. Valid output ranges per weight
 //! position are precomputed once ([`out_range`]), so the inner copies are
 //! branch-free and `stride == 1` rows degrade to `copy_from_slice`.
+//!
+//! `im2col` writes into a caller-provided buffer; on the serving hot path
+//! that buffer comes from a reused [`crate::arena::Arena`], so no patch
+//! matrix is heap-allocated per query (the conv entry points in
+//! [`crate::ops::conv`] do the routing).
 
 use crate::ops::conv::Conv2dParams;
 use crate::tensor::{Element, Tensor};

@@ -3,14 +3,17 @@
 //! Every operator keeps its original straightforward loop nest — the
 //! *golden model* that `sushi-accel`'s DPE-array functional simulation is
 //! validated against — selectable via [`gemm::KernelPolicy::Naive`]. The
-//! hot path is the [`im2col`] + cache-blocked [`gemm`] backend, which the
-//! default [`gemm::KernelPolicy::Auto`] picks for dense convolutions large
-//! enough to amortize the lowering. Quantized results are bit-identical
-//! across backends; f32 results agree to reassociation error.
+//! hot path is the [`im2col`] + panel-packed microkernel [`gemm`] backend
+//! (operand layouts in [`pack`], reusable scratch in [`crate::arena`]),
+//! which the default [`gemm::KernelPolicy::Auto`] picks for dense
+//! convolutions large enough to amortize the lowering. Quantized results
+//! are bit-identical across backends; f32 results agree to reassociation
+//! error.
 
 pub mod activation;
 pub mod conv;
 pub mod gemm;
 pub mod im2col;
 pub mod linear;
+pub mod pack;
 pub mod pool;

@@ -1,14 +1,24 @@
 //! Property-based equivalence suite for the kernel backends: the im2col +
-//! blocked-GEMM path must reproduce the naive oracle across random shapes,
+//! packed-GEMM path must reproduce the naive oracle across random shapes,
 //! strides, paddings and group structures — bit-identically for int8
-//! (integer accumulation is associative) and within 1e-4 for f32.
+//! (integer accumulation is associative) and within 1e-4 for f32 — and the
+//! packed kernels themselves must match the scalar reference across
+//! `m % MR != 0` / `n % NR != 0` tails, zero-point extremes, pre-packed
+//! weights, and the AVX2-vs-portable microkernel split.
 
 use proptest::prelude::*;
 
-use sushi_tensor::ops::conv::{conv2d_f32_with, conv2d_i8_with, Conv2dParams};
+use sushi_tensor::ops::conv::{conv2d_f32_with, conv2d_i8_prepacked, conv2d_i8_with, Conv2dParams};
+use sushi_tensor::ops::gemm::{
+    gemm_f32_packed, gemm_f32_packed_portable, gemm_i8_packed, gemm_i8_packed_portable,
+};
 use sushi_tensor::ops::linear::linear_f32_with;
+use sushi_tensor::ops::pack::{
+    pack_a_f32_into, pack_a_i8_into, pack_b_f32_into, pack_b_i8_into, packed_a_len, packed_b_len,
+    PackedConv2d, MR, NR,
+};
 use sushi_tensor::shape::conv_out_dim;
-use sushi_tensor::{DetRng, KernelPolicy, QuantParams, Shape4, Tensor};
+use sushi_tensor::{Arena, DetRng, KernelPolicy, QuantParams, Shape4, Tensor};
 
 /// A random-but-valid conv problem: `(input, weights, params)` shapes.
 ///
@@ -142,6 +152,137 @@ proptest! {
         let naive = conv2d_i8_with(&x, q, &w, q, None, q, &params, KernelPolicy::Naive).unwrap();
         let auto = conv2d_i8_with(&x, q, &w, q, None, q, &params, KernelPolicy::Auto).unwrap();
         prop_assert_eq!(naive, auto);
+    }
+
+    /// The packed i8 kernels are bit-identical to the scalar triple loop
+    /// across random shapes (the `1..=13` / `1..=21` ranges hit `m % MR !=
+    /// 0` and `n % NR != 0` tails constantly) and the *full* zero-point
+    /// range, including the ±extremes where `a − zp` escapes `i8`.
+    #[test]
+    fn packed_i8_gemm_matches_scalar_reference(
+        m in 1usize..=13,
+        k in 1usize..=40,
+        n in 1usize..=21,
+        zp_a in i8::MIN..=i8::MAX,
+        zp_b in i8::MIN..=i8::MAX,
+        seed in 0u64..10_000,
+    ) {
+        let mut rng = DetRng::new(seed);
+        let a: Vec<i8> = (0..m * k).map(|_| rng.next_i8()).collect();
+        let b: Vec<i8> = (0..k * n).map(|_| rng.next_i8()).collect();
+        let mut pa = vec![0i16; packed_a_len(m, k)];
+        let mut pb = vec![0i16; packed_b_len(k, n)];
+        pack_a_i8_into(&mut pa, &a, zp_a, m, k);
+        pack_b_i8_into(&mut pb, &b, zp_b, k, n);
+        let mut c = vec![0i32; m * n];
+        gemm_i8_packed(m, k, n, &pa, &pb, &mut c);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0i32;
+                for kk in 0..k {
+                    acc += (i32::from(a[i * k + kk]) - i32::from(zp_a))
+                        * (i32::from(b[kk * n + j]) - i32::from(zp_b));
+                }
+                prop_assert_eq!(c[i * n + j], acc, "({},{}) of {}x{}x{}", i, j, m, k, n);
+            }
+        }
+        // Dispatched (possibly AVX2) and portable microkernels agree
+        // bit-for-bit; on machines without AVX2 this is trivially true.
+        let mut portable = vec![0i32; m * n];
+        gemm_i8_packed_portable(m, k, n, &pa, &pb, &mut portable);
+        prop_assert_eq!(c, portable);
+    }
+
+    /// The packed f32 kernels track the scalar triple loop within 1e-4,
+    /// and the AVX2 (FMA) and portable microkernels agree within the same
+    /// tolerance when the feature is detected.
+    #[test]
+    fn packed_f32_gemm_matches_scalar_reference(
+        m in 1usize..=11,
+        k in 1usize..=48,
+        n in 1usize..=19,
+        seed in 0u64..10_000,
+    ) {
+        let mut rng = DetRng::new(seed ^ 0xF32);
+        let a: Vec<f32> = (0..m * k).map(|_| rng.uniform_f32(-1.0, 1.0)).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| rng.uniform_f32(-1.0, 1.0)).collect();
+        let mut pa = vec![0.0f32; packed_a_len(m, k)];
+        let mut pb = vec![0.0f32; packed_b_len(k, n)];
+        pack_a_f32_into(&mut pa, &a, m, k);
+        pack_b_f32_into(&mut pb, &b, k, n);
+        let mut c = vec![0.0f32; m * n];
+        gemm_f32_packed(m, k, n, &pa, &pb, &mut c);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f64;
+                for kk in 0..k {
+                    acc += f64::from(a[i * k + kk]) * f64::from(b[kk * n + j]);
+                }
+                let got = f64::from(c[i * n + j]);
+                prop_assert!((got - acc).abs() <= 1e-4, "({},{}): {} vs {}", i, j, got, acc);
+            }
+        }
+        let mut portable = vec![0.0f32; m * n];
+        gemm_f32_packed_portable(m, k, n, &pa, &pb, &mut portable);
+        for (x, y) in c.iter().zip(&portable) {
+            prop_assert!((x - y).abs() <= 1e-4, "simd {} vs portable {}", x, y);
+        }
+    }
+
+    /// Weights packed once via `PackedConv2d` serve bit-identical results
+    /// to the naive conv oracle across random conv problems, with the
+    /// arena reused across queries.
+    #[test]
+    fn prepacked_conv_i8_is_bit_identical(
+        (ishape, wshape, params) in conv_cases(),
+        seed in 0u64..10_000,
+        zp_in in i8::MIN..=i8::MAX,
+        zp_w in i8::MIN..=i8::MAX,
+    ) {
+        prop_assume!(output_nonempty(ishape, &params));
+        let x = rand_i8(ishape, seed);
+        let w = rand_i8(wshape, seed + 1);
+        let in_q = QuantParams::new(0.05, zp_in);
+        let w_q = QuantParams::new(0.02, zp_w);
+        let out_q = QuantParams::new(0.4, 3);
+        let naive = conv2d_i8_with(
+            &x, in_q, &w, w_q, None, out_q, &params, KernelPolicy::Naive,
+        ).unwrap();
+        let packed = PackedConv2d::pack(&w, w_q, &params).unwrap();
+        let mut arena = Arena::new();
+        let first =
+            conv2d_i8_prepacked(&x, in_q, &packed, None, out_q, &params, &mut arena).unwrap();
+        prop_assert_eq!(&naive, &first);
+        let again =
+            conv2d_i8_prepacked(&x, in_q, &packed, None, out_q, &params, &mut arena).unwrap();
+        prop_assert_eq!(&first, &again, "arena reuse changed results");
+    }
+
+    /// Exact register-tile shapes (m multiple of MR, n multiple of NR) and
+    /// their ±1 neighbours all round-trip the packing bit-exactly.
+    #[test]
+    fn packed_i8_gemm_handles_tile_boundaries(
+        mi in 1usize..=3,
+        ni in 1usize..=3,
+        dm in 0usize..=2, // 0: m % MR == 0, else tails
+        dn in 0usize..=2,
+        seed in 0u64..10_000,
+    ) {
+        let m = mi * MR + dm;
+        let n = ni * NR + dn;
+        let k = 17;
+        let mut rng = DetRng::new(seed ^ 0x7E57);
+        let a: Vec<i8> = (0..m * k).map(|_| rng.next_i8()).collect();
+        let b: Vec<i8> = (0..k * n).map(|_| rng.next_i8()).collect();
+        let mut pa = vec![0i16; packed_a_len(m, k)];
+        let mut pb = vec![0i16; packed_b_len(k, n)];
+        pack_a_i8_into(&mut pa, &a, 1, m, k);
+        pack_b_i8_into(&mut pb, &b, -1, k, n);
+        let mut c = vec![0i32; m * n];
+        gemm_i8_packed(m, k, n, &pa, &pb, &mut c);
+        let mut reference = vec![0i32; m * n];
+        sushi_tensor::ops::gemm::gemm_i8_i32(m, k, n, &a, 1, &b, -1, &mut reference);
+        prop_assert_eq!(c, reference);
     }
 
     /// The fully-connected layer's GEMM path matches its dot-product oracle.

@@ -1,0 +1,322 @@
+//! Pluggable execution backends: the seam between *what* the serving stack
+//! decides and *how* a dispatched batch is executed.
+//!
+//! The SUSHI stack makes one kind of decision (which SubNet serves which
+//! query, and which SubGraph the Persistent Buffer holds) but has two ways
+//! of executing it:
+//!
+//! * [`Analytical`] — the cycle-approximate timing/energy model
+//!   ([`Accelerator::serve_batch`]) behind every §5 experiment. Nothing
+//!   numeric runs; full-size SuperNets simulate in microseconds.
+//! * [`Functional`] — the same timing model *plus* the bit-exact packed
+//!   int8 datapath ([`crate::functional::forward_batch_cached`]): every
+//!   dispatched batch executes for real and records per-query predictions.
+//!   Weights are sliced and panel-packed once per SubNet (the
+//!   subgraph-stationary pack-once state) and all kernel scratch lives in
+//!   one reused [`Arena`]. Intended for the toy zoo; full-size nets take
+//!   seconds per forward.
+//!
+//! Both implement [`ExecutionBackend`], which the `sushi-core` engine
+//! dispatches through — per serving-stack worker, against that worker's own
+//! [`Accelerator`] replica (its Persistent-Buffer state), so the timing
+//! semantics are identical across backends and only the presence of real
+//! outputs differs.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use sushi_tensor::quant::quantize_tensor;
+use sushi_tensor::{Arena, DetRng, Shape4, Tensor, TensorError};
+use sushi_wsnet::{SubNet, SuperNet, WeightStore};
+
+use crate::dpe::DpeArray;
+use crate::exec::{Accelerator, BatchReport};
+use crate::functional::{act_quant, forward_batch_cached, FunctionalOutput, SubgraphCache};
+
+/// Failures raised by an [`ExecutionBackend`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BackendError {
+    /// A batch with zero queries was dispatched.
+    EmptyBatch,
+    /// The SubNet does not belong to the SuperNet being served.
+    SubnetMismatch {
+        /// Layer count of the offending SubNet.
+        subnet_layers: usize,
+        /// Layer count of the SuperNet.
+        net_layers: usize,
+    },
+    /// The functional datapath failed (weight packing or layer execution).
+    Execution(TensorError),
+}
+
+impl fmt::Display for BackendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BackendError::EmptyBatch => write!(f, "cannot execute an empty batch"),
+            BackendError::SubnetMismatch { subnet_layers, net_layers } => {
+                write!(f, "SubNet has {subnet_layers} layers but the SuperNet has {net_layers}")
+            }
+            BackendError::Execution(e) => write!(f, "functional datapath failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BackendError {}
+
+impl From<TensorError> for BackendError {
+    fn from(e: TensorError) -> Self {
+        BackendError::Execution(e)
+    }
+}
+
+/// What executing one batch produced: the accelerator's timing/energy
+/// report, plus real per-query outputs when the backend runs the datapath.
+#[derive(Debug, Clone, PartialEq)]
+#[must_use]
+pub struct Execution {
+    /// Batched timing/energy report (identical across backends).
+    pub report: BatchReport,
+    /// Per-query functional outputs, in query order (`None` for the
+    /// analytical backend).
+    pub outputs: Option<Vec<FunctionalOutput>>,
+}
+
+/// How a dispatched batch of same-SubNet queries is executed.
+///
+/// The caller owns the [`Accelerator`] (one replica per serving worker, so
+/// Persistent-Buffer state stays per-worker); the backend owns whatever
+/// execution state it needs across batches (e.g. the functional backend's
+/// pack-once weight caches). Timing flows through the accelerator either
+/// way, so swapping backends never changes *when* things complete — only
+/// whether real outputs exist.
+pub trait ExecutionBackend: fmt::Debug {
+    /// Stable backend label (used in reports and CLI flags).
+    fn name(&self) -> &'static str;
+
+    /// Executes `query_ids` (one batch, all resolved to `subnet`) on
+    /// `accel`, advancing its timing state.
+    ///
+    /// # Errors
+    /// Returns an error on an empty batch, a SubNet/SuperNet mismatch, or
+    /// a functional datapath failure.
+    fn execute_batch(
+        &mut self,
+        accel: &mut Accelerator,
+        net: &SuperNet,
+        subnet: &SubNet,
+        query_ids: &[u64],
+    ) -> Result<Execution, BackendError>;
+}
+
+/// Checks the invariants shared by every backend before touching the
+/// accelerator (whose own entry points panic on programmer error).
+fn validate_batch(net: &SuperNet, subnet: &SubNet, query_ids: &[u64]) -> Result<(), BackendError> {
+    if query_ids.is_empty() {
+        return Err(BackendError::EmptyBatch);
+    }
+    if subnet.graph.num_layers() != net.num_layers() {
+        return Err(BackendError::SubnetMismatch {
+            subnet_layers: subnet.graph.num_layers(),
+            net_layers: net.num_layers(),
+        });
+    }
+    Ok(())
+}
+
+/// Timing-only execution through the analytic latency/energy model.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Analytical;
+
+impl ExecutionBackend for Analytical {
+    fn name(&self) -> &'static str {
+        "analytical"
+    }
+
+    fn execute_batch(
+        &mut self,
+        accel: &mut Accelerator,
+        net: &SuperNet,
+        subnet: &SubNet,
+        query_ids: &[u64],
+    ) -> Result<Execution, BackendError> {
+        validate_batch(net, subnet, query_ids)?;
+        Ok(Execution { report: accel.serve_batch(net, subnet, query_ids.len()), outputs: None })
+    }
+}
+
+/// Real-datapath execution: the analytic timing model *plus* bit-exact
+/// packed int8 forwards for every dispatched batch.
+///
+/// Synthesizes a deterministic input per query id and executes whole
+/// batches through [`forward_batch_cached`] under the backend's `DpeArray`
+/// kernel policy. The backend is the serving stack's *subgraph-stationary*
+/// software state: the first batch served under a SubNet builds its
+/// [`SubgraphCache`] (sliced weights + packed GEMM panels); every later
+/// batch under that SubNet reads the panels in place, and all kernel
+/// scratch lives in one [`Arena`] reused across queries — the steady state
+/// allocates nothing per query.
+#[derive(Debug)]
+pub struct Functional {
+    dpe: DpeArray,
+    store: WeightStore,
+    input_seed: u64,
+    caches: HashMap<String, SubgraphCache>,
+    arena: Arena,
+}
+
+impl Functional {
+    /// Creates a backend with synthesized weights for `net`.
+    #[must_use]
+    pub fn new(dpe: DpeArray, net: &SuperNet, seed: u64) -> Self {
+        Self {
+            dpe,
+            store: WeightStore::synthesize(net, seed),
+            input_seed: seed ^ 0x1A7E,
+            caches: HashMap::new(),
+            arena: Arena::new(),
+        }
+    }
+
+    /// The synthesized weight store (shared across all SubNets).
+    #[must_use]
+    pub fn store(&self) -> &WeightStore {
+        &self.store
+    }
+
+    /// Number of SubNets whose weights have been packed so far (each packed
+    /// exactly once, on first dispatch).
+    #[must_use]
+    pub fn packed_subnets(&self) -> usize {
+        self.caches.len()
+    }
+
+    /// The deterministic input tensor for a query id.
+    #[must_use]
+    pub fn input_for(&self, net: &SuperNet, query_id: u64) -> Tensor<i8> {
+        let shape = Shape4::new(1, 3, net.input_hw, net.input_hw);
+        let mut rng = DetRng::new(self.input_seed ^ query_id.wrapping_mul(0x9E37_79B9));
+        let f = Tensor::from_vec(
+            shape,
+            (0..shape.volume()).map(|_| rng.uniform_f32(-1.0, 1.0)).collect(),
+        )
+        .expect("shape matches");
+        quantize_tensor(&f, act_quant())
+    }
+}
+
+impl ExecutionBackend for Functional {
+    fn name(&self) -> &'static str {
+        "functional"
+    }
+
+    fn execute_batch(
+        &mut self,
+        accel: &mut Accelerator,
+        net: &SuperNet,
+        subnet: &SubNet,
+        query_ids: &[u64],
+    ) -> Result<Execution, BackendError> {
+        validate_batch(net, subnet, query_ids)?;
+        let inputs: Vec<Tensor<i8>> = query_ids.iter().map(|&id| self.input_for(net, id)).collect();
+        let Self { dpe, store, caches, arena, .. } = self;
+        if !caches.get(&subnet.name).is_some_and(|c| c.matches(&subnet.graph)) {
+            // First dispatch under this SubNet (or same name, different
+            // SubGraph — defensive): slice + pack once.
+            let cache = SubgraphCache::build(net, store, &subnet.graph)?;
+            caches.insert(subnet.name.clone(), cache);
+        }
+        let cache = caches.get(&subnet.name);
+        let outputs = forward_batch_cached(dpe, net, store, subnet, cache, arena, &inputs)?;
+        Ok(Execution {
+            report: accel.serve_batch(net, subnet, query_ids.len()),
+            outputs: Some(outputs),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::zcu104;
+    use crate::functional::forward;
+    use sushi_wsnet::zoo;
+
+    fn toy_setup() -> (SuperNet, Vec<SubNet>) {
+        let net = zoo::toy_supernet();
+        let picks = {
+            let mut s = sushi_wsnet::sampler::ConfigSampler::new(&net, 5);
+            s.sample_subnets(3)
+        };
+        (net, picks)
+    }
+
+    #[test]
+    fn analytical_matches_serve_batch_and_has_no_outputs() {
+        let (net, picks) = toy_setup();
+        let mut a = Accelerator::new(zcu104());
+        let mut b = Accelerator::new(zcu104());
+        let expect = a.serve_batch(&net, &picks[0], 3);
+        let exec = Analytical.execute_batch(&mut b, &net, &picks[0], &[0, 1, 2]).unwrap();
+        assert_eq!(exec.report, expect);
+        assert!(exec.outputs.is_none());
+        assert_eq!(Analytical.name(), "analytical");
+    }
+
+    #[test]
+    fn empty_batch_is_an_error_not_a_panic() {
+        let (net, picks) = toy_setup();
+        let mut accel = Accelerator::new(zcu104());
+        let err = Analytical.execute_batch(&mut accel, &net, &picks[0], &[]).unwrap_err();
+        assert_eq!(err, BackendError::EmptyBatch);
+        let mut func = Functional::new(DpeArray::new(2, 2), &net, 7);
+        let err = func.execute_batch(&mut accel, &net, &picks[0], &[]).unwrap_err();
+        assert_eq!(err, BackendError::EmptyBatch);
+    }
+
+    #[test]
+    fn subnet_mismatch_is_an_error() {
+        let (net, _) = toy_setup();
+        let other = zoo::toy_mobilenet_supernet();
+        let foreign = other.materialize("max", &other.max_config()).unwrap();
+        let mut accel = Accelerator::new(zcu104());
+        let err = Analytical.execute_batch(&mut accel, &net, &foreign, &[0]).unwrap_err();
+        assert!(matches!(err, BackendError::SubnetMismatch { .. }));
+    }
+
+    #[test]
+    fn functional_outputs_match_single_query_forwards_and_pack_once() {
+        let (net, picks) = toy_setup();
+        let mut accel = Accelerator::new(zcu104());
+        let mut backend = Functional::new(DpeArray::new(4, 4), &net, 77);
+        let exec = backend.execute_batch(&mut accel, &net, &picks[0], &[0, 1, 2]).unwrap();
+        let outs = exec.outputs.expect("functional outputs");
+        assert_eq!(outs.len(), 3);
+        assert_eq!(backend.packed_subnets(), 1, "first dispatch packs the SubNet once");
+        let again = backend.execute_batch(&mut accel, &net, &picks[0], &[0, 1, 2]).unwrap();
+        assert_eq!(again.outputs.as_deref(), Some(&outs[..]));
+        assert_eq!(backend.packed_subnets(), 1);
+        for (&id, out) in [0u64, 1, 2].iter().zip(&outs) {
+            let single = forward(
+                &DpeArray::new(4, 4),
+                &net,
+                backend.store(),
+                &picks[0],
+                &backend.input_for(&net, id),
+            )
+            .unwrap();
+            assert_eq!(&single, out);
+        }
+    }
+
+    #[test]
+    fn backends_agree_on_timing() {
+        let (net, picks) = toy_setup();
+        let mut a = Accelerator::new(zcu104());
+        let mut f = Accelerator::new(zcu104());
+        let ana = Analytical.execute_batch(&mut a, &net, &picks[1], &[4, 5]).unwrap();
+        let mut backend = Functional::new(DpeArray::new(2, 2), &net, 9);
+        let fun = backend.execute_batch(&mut f, &net, &picks[1], &[4, 5]).unwrap();
+        assert_eq!(ana.report, fun.report, "backends must agree on simulated timing");
+    }
+}

@@ -12,7 +12,13 @@ use serde::{Deserialize, Serialize};
 pub const DPE_SIZE: usize = 9;
 
 /// On-chip buffer capacities in bytes (§4.2.2, Table 3).
+///
+/// `#[non_exhaustive]`: construct via [`Default`] (the ZCU104 split) or a
+/// preset ([`zcu104`], [`alveo_u50`], [`roofline_system`]) and adjust
+/// fields, so future buffers can be added without breaking downstream
+/// crates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
 pub struct BufferConfig {
     /// Persistent Buffer: SubGraph Reuse. Zero disables SGS caching
     /// ("w/o PB" baselines).
@@ -57,8 +63,20 @@ impl BufferConfig {
     }
 }
 
+impl Default for BufferConfig {
+    /// The ZCU104 buffer split (Table 3).
+    fn default() -> Self {
+        zcu104().buffers
+    }
+}
+
 /// Full accelerator configuration.
+///
+/// `#[non_exhaustive]`: construct via [`Default`] (the ZCU104 preset) or
+/// one of the preset functions and adjust fields, so future knobs can be
+/// added without breaking downstream crates.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
 pub struct AccelConfig {
     /// Human-readable platform name.
     pub name: String,
@@ -81,6 +99,13 @@ pub struct AccelConfig {
     pub transfer_overhead_cycles: u64,
     /// On-chip buffer split.
     pub buffers: BufferConfig,
+}
+
+impl Default for AccelConfig {
+    /// The ZCU104 embedded-board preset.
+    fn default() -> Self {
+        zcu104()
+    }
 }
 
 impl AccelConfig {

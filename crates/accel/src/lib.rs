@@ -48,6 +48,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod backend;
 pub mod baselines;
 pub mod buffers;
 pub mod config;
@@ -61,6 +62,7 @@ pub mod reuse;
 pub mod roofline;
 pub mod timing;
 
+pub use backend::{Analytical, BackendError, Execution, ExecutionBackend, Functional};
 pub use config::{AccelConfig, BufferConfig};
 pub use exec::{Accelerator, QueryReport};
 pub use timing::{CycleBreakdown, LayerTiming, TrafficBytes};

@@ -29,7 +29,7 @@ fn bench_presets(c: &mut Criterion) {
     for preset in [ServePreset::Steady, ServePreset::Burst] {
         group.bench_function(preset.name(), |b| {
             b.iter(|| {
-                let result = run_scenario(black_box(preset), &opts);
+                let result = run_scenario(black_box(preset), &opts).expect("preset scenario");
                 black_box(result.served.len())
             })
         });

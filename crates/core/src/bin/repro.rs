@@ -7,11 +7,22 @@
 //! repro -- all --save results           # also write results/<id>.txt
 //! repro -- kernels --kernel-policy gemm # pin the functional kernel backend
 //! repro -- --serve                      # the serving runtime presets
+//! repro -- --serve --workers 4          # override the preset worker pools
+//! repro -- --serve --backend functional --workers 1
 //! ```
 //!
 //! `--serve` is shorthand for the `serve` experiment id: it runs the
 //! steady / burst / diurnal / multi-tenant traffic presets through the
 //! event-driven serving runtime (deterministic: same seed, same report).
+//!
+//! `--backend analytical|functional` selects the serving runtime's
+//! execution backend (`EngineBuilder::backend`): `analytical` (default)
+//! runs the timing model only; `functional` additionally executes the real
+//! int8 datapath per batch and requires `--workers 1` (full-size zoo
+//! forwards take seconds each — expect long runs).
+//!
+//! `--workers N` overrides the serving presets' worker-pool size
+//! (`EngineBuilder::workers`); offered load keeps the presets' sizing.
 //!
 //! `--kernel-policy naive|gemm|auto` selects the kernel backend used by
 //! experiments that execute the functional int8 datapath. Experiment
@@ -20,32 +31,75 @@
 
 use std::io::Write as _;
 
+use sushi_core::engine::BackendKind;
 use sushi_core::experiments::{run, ExpOptions, ALL_IDS};
 use sushi_tensor::KernelPolicy;
+
+fn flag_operand<'a>(args: &'a [String], flag: &str) -> (Option<usize>, Option<&'a String>) {
+    let pos = args.iter().position(|a| a == flag);
+    (pos, pos.and_then(|i| args.get(i + 1)))
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let save_pos = args.iter().position(|a| a == "--save");
-    let save_dir = save_pos.and_then(|i| args.get(i + 1)).cloned();
-    let policy_pos = args.iter().position(|a| a == "--kernel-policy");
-    let kernel_policy = match policy_pos.map(|i| args.get(i + 1)) {
-        None => KernelPolicy::Auto,
-        Some(Some(v)) => match v.parse::<KernelPolicy>() {
+    let (save_pos, save_dir) = flag_operand(&args, "--save");
+    let save_dir = save_dir.cloned();
+    let (policy_pos, policy_arg) = flag_operand(&args, "--kernel-policy");
+    let kernel_policy = match (policy_pos, policy_arg) {
+        (None, _) => KernelPolicy::Auto,
+        (Some(_), Some(v)) => match v.parse::<KernelPolicy>() {
             Ok(p) => p,
             Err(e) => {
                 eprintln!("{e}");
                 std::process::exit(2);
             }
         },
-        Some(None) => {
+        (Some(_), None) => {
             eprintln!("--kernel-policy requires a value (naive|gemm|auto)");
             std::process::exit(2);
         }
     };
+    let (backend_pos, backend_arg) = flag_operand(&args, "--backend");
+    let backend = match (backend_pos, backend_arg) {
+        (None, _) => BackendKind::Analytical,
+        (Some(_), Some(v)) => match v.parse::<BackendKind>() {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        },
+        (Some(_), None) => {
+            eprintln!("--backend requires a value (analytical|functional)");
+            std::process::exit(2);
+        }
+    };
+    let (workers_pos, workers_arg) = flag_operand(&args, "--workers");
+    let workers = match (workers_pos, workers_arg) {
+        (None, _) => None,
+        (Some(_), Some(v)) => match v.parse::<usize>() {
+            Ok(n) if n > 0 => Some(n),
+            _ => {
+                eprintln!("--workers requires a positive integer, got '{v}'");
+                std::process::exit(2);
+            }
+        },
+        (Some(_), None) => {
+            eprintln!("--workers requires a value");
+            std::process::exit(2);
+        }
+    };
+    // The engine builder enforces the same rule per scenario; failing fast
+    // here turns a mid-run preset note into an immediate CLI error.
+    if backend == BackendKind::Functional && workers != Some(1) {
+        eprintln!("--backend functional requires --workers 1 (one subgraph-stationary cache)");
+        std::process::exit(2);
+    }
     // Skip flag *operands by position*, not by value, so an id that happens
     // to equal an operand (e.g. a directory named "fig10") is still run.
-    let operand_pos: Vec<usize> = [save_pos, policy_pos].iter().flatten().map(|i| i + 1).collect();
+    let operand_pos: Vec<usize> =
+        [save_pos, policy_pos, backend_pos, workers_pos].iter().flatten().map(|i| i + 1).collect();
     let mut ids: Vec<String> = args
         .iter()
         .enumerate()
@@ -58,6 +112,8 @@ fn main() {
     }
     let mut opts = if quick { ExpOptions::quick() } else { ExpOptions::default() };
     opts.kernel_policy = kernel_policy;
+    opts.backend = backend;
+    opts.workers = workers;
 
     let selected: Vec<&str> = if ids.is_empty() || ids.iter().any(|i| i == "all") {
         ALL_IDS.to_vec()

@@ -6,7 +6,14 @@
 //! serve_bench --quick                  # CI-sized streams
 //! serve_bench --check BENCH_serve.json # fail on any metric drift
 //! serve_bench --out BENCH_serve.json   # (re)write the baseline
+//! serve_bench --workers 4              # override the preset worker pools
+//! serve_bench --backend functional --workers 1
 //! ```
+//!
+//! `--backend` / `--workers` map onto `EngineBuilder::backend` /
+//! `EngineBuilder::workers`. The committed baseline records the default
+//! (analytical, preset workers) configuration, so overridden runs should
+//! not be combined with `--check`/`--out`.
 //!
 //! Every recorded figure (p50/p95/p99, goodput, SLO-violation rate, drop
 //! count) is *simulated* — no wall clock — so the committed baseline is
@@ -16,6 +23,7 @@
 //! Wall-clock throughput of the simulator itself is tracked separately by
 //! the `serve_sim` criterion bench.
 
+use sushi_core::engine::BackendKind;
 use sushi_core::experiments::ExpOptions;
 use sushi_core::metrics::{
     serve_bench_from_json, serve_bench_to_json, serve_regressions, ServeBenchEntry,
@@ -41,10 +49,29 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let out_path = flag_value(&args, "--out").cloned();
     let check_path = flag_value(&args, "--check").cloned();
+    let backend = match flag_value(&args, "--backend") {
+        None => BackendKind::Analytical,
+        Some(v) => v.parse::<BackendKind>().unwrap_or_else(|e| die(&e)),
+    };
+    let workers = flag_value(&args, "--workers")
+        .map(|v| v.parse::<usize>().unwrap_or_else(|_| die("--workers requires an integer")));
+    // The committed baseline records the default configuration; an
+    // overridden run must never gate against or rewrite it.
+    if (backend != BackendKind::Analytical || workers.is_some())
+        && (out_path.is_some() || check_path.is_some())
+    {
+        die("--backend/--workers overrides cannot be combined with --check/--out");
+    }
 
-    let opts = if quick { ExpOptions::quick() } else { ExpOptions::default() };
-    println!("serving presets, {} queries each (simulated time — deterministic)\n", opts.queries);
+    let mut opts = if quick { ExpOptions::quick() } else { ExpOptions::default() };
+    opts.backend = backend;
+    opts.workers = workers;
+    println!(
+        "serving presets, {} queries each, {} backend (simulated time — deterministic)\n",
+        opts.queries, opts.backend
+    );
     let entries: Vec<ServeBenchEntry> = run_all_presets(&opts)
+        .unwrap_or_else(|e| die(&e.to_string()))
         .into_iter()
         .map(|(name, summary)| {
             println!(

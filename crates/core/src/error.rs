@@ -1,0 +1,68 @@
+//! The serving stack's error type: build and execution failures return
+//! `Result` instead of panicking.
+
+use std::fmt;
+
+use sushi_accel::backend::BackendError;
+
+/// Failures raised by [`crate::engine::EngineBuilder`] and the
+/// [`crate::engine::Engine`] run modes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SushiError {
+    /// An invalid or inconsistent configuration (e.g. zero workers, a
+    /// functional backend shared across multiple workers, a latency table
+    /// that does not match the serving set).
+    Config(String),
+    /// An invalid input stream handed to a run mode (empty, or not sorted
+    /// by arrival time).
+    Stream(String),
+    /// The execution backend failed (empty batch, SubNet mismatch, or a
+    /// functional datapath error).
+    Backend(BackendError),
+}
+
+impl fmt::Display for SushiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SushiError::Config(what) => write!(f, "invalid engine configuration: {what}"),
+            SushiError::Stream(what) => write!(f, "invalid query stream: {what}"),
+            SushiError::Backend(e) => write!(f, "execution backend failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SushiError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SushiError::Backend(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<BackendError> for SushiError {
+    fn from(e: BackendError) -> Self {
+        SushiError::Backend(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_the_failure_kind() {
+        assert!(SushiError::Config("zero workers".into()).to_string().contains("zero workers"));
+        assert!(SushiError::Stream("empty".into()).to_string().contains("empty"));
+        let e = SushiError::from(BackendError::EmptyBatch);
+        assert!(e.to_string().contains("empty batch"));
+    }
+
+    #[test]
+    fn backend_errors_expose_a_source() {
+        use std::error::Error as _;
+        assert!(SushiError::from(BackendError::EmptyBatch).source().is_some());
+        assert!(SushiError::Config("x".into()).source().is_none());
+    }
+}

@@ -11,30 +11,28 @@
 
 use std::sync::Arc;
 
-use sushi_sched::{CacheSelection, Policy};
+use sushi_sched::CacheSelection;
 
+use crate::engine::EngineBuilder;
 use crate::experiments::common::{ExpOptions, Workload};
 use crate::metrics::summarize;
 use crate::report::{fmt_f, ExpReport, TextTable};
-use crate::stack::SushiStack;
 use crate::stream::uniform_stream;
-use crate::variants::{build_table, Variant};
+use crate::variants::Variant;
 
 fn run_selection(wl: &Workload, selection: CacheSelection, opts: &ExpOptions) -> (f64, f64) {
     let zcu = sushi_accel::config::zcu104();
     let space = wl.constraint_space(&zcu, opts);
-    let table = build_table(&wl.net, &wl.picks, &zcu, opts.candidates, opts.seed);
-    let mut stack = SushiStack::new(
-        Arc::clone(&wl.net),
-        wl.picks.clone(),
-        table,
-        zcu,
-        Policy::StrictAccuracy,
-        selection,
-        wl.q_window,
-    );
+    let mut engine = EngineBuilder::new()
+        .workload(Arc::clone(&wl.net), wl.picks.clone())
+        .cache_selection(selection)
+        .q_window(wl.q_window)
+        .candidates(opts.candidates)
+        .seed(opts.seed)
+        .build()
+        .expect("ablation configuration is valid");
     let queries = uniform_stream(&space, opts.queries, opts.seed ^ 0xAB1);
-    let records = stack.serve_stream(&queries);
+    let records = engine.serve_stream(&queries).expect("analytical serve");
     let s = summarize(&records);
     (s.mean_latency_ms, s.mean_hit_ratio)
 }
@@ -88,10 +86,15 @@ pub fn abl_pb_split(opts: &ExpOptions) -> ExpReport {
             let pb = (weight_pool as f64 * share) as u64;
             let cfg = base.with_pb_bytes(pb);
             let space = wl.constraint_space(&cfg, opts);
-            let mut stack =
-                wl.stack(Variant::Sushi, &cfg, Policy::StrictAccuracy, wl.q_window, opts);
+            let mut engine = wl.engine(
+                Variant::Sushi,
+                &cfg,
+                sushi_sched::Policy::StrictAccuracy,
+                wl.q_window,
+                opts,
+            );
             let queries = uniform_stream(&space, opts.queries, opts.seed ^ 0xAB2);
-            let records = stack.serve_stream(&queries);
+            let records = engine.serve_stream(&queries).expect("analytical serve");
             let s = summarize(&records);
             t.push_row(vec![
                 format!("{:.0}%", share * 100.0),
@@ -144,16 +147,13 @@ pub fn abl_candidates(opts: &ExpOptions) -> ExpReport {
                 probe.probe(&wl.net, sn, cached).latency_ms
             });
             let cols = table.num_columns() - 1;
-            let mut stack = SushiStack::new(
-                Arc::clone(&wl.net),
-                wl.picks.clone(),
-                table,
-                zcu.clone(),
-                Policy::StrictAccuracy,
-                CacheSelection::MinDistanceToAvg,
-                wl.q_window,
-            );
-            let records = stack.serve_stream(&queries);
+            let mut engine = EngineBuilder::new()
+                .workload(Arc::clone(&wl.net), wl.picks.clone())
+                .table(table)
+                .q_window(wl.q_window)
+                .build()
+                .expect("ablation configuration is valid");
+            let records = engine.serve_stream(&queries).expect("analytical serve");
             let s = summarize(&records);
             t.push_row(vec![
                 name.to_string(),

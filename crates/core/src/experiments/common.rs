@@ -8,12 +8,17 @@ use sushi_sched::Policy;
 use sushi_tensor::KernelPolicy;
 use sushi_wsnet::{zoo, SubNet, SuperNet};
 
+use crate::engine::{BackendKind, Engine, EngineBuilder};
 use crate::stream::ConstraintSpace;
-use crate::variants::{build_stack, build_table, Variant};
+use crate::variants::{build_table, Variant};
 
 /// Experiment sizing knobs. Defaults regenerate the paper-scale runs; the
 /// benches shrink `queries` for quick iterations.
+///
+/// `#[non_exhaustive]`: construct via [`Default`] / [`ExpOptions::quick`]
+/// and adjust fields, so future knobs are non-breaking.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct ExpOptions {
     /// Query-stream length for serving experiments.
     pub queries: usize,
@@ -26,11 +31,26 @@ pub struct ExpOptions {
     /// *outputs* are policy-independent by construction; only wall time
     /// changes.
     pub kernel_policy: KernelPolicy,
+    /// Execution backend for the serving-runtime experiments
+    /// (`repro --backend analytical|functional`). The analytical default
+    /// keeps full-size workloads fast; functional runs the real int8
+    /// datapath and requires `workers = Some(1)`.
+    pub backend: BackendKind,
+    /// Worker-count override for the serving-runtime presets
+    /// (`repro --workers N`; `None` keeps each preset's own sizing).
+    pub workers: Option<usize>,
 }
 
 impl Default for ExpOptions {
     fn default() -> Self {
-        Self { queries: 600, candidates: 16, seed: 0xC0FFEE, kernel_policy: KernelPolicy::Auto }
+        Self {
+            queries: 600,
+            candidates: 16,
+            seed: 0xC0FFEE,
+            kernel_policy: KernelPolicy::Auto,
+            backend: BackendKind::Analytical,
+            workers: None,
+        }
     }
 }
 
@@ -99,26 +119,30 @@ impl Workload {
         ConstraintSpace::from_serving_set(&accs, &lats)
     }
 
-    /// Builds a serving stack for this workload.
+    /// Builds an analytical serving [`Engine`] for this workload.
+    ///
+    /// # Panics
+    /// Panics only on programmer error: the experiment knobs passed here
+    /// are always a valid engine configuration.
     #[must_use]
-    pub fn stack(
+    pub fn engine(
         &self,
         variant: Variant,
         config: &AccelConfig,
         policy: Policy,
         q_window: usize,
         opts: &ExpOptions,
-    ) -> crate::stack::SushiStack {
-        build_stack(
-            variant,
-            Arc::clone(&self.net),
-            self.picks.clone(),
-            config,
-            policy,
-            q_window,
-            opts.candidates,
-            opts.seed,
-        )
+    ) -> Engine {
+        EngineBuilder::new()
+            .workload(Arc::clone(&self.net), self.picks.clone())
+            .variant(variant)
+            .accel_config(config.clone())
+            .policy(policy)
+            .q_window(q_window)
+            .candidates(opts.candidates)
+            .seed(opts.seed)
+            .build()
+            .expect("experiment workload configuration is valid")
     }
 }
 

@@ -20,9 +20,9 @@ pub fn fig15(opts: &ExpOptions) -> ExpReport {
     for wl in crate::experiments::common::both_workloads() {
         let space = wl.constraint_space(&zcu, opts);
         for policy in [Policy::StrictLatency, Policy::StrictAccuracy] {
-            let mut stack = wl.stack(Variant::Sushi, &zcu, policy, wl.q_window, opts);
+            let mut engine = wl.engine(Variant::Sushi, &zcu, policy, wl.q_window, opts);
             let queries = uniform_stream(&space, opts.queries, opts.seed ^ 0x15);
-            let records = stack.serve_stream(&queries);
+            let records = engine.serve_stream(&queries).expect("analytical serve");
             let (label, satisfied) = match policy {
                 Policy::StrictLatency => (
                     "strict latency",
@@ -75,9 +75,9 @@ pub fn fig15(opts: &ExpOptions) -> ExpReport {
 fn run_variant(wl: &Workload, variant: Variant, policy: Policy, opts: &ExpOptions) -> (f64, f64) {
     let zcu = sushi_accel::config::zcu104();
     let space = wl.constraint_space(&zcu, opts);
-    let mut stack = wl.stack(variant, &zcu, policy, wl.q_window, opts);
+    let mut engine = wl.engine(variant, &zcu, policy, wl.q_window, opts);
     let queries = uniform_stream(&space, opts.queries, opts.seed ^ 0x16);
-    let records = stack.serve_stream(&queries);
+    let records = engine.serve_stream(&queries).expect("analytical serve");
     let s = summarize(&records);
     (s.mean_latency_ms, s.mean_accuracy * 100.0)
 }

@@ -25,8 +25,8 @@ fn q_sweep(wl: &Workload, windows: &[usize], opts: &ExpOptions) -> TextTable {
         "cache updates",
     ]);
     for &q in windows {
-        let mut stack = wl.stack(Variant::Sushi, &zcu, Policy::StrictAccuracy, q, opts);
-        let records = stack.serve_stream(&queries);
+        let mut engine = wl.engine(Variant::Sushi, &zcu, Policy::StrictAccuracy, q, opts);
+        let records = engine.serve_stream(&queries).expect("analytical serve");
         let s = summarize(&records);
         let updates = records.iter().filter(|r| r.cache_updated).count();
         t.push_row(vec![

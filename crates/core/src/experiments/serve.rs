@@ -42,7 +42,13 @@ pub fn serve(opts: &ExpOptions) -> ExpReport {
         "tenant", "offered", "done", "drop", "p50ms", "p99ms", "goodput", "SLO viol",
     ]);
     for preset in ServePreset::ALL {
-        let result = run_scenario(preset, opts);
+        let result = match run_scenario(preset, opts) {
+            Ok(result) => result,
+            Err(e) => {
+                report.add_note(format!("preset {} failed: {e}", preset.name()));
+                continue;
+            }
+        };
         push_summary_row(&mut table, preset.name(), &result.summary());
         if preset == ServePreset::MultiTenant {
             for (tenant, label) in [(0u32, "AV"), (1u32, "ICU")] {
@@ -60,7 +66,11 @@ pub fn serve(opts: &ExpOptions) -> ExpReport {
             }
         }
     }
-    report.add_section("Traffic presets (MobileNetV3 on ZCU104, 2 workers)", table);
+    let workers = opts.workers.map_or("preset workers".to_string(), |w| format!("{w} workers"));
+    report.add_section(
+        format!("Traffic presets (MobileNetV3 on ZCU104, {} backend, {workers})", opts.backend),
+        table,
+    );
     report.add_section("multi_tenant breakdown", tenants);
     report.add_note(
         "Latency is end-to-end (queueing + PB swap + service); drops count as SLO \

@@ -7,14 +7,14 @@ use std::time::Instant;
 use sushi_sched::{CacheSelection, Policy};
 use sushi_wsnet::NetVector;
 
+use crate::engine::EngineBuilder;
 use crate::experiments::common::{ExpOptions, Workload};
 use crate::metrics::{reduction_pct, summarize};
 use crate::report::{fmt_f, ExpReport, TextTable};
-use crate::stack::SushiStack;
 use crate::stream::uniform_stream;
 use crate::variants::{build_table, Variant};
 
-/// Serves a stream on a stack built from an explicit table.
+/// Serves a stream on an engine built from an explicit table.
 fn run_with_table(
     wl: &Workload,
     table: sushi_sched::LatencyTable,
@@ -24,17 +24,15 @@ fn run_with_table(
 ) -> f64 {
     let zcu = sushi_accel::config::zcu104();
     let space = wl.constraint_space(&zcu, opts);
-    let mut stack = SushiStack::new(
-        Arc::clone(&wl.net),
-        wl.picks.clone(),
-        table,
-        zcu,
-        Policy::StrictAccuracy,
-        selection,
-        q,
-    );
+    let mut engine = EngineBuilder::new()
+        .workload(Arc::clone(&wl.net), wl.picks.clone())
+        .table(table)
+        .cache_selection(selection)
+        .q_window(q)
+        .build()
+        .expect("table-sweep configuration is valid");
     let queries = uniform_stream(&space, opts.queries, opts.seed ^ 0x5);
-    summarize(&stack.serve_stream(&queries)).mean_latency_ms
+    summarize(&engine.serve_stream(&queries).expect("analytical serve")).mean_latency_ms
 }
 
 /// Table 5: average latency improvement (vs SUSHI w/o scheduler) as the
@@ -131,9 +129,9 @@ pub fn hit_ratio(opts: &ExpOptions) -> ExpReport {
     let mut t = TextTable::new(vec!["model", "mean hit ratio", "paper"]);
     for wl in crate::experiments::common::both_workloads() {
         let space = wl.constraint_space(&zcu, opts);
-        let mut stack = wl.stack(Variant::Sushi, &zcu, Policy::StrictAccuracy, wl.q_window, opts);
+        let mut engine = wl.engine(Variant::Sushi, &zcu, Policy::StrictAccuracy, wl.q_window, opts);
         let queries = uniform_stream(&space, opts.queries, opts.seed ^ 0xA4);
-        let records = stack.serve_stream(&queries);
+        let records = engine.serve_stream(&queries).expect("analytical serve");
         // Skip the cold-start window before the first cache install.
         let warm = &records[wl.q_window.min(records.len() - 1)..];
         let s = summarize(warm);

@@ -5,7 +5,12 @@
 //! [`sushi_accel`] (SushiAccel) over weight-shared SuperNets from
 //! [`sushi_wsnet`].
 //!
-//! * [`stack::SushiStack`] — the per-query serving loop of Fig. 4.
+//! * [`engine`] — **the** public entry point: [`engine::EngineBuilder`]
+//!   (every knob named and defaulted) builds an [`engine::Engine`] with two
+//!   run modes — `serve_stream` (the per-query replay loop of Fig. 4) and
+//!   `serve_timed` (the event-driven serving simulation) — dispatching
+//!   through a pluggable analytical or functional
+//!   [`sushi_accel::backend::ExecutionBackend`].
 //! * [`variants`] — the §5.7 comparison points (No-SUSHI, SUSHI w/o Sched,
 //!   SUSHI).
 //! * [`stream`] — deterministic query-constraint generators (random,
@@ -22,32 +27,25 @@
 //! # Example
 //!
 //! ```
-//! use std::sync::Arc;
+//! use sushi_core::engine::EngineBuilder;
 //! use sushi_core::stream::{uniform_stream, ConstraintSpace};
-//! use sushi_core::variants::{build_stack, Variant};
-//! use sushi_sched::Policy;
-//! use sushi_wsnet::zoo;
 //!
-//! let net = Arc::new(zoo::mobilenet_v3_supernet());
-//! let picks = zoo::paper_subnets(&net);
-//! let mut stack = build_stack(
-//!     Variant::Sushi,
-//!     Arc::clone(&net),
-//!     picks,
-//!     &sushi_accel::config::zcu104(),
-//!     Policy::StrictAccuracy,
-//!     10,  // cache window Q
-//!     8,   // SubGraph candidates
-//!     42,  // seed
-//! );
+//! let mut engine = EngineBuilder::new()
+//!     .q_window(10) // cache window Q
+//!     .candidates(8) // SubGraph candidates
+//!     .seed(42)
+//!     .build()?;
 //! let space = ConstraintSpace { acc_lo: 0.76, acc_hi: 0.79, lat_lo: 2.0, lat_hi: 30.0 };
-//! let records = stack.serve_stream(&uniform_stream(&space, 50, 7));
+//! let records = engine.serve_stream(&uniform_stream(&space, 50, 7))?;
 //! assert!(records.iter().all(|r| r.served_accuracy >= r.query.accuracy_constraint));
+//! # Ok::<(), sushi_core::SushiError>(())
 //! ```
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod engine;
+pub mod error;
 pub mod experiments;
 pub mod metrics;
 pub mod report;
@@ -56,5 +54,7 @@ pub mod stack;
 pub mod stream;
 pub mod variants;
 
+pub use engine::{BackendKind, Engine, EngineBuilder, ModelZoo};
+pub use error::SushiError;
 pub use stack::{ServedRecord, SushiStack};
 pub use variants::Variant;

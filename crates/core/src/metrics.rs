@@ -608,6 +608,7 @@ mod tests {
             offchip_mj: 1.0,
             onchip_mj: 0.1,
             cache_updated: false,
+            prediction: None,
         }
     }
 

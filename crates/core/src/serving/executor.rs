@@ -8,29 +8,20 @@
 //! from the new SubGraph — charging cache-swap time against the deadlines
 //! of the queries actually in flight (stage B of Fig. 9a, now under load).
 //!
-//! The pool serves two execution styles:
-//!
-//! * **Timing** — [`ExecutorPool::dispatch`] advances simulated time via
-//!   [`Accelerator::serve_batch`]; nothing numeric runs. Every `serve`
-//!   experiment uses this mode.
-//! * **Functional** — a [`FunctionalContext`] additionally executes the
-//!   real int8 datapath ([`sushi_accel::functional::forward_batch_cached`])
-//!   for each dispatched batch, under the context's
-//!   [`sushi_tensor::KernelPolicy`], against per-SubNet pre-packed weight
-//!   panels built once on first dispatch. Logits are policy-, batching- and
-//!   packing-invariant (pinned by proptests), so this mode validates that
-//!   the serving layer never changes *what* is computed, only *when*.
+//! Execution is delegated to the engine's [`ExecutionBackend`]: the
+//! analytical backend advances simulated time only, while the functional
+//! backend additionally runs the real packed int8 datapath per dispatched
+//! batch and returns per-query predictions. Timing is identical across
+//! backends, so the serving layer never changes *what* is computed — only
+//! *when*.
 
-use std::collections::HashMap;
-
+use sushi_accel::backend::{Execution, ExecutionBackend};
 use sushi_accel::exec::{Accelerator, BatchReport};
-use sushi_accel::functional::{act_quant, forward_batch_cached, FunctionalOutput, SubgraphCache};
+use sushi_accel::functional::FunctionalOutput;
 use sushi_accel::AccelConfig;
-use sushi_tensor::quant::quantize_tensor;
-use sushi_tensor::{Arena, DetRng, Shape4, Tensor};
-use sushi_wsnet::{SubGraph, SubNet, SuperNet, WeightStore};
+use sushi_wsnet::{SubGraph, SubNet, SuperNet};
 
-use crate::serving::queue::QueuedQuery;
+use crate::error::SushiError;
 
 /// One simulated worker.
 #[derive(Debug, Clone)]
@@ -42,6 +33,7 @@ struct Worker {
 
 /// What one dispatch did.
 #[derive(Debug, Clone, PartialEq)]
+#[must_use]
 pub struct DispatchReport {
     /// Worker index that executed the batch.
     pub worker: usize,
@@ -66,7 +58,7 @@ impl ExecutorPool {
     /// Creates `workers` accelerator replicas of `config`.
     ///
     /// # Panics
-    /// Panics if `workers == 0`.
+    /// Panics if `workers == 0` (the engine builder rejects this earlier).
     #[must_use]
     pub fn new(config: &AccelConfig, workers: usize) -> Self {
         assert!(workers > 0, "executor pool needs at least one worker");
@@ -115,31 +107,39 @@ impl ExecutorPool {
         }
     }
 
-    /// Runs `batch_size` same-SubNet queries on `worker`, applying any
-    /// pending cache install first (its reload time is charged to this
-    /// batch by the accelerator).
+    /// Runs the same-SubNet queries `query_ids` as one batch on `worker`
+    /// through `backend`, applying any pending cache install first (its
+    /// reload time is charged to this batch by the accelerator). Returns
+    /// the timing report plus the backend's per-query outputs, if any.
+    ///
+    /// # Errors
+    /// Returns [`SushiError::Backend`] when the backend fails (empty
+    /// batch, SubNet mismatch, functional datapath failure).
     ///
     /// # Panics
-    /// Panics if the worker is still busy at `now_ms` or `batch_size == 0`.
+    /// Panics if the worker is still busy at `now_ms` (an event-loop
+    /// programming error, not a configuration one).
     pub fn dispatch(
         &mut self,
         worker: usize,
         now_ms: f64,
         net: &SuperNet,
         subnet: &SubNet,
-        batch_size: usize,
-    ) -> DispatchReport {
+        backend: &mut dyn ExecutionBackend,
+        query_ids: &[u64],
+    ) -> Result<(DispatchReport, Option<Vec<FunctionalOutput>>), SushiError> {
         let w = &mut self.workers[worker];
         assert!(w.busy_until_ms <= now_ms, "dispatch to a busy worker");
         if let Some(graph) = w.pending_install.take() {
             let _ = w.accel.install_cache(net, graph);
         }
-        let report = w.accel.serve_batch(net, subnet, batch_size);
+        let Execution { report, outputs } =
+            backend.execute_batch(&mut w.accel, net, subnet, query_ids)?;
         self.swap_ms += w.accel.config().cycles_to_ms(report.pb_reload_cycles);
         self.batches += 1;
         let completion_ms = now_ms + report.total_latency_ms;
         w.busy_until_ms = completion_ms;
-        DispatchReport { worker, start_ms: now_ms, completion_ms, report }
+        Ok((DispatchReport { worker, start_ms: now_ms, completion_ms, report }, outputs))
     }
 
     /// Number of cache decisions broadcast so far.
@@ -161,99 +161,11 @@ impl ExecutorPool {
     }
 }
 
-/// Real-datapath execution context for functional serving runs.
-///
-/// Synthesizes a deterministic input per query id and executes whole
-/// batches through [`forward_batch_cached`] under the context's `DpeArray`
-/// kernel policy. Intended for the toy zoo (full-size SuperNets take
-/// seconds per forward); the timing simulation is identical either way.
-///
-/// The context is the serving worker's *subgraph-stationary* state: the
-/// first batch served under a SubNet builds its [`SubgraphCache`] (sliced
-/// weights + packed GEMM panels, counted by
-/// [`sushi_tensor::ops::pack::pack_invocations`]); every later batch under
-/// that SubNet reads the panels in place, and all kernel scratch lives in
-/// one [`Arena`] reused across queries — the steady state allocates
-/// nothing per query.
-#[derive(Debug)]
-pub struct FunctionalContext {
-    dpe: sushi_accel::dpe::DpeArray,
-    store: WeightStore,
-    input_seed: u64,
-    caches: HashMap<String, SubgraphCache>,
-    arena: Arena,
-}
-
-impl FunctionalContext {
-    /// Creates a context with synthesized weights for `net`.
-    #[must_use]
-    pub fn new(dpe: sushi_accel::dpe::DpeArray, net: &SuperNet, seed: u64) -> Self {
-        Self {
-            dpe,
-            store: WeightStore::synthesize(net, seed),
-            input_seed: seed ^ 0x1A7E,
-            caches: HashMap::new(),
-            arena: Arena::new(),
-        }
-    }
-
-    /// Number of SubNets whose weights have been packed so far (each packed
-    /// exactly once, on first dispatch).
-    #[must_use]
-    pub fn packed_subnets(&self) -> usize {
-        self.caches.len()
-    }
-
-    /// The deterministic input tensor for a query id.
-    #[must_use]
-    pub fn input_for(&self, net: &SuperNet, query_id: u64) -> Tensor<i8> {
-        let shape = Shape4::new(1, 3, net.input_hw, net.input_hw);
-        let mut rng = DetRng::new(self.input_seed ^ query_id.wrapping_mul(0x9E37_79B9));
-        let f = Tensor::from_vec(
-            shape,
-            (0..shape.volume()).map(|_| rng.uniform_f32(-1.0, 1.0)).collect(),
-        )
-        .expect("shape matches");
-        quantize_tensor(&f, act_quant())
-    }
-
-    /// Executes one dispatched batch on the real datapath, returning one
-    /// output per query (input order). Packs the SubNet's weights on first
-    /// use and serves every later batch from the pre-packed panels.
-    ///
-    /// # Panics
-    /// Panics if the batch is empty or a layer fails to execute (zoo
-    /// definitions are programmer-controlled).
-    #[must_use]
-    pub fn run_batch(
-        &mut self,
-        net: &SuperNet,
-        subnet: &SubNet,
-        batch: &[QueuedQuery],
-    ) -> Vec<FunctionalOutput> {
-        let inputs: Vec<Tensor<i8>> =
-            batch.iter().map(|q| self.input_for(net, q.timed.query.id)).collect();
-        let Self { dpe, store, caches, arena, .. } = self;
-        let cache = caches.entry(subnet.name.clone()).or_insert_with(|| {
-            SubgraphCache::build(net, store, &subnet.graph).expect("packable zoo weights")
-        });
-        if !cache.matches(&subnet.graph) {
-            // Same name, different SubGraph (defensive): repack.
-            *cache = SubgraphCache::build(net, store, &subnet.graph).expect("packable zoo weights");
-        }
-        forward_batch_cached(dpe, net, store, subnet, Some(cache), arena, &inputs)
-            .expect("functional batch execution")
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::stream::TimedQuery;
+    use sushi_accel::backend::Analytical;
     use sushi_accel::config::zcu104;
-    use sushi_accel::dpe::DpeArray;
-    use sushi_accel::functional::forward;
-    use sushi_sched::Query;
     use sushi_wsnet::zoo;
 
     #[test]
@@ -268,7 +180,9 @@ mod tests {
         let net = zoo::mobilenet_v3_supernet();
         let picks = zoo::paper_subnets(&net);
         let mut pool = ExecutorPool::new(&zcu104(), 2);
-        let d = pool.dispatch(0, 5.0, &net, &picks[0], 4);
+        let (d, outputs) =
+            pool.dispatch(0, 5.0, &net, &picks[0], &mut Analytical, &[0, 1, 2, 3]).unwrap();
+        assert!(outputs.is_none(), "analytical backend produces no outputs");
         assert_eq!(d.start_ms, 5.0);
         assert!(d.completion_ms > 5.0);
         assert_eq!(pool.free_worker_at(5.0), Some(1));
@@ -281,17 +195,28 @@ mod tests {
         let net = zoo::mobilenet_v3_supernet();
         let picks = zoo::paper_subnets(&net);
         let mut pool = ExecutorPool::new(&zcu104(), 1);
-        let cold = pool.dispatch(0, 0.0, &net, &picks[0], 2);
+        let b = &mut Analytical;
+        let (cold, _) = pool.dispatch(0, 0.0, &net, &picks[0], b, &[0, 1]).unwrap();
         assert_eq!(cold.report.pb_reload_cycles, 0);
         pool.broadcast_install(&picks[0].graph);
         let t = cold.completion_ms;
-        let warmup = pool.dispatch(0, t, &net, &picks[0], 2);
+        let (warmup, _) = pool.dispatch(0, t, &net, &picks[0], b, &[2, 3]).unwrap();
         assert!(warmup.report.pb_reload_cycles > 0, "swap charged to in-flight batch");
         assert!(pool.total_swap_ms() > 0.0);
-        let steady = pool.dispatch(0, warmup.completion_ms, &net, &picks[0], 2);
+        let (steady, _) =
+            pool.dispatch(0, warmup.completion_ms, &net, &picks[0], b, &[4, 5]).unwrap();
         assert_eq!(steady.report.pb_reload_cycles, 0);
         assert!(steady.report.total_latency_ms < cold.report.total_latency_ms);
         assert_eq!(pool.cache_installs(), 1);
+    }
+
+    #[test]
+    fn empty_batch_surfaces_as_a_backend_error() {
+        let net = zoo::mobilenet_v3_supernet();
+        let picks = zoo::paper_subnets(&net);
+        let mut pool = ExecutorPool::new(&zcu104(), 1);
+        let err = pool.dispatch(0, 0.0, &net, &picks[0], &mut Analytical, &[]).unwrap_err();
+        assert!(matches!(err, SushiError::Backend(_)));
     }
 
     #[test]
@@ -300,38 +225,7 @@ mod tests {
         let net = zoo::mobilenet_v3_supernet();
         let picks = zoo::paper_subnets(&net);
         let mut pool = ExecutorPool::new(&zcu104(), 1);
-        let _ = pool.dispatch(0, 0.0, &net, &picks[0], 1);
-        let _ = pool.dispatch(0, 0.0, &net, &picks[0], 1);
-    }
-
-    #[test]
-    fn functional_context_matches_single_query_forwards() {
-        let net = zoo::toy_supernet();
-        let mut ctx = FunctionalContext::new(DpeArray::new(4, 4), &net, 77);
-        let sn = net.materialize("max", &net.max_config()).unwrap();
-        let batch: Vec<QueuedQuery> = (0..3)
-            .map(|id| QueuedQuery {
-                timed: TimedQuery::new(id as f64, Query::new(id, 0.5, 100.0)),
-                subnet_row: 0,
-            })
-            .collect();
-        let outs = ctx.run_batch(&net, &sn, &batch);
-        assert_eq!(outs.len(), 3);
-        assert_eq!(ctx.packed_subnets(), 1, "first dispatch packs the SubNet once");
-        // A second dispatch reuses the packed panels (no new cache entry).
-        let again = ctx.run_batch(&net, &sn, &batch);
-        assert_eq!(outs, again);
-        assert_eq!(ctx.packed_subnets(), 1);
-        for (q, out) in batch.iter().zip(&outs) {
-            let single = forward(
-                &DpeArray::new(4, 4),
-                &net,
-                &ctx.store,
-                &sn,
-                &ctx.input_for(&net, q.timed.query.id),
-            )
-            .unwrap();
-            assert_eq!(&single, out);
-        }
+        let _ = pool.dispatch(0, 0.0, &net, &picks[0], &mut Analytical, &[0]);
+        let _ = pool.dispatch(0, 0.0, &net, &picks[0], &mut Analytical, &[1]);
     }
 }

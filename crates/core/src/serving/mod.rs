@@ -17,11 +17,13 @@
 //!   policies and time-weighted depth accounting.
 //! * [`batch::BatchPolicy`] — size/timeout hybrid batching keyed on the
 //!   scheduler's SubNet decision.
-//! * [`executor::ExecutorPool`] — accelerator-replica workers;
-//!   [`executor::FunctionalContext`] optionally dispatches *real* int8
-//!   forwards ([`sushi_accel::functional::forward_batch`]) per batch.
+//! * [`executor::ExecutorPool`] — accelerator-replica workers dispatching
+//!   batches through the engine's
+//!   [`sushi_accel::backend::ExecutionBackend`] (analytical timing, or
+//!   real int8 forwards with per-query predictions).
 //! * [`sim::ServingSim`] — the SLO-aware event loop tying scheduler,
-//!   queue, batcher and pool together.
+//!   queue, batcher and pool together (the run state behind
+//!   [`crate::engine::Engine::serve_timed`]).
 //! * [`scenario`] — canned presets (`steady`, `burst`, `diurnal`,
 //!   `multi_tenant`) behind `repro --serve` and the `BENCH_serve.json`
 //!   baseline.
@@ -31,17 +33,19 @@
 //! # Example
 //!
 //! ```
-//! use std::sync::Arc;
-//! use sushi_core::serving::{ArrivalProcess, BatchPolicy, DropPolicy, ServingSim, SimConfig};
+//! use sushi_core::engine::EngineBuilder;
+//! use sushi_core::serving::{ArrivalProcess, BatchPolicy, DropPolicy};
 //! use sushi_core::stream::{attach_arrivals, uniform_stream, ConstraintSpace};
-//! use sushi_core::variants::build_table;
-//! use sushi_sched::{CacheSelection, Policy};
-//! use sushi_wsnet::zoo;
 //!
-//! let net = Arc::new(zoo::mobilenet_v3_supernet());
-//! let picks = zoo::paper_subnets(&net);
-//! let board = sushi_accel::config::zcu104();
-//! let table = build_table(&net, &picks, &board, 8, 42);
+//! let mut engine = EngineBuilder::new()
+//!     .q_window(10)
+//!     .candidates(8)
+//!     .seed(42)
+//!     .workers(2)
+//!     .queue_capacity(32)
+//!     .drop_policy(DropPolicy::DropNewest)
+//!     .batch_policy(BatchPolicy::new(4, 2.0))
+//!     .build()?;
 //!
 //! // 50 uniform queries arriving as 120 qps Poisson traffic.
 //! let space = ConstraintSpace { acc_lo: 0.76, acc_hi: 0.79, lat_lo: 2.0, lat_hi: 30.0 };
@@ -49,20 +53,10 @@
 //! let arrivals = ArrivalProcess::Poisson { rate_qps: 120.0 }.timestamps(50, 7);
 //! let stream = attach_arrivals(&queries, &arrivals);
 //!
-//! let mut sim = ServingSim::new(
-//!     Arc::clone(&net), picks, table, &board,
-//!     Policy::StrictAccuracy, CacheSelection::MinDistanceToAvg, 10,
-//!     SimConfig {
-//!         workers: 2,
-//!         queue_capacity: 32,
-//!         drop_policy: DropPolicy::DropNewest,
-//!         batch: BatchPolicy::new(4, 2.0),
-//!     },
-//! );
-//! let result = sim.run(&stream);
-//! let summary = result.summary();
+//! let summary = engine.serve_timed(&stream)?.summary();
 //! assert_eq!(summary.offered, 50);
 //! assert!(summary.p50_ms <= summary.p99_ms);
+//! # Ok::<(), sushi_core::SushiError>(())
 //! ```
 
 pub mod arrivals;
@@ -74,7 +68,7 @@ pub mod sim;
 
 pub use arrivals::ArrivalProcess;
 pub use batch::BatchPolicy;
-pub use executor::{ExecutorPool, FunctionalContext};
+pub use executor::ExecutorPool;
 pub use queue::{AdmissionQueue, DropPolicy, DropReason, DroppedQuery};
 pub use scenario::{build_scenario, run_all_presets, run_scenario, Scenario, ServePreset};
 pub use sim::{ServedQuery, ServingSim, SimConfig, SimResult};

@@ -19,14 +19,15 @@
 use std::sync::Arc;
 
 use sushi_accel::config::zcu104;
-use sushi_sched::{CacheSelection, Policy};
 
+use crate::engine::EngineBuilder;
+use crate::error::SushiError;
 use crate::experiments::common::{mobv3_workload, ExpOptions, Workload};
 use crate::metrics::ServeSummary;
 use crate::serving::arrivals::ArrivalProcess;
 use crate::serving::batch::BatchPolicy;
 use crate::serving::queue::DropPolicy;
-use crate::serving::sim::{ServingSim, SimConfig, SimResult};
+use crate::serving::sim::{SimConfig, SimResult};
 use crate::stream::{
     attach_arrivals, av_navigation_stream, icu_burst_stream, merge_tenant_streams, uniform_stream,
     ConstraintSpace, TimedQuery,
@@ -201,30 +202,42 @@ fn build_scenario_for(workload: &Workload, preset: ServePreset, opts: &ExpOption
     Scenario { name: preset.name(), stream, sim, q_window: workload.q_window }
 }
 
-/// Builds the serving stack for a scenario and runs it to completion.
-#[must_use]
-pub fn run_scenario(preset: ServePreset, opts: &ExpOptions) -> SimResult {
+/// Builds the serving engine for a scenario and runs it to completion.
+///
+/// The engine honors `opts.backend` and `opts.workers`: the worker
+/// override replaces the preset's pool size (arrival streams stay sized to
+/// the preset's nominal capacity, so overriding workers changes service
+/// capacity, not the offered load).
+///
+/// # Errors
+/// Returns [`SushiError::Config`] for inconsistent overrides (e.g. the
+/// functional backend with more than one worker) and
+/// [`SushiError::Backend`] when execution fails.
+pub fn run_scenario(preset: ServePreset, opts: &ExpOptions) -> Result<SimResult, SushiError> {
     let workload = mobv3_workload();
     let scenario = build_scenario_for(&workload, preset, opts);
-    let board = zcu104();
-    let table = build_table(&workload.net, &workload.picks, &board, opts.candidates, opts.seed);
-    let mut sim = ServingSim::new(
-        Arc::clone(&workload.net),
-        workload.picks,
-        table,
-        &board,
-        Policy::StrictAccuracy,
-        CacheSelection::MinDistanceToAvg,
-        scenario.q_window,
-        scenario.sim,
-    );
-    sim.run(&scenario.stream)
+    let mut sim = scenario.sim;
+    if let Some(workers) = opts.workers {
+        sim.workers = workers;
+    }
+    let mut engine = EngineBuilder::new()
+        .workload(Arc::clone(&workload.net), workload.picks)
+        .q_window(scenario.q_window)
+        .candidates(opts.candidates)
+        .seed(opts.seed)
+        .backend(opts.backend)
+        .kernel_policy(opts.kernel_policy)
+        .sim_config(sim)
+        .build()?;
+    engine.serve_timed(&scenario.stream)
 }
 
 /// Runs every preset and returns `(label, summary)` rows in report order.
-#[must_use]
-pub fn run_all_presets(opts: &ExpOptions) -> Vec<(&'static str, ServeSummary)> {
-    ServePreset::ALL.into_iter().map(|p| (p.name(), run_scenario(p, opts).summary())).collect()
+///
+/// # Errors
+/// Propagates the first [`run_scenario`] failure.
+pub fn run_all_presets(opts: &ExpOptions) -> Result<Vec<(&'static str, ServeSummary)>, SushiError> {
+    ServePreset::ALL.into_iter().map(|p| Ok((p.name(), run_scenario(p, opts)?.summary()))).collect()
 }
 
 #[cfg(test)]
@@ -259,8 +272,8 @@ mod tests {
     #[test]
     fn burst_scenario_stresses_harder_than_steady() {
         let opts = ExpOptions::quick();
-        let steady = run_scenario(ServePreset::Steady, &opts).summary();
-        let burst = run_scenario(ServePreset::Burst, &opts).summary();
+        let steady = run_scenario(ServePreset::Steady, &opts).unwrap().summary();
+        let burst = run_scenario(ServePreset::Burst, &opts).unwrap().summary();
         assert!(
             burst.p99_ms > steady.p99_ms,
             "burst p99 {} !> steady {}",
@@ -273,7 +286,7 @@ mod tests {
     #[test]
     fn presets_are_deterministic() {
         let opts = ExpOptions::quick();
-        assert_eq!(run_all_presets(&opts), run_all_presets(&opts));
+        assert_eq!(run_all_presets(&opts).unwrap(), run_all_presets(&opts).unwrap());
     }
 
     /// Pins the quick-scenario tail metrics to exact values. The serving
@@ -284,7 +297,7 @@ mod tests {
     #[test]
     fn quick_scenario_metrics_are_pinned() {
         let opts = ExpOptions::quick();
-        let steady = run_scenario(ServePreset::Steady, &opts).summary();
+        let steady = run_scenario(ServePreset::Steady, &opts).unwrap().summary();
         assert!((steady.p99_ms - 23.382_301_440).abs() < 1e-6, "steady p99 {}", steady.p99_ms);
         assert!(
             (steady.goodput_qps - 75.097_068_028).abs() < 1e-6,
@@ -298,7 +311,7 @@ mod tests {
         );
         assert_eq!(steady.dropped, 0);
 
-        let burst = run_scenario(ServePreset::Burst, &opts).summary();
+        let burst = run_scenario(ServePreset::Burst, &opts).unwrap().summary();
         assert!((burst.p99_ms - 101.102_122_735).abs() < 1e-6, "burst p99 {}", burst.p99_ms);
         assert!(
             (burst.goodput_qps - 47.104_057_652).abs() < 1e-6,

@@ -2,7 +2,8 @@
 //!
 //! [`ServingSim`] wraps the SUSHI stack — `SushiSched` decisions enacted on
 //! an [`ExecutorPool`] of accelerator replicas — in an open-loop event
-//! loop over a [`TimedQuery`] stream:
+//! loop over a [`TimedQuery`] stream. It is the run state behind
+//! [`crate::engine::Engine::serve_timed`]:
 //!
 //! 1. **Admission.** Each arrival is scheduled immediately
 //!    (`Scheduler::decide`, in arrival order, so the AvgNet state stream is
@@ -23,18 +24,26 @@
 
 use std::sync::Arc;
 
+use sushi_accel::backend::ExecutionBackend;
 use sushi_accel::AccelConfig;
 use sushi_sched::{CacheSelection, LatencyTable, Policy, Query, Scheduler};
 use sushi_wsnet::{SubNet, SuperNet};
 
+use crate::error::SushiError;
 use crate::metrics::{LatencyHistogram, ServeSummary};
 use crate::serving::batch::BatchPolicy;
-use crate::serving::executor::{ExecutorPool, FunctionalContext};
+use crate::serving::executor::ExecutorPool;
 use crate::serving::queue::{AdmissionQueue, DropPolicy, DroppedQuery, QueuedQuery};
 use crate::stream::TimedQuery;
 
 /// Serving-loop knobs (everything except the stack itself).
+///
+/// `#[non_exhaustive]`: construct via [`Default`] and adjust with the
+/// `with_*` setters (or the corresponding
+/// [`crate::engine::EngineBuilder`] knobs) so future fields are
+/// non-breaking.
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
 pub struct SimConfig {
     /// Number of accelerator workers.
     pub workers: usize,
@@ -57,8 +66,39 @@ impl Default for SimConfig {
     }
 }
 
+impl SimConfig {
+    /// Sets the number of accelerator workers.
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the admission-queue capacity.
+    #[must_use]
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Sets the overflow/deadline policy.
+    #[must_use]
+    pub fn with_drop_policy(mut self, policy: DropPolicy) -> Self {
+        self.drop_policy = policy;
+        self
+    }
+
+    /// Sets the dynamic-batching policy.
+    #[must_use]
+    pub fn with_batch(mut self, batch: BatchPolicy) -> Self {
+        self.batch = batch;
+        self
+    }
+}
+
 /// One query served to completion.
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[must_use]
 pub struct ServedQuery {
     /// The query as issued.
     pub query: Query,
@@ -96,6 +136,7 @@ impl ServedQuery {
 
 /// Everything a simulation run produced.
 #[derive(Debug, Clone, PartialEq)]
+#[must_use]
 pub struct SimResult {
     /// Queries served to completion, in dispatch order.
     pub served: Vec<ServedQuery>,
@@ -207,19 +248,15 @@ pub struct ServingSim {
     sched: Scheduler,
     pool: ExecutorPool,
     config: SimConfig,
-    functional: Option<FunctionalContext>,
 }
 
 impl ServingSim {
-    /// Assembles a serving simulation. `subnets` must be the serving set
-    /// (row order) the `table` was built from.
-    ///
-    /// # Panics
-    /// Panics if `subnets` and table rows disagree in length, or the sim
-    /// config is degenerate (zero workers / capacity / batch size).
-    #[must_use]
+    /// Assembles a serving simulation from engine-validated parts.
+    /// `subnets` must be the serving set (row order) the `table` was built
+    /// from — [`crate::engine::EngineBuilder::build`] enforces this along
+    /// with the sim-config invariants.
     #[allow(clippy::too_many_arguments)]
-    pub fn new(
+    pub(crate) fn from_parts(
         net: Arc<SuperNet>,
         subnets: Vec<SubNet>,
         table: LatencyTable,
@@ -229,24 +266,14 @@ impl ServingSim {
         q_window: usize,
         config: SimConfig,
     ) -> Self {
-        assert_eq!(subnets.len(), table.num_rows(), "serving set / table mismatch");
+        debug_assert_eq!(subnets.len(), table.num_rows(), "serving set / table mismatch");
         Self {
             net,
             subnets,
             sched: Scheduler::new(table, policy, cache_selection, q_window),
             pool: ExecutorPool::new(accel_config, config.workers),
             config,
-            functional: None,
         }
-    }
-
-    /// Attaches a real-datapath execution context: every dispatched batch
-    /// additionally runs [`sushi_accel::functional::forward_batch`] and
-    /// records per-query predictions. Use with the toy zoo.
-    #[must_use]
-    pub fn with_functional(mut self, ctx: FunctionalContext) -> Self {
-        self.functional = Some(ctx);
-        self
     }
 
     /// The scheduler (for inspection).
@@ -261,16 +288,23 @@ impl ServingSim {
         &self.subnets
     }
 
-    /// Runs the event loop over an arrival-ordered stream to completion.
+    /// Runs the event loop over an arrival-ordered stream to completion,
+    /// dispatching every batch through `backend`.
     ///
-    /// # Panics
-    /// Panics if the stream is empty or not sorted by arrival time.
-    pub fn run(&mut self, stream: &[TimedQuery]) -> SimResult {
-        assert!(!stream.is_empty(), "cannot simulate an empty stream");
-        assert!(
-            stream.windows(2).all(|w| w[0].arrival_ms <= w[1].arrival_ms),
-            "stream must be sorted by arrival time"
-        );
+    /// # Errors
+    /// Returns [`SushiError::Stream`] if the stream is empty or not sorted
+    /// by arrival time, and [`SushiError::Backend`] when the backend fails.
+    pub fn run(
+        &mut self,
+        backend: &mut dyn ExecutionBackend,
+        stream: &[TimedQuery],
+    ) -> Result<SimResult, SushiError> {
+        if stream.is_empty() {
+            return Err(SushiError::Stream("cannot simulate an empty stream".into()));
+        }
+        if !stream.windows(2).all(|w| w[0].arrival_ms <= w[1].arrival_ms) {
+            return Err(SushiError::Stream("stream must be sorted by arrival time".into()));
+        }
         let mut queue = AdmissionQueue::new(self.config.queue_capacity, self.config.drop_policy);
         let batch_policy = self.config.batch;
         let mut served: Vec<ServedQuery> = Vec::with_capacity(stream.len());
@@ -305,12 +339,15 @@ impl ServingSim {
                 let batch = batch_policy.form(&mut queue, now);
                 debug_assert!(!batch.is_empty());
                 let row = batch[0].subnet_row;
-                let report =
-                    self.pool.dispatch(worker, now, &self.net, &self.subnets[row], batch.len());
-                let outputs = self
-                    .functional
-                    .as_mut()
-                    .map(|ctx| ctx.run_batch(&self.net, &self.subnets[row], &batch));
+                let ids: Vec<u64> = batch.iter().map(|q| q.timed.query.id).collect();
+                let (report, outputs) = self.pool.dispatch(
+                    worker,
+                    now,
+                    &self.net,
+                    &self.subnets[row],
+                    backend,
+                    &ids,
+                )?;
                 for (i, q) in batch.iter().enumerate() {
                     served.push(ServedQuery {
                         query: q.timed.query,
@@ -348,7 +385,7 @@ impl ServingSim {
 
         let makespan_ms =
             self.pool.drain_ms().max(stream.last().map_or(0.0, |tq| tq.arrival_ms)).max(now);
-        SimResult {
+        Ok(SimResult {
             served,
             dropped,
             mean_queue_depth: queue.mean_depth(makespan_ms.max(f64::MIN_POSITIVE)),
@@ -357,38 +394,27 @@ impl ServingSim {
             cache_installs: self.pool.cache_installs(),
             swap_ms: self.pool.total_swap_ms(),
             makespan_ms,
-        }
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::{Engine, EngineBuilder};
     use crate::serving::arrivals::ArrivalProcess;
     use crate::stream::{attach_arrivals, uniform_stream, ConstraintSpace};
-    use crate::variants::build_table;
-    use sushi_accel::config::zcu104;
-    use sushi_wsnet::zoo;
 
-    fn sim(config: SimConfig) -> (ServingSim, ConstraintSpace) {
-        let net = Arc::new(zoo::mobilenet_v3_supernet());
-        let picks = zoo::paper_subnets(&net);
-        let board = zcu104();
-        let table = build_table(&net, &picks, &board, 8, 42);
-        let accs: Vec<f64> = picks.iter().map(|p| p.accuracy).collect();
-        let lats: Vec<f64> = (0..table.num_rows()).map(|i| table.latency_ms(i, 0)).collect();
-        let space = ConstraintSpace::from_serving_set(&accs, &lats);
-        let s = ServingSim::new(
-            Arc::clone(&net),
-            picks,
-            table,
-            &board,
-            Policy::StrictAccuracy,
-            CacheSelection::MinDistanceToAvg,
-            8,
-            config,
-        );
-        (s, space)
+    fn sim(config: SimConfig) -> (Engine, ConstraintSpace) {
+        let engine = EngineBuilder::new()
+            .q_window(8)
+            .candidates(8)
+            .seed(42)
+            .sim_config(config)
+            .build()
+            .expect("valid test configuration");
+        let space = engine.constraint_space();
+        (engine, space)
     }
 
     fn stream(space: &ConstraintSpace, n: usize, rate_qps: f64, seed: u64) -> Vec<TimedQuery> {
@@ -408,7 +434,7 @@ mod tests {
         let (mut a, space) = sim(cfg);
         let (mut b, _) = sim(cfg);
         let st = stream(&space, 150, 120.0, 9);
-        assert_eq!(a.run(&st), b.run(&st));
+        assert_eq!(a.serve_timed(&st).unwrap(), b.serve_timed(&st).unwrap());
     }
 
     #[test]
@@ -421,7 +447,7 @@ mod tests {
         };
         let (mut s, space) = sim(cfg);
         let st = stream(&space, 200, 400.0, 3); // overload: drops expected
-        let r = s.run(&st);
+        let r = s.serve_timed(&st).unwrap();
         assert_eq!(r.served.len() + r.dropped.len(), 200);
         assert!(!r.dropped.is_empty(), "overload should shed load");
         let mut ids: Vec<u64> = r
@@ -443,7 +469,7 @@ mod tests {
             batch: BatchPolicy::new(4, 2.0),
         };
         let (mut s, space) = sim(cfg);
-        let r = s.run(&stream(&space, 150, 150.0, 4));
+        let r = s.serve_timed(&stream(&space, 150, 150.0, 4)).unwrap();
         for q in &r.served {
             assert!(q.start_ms >= q.arrival_ms, "service before arrival");
             assert!(q.completion_ms > q.start_ms);
@@ -460,9 +486,9 @@ mod tests {
             batch: BatchPolicy::new(4, 1.0),
         };
         let (mut light, space) = sim(light_cfg);
-        let lr = light.run(&stream(&space, 150, 40.0, 5)).summary();
+        let lr = light.serve_timed(&stream(&space, 150, 40.0, 5)).unwrap().summary();
         let (mut heavy, _) = sim(SimConfig { workers: 1, ..light_cfg });
-        let hr = heavy.run(&stream(&space, 150, 900.0, 5)).summary();
+        let hr = heavy.serve_timed(&stream(&space, 150, 900.0, 5)).unwrap().summary();
         assert!(lr.slo_violation_rate < hr.slo_violation_rate);
         assert!(lr.p99_ms < hr.p99_ms);
         assert!(hr.mean_queue_depth > lr.mean_queue_depth);
@@ -480,8 +506,8 @@ mod tests {
         let (mut a, space) = sim(no_batch);
         let (mut b, _) = sim(batched);
         let st = stream(&space, 200, 500.0, 6);
-        let ra = a.run(&st);
-        let rb = b.run(&st);
+        let ra = a.serve_timed(&st).unwrap();
+        let rb = b.serve_timed(&st).unwrap();
         let drained_a = ra.served.last().unwrap().completion_ms;
         let drained_b = rb.served.last().unwrap().completion_ms;
         assert!(drained_b < drained_a, "batching should drain faster: {drained_b} vs {drained_a}");
@@ -497,7 +523,7 @@ mod tests {
             batch: BatchPolicy::new(2, 1.0),
         };
         let (mut s, space) = sim(cfg);
-        let r = s.run(&stream(&space, 120, 150.0, 7));
+        let r = s.serve_timed(&stream(&space, 120, 150.0, 7)).unwrap();
         assert!(r.cache_installs > 0);
         assert!(r.swap_ms > 0.0);
     }
@@ -516,7 +542,7 @@ mod tests {
         let a = attach_arrivals(&qs[..50], &ts[..50]);
         let b = attach_arrivals(&qs[50..], &ts[..50]);
         let merged = crate::stream::merge_tenant_streams(&[a, b]);
-        let r = s.run(&merged);
+        let r = s.serve_timed(&merged).unwrap();
         let t0 = r.tenant_summary(0);
         let t1 = r.tenant_summary(1);
         assert_eq!(t0.offered + t1.offered, 100);
@@ -532,10 +558,20 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "empty stream")]
-    fn empty_stream_rejected() {
+    fn empty_stream_is_a_stream_error() {
         let cfg = SimConfig::default();
         let (mut s, _) = sim(cfg);
-        let _ = s.run(&[]);
+        let err = s.serve_timed(&[]).unwrap_err();
+        assert!(matches!(err, SushiError::Stream(_)), "{err}");
+    }
+
+    #[test]
+    fn unsorted_stream_is_a_stream_error() {
+        let cfg = SimConfig::default();
+        let (mut s, space) = sim(cfg);
+        let qs = uniform_stream(&space, 2, 1);
+        let st = vec![TimedQuery::new(5.0, qs[0]), TimedQuery::new(1.0, qs[1])];
+        let err = s.serve_timed(&st).unwrap_err();
+        assert!(matches!(err, SushiError::Stream(_)), "{err}");
     }
 }

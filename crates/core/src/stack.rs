@@ -2,22 +2,30 @@
 //!
 //! Wires `SushiSched` to `SushiAccel` through the `SushiAbs` latency table:
 //! per query, the scheduler selects the SubNet under the current cache
-//! state; the accelerator serves it; every `Q` queries the scheduler's
-//! caching decision is enacted on the accelerator (reload charged to the
-//! following query, stage B of Fig. 9a).
+//! state; the accelerator serves it through the engine's
+//! [`ExecutionBackend`]; every `Q` queries the scheduler's caching decision
+//! is enacted on the accelerator (reload charged to the following query,
+//! stage B of Fig. 9a).
+//!
+//! Constructed exclusively by [`crate::engine::EngineBuilder`]; use
+//! [`crate::engine::Engine::serve_stream`].
 
 use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
+use sushi_accel::backend::ExecutionBackend;
 use sushi_accel::exec::Accelerator;
 use sushi_accel::AccelConfig;
 use sushi_sched::{CacheSelection, LatencyTable, Policy, Query, Scheduler};
 use sushi_wsnet::encoding::overlap_ratio;
 use sushi_wsnet::{SubGraph, SubNet, SuperNet};
 
+use crate::error::SushiError;
+
 /// Everything recorded about one served query.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[must_use]
 pub struct ServedRecord {
     /// The query as issued.
     pub query: Query,
@@ -37,9 +45,11 @@ pub struct ServedRecord {
     pub onchip_mj: f64,
     /// Whether a cache update was enacted after this query.
     pub cache_updated: bool,
+    /// Functional-backend prediction (`None` under the analytical backend).
+    pub prediction: Option<usize>,
 }
 
-/// The integrated serving stack.
+/// The integrated serving stack (the engine's batch-replay run state).
 #[derive(Debug)]
 pub struct SushiStack {
     net: Arc<SuperNet>,
@@ -49,13 +59,10 @@ pub struct SushiStack {
 }
 
 impl SushiStack {
-    /// Assembles a stack. `subnets` must be the same serving set (in the
-    /// same order) the `table` rows were built from.
-    ///
-    /// # Panics
-    /// Panics if `subnets` and table rows disagree in length.
-    #[must_use]
-    pub fn new(
+    /// Assembles a stack from engine-validated parts. `subnets` must be
+    /// the serving set (in row order) the `table` rows were built from —
+    /// [`crate::engine::EngineBuilder::build`] enforces this.
+    pub(crate) fn from_parts(
         net: Arc<SuperNet>,
         subnets: Vec<SubNet>,
         table: LatencyTable,
@@ -64,7 +71,7 @@ impl SushiStack {
         cache_selection: CacheSelection,
         q_window: usize,
     ) -> Self {
-        assert_eq!(subnets.len(), table.num_rows(), "serving set / table mismatch");
+        debug_assert_eq!(subnets.len(), table.num_rows(), "serving set / table mismatch");
         Self {
             net,
             subnets,
@@ -91,14 +98,21 @@ impl SushiStack {
         &self.sched
     }
 
-    /// Serves one query end-to-end.
-    pub fn serve(&mut self, query: &Query) -> ServedRecord {
+    /// Serves one query end-to-end through `backend`.
+    ///
+    /// # Errors
+    /// Returns [`SushiError::Backend`] when the backend fails.
+    pub fn serve(
+        &mut self,
+        backend: &mut dyn ExecutionBackend,
+        query: &Query,
+    ) -> Result<ServedRecord, SushiError> {
         let decision = self.sched.decide(query);
         let subnet = &self.subnets[decision.subnet_row];
         let empty = SubGraph::empty(self.net.num_layers());
         let cached_now = self.accel.cached().unwrap_or(&empty);
         let hit_ratio = overlap_ratio(&subnet.graph, cached_now);
-        let report = self.accel.serve(&self.net, subnet);
+        let exec = backend.execute_batch(&mut self.accel, &self.net, subnet, &[query.id])?;
         // Enact the caching decision after serving (Algorithm 1: the cache
         // update takes effect for subsequent queries; its reload cost is
         // charged by the accelerator to the next serve).
@@ -108,52 +122,55 @@ impl SushiStack {
             self.accel.install_cache(&self.net, graph);
             cache_updated = true;
         }
-        ServedRecord {
+        Ok(ServedRecord {
             query: *query,
             subnet: subnet.name.clone(),
             subnet_row: decision.subnet_row,
             served_accuracy: subnet.accuracy,
-            served_latency_ms: report.latency_ms,
+            served_latency_ms: exec.report.total_latency_ms,
             hit_ratio,
-            offchip_mj: report.energy.offchip_mj,
-            onchip_mj: report.energy.onchip_mj,
+            offchip_mj: exec.report.energy.offchip_mj,
+            onchip_mj: exec.report.energy.onchip_mj,
             cache_updated,
-        }
+            prediction: exec.outputs.as_ref().and_then(|o| o.first()).map(|o| o.prediction),
+        })
     }
 
     /// Serves a whole stream.
-    pub fn serve_stream(&mut self, queries: &[Query]) -> Vec<ServedRecord> {
-        queries.iter().map(|q| self.serve(q)).collect()
+    ///
+    /// # Errors
+    /// Returns [`SushiError::Backend`] when the backend fails.
+    pub fn serve_stream(
+        &mut self,
+        backend: &mut dyn ExecutionBackend,
+        queries: &[Query],
+    ) -> Result<Vec<ServedRecord>, SushiError> {
+        queries.iter().map(|q| self.serve(backend, q)).collect()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::stream::{uniform_stream, ConstraintSpace};
-    use crate::variants::{build_stack, Variant};
-    use sushi_accel::config::zcu104;
-    use sushi_wsnet::zoo;
+    use crate::engine::{Engine, EngineBuilder};
+    use crate::stream::uniform_stream;
+    use crate::variants::Variant;
 
-    fn stack(variant: Variant) -> SushiStack {
-        let net = Arc::new(zoo::mobilenet_v3_supernet());
-        let picks = zoo::paper_subnets(&net);
-        build_stack(variant, Arc::clone(&net), picks, &zcu104(), Policy::StrictAccuracy, 8, 12, 42)
-    }
-
-    fn space(s: &SushiStack) -> ConstraintSpace {
-        let accs: Vec<f64> = s.subnets().iter().map(|p| p.accuracy).collect();
-        let lats: Vec<f64> = (0..s.scheduler().table().num_rows())
-            .map(|i| s.scheduler().table().latency_ms(i, 0))
-            .collect();
-        ConstraintSpace::from_serving_set(&accs, &lats)
+    fn engine(variant: Variant) -> Engine {
+        EngineBuilder::new()
+            .variant(variant)
+            .q_window(8)
+            .candidates(12)
+            .seed(42)
+            .build()
+            .expect("valid test configuration")
     }
 
     #[test]
     fn strict_accuracy_is_always_satisfied() {
-        let mut s = stack(Variant::Sushi);
-        let qs = uniform_stream(&space(&s), 100, 1);
-        for r in s.serve_stream(&qs) {
+        let mut e = engine(Variant::Sushi);
+        let qs = uniform_stream(&e.constraint_space(), 100, 1);
+        for r in e.serve_stream(&qs).unwrap() {
             assert!(
                 r.served_accuracy >= r.query.accuracy_constraint - 1e-12,
                 "query {} violated accuracy",
@@ -164,17 +181,17 @@ mod tests {
 
     #[test]
     fn hit_ratio_is_zero_before_first_cache_install() {
-        let mut s = stack(Variant::Sushi);
-        let qs = uniform_stream(&space(&s), 4, 2);
-        let records = s.serve_stream(&qs);
+        let mut e = engine(Variant::Sushi);
+        let qs = uniform_stream(&e.constraint_space(), 4, 2);
+        let records = e.serve_stream(&qs).unwrap();
         assert_eq!(records[0].hit_ratio, 0.0);
     }
 
     #[test]
     fn hit_ratio_becomes_positive_after_warmup() {
-        let mut s = stack(Variant::Sushi);
-        let qs = uniform_stream(&space(&s), 60, 3);
-        let records = s.serve_stream(&qs);
+        let mut e = engine(Variant::Sushi);
+        let qs = uniform_stream(&e.constraint_space(), 60, 3);
+        let records = e.serve_stream(&qs).unwrap();
         let tail_mean: f64 =
             records[20..].iter().map(|r| r.hit_ratio).sum::<f64>() / (records.len() - 20) as f64;
         assert!(tail_mean > 0.3, "tail hit ratio {tail_mean}");
@@ -182,45 +199,43 @@ mod tests {
 
     #[test]
     fn no_sushi_never_caches() {
-        let mut s = stack(Variant::NoSushi);
-        let qs = uniform_stream(&space(&s), 40, 4);
-        for r in s.serve_stream(&qs) {
+        let mut e = engine(Variant::NoSushi);
+        let qs = uniform_stream(&e.constraint_space(), 40, 4);
+        for r in e.serve_stream(&qs).unwrap() {
             assert_eq!(r.hit_ratio, 0.0);
             assert!(!r.cache_updated);
         }
     }
 
     #[test]
+    fn analytical_records_carry_no_predictions() {
+        let mut e = engine(Variant::Sushi);
+        let qs = uniform_stream(&e.constraint_space(), 5, 9);
+        for r in e.serve_stream(&qs).unwrap() {
+            assert_eq!(r.prediction, None);
+        }
+    }
+
+    #[test]
     fn sushi_beats_no_sushi_on_mean_latency() {
-        let net = Arc::new(zoo::mobilenet_v3_supernet());
-        let picks = zoo::paper_subnets(&net);
         let mk = |v| {
-            build_stack(
-                v,
-                Arc::clone(&net),
-                picks.clone(),
-                &zcu104(),
-                Policy::StrictAccuracy,
-                10,
-                12,
-                42,
-            )
+            EngineBuilder::new().variant(v).q_window(10).candidates(12).seed(42).build().unwrap()
         };
         let mut no_sushi = mk(Variant::NoSushi);
         let mut sushi = mk(Variant::Sushi);
-        let qs = uniform_stream(&space(&sushi), 200, 5);
+        let qs = uniform_stream(&sushi.constraint_space(), 200, 5);
         let mean = |rs: &[ServedRecord]| {
             rs.iter().map(|r| r.served_latency_ms).sum::<f64>() / rs.len() as f64
         };
-        let base = mean(&no_sushi.serve_stream(&qs));
-        let ours = mean(&sushi.serve_stream(&qs));
+        let base = mean(&no_sushi.serve_stream(&qs).unwrap());
+        let ours = mean(&sushi.serve_stream(&qs).unwrap());
         assert!(ours < base, "SUSHI {ours} !< No-SUSHI {base}");
     }
 
     #[test]
     fn serve_stream_length_matches_queries() {
-        let mut s = stack(Variant::SushiNoSched);
-        let qs = uniform_stream(&space(&s), 17, 6);
-        assert_eq!(s.serve_stream(&qs).len(), 17);
+        let mut e = engine(Variant::SushiNoSched);
+        let qs = uniform_stream(&e.constraint_space(), 17, 6);
+        assert_eq!(e.serve_stream(&qs).unwrap().len(), 17);
     }
 }

@@ -7,16 +7,15 @@
 //!   the cache simply follows the most recently served SubNet instead of
 //!   the AvgNet distance rule.
 //! * **SUSHI** — the full co-design (Algorithm 1).
-
-use std::sync::Arc;
+//!
+//! Variants are assembled via [`crate::engine::EngineBuilder::variant`];
+//! this module keeps the variant taxonomy and the latency-table builder.
 
 use sushi_accel::exec::Accelerator;
 use sushi_accel::AccelConfig;
 use sushi_sched::candidates::build_candidate_set;
-use sushi_sched::{CacheSelection, LatencyTable, Policy};
+use sushi_sched::LatencyTable;
 use sushi_wsnet::{SubNet, SuperNet};
-
-use crate::stack::SushiStack;
 
 /// Serving-stack variant.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -60,31 +59,6 @@ pub fn build_table(
     };
     let probe = Accelerator::new(config.clone());
     LatencyTable::build(subnets, candidates, |sn, cached| probe.probe(net, sn, cached).latency_ms)
-}
-
-/// Assembles a full serving stack for a variant.
-///
-/// `q_window` is Algorithm 1's `Q`; `num_candidates` sizes the SushiAbs
-/// candidate set; `seed` controls candidate sampling.
-#[allow(clippy::too_many_arguments)]
-#[must_use]
-pub fn build_stack(
-    variant: Variant,
-    net: Arc<SuperNet>,
-    subnets: Vec<SubNet>,
-    base_config: &AccelConfig,
-    policy: Policy,
-    q_window: usize,
-    num_candidates: usize,
-    seed: u64,
-) -> SushiStack {
-    let (config, selection) = match variant {
-        Variant::NoSushi => (base_config.without_pb(), CacheSelection::Disabled),
-        Variant::SushiNoSched => (base_config.clone(), CacheSelection::FollowLast),
-        Variant::Sushi => (base_config.clone(), CacheSelection::MinDistanceToAvg),
-    };
-    let table = build_table(&net, &subnets, &config, num_candidates, seed);
-    SushiStack::new(net, subnets, table, config, policy, selection, q_window)
 }
 
 #[cfg(test)]
@@ -131,21 +105,17 @@ mod tests {
     }
 
     #[test]
-    fn build_stack_produces_all_variants() {
-        let net = Arc::new(zoo::mobilenet_v3_supernet());
-        let picks = zoo::paper_subnets(&net);
+    fn builder_produces_all_variants() {
+        let picks = zoo::paper_subnets(&zoo::mobilenet_v3_supernet());
         for v in [Variant::NoSushi, Variant::SushiNoSched, Variant::Sushi] {
-            let s = build_stack(
-                v,
-                Arc::clone(&net),
-                picks.clone(),
-                &zcu104(),
-                Policy::StrictAccuracy,
-                8,
-                6,
-                3,
-            );
-            assert_eq!(s.subnets().len(), picks.len());
+            let e = crate::engine::EngineBuilder::new()
+                .variant(v)
+                .q_window(8)
+                .candidates(6)
+                .seed(3)
+                .build()
+                .unwrap();
+            assert_eq!(e.subnets().len(), picks.len());
         }
     }
 }

@@ -12,34 +12,23 @@
 //! temporal locality *within* each phase.
 
 use std::collections::BTreeMap;
-use std::sync::Arc;
 
-use sushi::core::stream::{av_navigation_stream, ConstraintSpace, TerrainPhase};
-use sushi::core::variants::{build_stack, Variant};
+use sushi::core::engine::{EngineBuilder, ModelZoo};
+use sushi::core::stream::{av_navigation_stream, TerrainPhase};
 use sushi::sched::Policy;
-use sushi::wsnet::zoo;
 
 fn main() {
-    let net = Arc::new(zoo::resnet50_supernet());
-    let picks = zoo::paper_subnets(&net);
-    let config = sushi::accel::config::zcu104();
-
-    let mut stack = build_stack(
-        Variant::Sushi,
-        Arc::clone(&net),
-        picks,
-        &config,
+    let mut engine = EngineBuilder::new()
+        .zoo(ModelZoo::ResNet50)
         // Urban driving misses frames rather than deadlines: latency is hard.
-        Policy::StrictLatency,
-        8,
-        12,
-        42,
-    );
+        .policy(Policy::StrictLatency)
+        .q_window(8)
+        .candidates(12)
+        .seed(42)
+        .build()
+        .expect("AV engine");
 
-    let accs: Vec<f64> = stack.subnets().iter().map(|p| p.accuracy).collect();
-    let lats: Vec<f64> =
-        (0..stack.subnets().len()).map(|i| stack.scheduler().table().latency_ms(i, 0)).collect();
-    let space = ConstraintSpace::from_serving_set(&accs, &lats);
+    let space = engine.constraint_space();
 
     // 400 frames alternating phases every 50 frames.
     let trace = av_navigation_stream(&space, 400, 50, 11);
@@ -48,7 +37,7 @@ fn main() {
     let mut per_phase: BTreeMap<&str, Vec<(f64, f64, bool)>> = BTreeMap::new();
     let mut subnet_usage: BTreeMap<(String, String), usize> = BTreeMap::new();
     for (phase, query) in &trace {
-        let r = stack.serve(query);
+        let r = engine.serve(query).expect("analytical serve");
         let name = match phase {
             TerrainPhase::SparseSuburban => "suburban",
             TerrainPhase::DenseUrban => "urban",

@@ -11,34 +11,23 @@
 //! variants on the same bursty trace and report burst-window SLO
 //! attainment — where the PB + state-aware scheduling matter most.
 
-use std::sync::Arc;
-
+use sushi::core::engine::EngineBuilder;
 use sushi::core::metrics::summarize;
-use sushi::core::stream::{icu_burst_stream, ConstraintSpace};
-use sushi::core::variants::{build_stack, Variant};
+use sushi::core::stream::icu_burst_stream;
+use sushi::core::Variant;
 use sushi::sched::{Policy, Query};
-use sushi::wsnet::zoo;
 
 fn main() {
-    let net = Arc::new(zoo::mobilenet_v3_supernet());
-    let picks = zoo::paper_subnets(&net);
-    let config = sushi::accel::config::zcu104();
-
-    // Constraint space from the serving set.
-    let probe = build_stack(
-        Variant::NoSushi,
-        Arc::clone(&net),
-        picks.clone(),
-        &config,
-        Policy::StrictAccuracy,
-        10,
-        0,
-        42,
-    );
-    let accs: Vec<f64> = probe.subnets().iter().map(|p| p.accuracy).collect();
-    let lats: Vec<f64> =
-        (0..probe.subnets().len()).map(|i| probe.scheduler().table().latency_ms(i, 0)).collect();
-    let space = ConstraintSpace::from_serving_set(&accs, &lats);
+    // Constraint space from the serving set (a candidate-free PB-less
+    // probe, as the comparison baseline sees it).
+    let probe = EngineBuilder::new()
+        .variant(Variant::NoSushi)
+        .q_window(10)
+        .candidates(0)
+        .seed(42)
+        .build()
+        .expect("probe engine");
+    let space = probe.constraint_space();
 
     // 600 queries; a 12-query burst every 40 queries.
     let trace = icu_burst_stream(&space, 600, 40, 12, 99);
@@ -55,17 +44,15 @@ fn main() {
         "variant", "latency(ms)", "accuracy(%)", "SLO all", "SLO in-burst"
     );
     for variant in [Variant::NoSushi, Variant::SushiNoSched, Variant::Sushi] {
-        let mut stack = build_stack(
-            variant,
-            Arc::clone(&net),
-            picks.clone(),
-            &config,
-            Policy::StrictLatency,
-            10,
-            12,
-            42,
-        );
-        let records = stack.serve_stream(&queries);
+        let mut engine = EngineBuilder::new()
+            .variant(variant)
+            .policy(Policy::StrictLatency)
+            .q_window(10)
+            .candidates(12)
+            .seed(42)
+            .build()
+            .expect("ICU engine");
+        let records = engine.serve_stream(&queries).expect("analytical serve");
         let all = summarize(&records);
         let burst_records: Vec<_> =
             records.iter().zip(&burst_mask).filter(|(_, &b)| b).map(|(r, _)| r.clone()).collect();

@@ -9,20 +9,25 @@
 //! ZCU104-class accelerator, and serves 200 random `(accuracy, latency)`
 //! constrained queries — printing how SubGraph-Stationary caching warms up.
 
-use std::sync::Arc;
-
+use sushi::core::engine::EngineBuilder;
 use sushi::core::metrics::summarize;
-use sushi::core::stream::{uniform_stream, ConstraintSpace};
-use sushi::core::variants::{build_stack, Variant};
-use sushi::sched::Policy;
-use sushi::wsnet::zoo;
+use sushi::core::stream::uniform_stream;
 
 fn main() {
-    // 1. The weight-shared SuperNet and its serving SubNets (§2.1).
-    let net = Arc::new(zoo::mobilenet_v3_supernet());
-    let picks = zoo::paper_subnets(&net);
+    // 1. The vertically integrated stack (§3.1): MobileNetV3 with the
+    //    paper's seven Pareto SubNets on a ZCU104-class config — the
+    //    builder's defaults, with the knobs spelled out.
+    let mut engine = EngineBuilder::new()
+        .q_window(10) // cache window Q
+        .candidates(12) // SubGraph candidates in SushiAbs
+        .seed(42)
+        .build()
+        .expect("paper-default engine");
+
+    // 2. The weight-shared SuperNet and its serving SubNets (§2.1).
+    let net = engine.net();
     println!("SuperNet: {} ({} conv layers)", net.name, net.num_layers());
-    for p in &picks {
+    for p in engine.subnets() {
         println!(
             "  SubNet {}: {:5.2} MB, {:4.2} GFLOPs, top-1 {:.2}%",
             p.name,
@@ -31,34 +36,18 @@ fn main() {
             p.accuracy_pct()
         );
     }
-    let shared = net.shared_subgraph(&picks);
+    let shared = net.shared_subgraph(engine.subnets());
     println!(
         "  shared weights across all picks: {:.2} MB (the SGS opportunity)\n",
         net.subgraph_weight_bytes(&shared) as f64 / 1e6
     );
 
-    // 2. The vertically integrated stack (§3.1) on a ZCU104-class config.
-    let config = sushi::accel::config::zcu104();
-    let mut stack = build_stack(
-        Variant::Sushi,
-        Arc::clone(&net),
-        picks,
-        &config,
-        Policy::StrictAccuracy,
-        10, // cache window Q
-        12, // SubGraph candidates in SushiAbs
-        42,
-    );
-
     // 3. A stream of 200 random constrained queries (§5.6).
-    let accs: Vec<f64> = stack.subnets().iter().map(|p| p.accuracy).collect();
-    let lats: Vec<f64> =
-        (0..stack.subnets().len()).map(|i| stack.scheduler().table().latency_ms(i, 0)).collect();
-    let space = ConstraintSpace::from_serving_set(&accs, &lats);
+    let space = engine.constraint_space();
     let queries = uniform_stream(&space, 200, 7);
 
     println!("serving {} queries (strict-accuracy policy) ...", queries.len());
-    let records = stack.serve_stream(&queries);
+    let records = engine.serve_stream(&queries).expect("analytical serve");
     for r in records.iter().take(12) {
         println!(
             "  q{:<3} wants acc>={:.2}%  ->  served {} ({:.2}%) in {:5.2} ms  [PB hit {:4.1}%{}]",

@@ -7,30 +7,23 @@
 //! Part 1 replays the `multi_tenant` preset — an autonomous-vehicle tenant
 //! (steady Poisson traffic) sharing the stack with an ICU tenant (MMPP
 //! admission waves) — and reports tail latency, goodput and SLO violations
-//! per tenant. Part 2 re-runs a small bursty scenario on the toy zoo with a
-//! [`FunctionalContext`] attached, so every dispatched batch executes the
-//! *real* int8 datapath ([`sushi::accel::functional::forward_batch`])
-//! under the chosen kernel policy — demonstrating that batching changes
-//! scheduling, never logits.
+//! per tenant. Part 2 re-runs a small bursty scenario on the toy zoo with
+//! the **functional** execution backend, so every dispatched batch executes
+//! the *real* int8 datapath under the chosen kernel policy — demonstrating
+//! that batching changes scheduling, never logits.
 
 use std::sync::Arc;
 
-use sushi::accel::dpe::DpeArray;
+use sushi::core::engine::{BackendKind, EngineBuilder, FunctionalOptions};
 use sushi::core::experiments::ExpOptions;
-use sushi::core::serving::{
-    run_scenario, ArrivalProcess, BatchPolicy, DropPolicy, FunctionalContext, ServePreset,
-    ServingSim, SimConfig,
-};
-use sushi::core::stream::{attach_arrivals, uniform_stream, ConstraintSpace};
-use sushi::core::variants::build_table;
-use sushi::sched::{CacheSelection, Policy};
-use sushi::tensor::KernelPolicy;
+use sushi::core::serving::{run_scenario, ArrivalProcess, BatchPolicy, DropPolicy, ServePreset};
+use sushi::core::stream::{attach_arrivals, uniform_stream};
 use sushi::wsnet::zoo;
 
 fn main() {
     // ── Part 1: the multi-tenant preset on MobileNetV3 / ZCU104 ─────────
     let opts = ExpOptions::default();
-    let result = run_scenario(ServePreset::MultiTenant, &opts);
+    let result = run_scenario(ServePreset::MultiTenant, &opts).expect("preset scenario");
     let total = result.summary();
     println!(
         "multi_tenant preset: {} offered, {} served in {} batches, {} dropped, \
@@ -70,13 +63,23 @@ fn main() {
         let mut s = sushi::wsnet::sampler::ConfigSampler::new(&net, 5);
         s.sample_subnets(4)
     };
-    let board = sushi::accel::config::zcu104();
-    let table = build_table(&net, &picks, &board, 4, 42);
-    let accs: Vec<f64> = picks.iter().map(|p| p.accuracy).collect();
-    let lats: Vec<f64> = (0..table.num_rows()).map(|i| table.latency_ms(i, 0)).collect();
+    let mut engine = EngineBuilder::new()
+        .workload(Arc::clone(&net), picks)
+        .q_window(4)
+        .candidates(4)
+        .seed(42)
+        .backend(BackendKind::Functional)
+        .functional_options(FunctionalOptions::default().with_dpe(8, 8).with_seed(99))
+        .workers(1) // the functional backend keeps one pack-once weight cache
+        .queue_capacity(16)
+        .drop_policy(DropPolicy::DeadlineAware)
+        .batch_policy(BatchPolicy::new(4, 0.05))
+        .build()
+        .expect("functional toy engine");
+
     // Toy SubNets serve in ~0.05 ms; give end-to-end deadlines room for
     // queueing and batching delay (cf. the preset scenarios).
-    let mut space = ConstraintSpace::from_serving_set(&accs, &lats);
+    let mut space = engine.constraint_space();
     space.lat_lo *= 4.0;
     space.lat_hi *= 8.0;
 
@@ -90,27 +93,9 @@ fn main() {
     }
     .timestamps(n, 7);
     let stream = attach_arrivals(&queries, &arrivals);
+    let run = engine.serve_timed(&stream).expect("functional serve");
 
-    let dpe = DpeArray::new(8, 8).with_policy(KernelPolicy::Auto);
-    let mut sim = ServingSim::new(
-        Arc::clone(&net),
-        picks,
-        table,
-        &board,
-        Policy::StrictAccuracy,
-        CacheSelection::MinDistanceToAvg,
-        4,
-        SimConfig {
-            workers: 2,
-            queue_capacity: 16,
-            drop_policy: DropPolicy::DeadlineAware,
-            batch: BatchPolicy::new(4, 0.05),
-        },
-    )
-    .with_functional(FunctionalContext::new(dpe, &net, 99));
-    let run = sim.run(&stream);
-
-    println!("functional mode (toy zoo): every batch ran the real int8 datapath");
+    println!("functional backend (toy zoo): every batch ran the real int8 datapath");
     for q in run.served.iter().take(8) {
         println!(
             "  query {:>2}  batch of {}  SubNet row {}  latency {:>7.3} ms  prediction {}",

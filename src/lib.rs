@@ -16,22 +16,19 @@
 //! # Quickstart
 //!
 //! ```
-//! use std::sync::Arc;
-//! use sushi::core::variants::{build_stack, Variant};
+//! use sushi::core::engine::EngineBuilder;
 //! use sushi::core::stream::{uniform_stream, ConstraintSpace};
-//! use sushi::sched::Policy;
-//! use sushi::wsnet::zoo;
 //!
-//! let net = Arc::new(zoo::mobilenet_v3_supernet());
-//! let picks = zoo::paper_subnets(&net);
-//! let mut stack = build_stack(
-//!     Variant::Sushi, Arc::clone(&net), picks,
-//!     &sushi::accel::config::zcu104(), Policy::StrictAccuracy, 10, 8, 42,
-//! );
+//! let mut engine = EngineBuilder::new()
+//!     .q_window(10) // cache window Q
+//!     .candidates(8) // SubGraph candidates
+//!     .seed(42)
+//!     .build()?;
 //! let space = ConstraintSpace { acc_lo: 0.76, acc_hi: 0.79, lat_lo: 2.0, lat_hi: 30.0 };
-//! for record in stack.serve_stream(&uniform_stream(&space, 20, 1)) {
+//! for record in engine.serve_stream(&uniform_stream(&space, 20, 1))? {
 //!     assert!(record.served_accuracy >= record.query.accuracy_constraint);
 //! }
+//! # Ok::<(), sushi::core::SushiError>(())
 //! ```
 //!
 //! Regenerate every paper table/figure:

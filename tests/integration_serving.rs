@@ -1,18 +1,13 @@
 //! Cross-crate integration tests for the serving runtime: arrival
 //! processes → admission queue → scheduler → batched executor pool, end to
-//! end through the `sushi` facade.
+//! end through the `sushi` facade and the unified `Engine` API.
 
 use std::sync::Arc;
 
-use sushi::accel::dpe::DpeArray;
+use sushi::core::engine::{BackendKind, EngineBuilder, FunctionalOptions};
 use sushi::core::experiments::{run, ExpOptions};
-use sushi::core::serving::{
-    run_scenario, ArrivalProcess, BatchPolicy, DropPolicy, FunctionalContext, ServePreset,
-    ServingSim, SimConfig,
-};
-use sushi::core::stream::{attach_arrivals, uniform_stream, ConstraintSpace};
-use sushi::core::variants::build_table;
-use sushi::sched::{CacheSelection, Policy};
+use sushi::core::serving::{run_scenario, ArrivalProcess, BatchPolicy, DropPolicy, ServePreset};
+use sushi::core::stream::{attach_arrivals, uniform_stream};
 use sushi::tensor::KernelPolicy;
 use sushi::wsnet::zoo;
 
@@ -29,7 +24,7 @@ fn serve_experiment_is_deterministic_end_to_end() {
 fn preset_summaries_are_internally_consistent() {
     let opts = ExpOptions::quick();
     for preset in ServePreset::ALL {
-        let result = run_scenario(preset, &opts);
+        let result = run_scenario(preset, &opts).expect("preset scenario");
         let s = result.summary();
         assert_eq!(s.offered, opts.queries, "{}", preset.name());
         assert_eq!(s.offered, s.completed + s.dropped);
@@ -47,11 +42,33 @@ fn preset_summaries_are_internally_consistent() {
 #[test]
 fn burst_preset_sheds_load_steady_does_not() {
     let opts = ExpOptions::quick();
-    let steady = run_scenario(ServePreset::Steady, &opts).summary();
-    let burst = run_scenario(ServePreset::Burst, &opts).summary();
+    let steady = run_scenario(ServePreset::Steady, &opts).unwrap().summary();
+    let burst = run_scenario(ServePreset::Burst, &opts).unwrap().summary();
     assert_eq!(steady.dropped, 0, "steady load must not overflow the queue");
     assert!(burst.dropped > 0, "burst load must exercise the drop path");
     assert!(burst.p99_ms > steady.p99_ms);
+}
+
+#[test]
+fn worker_override_changes_service_capacity() {
+    let mut wide = ExpOptions::quick();
+    wide.workers = Some(4);
+    let base = run_scenario(ServePreset::Burst, &ExpOptions::quick()).unwrap().summary();
+    let wider = run_scenario(ServePreset::Burst, &wide).unwrap().summary();
+    assert!(
+        wider.p99_ms <= base.p99_ms,
+        "doubling workers must not worsen the tail: {} vs {}",
+        wider.p99_ms,
+        base.p99_ms
+    );
+}
+
+#[test]
+fn functional_backend_with_preset_workers_is_rejected() {
+    let mut opts = ExpOptions::quick();
+    opts.backend = BackendKind::Functional; // presets run 2 workers
+    let err = run_scenario(ServePreset::Steady, &opts).unwrap_err();
+    assert!(matches!(err, sushi::core::SushiError::Config(_)), "{err}");
 }
 
 #[test]
@@ -61,41 +78,34 @@ fn functional_serving_runs_real_forwards_through_the_facade() {
         let mut s = sushi::wsnet::sampler::ConfigSampler::new(&net, 3);
         s.sample_subnets(3)
     };
-    let board = sushi::accel::config::zcu104();
-    let table = build_table(&net, &picks, &board, 3, 11);
-    let accs: Vec<f64> = picks.iter().map(|p| p.accuracy).collect();
-    let lats: Vec<f64> = (0..table.num_rows()).map(|i| table.latency_ms(i, 0)).collect();
-    let mut space = ConstraintSpace::from_serving_set(&accs, &lats);
-    space.lat_lo *= 4.0;
-    space.lat_hi *= 10.0;
 
     let n = 12;
-    let queries = uniform_stream(&space, n, 5);
-    let arrivals = ArrivalProcess::Poisson { rate_qps: 20_000.0 }.timestamps(n, 5);
-    let stream = attach_arrivals(&queries, &arrivals);
-
     let build = |policy: KernelPolicy| {
-        let mut sim = ServingSim::new(
-            Arc::clone(&net),
-            picks.clone(),
-            build_table(&net, &picks, &board, 3, 11),
-            &board,
-            Policy::StrictAccuracy,
-            CacheSelection::MinDistanceToAvg,
-            4,
-            SimConfig {
-                workers: 2,
-                queue_capacity: 16,
-                drop_policy: DropPolicy::DropNewest,
-                batch: BatchPolicy::new(3, 0.1),
-            },
-        )
-        .with_functional(FunctionalContext::new(
-            DpeArray::new(4, 4).with_policy(policy),
-            &net,
-            42,
-        ));
-        sim.run(&stream)
+        let mut engine = EngineBuilder::new()
+            .workload(Arc::clone(&net), picks.clone())
+            .q_window(4)
+            .candidates(3)
+            .seed(11)
+            .backend(BackendKind::Functional)
+            .functional_options(
+                FunctionalOptions::default()
+                    .with_dpe(4, 4)
+                    .with_kernel_policy(policy)
+                    .with_seed(42),
+            )
+            .workers(1)
+            .queue_capacity(16)
+            .drop_policy(DropPolicy::DropNewest)
+            .batch_policy(BatchPolicy::new(3, 0.1))
+            .build()
+            .expect("functional toy engine");
+        let mut space = engine.constraint_space();
+        space.lat_lo *= 4.0;
+        space.lat_hi *= 10.0;
+        let queries = uniform_stream(&space, n, 5);
+        let arrivals = ArrivalProcess::Poisson { rate_qps: 20_000.0 }.timestamps(n, 5);
+        let stream = attach_arrivals(&queries, &arrivals);
+        engine.serve_timed(&stream).expect("functional serve")
     };
     let naive = build(KernelPolicy::Naive);
     assert!(!naive.served.is_empty());

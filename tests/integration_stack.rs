@@ -1,34 +1,33 @@
 //! Cross-crate integration tests: the full SushiSched → SushiAbs →
-//! SushiAccel pipeline over real zoo SuperNets.
-
-use std::sync::Arc;
+//! SushiAccel pipeline over real zoo SuperNets, assembled through the
+//! unified `Engine` API.
 
 use sushi::accel::config::zcu104;
 use sushi::accel::exec::Accelerator;
+use sushi::core::engine::{Engine, EngineBuilder, ModelZoo};
 use sushi::core::metrics::summarize;
-use sushi::core::stream::{uniform_stream, ConstraintSpace};
-use sushi::core::variants::{build_stack, build_table, Variant};
+use sushi::core::stream::uniform_stream;
+use sushi::core::Variant;
 use sushi::sched::Policy;
 use sushi::wsnet::zoo;
 
-fn space_for(stack: &sushi::core::SushiStack) -> ConstraintSpace {
-    let accs: Vec<f64> = stack.subnets().iter().map(|p| p.accuracy).collect();
-    let lats: Vec<f64> =
-        (0..stack.subnets().len()).map(|i| stack.scheduler().table().latency_ms(i, 0)).collect();
-    ConstraintSpace::from_serving_set(&accs, &lats)
-}
-
-fn mobv3_stack(variant: Variant, policy: Policy) -> sushi::core::SushiStack {
-    let net = Arc::new(zoo::mobilenet_v3_supernet());
-    let picks = zoo::paper_subnets(&net);
-    build_stack(variant, net, picks, &zcu104(), policy, 10, 10, 123)
+fn mobv3_engine(variant: Variant, policy: Policy) -> Engine {
+    EngineBuilder::new()
+        .zoo(ModelZoo::MobileNetV3)
+        .variant(variant)
+        .policy(policy)
+        .q_window(10)
+        .candidates(10)
+        .seed(123)
+        .build()
+        .expect("valid engine configuration")
 }
 
 #[test]
 fn end_to_end_strict_accuracy_never_violated() {
-    let mut stack = mobv3_stack(Variant::Sushi, Policy::StrictAccuracy);
-    let queries = uniform_stream(&space_for(&stack), 250, 9);
-    for r in stack.serve_stream(&queries) {
+    let mut engine = mobv3_engine(Variant::Sushi, Policy::StrictAccuracy);
+    let queries = uniform_stream(&engine.constraint_space(), 250, 9);
+    for r in engine.serve_stream(&queries).unwrap() {
         assert!(
             r.served_accuracy + 1e-12 >= r.query.accuracy_constraint,
             "q{} accuracy violated",
@@ -40,9 +39,9 @@ fn end_to_end_strict_accuracy_never_violated() {
 #[test]
 fn end_to_end_pipeline_is_deterministic() {
     let run = || {
-        let mut stack = mobv3_stack(Variant::Sushi, Policy::StrictLatency);
-        let queries = uniform_stream(&space_for(&stack), 120, 5);
-        stack.serve_stream(&queries)
+        let mut engine = mobv3_engine(Variant::Sushi, Policy::StrictLatency);
+        let queries = uniform_stream(&engine.constraint_space(), 120, 5);
+        engine.serve_stream(&queries).unwrap()
     };
     assert_eq!(run(), run(), "whole pipeline must be reproducible");
 }
@@ -51,30 +50,24 @@ fn end_to_end_pipeline_is_deterministic() {
 fn variant_ordering_holds_on_both_workloads() {
     // SUSHI <= SUSHI w/o Sched <= No-SUSHI (small tolerance for the
     // state-unaware comparison, which can tie).
-    for (net, q) in [
-        (Arc::new(zoo::resnet50_supernet()), 8usize),
-        (Arc::new(zoo::mobilenet_v3_supernet()), 10usize),
-    ] {
-        let picks = zoo::paper_subnets(&net);
+    for (model, q) in [(ModelZoo::ResNet50, 8usize), (ModelZoo::MobileNetV3, 10usize)] {
         let mean = |variant| {
-            let mut stack = build_stack(
-                variant,
-                Arc::clone(&net),
-                picks.clone(),
-                &zcu104(),
-                Policy::StrictAccuracy,
-                q,
-                10,
-                7,
-            );
-            let queries = uniform_stream(&space_for(&stack), 300, 11);
-            summarize(&stack.serve_stream(&queries)).mean_latency_ms
+            let mut engine = EngineBuilder::new()
+                .zoo(model)
+                .variant(variant)
+                .q_window(q)
+                .candidates(10)
+                .seed(7)
+                .build()
+                .unwrap();
+            let queries = uniform_stream(&engine.constraint_space(), 300, 11);
+            summarize(&engine.serve_stream(&queries).unwrap()).mean_latency_ms
         };
         let no_sushi = mean(Variant::NoSushi);
         let no_sched = mean(Variant::SushiNoSched);
         let full = mean(Variant::Sushi);
-        assert!(full < no_sushi, "{}: SUSHI {full} !< No-SUSHI {no_sushi}", net.name);
-        assert!(full <= no_sched * 1.01, "{}: SUSHI {full} !<= state-unaware {no_sched}", net.name);
+        assert!(full < no_sushi, "{model:?}: SUSHI {full} !< No-SUSHI {no_sushi}");
+        assert!(full <= no_sched * 1.01, "{model:?}: SUSHI {full} !<= state-unaware {no_sched}");
     }
 }
 
@@ -83,10 +76,12 @@ fn table_predictions_match_accelerator_measurements() {
     // SushiAbs contract: the table's latency estimate for (SubNet, cached
     // SubGraph) equals what the accelerator actually delivers in steady
     // state with that SubGraph installed.
+    let config = zcu104();
+    let engine =
+        EngineBuilder::new().zoo(ModelZoo::ResNet50).candidates(6).seed(3).build().unwrap();
     let net = zoo::resnet50_supernet();
     let picks = zoo::paper_subnets(&net);
-    let config = zcu104();
-    let table = build_table(&net, &picks, &config, 6, 3);
+    let table = engine.table();
     let mut accel = Accelerator::new(config);
     for j in 1..table.num_columns().min(4) {
         accel.install_cache(&net, table.column(j).graph.clone());
@@ -107,21 +102,16 @@ fn scheduler_is_hardware_agnostic_across_boards() {
     // The same Scheduler type drives tables built from *different*
     // accelerators — the SushiAbs decoupling claim. Selection quality holds
     // on both: hard accuracy constraints are met everywhere.
-    let net = Arc::new(zoo::mobilenet_v3_supernet());
-    let picks = zoo::paper_subnets(&net);
     for config in [zcu104(), sushi::accel::config::alveo_u50()] {
-        let mut stack = build_stack(
-            Variant::Sushi,
-            Arc::clone(&net),
-            picks.clone(),
-            &config,
-            Policy::StrictAccuracy,
-            10,
-            8,
-            21,
-        );
-        let queries = uniform_stream(&space_for(&stack), 100, 13);
-        let records = stack.serve_stream(&queries);
+        let mut engine = EngineBuilder::new()
+            .accel_config(config)
+            .q_window(10)
+            .candidates(8)
+            .seed(21)
+            .build()
+            .unwrap();
+        let queries = uniform_stream(&engine.constraint_space(), 100, 13);
+        let records = engine.serve_stream(&queries).unwrap();
         assert!(records.iter().all(|r| r.served_accuracy >= r.query.accuracy_constraint));
     }
 }
@@ -131,16 +121,15 @@ fn cache_hit_ratio_reaches_papers_regime() {
     // Appendix A.4 reports 66% (ResNet50) / 78% (MobV3). Our PB covers a
     // smaller byte fraction, but the vector-norm hit metric should still
     // be substantial and ordered MobV3 > ResNet50.
-    let ratio = |net: Arc<sushi::wsnet::SuperNet>, q: usize| {
-        let picks = zoo::paper_subnets(&net);
-        let mut stack =
-            build_stack(Variant::Sushi, net, picks, &zcu104(), Policy::StrictAccuracy, q, 10, 17);
-        let queries = uniform_stream(&space_for(&stack), 300, 23);
-        let records = stack.serve_stream(&queries);
+    let ratio = |model: ModelZoo, q: usize| {
+        let mut engine =
+            EngineBuilder::new().zoo(model).q_window(q).candidates(10).seed(17).build().unwrap();
+        let queries = uniform_stream(&engine.constraint_space(), 300, 23);
+        let records = engine.serve_stream(&queries).unwrap();
         summarize(&records[q..]).mean_hit_ratio
     };
-    let r50 = ratio(Arc::new(zoo::resnet50_supernet()), 8);
-    let mob = ratio(Arc::new(zoo::mobilenet_v3_supernet()), 10);
+    let r50 = ratio(ModelZoo::ResNet50, 8);
+    let mob = ratio(ModelZoo::MobileNetV3, 10);
     assert!(r50 > 0.25, "ResNet50 hit ratio {r50}");
     assert!(mob > r50, "MobV3 {mob} should exceed ResNet50 {r50}");
 }
@@ -148,9 +137,9 @@ fn cache_hit_ratio_reaches_papers_regime() {
 #[test]
 fn accuracy_band_of_serving_matches_paper_figures() {
     // Fig. 15/16 y-axes: served accuracy lives in the 75–80% band.
-    let mut stack = mobv3_stack(Variant::Sushi, Policy::StrictLatency);
-    let queries = uniform_stream(&space_for(&stack), 150, 31);
-    let records = stack.serve_stream(&queries);
+    let mut engine = mobv3_engine(Variant::Sushi, Policy::StrictLatency);
+    let queries = uniform_stream(&engine.constraint_space(), 150, 31);
+    let records = engine.serve_stream(&queries).unwrap();
     for r in &records {
         assert!(
             (0.75..=0.805).contains(&r.served_accuracy),
@@ -162,11 +151,11 @@ fn accuracy_band_of_serving_matches_paper_figures() {
 
 #[test]
 fn energy_decreases_when_caching_is_enabled() {
-    let mut no_pb = mobv3_stack(Variant::NoSushi, Policy::StrictAccuracy);
-    let mut with_pb = mobv3_stack(Variant::Sushi, Policy::StrictAccuracy);
-    let queries = uniform_stream(&space_for(&with_pb), 200, 37);
-    let base = summarize(&no_pb.serve_stream(&queries));
-    let ours = summarize(&with_pb.serve_stream(&queries));
+    let mut no_pb = mobv3_engine(Variant::NoSushi, Policy::StrictAccuracy);
+    let mut with_pb = mobv3_engine(Variant::Sushi, Policy::StrictAccuracy);
+    let queries = uniform_stream(&with_pb.constraint_space(), 200, 37);
+    let base = summarize(&no_pb.serve_stream(&queries).unwrap());
+    let ours = summarize(&with_pb.serve_stream(&queries).unwrap());
     assert!(
         ours.total_offchip_mj < base.total_offchip_mj,
         "off-chip energy {} !< {}",

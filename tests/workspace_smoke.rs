@@ -3,31 +3,23 @@
 //! construction, stream serving, and the per-record guarantees) cannot
 //! silently drift from the documented entry point.
 
-use std::sync::Arc;
-
+use sushi::core::engine::EngineBuilder;
 use sushi::core::stream::{uniform_stream, ConstraintSpace};
-use sushi::core::variants::{build_stack, Variant};
 use sushi::sched::Policy;
 use sushi::wsnet::zoo;
 
 #[test]
 fn quickstart_serves_20_queries_within_constraints() {
-    let net = Arc::new(zoo::mobilenet_v3_supernet());
-    let picks = zoo::paper_subnets(&net);
-    let mut stack = build_stack(
-        Variant::Sushi,
-        Arc::clone(&net),
-        picks,
-        &sushi::accel::config::zcu104(),
-        Policy::StrictAccuracy,
-        10, // cache re-decision window Q
-        8,  // SubGraph candidate set size
-        42, // stream seed
-    );
+    let mut engine = EngineBuilder::new()
+        .q_window(10) // cache re-decision window Q
+        .candidates(8) // SubGraph candidate set size
+        .seed(42) // stream seed
+        .build()
+        .expect("paper-default engine builds");
 
     let space = ConstraintSpace { acc_lo: 0.76, acc_hi: 0.79, lat_lo: 2.0, lat_hi: 30.0 };
     let stream = uniform_stream(&space, 20, 1);
-    let records = stack.serve_stream(&stream);
+    let records = engine.serve_stream(&stream).expect("analytical serve");
 
     assert_eq!(records.len(), 20, "every query must produce a record");
     for record in &records {
@@ -55,5 +47,6 @@ fn facade_reexports_resolve_the_whole_stack() {
     let cfg = sushi::accel::config::zcu104();
     let _a = sushi::accel::exec::Accelerator::new(cfg);
     let _p: Policy = Policy::StrictAccuracy;
+    let _b = sushi::core::BackendKind::Analytical;
     assert!(net.num_layers() > 0);
 }

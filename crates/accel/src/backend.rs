@@ -82,6 +82,19 @@ pub struct Execution {
     pub outputs: Option<Vec<FunctionalOutput>>,
 }
 
+/// Execution-state memory footprint of a backend: the pack-once weight
+/// caches plus reusable kernel scratch. The serving soak tests assert this
+/// stays bounded over long runs (steady state allocates nothing per query).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemoryStats {
+    /// Bytes the kernel-scratch [`Arena`] has reserved (high-water mark of
+    /// one batch, reused by all later batches).
+    pub arena_reserved_bytes: usize,
+    /// SubNets whose weights have been sliced and panel-packed (each at
+    /// most once, on first dispatch — bounded by the serving-set size).
+    pub packed_subnets: usize,
+}
+
 /// How a dispatched batch of same-SubNet queries is executed.
 ///
 /// The caller owns the [`Accelerator`] (one replica per serving worker, so
@@ -107,6 +120,12 @@ pub trait ExecutionBackend: fmt::Debug {
         subnet: &SubNet,
         query_ids: &[u64],
     ) -> Result<Execution, BackendError>;
+
+    /// Memory held as execution state across batches (`None` for stateless
+    /// backends like [`Analytical`]).
+    fn memory_stats(&self) -> Option<MemoryStats> {
+        None
+    }
 }
 
 /// Checks the invariants shared by every backend before touching the
@@ -233,6 +252,13 @@ impl ExecutionBackend for Functional {
             outputs: Some(outputs),
         })
     }
+
+    fn memory_stats(&self) -> Option<MemoryStats> {
+        Some(MemoryStats {
+            arena_reserved_bytes: self.arena.reserved_bytes(),
+            packed_subnets: self.caches.len(),
+        })
+    }
 }
 
 #[cfg(test)]
@@ -307,6 +333,24 @@ mod tests {
             .unwrap();
             assert_eq!(&single, out);
         }
+    }
+
+    #[test]
+    fn memory_stats_are_bounded_and_absent_for_analytical() {
+        let (net, picks) = toy_setup();
+        assert_eq!(Analytical.memory_stats(), None);
+        let mut accel = Accelerator::new(zcu104());
+        let mut backend = Functional::new(DpeArray::new(4, 4), &net, 3);
+        assert_eq!(backend.memory_stats(), Some(MemoryStats::default()));
+        let _ = backend.execute_batch(&mut accel, &net, &picks[0], &[0, 1]).unwrap();
+        let after_first = backend.memory_stats().unwrap();
+        assert!(after_first.arena_reserved_bytes > 0);
+        assert_eq!(after_first.packed_subnets, 1);
+        // Steady state: re-dispatching the same SubNet grows nothing.
+        for _ in 0..4 {
+            let _ = backend.execute_batch(&mut accel, &net, &picks[0], &[2, 3]).unwrap();
+        }
+        assert_eq!(backend.memory_stats(), Some(after_first));
     }
 
     #[test]

@@ -8,12 +8,16 @@
 //! repro -- kernels --kernel-policy gemm # pin the functional kernel backend
 //! repro -- --serve                      # the serving runtime presets
 //! repro -- --serve --workers 4          # override the preset worker pools
+//! repro -- --serve --no-adaptive        # static scheduling (pre-adaptive)
 //! repro -- --serve --backend functional --workers 1
 //! ```
 //!
 //! `--serve` is shorthand for the `serve` experiment id: it runs the
-//! steady / burst / diurnal / multi-tenant traffic presets through the
-//! event-driven serving runtime (deterministic: same seed, same report).
+//! traffic presets (steady / burst / diurnal / multi-tenant / overload /
+//! deadline-mix / failover) through the event-driven serving runtime
+//! (deterministic: same seed, same report). Load-adaptive degradation is
+//! on by default; `--no-adaptive` pins the presets to the static
+//! pre-adaptive scheduling path bit-for-bit.
 //!
 //! `--backend analytical|functional` selects the serving runtime's
 //! execution backend (`EngineBuilder::backend`): `analytical` (default)
@@ -114,6 +118,9 @@ fn main() {
     opts.kernel_policy = kernel_policy;
     opts.backend = backend;
     opts.workers = workers;
+    // `--no-adaptive` pins the serving presets to static scheduling (the
+    // pre-adaptive runtime, bit-for-bit).
+    opts.adaptive = !args.iter().any(|a| a == "--no-adaptive");
 
     let selected: Vec<&str> = if ids.is_empty() || ids.iter().any(|i| i == "all") {
         ALL_IDS.to_vec()

@@ -1,5 +1,5 @@
-//! Deterministic serving-runtime baseline: measures the four traffic
-//! presets and gates/regenerates `BENCH_serve.json`.
+//! Deterministic serving-runtime baseline: measures the traffic presets
+//! and gates/regenerates `BENCH_serve.json`.
 //!
 //! ```text
 //! serve_bench                          # run presets, print summaries
@@ -7,28 +7,34 @@
 //! serve_bench --check BENCH_serve.json # fail on any metric drift
 //! serve_bench --out BENCH_serve.json   # (re)write the baseline
 //! serve_bench --workers 4              # override the preset worker pools
+//! serve_bench --no-adaptive            # static scheduling everywhere
 //! serve_bench --backend functional --workers 1
 //! ```
 //!
-//! `--backend` / `--workers` map onto `EngineBuilder::backend` /
-//! `EngineBuilder::workers`. The committed baseline records the default
-//! (analytical, preset workers) configuration, so overridden runs should
-//! not be combined with `--check`/`--out`.
+//! The default run records every preset with load-adaptive degradation
+//! enabled, plus a static (`adaptive: false`) companion row for each of
+//! the four original presets — those rows pin the pre-adaptive runtime
+//! bit-for-bit, so the baseline gates both the adaptive loop and the
+//! no-adaptation path. `--backend` / `--workers` / `--no-adaptive` map
+//! onto the engine knobs; the committed baseline records the default
+//! configuration, so overridden runs cannot be combined with
+//! `--check`/`--out`.
 //!
 //! Every recorded figure (p50/p95/p99, goodput, SLO-violation rate, drop
-//! count) is *simulated* — no wall clock — so the committed baseline is
-//! exact: the gate tolerance only absorbs the JSON decimal round-trip. Any
-//! real drift means serving semantics changed and must be acknowledged by
-//! rerunning with `--out` (via `scripts/bench_baseline.sh --update`).
-//! Wall-clock throughput of the simulator itself is tracked separately by
-//! the `serve_sim` criterion bench.
+//! and degrade/upgrade counts) is *simulated* — no wall clock — so the
+//! committed baseline is exact: the gate tolerance only absorbs the JSON
+//! decimal round-trip. Any real drift means serving semantics changed and
+//! must be acknowledged by rerunning with `--out` (via
+//! `scripts/bench_baseline.sh --update`). Wall-clock throughput of the
+//! simulator itself is tracked separately by the `serve_sim` criterion
+//! bench.
 
 use sushi_core::engine::BackendKind;
 use sushi_core::experiments::ExpOptions;
 use sushi_core::metrics::{
-    serve_bench_from_json, serve_bench_to_json, serve_regressions, ServeBenchEntry,
+    serve_bench_from_json, serve_bench_to_json, serve_regressions, ServeBenchEntry, ServeSummary,
 };
-use sushi_core::serving::run_all_presets;
+use sushi_core::serving::{run_all_presets, run_scenario, ServePreset};
 
 /// Relative tolerance for the drift gate: wide enough for the `%.6` JSON
 /// round-trip, far below any semantic change.
@@ -44,9 +50,24 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a String> {
     Some(args.get(pos + 1).unwrap_or_else(|| die(&format!("{flag} requires a value"))))
 }
 
+fn print_row(label: &str, s: &ServeSummary) {
+    println!(
+        "{label:<22} p50 {:>8.3} ms   p95 {:>8.3} ms   p99 {:>8.3} ms   goodput {:>7.1} q/s   SLO viol {:>6.2}%   dropped {:>3}   lvl\u{2193}{} \u{2191}{}",
+        s.p50_ms,
+        s.p95_ms,
+        s.p99_ms,
+        s.goodput_qps,
+        100.0 * s.slo_violation_rate,
+        s.dropped,
+        s.degrades,
+        s.upgrades
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let no_adaptive = args.iter().any(|a| a == "--no-adaptive");
     let out_path = flag_value(&args, "--out").cloned();
     let check_path = flag_value(&args, "--check").cloned();
     let backend = match flag_value(&args, "--backend") {
@@ -57,35 +78,43 @@ fn main() {
         .map(|v| v.parse::<usize>().unwrap_or_else(|_| die("--workers requires an integer")));
     // The committed baseline records the default configuration; an
     // overridden run must never gate against or rewrite it.
-    if (backend != BackendKind::Analytical || workers.is_some())
+    if (backend != BackendKind::Analytical || workers.is_some() || no_adaptive)
         && (out_path.is_some() || check_path.is_some())
     {
-        die("--backend/--workers overrides cannot be combined with --check/--out");
+        die("--backend/--workers/--no-adaptive overrides cannot be combined with --check/--out");
     }
 
     let mut opts = if quick { ExpOptions::quick() } else { ExpOptions::default() };
     opts.backend = backend;
     opts.workers = workers;
+    opts.adaptive = !no_adaptive;
     println!(
-        "serving presets, {} queries each, {} backend (simulated time — deterministic)\n",
-        opts.queries, opts.backend
+        "serving presets, {} queries each, {} backend, {} scheduling (simulated time — deterministic)\n",
+        opts.queries,
+        opts.backend,
+        if opts.adaptive { "adaptive" } else { "static" }
     );
-    let entries: Vec<ServeBenchEntry> = run_all_presets(&opts)
+    let mut entries: Vec<ServeBenchEntry> = run_all_presets(&opts)
         .unwrap_or_else(|e| die(&e.to_string()))
         .into_iter()
         .map(|(name, summary)| {
-            println!(
-                "{name:<14} p50 {:>8.3} ms   p95 {:>8.3} ms   p99 {:>8.3} ms   goodput {:>7.1} q/s   SLO viol {:>6.2}%   dropped {}",
-                summary.p50_ms,
-                summary.p95_ms,
-                summary.p99_ms,
-                summary.goodput_qps,
-                100.0 * summary.slo_violation_rate,
-                summary.dropped
-            );
-            ServeBenchEntry::from_summary(name, &summary)
+            print_row(name, &summary);
+            ServeBenchEntry::from_summary(name, opts.adaptive, &summary)
         })
         .collect();
+    if opts.adaptive {
+        // Static companion rows: the original presets with adaptation off,
+        // pinning the pre-adaptive runtime bit-for-bit.
+        let mut static_opts = opts;
+        static_opts.adaptive = false;
+        for preset in ServePreset::STATIC_PINNED {
+            let summary = run_scenario(preset, &static_opts)
+                .unwrap_or_else(|e| die(&e.to_string()))
+                .summary();
+            print_row(&format!("{} (static)", preset.name()), &summary);
+            entries.push(ServeBenchEntry::from_summary(preset.name(), false, &summary));
+        }
+    }
 
     let mut failed = false;
     if let Some(path) = &check_path {

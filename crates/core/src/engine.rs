@@ -38,7 +38,7 @@ use std::sync::Arc;
 use sushi_accel::backend::{Analytical, ExecutionBackend, Functional};
 use sushi_accel::dpe::DpeArray;
 use sushi_accel::AccelConfig;
-use sushi_sched::{CacheSelection, LatencyTable, Policy, Query};
+use sushi_sched::{AdaptiveOptions, CacheSelection, LatencyTable, Policy, Query};
 use sushi_tensor::KernelPolicy;
 use sushi_wsnet::{zoo, SubNet, SuperNet};
 
@@ -345,6 +345,16 @@ impl EngineBuilder {
         self
     }
 
+    /// Enables load-adaptive degradation for [`Engine::serve_timed`]: the
+    /// serving loop walks SubNet selection down the latency ladder under
+    /// pressure and back up when idle (see
+    /// [`sushi_sched::AdaptivePolicy`]). Without this knob the loop is
+    /// static and bit-identical to the pre-adaptive runtime.
+    pub fn adaptive(mut self, opts: AdaptiveOptions) -> Self {
+        self.sim.adaptive = Some(opts);
+        self
+    }
+
     /// Assembles the engine: loads the workload, derives the
     /// variant-adjusted accelerator configuration and cache-selection
     /// rule, builds (or adopts) the SushiAbs latency table, and
@@ -373,6 +383,11 @@ impl EngineBuilder {
         }
         if self.sim.queue_capacity == 0 {
             return Err(SushiError::Config("queue capacity must be at least 1".into()));
+        }
+        if let Some(opts) = &self.sim.adaptive {
+            if let Err(e) = opts.validate() {
+                return Err(SushiError::Config(e));
+            }
         }
         if self.sim.batch.max_batch == 0 {
             return Err(SushiError::Config("batch size must be at least 1".into()));
@@ -483,6 +498,15 @@ impl Engine {
     #[must_use]
     pub fn backend_name(&self) -> &'static str {
         self.backend.name()
+    }
+
+    /// Memory the execution backend holds across batches (packed panels +
+    /// kernel-scratch arena); `None` for the stateless analytical backend.
+    /// Soak tests assert this stays flat once every serving SubNet has
+    /// been packed.
+    #[must_use]
+    pub fn memory_stats(&self) -> Option<sushi_accel::MemoryStats> {
+        self.backend.memory_stats()
     }
 
     /// Derives the query-constraint space from the serving set's accuracy

@@ -39,6 +39,10 @@ pub struct ExpOptions {
     /// Worker-count override for the serving-runtime presets
     /// (`repro --workers N`; `None` keeps each preset's own sizing).
     pub workers: Option<usize>,
+    /// Whether the serving-runtime presets run with load-adaptive
+    /// degradation (`repro --no-adaptive` turns it off; the static path
+    /// stays bit-identical to the pre-adaptive runtime).
+    pub adaptive: bool,
 }
 
 impl Default for ExpOptions {
@@ -50,6 +54,7 @@ impl Default for ExpOptions {
             kernel_policy: KernelPolicy::Auto,
             backend: BackendKind::Analytical,
             workers: None,
+            adaptive: true,
         }
     }
 }

@@ -1,11 +1,14 @@
-//! `serve`: the event-driven serving runtime under the four traffic
-//! presets (steady / burst / diurnal / multi-tenant).
+//! `serve`: the event-driven serving runtime under the traffic presets
+//! (steady / burst / diurnal / multi-tenant / overload / deadline-mix /
+//! failover).
 //!
 //! Unlike the §5 replays, this experiment measures *systems* behavior —
-//! queueing, batching, drops, tail latency — on simulated time, so the
-//! whole report is deterministic: the same seed produces a bit-identical
-//! report on any platform (that invariance is pinned by a test, and the
-//! numbers feed the `BENCH_serve.json` regression gate via `serve_bench`).
+//! queueing, batching, drops, tail latency, and (by default) the
+//! load-adaptive degradation loop's level walks — on simulated time, so
+//! the whole report is deterministic: the same seed produces a
+//! bit-identical report on any platform (that invariance is pinned by a
+//! test, and the numbers feed the `BENCH_serve.json` regression gate via
+//! `serve_bench`).
 
 use crate::experiments::common::ExpOptions;
 use crate::metrics::ServeSummary;
@@ -26,6 +29,8 @@ fn push_summary_row(table: &mut TextTable, label: &str, s: &ServeSummary) {
         fmt_f(s.mean_queue_depth, 2),
         fmt_f(s.mean_batch, 2),
         s.cache_installs.to_string(),
+        s.degrades.to_string(),
+        s.upgrades.to_string(),
     ]);
 }
 
@@ -36,7 +41,7 @@ pub fn serve(opts: &ExpOptions) -> ExpReport {
         ExpReport::new("serve", "Serving runtime: traffic presets, SLO and queue accounting");
     let mut table = TextTable::new(vec![
         "scenario", "offered", "done", "drop", "p50ms", "p95ms", "p99ms", "goodput", "SLO viol",
-        "q-depth", "batch", "installs",
+        "q-depth", "batch", "installs", "lvl down", "lvl up",
     ]);
     let mut tenants = TextTable::new(vec![
         "tenant", "offered", "done", "drop", "p50ms", "p99ms", "goodput", "SLO viol",
@@ -67,8 +72,12 @@ pub fn serve(opts: &ExpOptions) -> ExpReport {
         }
     }
     let workers = opts.workers.map_or("preset workers".to_string(), |w| format!("{w} workers"));
+    let sched = if opts.adaptive { "adaptive" } else { "static" };
     report.add_section(
-        format!("Traffic presets (MobileNetV3 on ZCU104, {} backend, {workers})", opts.backend),
+        format!(
+            "Traffic presets (MobileNetV3 on ZCU104, {} backend, {workers}, {sched} scheduling)",
+            opts.backend
+        ),
         table,
     );
     report.add_section("multi_tenant breakdown", tenants);

@@ -394,6 +394,10 @@ pub struct ServeSummary {
     pub swap_ms: f64,
     /// End of the simulation (last completion or drop), ms.
     pub makespan_ms: f64,
+    /// Adaptive level changes that degraded (0 on static runs).
+    pub degrades: usize,
+    /// Adaptive level changes that upgraded (0 on static runs).
+    pub upgrades: usize,
 }
 
 /// One scenario row of the `BENCH_serve.json` baseline.
@@ -407,6 +411,10 @@ pub struct ServeSummary {
 pub struct ServeBenchEntry {
     /// Scenario label, e.g. `"steady"`.
     pub scenario: String,
+    /// Whether load-adaptive degradation was enabled for this row. Each
+    /// scenario can appear twice in the baseline — once adaptive, once
+    /// static — and the pair `(scenario, adaptive)` is the row key.
+    pub adaptive: bool,
     /// p50 end-to-end latency, ms.
     pub p50_ms: f64,
     /// p95 end-to-end latency, ms.
@@ -419,20 +427,27 @@ pub struct ServeBenchEntry {
     pub slo_violation_rate: f64,
     /// Dropped-query count.
     pub dropped: usize,
+    /// Adaptive degrade steps (0 on static rows).
+    pub degrades: usize,
+    /// Adaptive upgrade steps (0 on static rows).
+    pub upgrades: usize,
 }
 
 impl ServeBenchEntry {
     /// Builds a baseline row from a scenario summary.
     #[must_use]
-    pub fn from_summary(scenario: impl Into<String>, s: &ServeSummary) -> Self {
+    pub fn from_summary(scenario: impl Into<String>, adaptive: bool, s: &ServeSummary) -> Self {
         Self {
             scenario: scenario.into(),
+            adaptive,
             p50_ms: s.p50_ms,
             p95_ms: s.p95_ms,
             p99_ms: s.p99_ms,
             goodput_qps: s.goodput_qps,
             slo_violation_rate: s.slo_violation_rate,
             dropped: s.dropped,
+            degrades: s.degrades,
+            upgrades: s.upgrades,
         }
     }
 }
@@ -444,7 +459,7 @@ impl ServeBenchEntry {
 /// Panics if a scenario label contains `"`, `,`, `{` or `}`.
 #[must_use]
 pub fn serve_bench_to_json(entries: &[ServeBenchEntry]) -> String {
-    let mut out = String::from("{\n  \"schema\": \"sushi-serve-bench-v1\",\n  \"entries\": [\n");
+    let mut out = String::from("{\n  \"schema\": \"sushi-serve-bench-v2\",\n  \"entries\": [\n");
     for (i, e) in entries.iter().enumerate() {
         use std::fmt::Write as _;
         assert!(
@@ -452,12 +467,21 @@ pub fn serve_bench_to_json(entries: &[ServeBenchEntry]) -> String {
             "serve bench scenario '{}' contains characters the minimal JSON format cannot carry",
             e.scenario
         );
-        let _ =
-            write!(
+        let _ = write!(
             out,
-            "    {{\"scenario\": \"{}\", \"p50_ms\": {:.6}, \"p95_ms\": {:.6}, \"p99_ms\": {:.6}, \
-             \"goodput_qps\": {:.6}, \"slo_violation_rate\": {:.6}, \"dropped\": {}}}",
-            e.scenario, e.p50_ms, e.p95_ms, e.p99_ms, e.goodput_qps, e.slo_violation_rate, e.dropped
+            "    {{\"scenario\": \"{}\", \"adaptive\": {}, \"p50_ms\": {:.6}, \"p95_ms\": {:.6}, \
+             \"p99_ms\": {:.6}, \"goodput_qps\": {:.6}, \"slo_violation_rate\": {:.6}, \
+             \"dropped\": {}, \"degrades\": {}, \"upgrades\": {}}}",
+            e.scenario,
+            e.adaptive,
+            e.p50_ms,
+            e.p95_ms,
+            e.p99_ms,
+            e.goodput_qps,
+            e.slo_violation_rate,
+            e.dropped,
+            e.degrades,
+            e.upgrades
         );
         out.push_str(if i + 1 < entries.len() { ",\n" } else { "\n" });
     }
@@ -480,8 +504,14 @@ pub fn serve_bench_from_json(text: &str) -> Result<Vec<ServeBenchEntry>, String>
     fn num(obj: &str, key: &str) -> Result<f64, String> {
         field(obj, key)?.parse().map_err(|e| format!("bad {key}: {e}"))
     }
-    if !text.contains("sushi-serve-bench-v1") {
-        return Err("missing sushi-serve-bench-v1 schema marker".to_string());
+    if !text.contains("sushi-serve-bench-v2") {
+        return Err(if text.contains("sushi-serve-bench-v1") {
+            "baseline uses the pre-adaptive sushi-serve-bench-v1 schema — regenerate it with \
+             scripts/bench_baseline.sh --update"
+                .to_string()
+        } else {
+            "missing sushi-serve-bench-v2 schema marker".to_string()
+        });
     }
     let mut entries = Vec::new();
     for obj in text.split('{').skip(2) {
@@ -491,12 +521,15 @@ pub fn serve_bench_from_json(text: &str) -> Result<Vec<ServeBenchEntry>, String>
         };
         entries.push(ServeBenchEntry {
             scenario: field(obj, "scenario")?.trim_matches('"').to_string(),
+            adaptive: field(obj, "adaptive")?.parse().map_err(|e| format!("bad adaptive: {e}"))?,
             p50_ms: num(obj, "p50_ms")?,
             p95_ms: num(obj, "p95_ms")?,
             p99_ms: num(obj, "p99_ms")?,
             goodput_qps: num(obj, "goodput_qps")?,
             slo_violation_rate: num(obj, "slo_violation_rate")?,
             dropped: field(obj, "dropped")?.parse().map_err(|e| format!("bad dropped: {e}"))?,
+            degrades: field(obj, "degrades")?.parse().map_err(|e| format!("bad degrades: {e}"))?,
+            upgrades: field(obj, "upgrades")?.parse().map_err(|e| format!("bad upgrades: {e}"))?,
         });
     }
     if entries.is_empty() {
@@ -507,11 +540,12 @@ pub fn serve_bench_from_json(text: &str) -> Result<Vec<ServeBenchEntry>, String>
 
 /// Compares a fresh deterministic serve run against the committed baseline.
 ///
-/// All percentile/goodput/violation fields must agree within `rel_tol`
-/// (relative) and drop counts exactly; a scenario missing from `current`
-/// fails, and so does a scenario present in `current` but absent from the
-/// baseline (a newly added preset must enter the baseline via `--update`,
-/// not ship ungated). Because the simulation is deterministic, any
+/// Rows are matched by `(scenario, adaptive)`. All
+/// percentile/goodput/violation fields must agree within `rel_tol`
+/// (relative) and the dropped/degrades/upgrades counts exactly; a row
+/// missing from `current` fails, and so does a row present in `current`
+/// but absent from the baseline (a newly added preset must enter the
+/// baseline via `--update`, not ship ungated). Because the simulation is deterministic, any
 /// non-zero difference means serving *semantics* drifted — the gate's
 /// tolerance exists only to absorb decimal formatting in the JSON
 /// round-trip.
@@ -524,10 +558,15 @@ pub fn serve_regressions(
     rel_tol: f64,
 ) -> Result<(), String> {
     let close = |a: f64, b: f64| (a - b).abs() <= rel_tol * a.abs().max(b.abs()).max(1.0);
+    let label = |e: &ServeBenchEntry| {
+        format!("{} ({})", e.scenario, if e.adaptive { "adaptive" } else { "static" })
+    };
     let mut problems = Vec::new();
     for base in baseline {
-        let Some(cur) = current.iter().find(|c| c.scenario == base.scenario) else {
-            problems.push(format!("scenario '{}' missing from current run", base.scenario));
+        let Some(cur) =
+            current.iter().find(|c| c.scenario == base.scenario && c.adaptive == base.adaptive)
+        else {
+            problems.push(format!("scenario '{}' missing from current run", label(base)));
             continue;
         };
         let checks = [
@@ -540,21 +579,26 @@ pub fn serve_regressions(
         for (name, c, b) in checks {
             if !close(c, b) {
                 problems
-                    .push(format!("'{}' {name} drifted: {c:.6} vs baseline {b:.6}", base.scenario));
+                    .push(format!("'{}' {name} drifted: {c:.6} vs baseline {b:.6}", label(base)));
             }
         }
-        if cur.dropped != base.dropped {
-            problems.push(format!(
-                "'{}' dropped count drifted: {} vs baseline {}",
-                base.scenario, cur.dropped, base.dropped
-            ));
+        let counts = [
+            ("dropped", cur.dropped, base.dropped),
+            ("degrades", cur.degrades, base.degrades),
+            ("upgrades", cur.upgrades, base.upgrades),
+        ];
+        for (name, c, b) in counts {
+            if c != b {
+                problems
+                    .push(format!("'{}' {name} count drifted: {c} vs baseline {b}", label(base)));
+            }
         }
     }
     for cur in current {
-        if !baseline.iter().any(|b| b.scenario == cur.scenario) {
+        if !baseline.iter().any(|b| b.scenario == cur.scenario && b.adaptive == cur.adaptive) {
             problems.push(format!(
                 "scenario '{}' is not in the baseline — regenerate it with --update",
-                cur.scenario
+                label(cur)
             ));
         }
     }
@@ -758,22 +802,36 @@ mod tests {
     fn serve_entry(scenario: &str, p99: f64, dropped: usize) -> ServeBenchEntry {
         ServeBenchEntry {
             scenario: scenario.into(),
+            adaptive: false,
             p50_ms: 2.0,
             p95_ms: 5.0,
             p99_ms: p99,
             goodput_qps: 140.0,
             slo_violation_rate: 0.0125,
             dropped,
+            degrades: 0,
+            upgrades: 0,
         }
     }
 
     #[test]
     fn serve_bench_json_round_trips() {
-        let entries = vec![serve_entry("steady", 8.5, 0), serve_entry("burst", 21.25, 17)];
+        let mut entries = vec![serve_entry("steady", 8.5, 0), serve_entry("burst", 21.25, 17)];
+        entries[1].adaptive = true;
+        entries[1].degrades = 5;
+        entries[1].upgrades = 4;
         let json = serve_bench_to_json(&entries);
-        assert!(json.contains("sushi-serve-bench-v1"));
+        assert!(json.contains("sushi-serve-bench-v2"));
         let parsed = serve_bench_from_json(&json).unwrap();
         assert_eq!(parsed, entries);
+    }
+
+    #[test]
+    fn serve_bench_rejects_stale_v1_baseline() {
+        let v1 = "{\n \"schema\": \"sushi-serve-bench-v1\",\n \"entries\": [\n \
+                  {\"scenario\": \"steady\", \"p50_ms\": 1.0}\n ]\n}\n";
+        let err = serve_bench_from_json(v1).unwrap_err();
+        assert!(err.contains("--update"), "{err}");
     }
 
     #[test]
@@ -794,7 +852,16 @@ mod tests {
         let mut dropped = base.clone();
         dropped[0].dropped = 4;
         assert!(serve_regressions(&dropped, &base, 1e-9).unwrap_err().contains("dropped"));
+        let mut stepped = base.clone();
+        stepped[0].degrades = 2;
+        assert!(serve_regressions(&stepped, &base, 1e-9).unwrap_err().contains("degrades"));
         assert!(serve_regressions(&[], &base, 1e-9).unwrap_err().contains("missing"));
+        // Same scenario under the other adaptation mode is a different row:
+        // it is both missing from the baseline and missing from the run.
+        let mut flipped = base.clone();
+        flipped[0].adaptive = true;
+        let err = serve_regressions(&flipped, &base, 1e-9).unwrap_err();
+        assert!(err.contains("missing from current run") && err.contains("not in the baseline"));
         // A scenario the baseline has never seen fails too: new presets
         // must enter the baseline explicitly via --update.
         let extra = vec![base[0].clone(), serve_entry("brand_new", 1.0, 0)];

@@ -71,4 +71,4 @@ pub use batch::BatchPolicy;
 pub use executor::ExecutorPool;
 pub use queue::{AdmissionQueue, DropPolicy, DropReason, DroppedQuery};
 pub use scenario::{build_scenario, run_all_presets, run_scenario, Scenario, ServePreset};
-pub use sim::{ServedQuery, ServingSim, SimConfig, SimResult};
+pub use sim::{AdaptationTrace, ServedQuery, ServingSim, SimConfig, SimResult};

@@ -59,6 +59,8 @@ pub struct AdmissionQueue {
     depth_integral_ms: f64,
     last_event_ms: f64,
     max_depth: usize,
+    ewma_depth: f64,
+    depth_tau_ms: f64,
 }
 
 impl AdmissionQueue {
@@ -76,7 +78,22 @@ impl AdmissionQueue {
             depth_integral_ms: 0.0,
             last_event_ms: 0.0,
             max_depth: 0,
+            ewma_depth: 0.0,
+            depth_tau_ms: 0.0,
         }
+    }
+
+    /// Enables exponentially-smoothed depth tracking with time constant
+    /// `tau_ms` (simulated milliseconds). With `tau_ms == 0.0` (the
+    /// default) [`Self::smoothed_depth`] degenerates to the raw depth.
+    ///
+    /// # Panics
+    /// Panics if `tau_ms` is negative or not finite.
+    #[must_use]
+    pub fn with_depth_tau(mut self, tau_ms: f64) -> Self {
+        assert!(tau_ms.is_finite() && tau_ms >= 0.0, "depth tau must be finite and >= 0");
+        self.depth_tau_ms = tau_ms;
+        self
     }
 
     /// Current queue depth.
@@ -109,16 +126,45 @@ impl AdmissionQueue {
         self.items.iter().filter(|q| q.subnet_row == subnet_row).count()
     }
 
-    /// Advances the depth integral to `now` (call before any mutation).
+    /// Advances the depth integral (and the EWMA, if enabled) to `now`
+    /// (call before any mutation).
     fn advance(&mut self, now_ms: f64) {
         debug_assert!(now_ms >= self.last_event_ms, "time must not run backwards");
-        self.depth_integral_ms += self.items.len() as f64 * (now_ms - self.last_event_ms);
+        let dt = now_ms - self.last_event_ms;
+        let depth = self.items.len() as f64;
+        self.depth_integral_ms += depth * dt;
+        if self.depth_tau_ms > 0.0 {
+            // Depth was constant over [last_event, now], so the exact EWMA
+            // relaxes toward it: e' = d + (e − d)·exp(−dt/τ).
+            self.ewma_depth = depth + (self.ewma_depth - depth) * (-dt / self.depth_tau_ms).exp();
+        }
         self.last_event_ms = now_ms;
     }
 
+    /// Exponentially-smoothed queue depth as of `now_ms`. Read-only: the
+    /// stored EWMA state is not advanced. Returns the raw depth when
+    /// smoothing is disabled (see [`Self::with_depth_tau`]).
+    #[must_use]
+    pub fn smoothed_depth(&self, now_ms: f64) -> f64 {
+        let depth = self.items.len() as f64;
+        if self.depth_tau_ms <= 0.0 {
+            return depth;
+        }
+        let dt = (now_ms - self.last_event_ms).max(0.0);
+        depth + (self.ewma_depth - depth) * (-dt / self.depth_tau_ms).exp()
+    }
+
     /// Offers an arriving query. Returns the victim if one was shed.
+    ///
+    /// Under [`DropPolicy::DeadlineAware`] a query whose deadline has
+    /// already lapsed at `now_ms` is refused outright — admitting it would
+    /// only burn queue capacity and accelerator time on a guaranteed
+    /// violation that the dispatch-time sweep would shed anyway.
     pub fn offer(&mut self, now_ms: f64, item: QueuedQuery) -> Option<DroppedQuery> {
         self.advance(now_ms);
+        if self.policy == DropPolicy::DeadlineAware && item.timed.deadline_ms() < now_ms {
+            return Some(DroppedQuery { timed: item.timed, reason: DropReason::DeadlineLapsed });
+        }
         let victim = if self.items.len() < self.capacity {
             None
         } else {
@@ -301,6 +347,49 @@ mod tests {
         let _ = q.take_row(10.0, 0, 4); // depth 1 from t=10
                                         // Integral: 1*5 + 2*5 + 1*10 = 25 over [0, 20].
         assert!((q.mean_depth(20.0) - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn already_expired_query_is_refused_at_admission() {
+        // Regression: the deadline-aware sweep only ran at dispatch time, so
+        // a query whose deadline had lapsed before it reached the queue
+        // could still be admitted and occupy a slot.
+        let mut q = AdmissionQueue::new(4, DropPolicy::DeadlineAware);
+        let victim = q.offer(10.0, qq(0, 0.0, 5.0)).unwrap(); // deadline 5 < now 10
+        assert_eq!(victim.timed.query.id, 0);
+        assert_eq!(victim.reason, DropReason::DeadlineLapsed);
+        assert!(q.is_empty());
+        // FIFO policies keep today's behavior: the doomed query is admitted
+        // and later counts as a served-late violation.
+        let mut fifo = AdmissionQueue::new(4, DropPolicy::DropNewest);
+        assert!(fifo.offer(10.0, qq(0, 0.0, 5.0)).is_none());
+        assert_eq!(fifo.depth(), 1);
+    }
+
+    #[test]
+    fn smoothed_depth_defaults_to_raw_depth() {
+        let mut q = AdmissionQueue::new(4, DropPolicy::DropNewest);
+        let _ = q.offer(0.0, qq(0, 0.0, 100.0));
+        let _ = q.offer(1.0, qq(1, 1.0, 100.0));
+        assert!((q.smoothed_depth(5.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smoothed_depth_relaxes_toward_current_depth() {
+        let mut q = AdmissionQueue::new(8, DropPolicy::DropNewest).with_depth_tau(10.0);
+        for id in 0..4 {
+            let _ = q.offer(0.0, qq(id, 0.0, 100.0));
+        }
+        // Immediately after the burst the EWMA still remembers the empty
+        // queue; it relaxes toward depth 4 with time constant 10 ms.
+        let s0 = q.smoothed_depth(0.0);
+        assert!(s0 < 1.0, "fresh burst should not instantly read as depth 4, got {s0}");
+        let s1 = q.smoothed_depth(10.0);
+        let s2 = q.smoothed_depth(40.0);
+        assert!(s0 < s1 && s1 < s2, "EWMA must relax monotonically: {s0} {s1} {s2}");
+        assert!((s2 - 4.0).abs() < 0.1, "after 4 tau it should be close to 4, got {s2}");
+        // The read-only getter must not advance state.
+        assert!((q.smoothed_depth(10.0) - s1).abs() < 1e-12);
     }
 
     #[test]

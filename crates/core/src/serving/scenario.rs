@@ -11,14 +11,23 @@
 //! | `burst` | MMPP, 1.8× capacity bursts | ICU triage | deadline-aware |
 //! | `diurnal` | sinusoidal ramp 25%→135% | uniform | drop-oldest |
 //! | `multi_tenant` | AV Poisson + ICU MMPP | AV ∪ ICU | deadline-aware |
+//! | `overload` | Poisson @ 160% capacity | uniform | deadline-aware |
+//! | `deadline_mix` | Poisson @ 90% capacity | tight/loose interleave | deadline-aware |
+//! | `failover` | Poisson @ 55%, outage → recovery burst | uniform | deadline-aware |
 //!
 //! All presets run the full SUSHI stack (state-aware caching, dynamic
 //! batching, two workers) on the MobileNetV3 workload over the ZCU104
-//! board model, and are deterministic in `(preset, opts)`.
+//! board model, and are deterministic in `(preset, opts)`. With
+//! `opts.adaptive` (the default) the serving loop degrades SubNet
+//! selection under pressure ([`sushi_sched::AdaptivePolicy`]); the last
+//! three presets exist to exercise exactly that loop — sustained
+//! overload, a deadline mix where only the loose half has slack to give,
+//! and a recovery burst after an upstream outage.
 
 use std::sync::Arc;
 
 use sushi_accel::config::zcu104;
+use sushi_sched::{AdaptiveOptions, Query};
 
 use crate::engine::EngineBuilder;
 use crate::error::SushiError;
@@ -34,7 +43,7 @@ use crate::stream::{
 };
 use crate::variants::build_table;
 
-/// The four canned serving scenarios.
+/// The canned serving scenarios.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ServePreset {
     /// Steady Poisson traffic at comfortable load.
@@ -45,11 +54,32 @@ pub enum ServePreset {
     Diurnal,
     /// An AV tenant and an ICU tenant sharing the same serving stack.
     MultiTenant,
+    /// Sustained arrivals well above capacity: without degradation the
+    /// queue pins at its cap and sheds continuously.
+    Overload,
+    /// Tight and loose deadlines interleaved near capacity: only the loose
+    /// half has slack for the adaptive loop to spend.
+    DeadlineMix,
+    /// Calm traffic, an upstream outage, then the buffered backlog
+    /// arriving as one recovery burst.
+    Failover,
 }
 
 impl ServePreset {
     /// All presets, in report order.
-    pub const ALL: [ServePreset; 4] =
+    pub const ALL: [ServePreset; 7] = [
+        ServePreset::Steady,
+        ServePreset::Burst,
+        ServePreset::Diurnal,
+        ServePreset::MultiTenant,
+        ServePreset::Overload,
+        ServePreset::DeadlineMix,
+        ServePreset::Failover,
+    ];
+
+    /// The original four presets, whose *static* (`adaptive: false`) rows
+    /// pin the pre-adaptive runtime bit-for-bit in `BENCH_serve.json`.
+    pub const STATIC_PINNED: [ServePreset; 4] =
         [ServePreset::Steady, ServePreset::Burst, ServePreset::Diurnal, ServePreset::MultiTenant];
 
     /// Stable scenario label (used in reports and `BENCH_serve.json`).
@@ -60,6 +90,9 @@ impl ServePreset {
             ServePreset::Burst => "burst",
             ServePreset::Diurnal => "diurnal",
             ServePreset::MultiTenant => "multi_tenant",
+            ServePreset::Overload => "overload",
+            ServePreset::DeadlineMix => "deadline_mix",
+            ServePreset::Failover => "failover",
         }
     }
 
@@ -115,6 +148,7 @@ fn build_scenario_for(workload: &Workload, preset: ServePreset, opts: &ExpOption
     let n = opts.queries;
     let seed = opts.seed ^ 0x5E87;
     let batch = BatchPolicy::new(4, 0.25 * mean_cold_ms);
+    let adaptive = if opts.adaptive { Some(AdaptiveOptions::default()) } else { None };
 
     let (stream, sim) = match preset {
         ServePreset::Steady => {
@@ -126,6 +160,7 @@ fn build_scenario_for(workload: &Workload, preset: ServePreset, opts: &ExpOption
                 queue_capacity: 64,
                 drop_policy: DropPolicy::DropNewest,
                 batch,
+                adaptive,
             };
             (attach_arrivals(&qs, &arrivals), sim)
         }
@@ -144,6 +179,7 @@ fn build_scenario_for(workload: &Workload, preset: ServePreset, opts: &ExpOption
                 queue_capacity: 32,
                 drop_policy: DropPolicy::DeadlineAware,
                 batch,
+                adaptive,
             };
             (attach_arrivals(&qs, &arrivals), sim)
         }
@@ -163,6 +199,7 @@ fn build_scenario_for(workload: &Workload, preset: ServePreset, opts: &ExpOption
                 queue_capacity: 48,
                 drop_policy: DropPolicy::DropOldest,
                 batch,
+                adaptive,
             };
             (attach_arrivals(&qs, &arrivals), sim)
         }
@@ -195,8 +232,74 @@ fn build_scenario_for(workload: &Workload, preset: ServePreset, opts: &ExpOption
                 queue_capacity: 48,
                 drop_policy: DropPolicy::DeadlineAware,
                 batch,
+                adaptive,
             };
             (merged, sim)
+        }
+        ServePreset::Overload => {
+            // Sustained 1.6× capacity: there is no calm phase to recover
+            // in, so a static policy pins the queue at its cap and sheds
+            // for the whole run. Degradation is the only lever.
+            let qs = uniform_stream(&space, n, seed);
+            let arrivals =
+                ArrivalProcess::Poisson { rate_qps: 1.6 * capacity_qps }.timestamps(n, seed ^ 0x07);
+            let sim = SimConfig {
+                workers,
+                queue_capacity: 32,
+                drop_policy: DropPolicy::DeadlineAware,
+                batch,
+                adaptive,
+            };
+            (attach_arrivals(&qs, &arrivals), sim)
+        }
+        ServePreset::DeadlineMix => {
+            // Alternate tight deadlines (just above the fastest SubNet's
+            // cold service time) with loose ones near the band's top, at
+            // 90% capacity: the adaptive loop must spend the loose half's
+            // slack without starving the tight half.
+            let tight = ConstraintSpace { lat_hi: (1.4 * space.lat_lo).min(space.lat_hi), ..space };
+            let loose = ConstraintSpace { lat_lo: (0.7 * space.lat_hi).max(space.lat_lo), ..space };
+            let qs_tight = uniform_stream(&tight, n.div_ceil(2), seed ^ 0x08);
+            let qs_loose = uniform_stream(&loose, n / 2, seed ^ 0x09);
+            let qs: Vec<Query> = (0..n)
+                .map(|i| {
+                    let q = if i % 2 == 0 { qs_tight[i / 2] } else { qs_loose[i / 2] };
+                    Query::new(i as u64, q.accuracy_constraint, q.latency_constraint_ms)
+                })
+                .collect();
+            let arrivals = ArrivalProcess::Poisson { rate_qps: 0.90 * capacity_qps }
+                .timestamps(n, seed ^ 0x0A);
+            let sim = SimConfig {
+                workers,
+                queue_capacity: 48,
+                drop_policy: DropPolicy::DeadlineAware,
+                batch,
+                adaptive,
+            };
+            (attach_arrivals(&qs, &arrivals), sim)
+        }
+        ServePreset::Failover => {
+            // Calm Poisson traffic with an upstream outage one third in:
+            // arrivals during the outage are buffered upstream and land as
+            // one recovery burst the moment the path heals.
+            let qs = uniform_stream(&space, n, seed);
+            let mut arrivals = ArrivalProcess::Poisson { rate_qps: 0.55 * capacity_qps }
+                .timestamps(n, seed ^ 0x0B);
+            let outage_start = arrivals[n / 3];
+            let outage_end = outage_start + 25.0 * mean_cold_ms;
+            for t in &mut arrivals {
+                if (outage_start..outage_end).contains(t) {
+                    *t = outage_end;
+                }
+            }
+            let sim = SimConfig {
+                workers,
+                queue_capacity: 48,
+                drop_policy: DropPolicy::DeadlineAware,
+                batch,
+                adaptive,
+            };
+            (attach_arrivals(&qs, &arrivals), sim)
         }
     };
     Scenario { name: preset.name(), stream, sim, q_window: workload.q_window }
@@ -269,9 +372,17 @@ mod tests {
         assert!(s.stream.iter().any(|tq| tq.tenant == 1));
     }
 
+    fn static_quick() -> ExpOptions {
+        let mut opts = ExpOptions::quick();
+        opts.adaptive = false;
+        opts
+    }
+
     #[test]
     fn burst_scenario_stresses_harder_than_steady() {
-        let opts = ExpOptions::quick();
+        // Under *static* scheduling the burst regime must visibly hurt;
+        // the adaptive loop exists precisely to flatten this gap.
+        let opts = static_quick();
         let steady = run_scenario(ServePreset::Steady, &opts).unwrap().summary();
         let burst = run_scenario(ServePreset::Burst, &opts).unwrap().summary();
         assert!(
@@ -284,19 +395,49 @@ mod tests {
     }
 
     #[test]
+    fn adaptive_degrades_under_overload_and_static_does_not() {
+        let adaptive = run_scenario(ServePreset::Overload, &ExpOptions::quick()).unwrap();
+        let trace = adaptive.adaptation.expect("adaptive run records a trace");
+        assert!(trace.degrades > 0, "sustained overload must trigger degradation");
+        assert!(trace.shaped > 0, "degradation must shape queries");
+        let static_run = run_scenario(ServePreset::Overload, &static_quick()).unwrap();
+        assert!(static_run.adaptation.is_none(), "static runs carry no trace");
+    }
+
+    #[test]
+    fn adaptive_burst_beats_static_burst() {
+        let stat = run_scenario(ServePreset::Burst, &static_quick()).unwrap().summary();
+        let adap = run_scenario(ServePreset::Burst, &ExpOptions::quick()).unwrap().summary();
+        assert!(
+            adap.slo_violation_rate < stat.slo_violation_rate,
+            "adaptive burst violations {} !< static {}",
+            adap.slo_violation_rate,
+            stat.slo_violation_rate
+        );
+        assert!(
+            adap.goodput_qps >= stat.goodput_qps,
+            "adaptive burst goodput {} < static {}",
+            adap.goodput_qps,
+            stat.goodput_qps
+        );
+    }
+
+    #[test]
     fn presets_are_deterministic() {
         let opts = ExpOptions::quick();
         assert_eq!(run_all_presets(&opts).unwrap(), run_all_presets(&opts).unwrap());
     }
 
-    /// Pins the quick-scenario tail metrics to exact values. The serving
+    /// Pins the quick-scenario tail metrics to exact values **under static
+    /// scheduling** — these are the pre-adaptive runtime's numbers, so the
+    /// test doubles as the no-adaptation bit-identity gate. The serving
     /// simulation runs on simulated time with seeded randomness, so these
     /// figures are reproducible to the last bit on any platform; a change
     /// here means serving *semantics* changed and `BENCH_serve.json` needs
     /// regenerating too (`scripts/bench_baseline.sh --update`).
     #[test]
     fn quick_scenario_metrics_are_pinned() {
-        let opts = ExpOptions::quick();
+        let opts = static_quick();
         let steady = run_scenario(ServePreset::Steady, &opts).unwrap().summary();
         assert!((steady.p99_ms - 23.382_301_440).abs() < 1e-6, "steady p99 {}", steady.p99_ms);
         assert!(

@@ -22,11 +22,15 @@
 //! `(stream, config, seed)` triple reproduces bit-identical results on any
 //! platform.
 
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 use sushi_accel::backend::ExecutionBackend;
 use sushi_accel::AccelConfig;
-use sushi_sched::{CacheSelection, LatencyTable, Policy, Query, Scheduler};
+use sushi_sched::{
+    AdaptiveEvent, AdaptiveOptions, AdaptivePolicy, CacheSelection, LatencyTable, LoadSignal,
+    Policy, Query, Scheduler,
+};
 use sushi_wsnet::{SubNet, SuperNet};
 
 use crate::error::SushiError;
@@ -53,6 +57,9 @@ pub struct SimConfig {
     pub drop_policy: DropPolicy,
     /// Dynamic-batching policy.
     pub batch: BatchPolicy,
+    /// Load-adaptive degradation knobs (`None` = static scheduling; the
+    /// loop then behaves bit-identically to the pre-adaptive runtime).
+    pub adaptive: Option<AdaptiveOptions>,
 }
 
 impl Default for SimConfig {
@@ -62,6 +69,7 @@ impl Default for SimConfig {
             queue_capacity: 64,
             drop_policy: DropPolicy::DropNewest,
             batch: BatchPolicy::no_batching(),
+            adaptive: None,
         }
     }
 }
@@ -92,6 +100,13 @@ impl SimConfig {
     #[must_use]
     pub fn with_batch(mut self, batch: BatchPolicy) -> Self {
         self.batch = batch;
+        self
+    }
+
+    /// Enables (`Some`) or disables (`None`) load-adaptive degradation.
+    #[must_use]
+    pub fn with_adaptive(mut self, adaptive: Option<AdaptiveOptions>) -> Self {
+        self.adaptive = adaptive;
         self
     }
 }
@@ -134,6 +149,22 @@ impl ServedQuery {
     }
 }
 
+/// What the adaptive controller did over one run (`None` in
+/// [`SimResult::adaptation`] when adaptation was disabled).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AdaptationTrace {
+    /// Every enacted level change, in simulated-time order.
+    pub events: Vec<AdaptiveEvent>,
+    /// Degradation level when the run ended.
+    pub final_level: usize,
+    /// Level changes that degraded.
+    pub degrades: usize,
+    /// Level changes that upgraded.
+    pub upgrades: usize,
+    /// Queries whose constraints were shaped before scheduling.
+    pub shaped: usize,
+}
+
 /// Everything a simulation run produced.
 #[derive(Debug, Clone, PartialEq)]
 #[must_use]
@@ -154,6 +185,8 @@ pub struct SimResult {
     pub swap_ms: f64,
     /// Simulation horizon: last completion (or arrival, if later), ms.
     pub makespan_ms: f64,
+    /// Adaptation trace (`None` when the run was static).
+    pub adaptation: Option<AdaptationTrace>,
 }
 
 impl SimResult {
@@ -200,6 +233,8 @@ impl SimResult {
             cache_installs: self.cache_installs,
             swap_ms: self.swap_ms,
             makespan_ms: self.makespan_ms,
+            degrades: self.adaptation.as_ref().map_or(0, |a| a.degrades),
+            upgrades: self.adaptation.as_ref().map_or(0, |a| a.upgrades),
         }
     }
 
@@ -225,6 +260,7 @@ impl SimResult {
             cache_installs: self.cache_installs,
             swap_ms: self.swap_ms,
             makespan_ms: self.makespan_ms,
+            adaptation: self.adaptation.clone(),
         };
         let mut summary = filtered.summary();
         // `summary()` derives mean_batch from the run-global dispatch
@@ -240,6 +276,28 @@ impl SimResult {
     }
 }
 
+/// p99 end-to-end latency over a `(completion_ms, latency_ms)` window
+/// (`0.0` while the window is empty). Exact order statistic — the window
+/// only ever spans a couple of dwell periods' worth of completions.
+///
+/// The controller's tail signal must be a *sliding time window*, not the
+/// run-long histogram the summary uses: a cumulative p99 never decays, so
+/// one burst would pin tail pressure above the degrade threshold for the
+/// rest of the run and permanently block recovery. A count-based window
+/// has the same failure in miniature (at CI sizing, 64 completions can be
+/// half the run), so entries age out by simulated time instead — the
+/// window is `2 x` the controller's reference scale (two dwell periods by
+/// default): within a couple of permitted level changes, stale-level
+/// latencies have fully aged out.
+fn recent_p99(recent: &VecDeque<(f64, f64)>) -> f64 {
+    if recent.is_empty() {
+        return 0.0;
+    }
+    let mut v: Vec<f64> = recent.iter().map(|&(_, lat)| lat).collect();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    v[(0.99 * (v.len() - 1) as f64).ceil() as usize]
+}
+
 /// The SLO-aware serving loop: scheduler + executor pool + queue + batcher.
 #[derive(Debug)]
 pub struct ServingSim {
@@ -248,6 +306,7 @@ pub struct ServingSim {
     sched: Scheduler,
     pool: ExecutorPool,
     config: SimConfig,
+    adaptive: Option<AdaptivePolicy>,
 }
 
 impl ServingSim {
@@ -267,13 +326,21 @@ impl ServingSim {
         config: SimConfig,
     ) -> Self {
         debug_assert_eq!(subnets.len(), table.num_rows(), "serving set / table mismatch");
+        let adaptive = config.adaptive.map(|opts| AdaptivePolicy::new(&table, policy, opts));
         Self {
             net,
             subnets,
             sched: Scheduler::new(table, policy, cache_selection, q_window),
             pool: ExecutorPool::new(accel_config, config.workers),
             config,
+            adaptive,
         }
+    }
+
+    /// The adaptive controller, when adaptation is enabled.
+    #[must_use]
+    pub fn adaptive(&self) -> Option<&AdaptivePolicy> {
+        self.adaptive.as_ref()
     }
 
     /// The scheduler (for inspection).
@@ -306,18 +373,83 @@ impl ServingSim {
             return Err(SushiError::Stream("stream must be sorted by arrival time".into()));
         }
         let mut queue = AdmissionQueue::new(self.config.queue_capacity, self.config.drop_policy);
-        let batch_policy = self.config.batch;
+        if let Some(pol) = &self.adaptive {
+            // Smooth the depth signal on the controller's own time scale so
+            // a single momentary spike cannot trigger a degrade.
+            queue = queue.with_depth_tau(pol.scale_ms());
+        }
+        let base_batch = self.config.batch;
+        let mut batch_policy = base_batch;
+        if let Some(pol) = &self.adaptive {
+            batch_policy =
+                BatchPolicy::new(pol.batch_cap(base_batch.max_batch), base_batch.max_wait_ms);
+        }
+        // Tail-signal window (see `recent_p99`): two SLO time scales of
+        // completions, tagged with their completion time for aging — a
+        // couple of dwell periods, so latencies observed at a stale level
+        // age out within a few permitted level changes.
+        let tail_window_ms = self.adaptive.as_ref().map_or(0.0, |p| 2.0 * p.scale_ms());
+        let mut recent: VecDeque<(f64, f64)> = VecDeque::new();
+        let mut events: Vec<AdaptiveEvent> = Vec::new();
+        let mut shaped_count = 0usize;
         let mut served: Vec<ServedQuery> = Vec::with_capacity(stream.len());
         let mut dropped: Vec<DroppedQuery> = Vec::new();
         let mut next = 0usize; // index of the next arrival to admit
         let mut now = 0.0f64;
 
         loop {
+            // Observe load and (maybe) step the degradation level. Sampled
+            // once per event — before admissions — so the controller sees
+            // the queue as the arriving queries will find it, and recovery
+            // happens while the queue drains, not only on new arrivals.
+            if let Some(pol) = self.adaptive.as_mut() {
+                let (head_slack_ms, head_budget_ms) =
+                    queue.head().map_or((f64::INFINITY, 0.0), |h| {
+                        (h.timed.deadline_ms() - now, h.timed.query.latency_constraint_ms)
+                    });
+                let signal = LoadSignal {
+                    now_ms: now,
+                    queue_depth: queue.smoothed_depth(now),
+                    queue_capacity: self.config.queue_capacity,
+                    p99_ms: {
+                        while recent.front().is_some_and(|&(t, _)| t < now - tail_window_ms) {
+                            recent.pop_front();
+                        }
+                        recent_p99(&recent)
+                    },
+                    head_slack_ms,
+                    head_budget_ms,
+                };
+                if let Some(ev) = pol.observe(&signal) {
+                    // Shrink (or re-grow) the dynamic batch with the level:
+                    // smaller batches dispatch sooner under pressure.
+                    batch_policy = BatchPolicy::new(
+                        pol.batch_cap(base_batch.max_batch),
+                        base_batch.max_wait_ms,
+                    );
+                    events.push(ev);
+                }
+            }
+
             // Admit every arrival due at (or before) the current instant.
             while next < stream.len() && stream[next].arrival_ms <= now {
                 let timed = stream[next];
                 next += 1;
-                let decision = self.sched.decide(&timed.query);
+                // Shape the query for the current degradation level before
+                // the scheduler sees it; the queued copy keeps the original
+                // constraints, so SLO accounting never moves the goalposts.
+                let scheduled = match &self.adaptive {
+                    Some(pol) => {
+                        let shaped =
+                            pol.shape(&timed.query, self.sched.table(), self.sched.current_cache());
+                        if shaped != timed.query {
+                            shaped_count += 1;
+                        }
+                        shaped
+                    }
+                    None => timed.query,
+                };
+                let decision = self.sched.decide(&scheduled);
                 if let Some(col) = decision.cache_update {
                     let graph = self.sched.table().column(col).graph.clone();
                     self.pool.broadcast_install(&graph);
@@ -349,7 +481,7 @@ impl ServingSim {
                     &ids,
                 )?;
                 for (i, q) in batch.iter().enumerate() {
-                    served.push(ServedQuery {
+                    let done = ServedQuery {
                         query: q.timed.query,
                         tenant: q.timed.tenant,
                         arrival_ms: q.timed.arrival_ms,
@@ -359,7 +491,11 @@ impl ServingSim {
                         batch_size: batch.len(),
                         worker,
                         prediction: outputs.as_ref().map(|o| o[i].prediction),
-                    });
+                    };
+                    if self.adaptive.is_some() {
+                        recent.push_back((done.completion_ms, done.latency_ms()));
+                    }
+                    served.push(done);
                 }
             }
 
@@ -394,6 +530,13 @@ impl ServingSim {
             cache_installs: self.pool.cache_installs(),
             swap_ms: self.pool.total_swap_ms(),
             makespan_ms,
+            adaptation: self.adaptive.as_ref().map(|pol| AdaptationTrace {
+                events,
+                final_level: pol.level(),
+                degrades: pol.degrades(),
+                upgrades: pol.upgrades(),
+                shaped: shaped_count,
+            }),
         })
     }
 }
@@ -430,6 +573,7 @@ mod tests {
             queue_capacity: 16,
             drop_policy: DropPolicy::DropNewest,
             batch: BatchPolicy::new(4, 2.0),
+            adaptive: None,
         };
         let (mut a, space) = sim(cfg);
         let (mut b, _) = sim(cfg);
@@ -444,6 +588,7 @@ mod tests {
             queue_capacity: 4,
             drop_policy: DropPolicy::DropOldest,
             batch: BatchPolicy::new(4, 1.0),
+            adaptive: None,
         };
         let (mut s, space) = sim(cfg);
         let st = stream(&space, 200, 400.0, 3); // overload: drops expected
@@ -467,6 +612,7 @@ mod tests {
             queue_capacity: 32,
             drop_policy: DropPolicy::DropNewest,
             batch: BatchPolicy::new(4, 2.0),
+            adaptive: None,
         };
         let (mut s, space) = sim(cfg);
         let r = s.serve_timed(&stream(&space, 150, 150.0, 4)).unwrap();
@@ -484,6 +630,7 @@ mod tests {
             queue_capacity: 64,
             drop_policy: DropPolicy::DropNewest,
             batch: BatchPolicy::new(4, 1.0),
+            adaptive: None,
         };
         let (mut light, space) = sim(light_cfg);
         let lr = light.serve_timed(&stream(&space, 150, 40.0, 5)).unwrap().summary();
@@ -501,6 +648,7 @@ mod tests {
             queue_capacity: 64,
             drop_policy: DropPolicy::DropNewest,
             batch: BatchPolicy::no_batching(),
+            adaptive: None,
         };
         let batched = SimConfig { batch: BatchPolicy::new(8, 4.0), ..no_batch };
         let (mut a, space) = sim(no_batch);
@@ -521,6 +669,7 @@ mod tests {
             queue_capacity: 64,
             drop_policy: DropPolicy::DropNewest,
             batch: BatchPolicy::new(2, 1.0),
+            adaptive: None,
         };
         let (mut s, space) = sim(cfg);
         let r = s.serve_timed(&stream(&space, 120, 150.0, 7)).unwrap();
@@ -535,6 +684,7 @@ mod tests {
             queue_capacity: 32,
             drop_policy: DropPolicy::DropNewest,
             batch: BatchPolicy::new(4, 2.0),
+            adaptive: None,
         };
         let (mut s, space) = sim(cfg);
         let qs = uniform_stream(&space, 100, 8);

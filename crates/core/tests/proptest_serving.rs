@@ -1,0 +1,129 @@
+//! Property-based tests for the serving building blocks: admission-queue
+//! depth accounting (conservation, non-negativity, smoothing) and dynamic
+//! batching (a batch never spans a cache-install boundary).
+
+use proptest::prelude::*;
+
+use sushi_core::serving::queue::QueuedQuery;
+use sushi_core::serving::{AdmissionQueue, BatchPolicy, DropPolicy};
+use sushi_core::stream::TimedQuery;
+use sushi_sched::Query;
+
+fn item(id: u64, arrival_ms: f64, lat_ms: f64, subnet_row: usize) -> QueuedQuery {
+    QueuedQuery { timed: TimedQuery::new(arrival_ms, Query::new(id, 0.7, lat_ms)), subnet_row }
+}
+
+/// One randomized queue operation (applied at a strictly advancing clock).
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Offer { lat_ms: f64, row: usize },
+    Sweep,
+    TakeRow { row: usize, max: usize },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0.5f64..40.0, 0usize..3).prop_map(|(lat_ms, row)| Op::Offer { lat_ms, row }),
+        Just(Op::Sweep),
+        (0usize..3, 1usize..6).prop_map(|(row, max)| Op::TakeRow { row, max }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Depth accounting is conserved and non-negative under arbitrary
+    /// admit/drop/pop interleavings, for every drop policy: every offered
+    /// query ends up in exactly one of {queued, dropped, taken}, the depth
+    /// never exceeds capacity, and both depth aggregates (time-weighted
+    /// mean, EWMA) stay within `[0, max_depth]`.
+    #[test]
+    fn queue_depth_accounting_is_conserved(
+        policy_pick in 0usize..3,
+        capacity in 1usize..12,
+        tau_ms in 0.0f64..20.0,
+        ops in proptest::collection::vec((0.01f64..8.0, op_strategy()), 1..80),
+    ) {
+        let policy = [DropPolicy::DropNewest, DropPolicy::DropOldest, DropPolicy::DeadlineAware]
+            [policy_pick];
+        let mut q = AdmissionQueue::new(capacity, policy).with_depth_tau(tau_ms);
+        let (mut now, mut offered, mut dropped, mut taken) = (0.0f64, 0usize, 0usize, 0usize);
+        let mut next_id = 0u64;
+        for (dt, op) in ops {
+            now += dt;
+            match op {
+                Op::Offer { lat_ms, row } => {
+                    offered += 1;
+                    next_id += 1;
+                    if q.offer(now, item(next_id, now, lat_ms, row)).is_some() {
+                        dropped += 1;
+                    }
+                }
+                Op::Sweep => dropped += q.sweep_lapsed(now).len(),
+                Op::TakeRow { row, max } => taken += q.take_row(now, row, max).len(),
+            }
+            // Conservation: nothing is ever double-counted or lost.
+            prop_assert_eq!(offered, q.depth() + dropped + taken);
+            prop_assert!(q.depth() <= capacity);
+            prop_assert!(q.depth() <= q.max_depth());
+            // Per-row counts partition the queue.
+            let by_row: usize = (0..3).map(|r| q.count_row(r)).sum();
+            prop_assert_eq!(by_row, q.depth());
+            // Aggregates stay inside the envelope the raw depth traced out.
+            let mean = q.mean_depth(now + 1e-9);
+            prop_assert!(mean >= 0.0 && mean <= q.max_depth() as f64 + 1e-9);
+            let smoothed = q.smoothed_depth(now);
+            prop_assert!(
+                smoothed >= -1e-9 && smoothed <= q.max_depth() as f64 + 1e-9,
+                "smoothed depth {smoothed} escaped [0, {}]", q.max_depth()
+            );
+            if tau_ms == 0.0 {
+                prop_assert_eq!(smoothed, q.depth() as f64);
+            }
+        }
+    }
+
+    /// A formed batch never crosses a cache-install boundary: queries
+    /// admitted under different resident SubGraphs resolve to different
+    /// SubNet rows (their admission-time decision), and `form` only ever
+    /// extracts queries sharing the head-of-line row, in FIFO order, at
+    /// most `max_batch` of them.
+    #[test]
+    fn batches_never_cross_a_cache_install_boundary(
+        epoch_sizes in proptest::collection::vec(1usize..6, 1..5),
+        max_batch in 1usize..8,
+    ) {
+        // Each epoch models the queries admitted between two cache
+        // installs; the install changes the scheduler's decision, so each
+        // epoch gets a distinct SubNet row.
+        let mut q = AdmissionQueue::new(64, DropPolicy::DropNewest);
+        let mut id = 0u64;
+        let mut arrival = 0.0;
+        for (epoch, &count) in epoch_sizes.iter().enumerate() {
+            for _ in 0..count {
+                arrival += 1.0;
+                id += 1;
+                prop_assert!(q.offer(arrival, item(id, arrival, 1e6, epoch)).is_none());
+            }
+        }
+        let policy = BatchPolicy::new(max_batch, 0.0);
+        let mut last_id = 0u64;
+        while let Some(head) = q.head().copied() {
+            prop_assert!(policy.ready(&q, arrival + 1.0));
+            let batch = policy.form(&mut q, arrival + 1.0);
+            prop_assert!(!batch.is_empty() && batch.len() <= max_batch);
+            for b in &batch {
+                prop_assert_eq!(
+                    b.subnet_row, head.subnet_row,
+                    "a batch mixed rows {} and {}: it crossed an install boundary",
+                    head.subnet_row, b.subnet_row
+                );
+                // FIFO within the batch (ids were assigned in arrival order).
+                prop_assert!(b.timed.query.id > last_id);
+                last_id = b.timed.query.id;
+            }
+        }
+        // Everything admitted was eventually batched.
+        prop_assert_eq!(last_id, id);
+    }
+}

@@ -16,6 +16,13 @@ use sushi_wsnet::{SubGraph, SubNet, SuperNet};
 /// The first candidates come from `serving_set` (in order); the remainder
 /// are sampled deterministically from the SuperNet's configuration space
 /// with `seed`. Duplicates are removed while preserving order.
+///
+/// The serving-set-first ordering is load-bearing for the adaptive layer
+/// ([`crate::adaptive::AdaptivePolicy`]): whenever `count ≥
+/// serving_set.len()`, every serving SubNet's budget truncation is present
+/// as a column, so each rung of the degradation ladder has a resident
+/// SubGraph that covers it — the cache-affinity bias can always find a
+/// warm column for whatever rung the current level caps the walk at.
 #[must_use]
 pub fn build_candidate_set(
     net: &SuperNet,
@@ -100,6 +107,26 @@ mod tests {
         let set = build_candidate_set(&net, &picks, budget, 10, 7);
         let first = net.subgraph_to_budget(&picks[0].graph, budget);
         assert_eq!(set[0], first);
+    }
+
+    #[test]
+    fn every_serving_subnet_is_covered_when_count_allows() {
+        // The degradation ladder's cache-affinity bias relies on this:
+        // with count >= serving_set.len(), each serving SubNet's budget
+        // truncation appears as a candidate column (in serving-set order),
+        // so no rung of the ladder is left without a coverable SubGraph.
+        let net = zoo::mobilenet_v3_supernet();
+        let picks = zoo::paper_subnets(&net);
+        let budget = 2_000_000;
+        let set = build_candidate_set(&net, &picks, budget, picks.len() + 4, 7);
+        for sn in &picks {
+            let truncated = net.subgraph_to_budget(&sn.graph, budget);
+            assert!(
+                truncated.is_empty() || set.contains(&truncated),
+                "serving SubNet {} has no covering candidate",
+                sn.name
+            );
+        }
     }
 
     #[test]

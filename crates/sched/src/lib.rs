@@ -50,11 +50,13 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod adaptive;
 pub mod candidates;
 pub mod query;
 pub mod scheduler;
 pub mod table;
 
+pub use adaptive::{AdaptiveEvent, AdaptiveOptions, AdaptivePolicy, LoadSignal};
 pub use query::{Policy, Query};
 pub use scheduler::{CacheSelection, Decision, Scheduler};
 pub use table::{LatencyTable, EMPTY_COLUMN};

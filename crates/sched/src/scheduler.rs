@@ -8,6 +8,15 @@
 //! closest to that average — frequent kernels/channels survive, infrequent
 //! ones age out, and (unlike pure intersection) frequent-but-not-universal
 //! structure is preserved (Fig. 6).
+//!
+//! The scheduler itself is load-oblivious: it prices queries as if the
+//! queue were empty. Under pressure the serving loop narrows the
+//! constraints it forwards here via [`crate::adaptive::AdaptivePolicy`]
+//! (query *shaping*), so `decide` keeps full authority over row selection
+//! and cache placement — the adaptive layer never overrides a decision,
+//! it only changes the question. That split is what lets `AvgNet` and the
+//! Q-window cache keep tracking the SubNets *actually served* while
+//! degraded.
 
 use serde::{Deserialize, Serialize};
 
@@ -95,6 +104,13 @@ impl Scheduler {
     #[must_use]
     pub fn current_cache(&self) -> usize {
         self.current_cache
+    }
+
+    /// The selection policy queries are priced under (the adaptive layer
+    /// shapes queries against the same policy).
+    #[must_use]
+    pub fn policy(&self) -> Policy {
+        self.policy
     }
 
     /// The caching period `Q`.

@@ -12,18 +12,23 @@
 //!   int8 datapath ([`crate::functional::forward_batch_cached`]): every
 //!   dispatched batch executes for real and records per-query predictions.
 //!   Weights are sliced and panel-packed once per SubNet (the
-//!   subgraph-stationary pack-once state) and all kernel scratch lives in
-//!   one reused [`Arena`]. Intended for the toy zoo; full-size nets take
-//!   seconds per forward.
+//!   subgraph-stationary pack-once state, shared across workers behind
+//!   `Arc` — panels are immutable after the build) while kernel scratch
+//!   stays private: one reused [`Arena`] per worker. Intended for the toy
+//!   zoo; full-size nets take seconds per forward.
 //!
 //! Both implement [`ExecutionBackend`], which the `sushi-core` engine
 //! dispatches through — per serving-stack worker, against that worker's own
 //! [`Accelerator`] replica (its Persistent-Buffer state), so the timing
 //! semantics are identical across backends and only the presence of real
-//! outputs differs.
+//! outputs differs. Batches dispatched to *different* workers at the same
+//! simulated instant go through [`ExecutionBackend::execute_concurrent`];
+//! the functional backend runs them as real parallel int8 forwards under
+//! [`std::thread::scope`], all reading the same pack-once caches.
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 use sushi_tensor::quant::quantize_tensor;
 use sushi_tensor::{Arena, DetRng, Shape4, Tensor, TensorError};
@@ -87,12 +92,35 @@ pub struct Execution {
 /// stays bounded over long runs (steady state allocates nothing per query).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct MemoryStats {
-    /// Bytes the kernel-scratch [`Arena`] has reserved (high-water mark of
-    /// one batch, reused by all later batches).
+    /// Bytes reserved by the per-worker kernel-scratch [`Arena`]s, summed
+    /// over workers (each arena holds the high-water mark of one batch,
+    /// reused by all later batches on that worker).
     pub arena_reserved_bytes: usize,
     /// SubNets whose weights have been sliced and panel-packed (each at
     /// most once, on first dispatch — bounded by the serving-set size).
+    /// Packed panels are shared by every worker, so they are counted once
+    /// here no matter how many replicas read them.
     pub packed_subnets: usize,
+    /// Workers that have materialized a private scratch arena (grown
+    /// lazily on first dispatch to that worker index).
+    pub arena_workers: usize,
+}
+
+/// One worker's slice of a concurrent dispatch group: a same-SubNet batch
+/// bound to the worker's own [`Accelerator`] replica.
+///
+/// Worker indices within one group must be distinct — each names the
+/// private scratch arena the batch executes with.
+#[derive(Debug)]
+pub struct ExecutionJob<'a> {
+    /// Worker (replica) index executing this batch.
+    pub worker: usize,
+    /// That worker's accelerator (Persistent-Buffer + timing state).
+    pub accel: &'a mut Accelerator,
+    /// The SubNet every query in the batch resolved to.
+    pub subnet: &'a SubNet,
+    /// The batched query ids.
+    pub query_ids: &'a [u64],
 }
 
 /// How a dispatched batch of same-SubNet queries is executed.
@@ -120,6 +148,31 @@ pub trait ExecutionBackend: fmt::Debug {
         subnet: &SubNet,
         query_ids: &[u64],
     ) -> Result<Execution, BackendError>;
+
+    /// Executes a group of batches dispatched to distinct workers at the
+    /// same simulated instant, returning one [`Execution`] per job in job
+    /// order.
+    ///
+    /// The default runs the jobs sequentially through
+    /// [`ExecutionBackend::execute_batch`] — correct for any backend, and
+    /// all the timing-only [`Analytical`] backend needs (simulated time is
+    /// advanced per-worker either way). [`Functional`] overrides it to run
+    /// the real int8 forwards concurrently. Results are independent of the
+    /// execution interleaving by construction, so both paths produce
+    /// bit-identical outputs.
+    ///
+    /// # Errors
+    /// Returns the first per-batch failure (empty batch, SubNet mismatch,
+    /// datapath error), checked in job order.
+    fn execute_concurrent(
+        &mut self,
+        net: &SuperNet,
+        jobs: &mut [ExecutionJob<'_>],
+    ) -> Result<Vec<Execution>, BackendError> {
+        jobs.iter_mut()
+            .map(|job| self.execute_batch(job.accel, net, job.subnet, job.query_ids))
+            .collect()
+    }
 
     /// Memory held as execution state across batches (`None` for stateless
     /// backends like [`Analytical`]).
@@ -171,17 +224,24 @@ impl ExecutionBackend for Analytical {
 /// batches through [`forward_batch_cached`] under the backend's `DpeArray`
 /// kernel policy. The backend is the serving stack's *subgraph-stationary*
 /// software state: the first batch served under a SubNet builds its
-/// [`SubgraphCache`] (sliced weights + packed GEMM panels); every later
-/// batch under that SubNet reads the panels in place, and all kernel
-/// scratch lives in one [`Arena`] reused across queries — the steady state
-/// allocates nothing per query.
+/// [`SubgraphCache`] (sliced weights + packed GEMM panels) exactly once;
+/// every later batch under that SubNet reads the panels in place. The
+/// caches are `Arc`-shared — panels are immutable after the build, so any
+/// number of workers read one pack-once copy concurrently
+/// ([`ExecutionBackend::execute_concurrent`]) while each worker owns a
+/// private scratch [`Arena`] reused across its queries — the steady state
+/// allocates nothing per query, and
+/// [`sushi_tensor::ops::pack::pack_invocations`] is independent of worker
+/// count.
 #[derive(Debug)]
 pub struct Functional {
     dpe: DpeArray,
     store: WeightStore,
     input_seed: u64,
-    caches: HashMap<String, SubgraphCache>,
-    arena: Arena,
+    caches: HashMap<String, Arc<SubgraphCache>>,
+    /// Per-worker scratch, grown lazily to the highest worker index seen
+    /// (`arenas[w]` is worker `w`'s private arena).
+    arenas: Vec<Arena>,
 }
 
 impl Functional {
@@ -193,8 +253,36 @@ impl Functional {
             store: WeightStore::synthesize(net, seed),
             input_seed: seed ^ 0x1A7E,
             caches: HashMap::new(),
-            arena: Arena::new(),
+            arenas: Vec::new(),
         }
+    }
+
+    /// Builds (or reuses) the shared pack-once cache for `subnet`.
+    ///
+    /// Packing happens here, on the dispatching thread, *before* any
+    /// worker fans out — so the pack count depends only on the set of
+    /// SubNets served, never on how many workers serve them.
+    fn ensure_cache(
+        &mut self,
+        net: &SuperNet,
+        subnet: &SubNet,
+    ) -> Result<Arc<SubgraphCache>, BackendError> {
+        if !self.caches.get(&subnet.name).is_some_and(|c| c.matches(&subnet.graph)) {
+            // First dispatch under this SubNet (or same name, different
+            // SubGraph — defensive): slice + pack once.
+            let cache = SubgraphCache::build(net, &self.store, &subnet.graph)?;
+            self.caches.insert(subnet.name.clone(), Arc::new(cache));
+        }
+        Ok(Arc::clone(&self.caches[&subnet.name]))
+    }
+
+    /// The private scratch arena for worker `worker`, growing the
+    /// per-worker set if this index has not executed before.
+    fn arena_for(&mut self, worker: usize) -> &mut Arena {
+        if self.arenas.len() <= worker {
+            self.arenas.resize_with(worker + 1, Arena::new);
+        }
+        &mut self.arenas[worker]
     }
 
     /// The synthesized weight store (shared across all SubNets).
@@ -238,25 +326,84 @@ impl ExecutionBackend for Functional {
     ) -> Result<Execution, BackendError> {
         validate_batch(net, subnet, query_ids)?;
         let inputs: Vec<Tensor<i8>> = query_ids.iter().map(|&id| self.input_for(net, id)).collect();
-        let Self { dpe, store, caches, arena, .. } = self;
-        if !caches.get(&subnet.name).is_some_and(|c| c.matches(&subnet.graph)) {
-            // First dispatch under this SubNet (or same name, different
-            // SubGraph — defensive): slice + pack once.
-            let cache = SubgraphCache::build(net, store, &subnet.graph)?;
-            caches.insert(subnet.name.clone(), cache);
-        }
-        let cache = caches.get(&subnet.name);
-        let outputs = forward_batch_cached(dpe, net, store, subnet, cache, arena, &inputs)?;
+        let cache = self.ensure_cache(net, subnet)?;
+        // A lone batch executes on the dispatching thread with worker 0's
+        // scratch; only concurrent groups fan out to per-worker arenas.
+        let _ = self.arena_for(0);
+        let Self { dpe, store, arenas, .. } = self;
+        let outputs =
+            forward_batch_cached(dpe, net, store, subnet, Some(&cache), &mut arenas[0], &inputs)?;
         Ok(Execution {
             report: accel.serve_batch(net, subnet, query_ids.len()),
             outputs: Some(outputs),
         })
     }
 
+    fn execute_concurrent(
+        &mut self,
+        net: &SuperNet,
+        jobs: &mut [ExecutionJob<'_>],
+    ) -> Result<Vec<Execution>, BackendError> {
+        // Validate, synthesize inputs, and build any missing caches
+        // *serially* before fanning out: packing stays deterministic and
+        // provably worker-count-independent, and every error surfaces in
+        // job order.
+        let mut prepared: Vec<(Arc<SubgraphCache>, Vec<Tensor<i8>>)> = Vec::new();
+        for job in jobs.iter() {
+            validate_batch(net, job.subnet, job.query_ids)?;
+            let cache = self.ensure_cache(net, job.subnet)?;
+            let inputs = job.query_ids.iter().map(|&id| self.input_for(net, id)).collect();
+            prepared.push((cache, inputs));
+        }
+        let max_worker = jobs.iter().map(|j| j.worker).max().unwrap_or(0);
+        let _ = self.arena_for(max_worker); // grow the per-worker set
+        let mut arenas: Vec<Option<&mut Arena>> = self.arenas.iter_mut().map(Some).collect();
+        let dpe = self.dpe;
+        let store = &self.store;
+        // One thread per job, each forwarding with its worker's private
+        // arena; the shared caches are read-only behind Arc. Outputs are
+        // per-query deterministic, so thread scheduling cannot change them.
+        let forwards: Vec<Result<Vec<FunctionalOutput>, TensorError>> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = jobs
+                    .iter()
+                    .zip(&prepared)
+                    .map(|(job, (cache, inputs))| {
+                        let arena = arenas[job.worker]
+                            .take()
+                            .expect("dispatch group reuses a worker index");
+                        let subnet = job.subnet;
+                        scope.spawn(move || {
+                            forward_batch_cached(
+                                &dpe,
+                                net,
+                                store,
+                                subnet,
+                                Some(cache.as_ref()),
+                                arena,
+                                inputs,
+                            )
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("forward thread panicked")).collect()
+            });
+        jobs.iter_mut()
+            .zip(forwards)
+            .map(|(job, outputs)| {
+                Ok(Execution {
+                    report: job.accel.serve_batch(net, job.subnet, job.query_ids.len()),
+                    outputs: Some(outputs?),
+                })
+            })
+            .collect()
+    }
+
     fn memory_stats(&self) -> Option<MemoryStats> {
         Some(MemoryStats {
-            arena_reserved_bytes: self.arena.reserved_bytes(),
+            arena_reserved_bytes: self.arenas.iter().map(Arena::reserved_bytes).sum(),
             packed_subnets: self.caches.len(),
+            arena_workers: self.arenas.len(),
         })
     }
 }
@@ -351,6 +498,36 @@ mod tests {
             let _ = backend.execute_batch(&mut accel, &net, &picks[0], &[2, 3]).unwrap();
         }
         assert_eq!(backend.memory_stats(), Some(after_first));
+    }
+
+    #[test]
+    fn concurrent_group_matches_sequential_outputs_and_packs_once() {
+        let (net, picks) = toy_setup();
+        // Sequential oracle: the same batches, one at a time.
+        let mut seq = Functional::new(DpeArray::new(4, 4), &net, 21);
+        let mut oracle_accel = Accelerator::new(zcu104());
+        let s0 = seq.execute_batch(&mut oracle_accel, &net, &picks[0], &[0, 1]).unwrap();
+        let s1 = seq.execute_batch(&mut oracle_accel, &net, &picks[1], &[2, 3, 4]).unwrap();
+
+        let mut par = Functional::new(DpeArray::new(4, 4), &net, 21);
+        let mut accels = vec![Accelerator::new(zcu104()); 3];
+        let mut it = accels.iter_mut();
+        let (a0, a1, a2) = (it.next().unwrap(), it.next().unwrap(), it.next().unwrap());
+        let mut jobs = vec![
+            ExecutionJob { worker: 0, accel: a0, subnet: &picks[0], query_ids: &[0, 1] },
+            ExecutionJob { worker: 1, accel: a1, subnet: &picks[1], query_ids: &[2, 3, 4] },
+            ExecutionJob { worker: 2, accel: a2, subnet: &picks[0], query_ids: &[0, 1] },
+        ];
+        let execs = par.execute_concurrent(&net, &mut jobs).unwrap();
+        assert_eq!(execs.len(), 3);
+        assert_eq!(execs[0].outputs, s0.outputs, "worker 0 logits match sequential");
+        assert_eq!(execs[1].outputs, s1.outputs, "worker 1 logits match sequential");
+        assert_eq!(execs[2].outputs, s0.outputs, "two workers on one SubNet agree");
+        assert_eq!(par.packed_subnets(), 2, "one shared pack per SubNet, not per worker");
+        let stats = par.memory_stats().unwrap();
+        assert_eq!(stats.arena_workers, 3, "each worker owns a private arena");
+        assert_eq!(stats.packed_subnets, 2);
+        assert!(stats.arena_reserved_bytes > 0);
     }
 
     #[test]

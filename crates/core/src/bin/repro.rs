@@ -8,25 +8,30 @@
 //! repro -- kernels --kernel-policy gemm # pin the functional kernel backend
 //! repro -- --serve                      # the serving runtime presets
 //! repro -- --serve --workers 4          # override the preset worker pools
+//! repro -- --serve --routing round_robin # override the routing policy
 //! repro -- --serve --no-adaptive        # static scheduling (pre-adaptive)
-//! repro -- --serve --backend functional --workers 1
+//! repro -- --serve --backend functional --workers 4
 //! ```
 //!
 //! `--serve` is shorthand for the `serve` experiment id: it runs the
 //! traffic presets (steady / burst / diurnal / multi-tenant / overload /
-//! deadline-mix / failover) through the event-driven serving runtime
-//! (deterministic: same seed, same report). Load-adaptive degradation is
-//! on by default; `--no-adaptive` pins the presets to the static
-//! pre-adaptive scheduling path bit-for-bit.
+//! deadline-mix / failover / scale) through the event-driven serving
+//! runtime (deterministic: same seed, same report). Load-adaptive
+//! degradation is on by default; `--no-adaptive` pins the presets to the
+//! static pre-adaptive scheduling path bit-for-bit.
 //!
 //! `--backend analytical|functional` selects the serving runtime's
 //! execution backend (`EngineBuilder::backend`): `analytical` (default)
 //! runs the timing model only; `functional` additionally executes the real
-//! int8 datapath per batch and requires `--workers 1` (full-size zoo
-//! forwards take seconds each — expect long runs).
+//! int8 datapath per batch — concurrently across however many workers are
+//! configured, reading one shared pack-once weight cache per SubNet
+//! (full-size zoo forwards take seconds each — expect long runs).
 //!
 //! `--workers N` overrides the serving presets' worker-pool size
 //! (`EngineBuilder::workers`); offered load keeps the presets' sizing.
+//!
+//! `--routing least_loaded|round_robin|cache_affinity` overrides the
+//! presets' replica routing policy (`EngineBuilder::routing`).
 //!
 //! `--kernel-policy naive|gemm|auto` selects the kernel backend used by
 //! experiments that execute the functional int8 datapath. Experiment
@@ -37,6 +42,7 @@ use std::io::Write as _;
 
 use sushi_core::engine::BackendKind;
 use sushi_core::experiments::{run, ExpOptions, ALL_IDS};
+use sushi_core::serving::RoutingPolicy;
 use sushi_tensor::KernelPolicy;
 
 fn flag_operand<'a>(args: &'a [String], flag: &str) -> (Option<usize>, Option<&'a String>) {
@@ -94,16 +100,28 @@ fn main() {
             std::process::exit(2);
         }
     };
-    // The engine builder enforces the same rule per scenario; failing fast
-    // here turns a mid-run preset note into an immediate CLI error.
-    if backend == BackendKind::Functional && workers != Some(1) {
-        eprintln!("--backend functional requires --workers 1 (one subgraph-stationary cache)");
-        std::process::exit(2);
-    }
+    let (routing_pos, routing_arg) = flag_operand(&args, "--routing");
+    let routing = match (routing_pos, routing_arg) {
+        (None, _) => None,
+        (Some(_), Some(v)) => match v.parse::<RoutingPolicy>() {
+            Ok(r) => Some(r),
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        },
+        (Some(_), None) => {
+            eprintln!("--routing requires a value (least_loaded|round_robin|cache_affinity)");
+            std::process::exit(2);
+        }
+    };
     // Skip flag *operands by position*, not by value, so an id that happens
     // to equal an operand (e.g. a directory named "fig10") is still run.
-    let operand_pos: Vec<usize> =
-        [save_pos, policy_pos, backend_pos, workers_pos].iter().flatten().map(|i| i + 1).collect();
+    let operand_pos: Vec<usize> = [save_pos, policy_pos, backend_pos, workers_pos, routing_pos]
+        .iter()
+        .flatten()
+        .map(|i| i + 1)
+        .collect();
     let mut ids: Vec<String> = args
         .iter()
         .enumerate()
@@ -118,6 +136,7 @@ fn main() {
     opts.kernel_policy = kernel_policy;
     opts.backend = backend;
     opts.workers = workers;
+    opts.routing = routing;
     // `--no-adaptive` pins the serving presets to static scheduling (the
     // pre-adaptive runtime, bit-for-bit).
     opts.adaptive = !args.iter().any(|a| a == "--no-adaptive");

@@ -7,18 +7,21 @@
 //! serve_bench --check BENCH_serve.json # fail on any metric drift
 //! serve_bench --out BENCH_serve.json   # (re)write the baseline
 //! serve_bench --workers 4              # override the preset worker pools
+//! serve_bench --routing round_robin    # override the routing policy
 //! serve_bench --no-adaptive            # static scheduling everywhere
-//! serve_bench --backend functional --workers 1
+//! serve_bench --backend functional     # real int8 forwards, any pool size
 //! ```
 //!
-//! The default run records every preset with load-adaptive degradation
-//! enabled, plus a static (`adaptive: false`) companion row for each of
-//! the four original presets — those rows pin the pre-adaptive runtime
-//! bit-for-bit, so the baseline gates both the adaptive loop and the
-//! no-adaptation path. `--backend` / `--workers` / `--no-adaptive` map
-//! onto the engine knobs; the committed baseline records the default
-//! configuration, so overridden runs cannot be combined with
-//! `--check`/`--out`.
+//! The default run records every preset twice — with load-adaptive
+//! degradation and as a static (`adaptive: false`) companion row — plus
+//! the `scale_functional` worker-scaling sweep: one cache-swap-heavy
+//! toy-zoo stream served by the functional backend at 1/2/4/8 replicas
+//! under cache-affinity routing (with a 4-replica round-robin ablation),
+//! printed as a goodput speedup table. Rows are keyed
+//! `(scenario, adaptive, workers, routing)` — schema v3.
+//! `--backend` / `--workers` / `--routing` / `--no-adaptive` map onto the
+//! engine knobs; the committed baseline records the default configuration,
+//! so overridden runs cannot be combined with `--check`/`--out`.
 //!
 //! Every recorded figure (p50/p95/p99, goodput, SLO-violation rate, drop
 //! and degrade/upgrade counts) is *simulated* — no wall clock — so the
@@ -34,7 +37,7 @@ use sushi_core::experiments::ExpOptions;
 use sushi_core::metrics::{
     serve_bench_from_json, serve_bench_to_json, serve_regressions, ServeBenchEntry, ServeSummary,
 };
-use sushi_core::serving::{run_all_presets, run_scenario, ServePreset};
+use sushi_core::serving::{run_functional_scaling, run_scenario, RoutingPolicy, ServePreset};
 
 /// Relative tolerance for the drift gate: wide enough for the `%.6` JSON
 /// round-trip, far below any semantic change.
@@ -52,7 +55,7 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a String> {
 
 fn print_row(label: &str, s: &ServeSummary) {
     println!(
-        "{label:<22} p50 {:>8.3} ms   p95 {:>8.3} ms   p99 {:>8.3} ms   goodput {:>7.1} q/s   SLO viol {:>6.2}%   dropped {:>3}   lvl\u{2193}{} \u{2191}{}",
+        "{label:<26} p50 {:>8.3} ms   p95 {:>8.3} ms   p99 {:>8.3} ms   goodput {:>7.1} q/s   SLO viol {:>6.2}%   dropped {:>3}   lvl\u{2193}{} \u{2191}{}",
         s.p50_ms,
         s.p95_ms,
         s.p99_ms,
@@ -76,17 +79,21 @@ fn main() {
     };
     let workers = flag_value(&args, "--workers")
         .map(|v| v.parse::<usize>().unwrap_or_else(|_| die("--workers requires an integer")));
+    let routing = flag_value(&args, "--routing")
+        .map(|v| v.parse::<RoutingPolicy>().unwrap_or_else(|e| die(&e)));
     // The committed baseline records the default configuration; an
     // overridden run must never gate against or rewrite it.
-    if (backend != BackendKind::Analytical || workers.is_some() || no_adaptive)
-        && (out_path.is_some() || check_path.is_some())
-    {
-        die("--backend/--workers/--no-adaptive overrides cannot be combined with --check/--out");
+    let overridden =
+        backend != BackendKind::Analytical || workers.is_some() || routing.is_some() || no_adaptive;
+    if overridden && (out_path.is_some() || check_path.is_some()) {
+        die("--backend/--workers/--routing/--no-adaptive overrides cannot be combined with \
+             --check/--out");
     }
 
     let mut opts = if quick { ExpOptions::quick() } else { ExpOptions::default() };
     opts.backend = backend;
     opts.workers = workers;
+    opts.routing = routing;
     opts.adaptive = !no_adaptive;
     println!(
         "serving presets, {} queries each, {} backend, {} scheduling (simulated time — deterministic)\n",
@@ -94,25 +101,58 @@ fn main() {
         opts.backend,
         if opts.adaptive { "adaptive" } else { "static" }
     );
-    let mut entries: Vec<ServeBenchEntry> = run_all_presets(&opts)
-        .unwrap_or_else(|e| die(&e.to_string()))
-        .into_iter()
-        .map(|(name, summary)| {
-            print_row(name, &summary);
-            ServeBenchEntry::from_summary(name, opts.adaptive, &summary)
-        })
-        .collect();
-    if opts.adaptive {
-        // Static companion rows: the original presets with adaptation off,
-        // pinning the pre-adaptive runtime bit-for-bit.
-        let mut static_opts = opts;
-        static_opts.adaptive = false;
-        for preset in ServePreset::STATIC_PINNED {
-            let summary = run_scenario(preset, &static_opts)
-                .unwrap_or_else(|e| die(&e.to_string()))
-                .summary();
-            print_row(&format!("{} (static)", preset.name()), &summary);
-            entries.push(ServeBenchEntry::from_summary(preset.name(), false, &summary));
+    // Every preset, adaptive (unless --no-adaptive) plus its static
+    // companion row — both keyed by the effective (workers, routing).
+    let mut entries: Vec<ServeBenchEntry> = Vec::new();
+    let mut static_opts = opts;
+    static_opts.adaptive = false;
+    for preset in ServePreset::ALL {
+        let w = opts.workers.unwrap_or(preset.default_workers());
+        let r = opts.routing.unwrap_or(preset.default_routing());
+        if opts.adaptive {
+            let summary =
+                run_scenario(preset, &opts).unwrap_or_else(|e| die(&e.to_string())).summary();
+            print_row(preset.name(), &summary);
+            entries.push(ServeBenchEntry::from_summary(preset.name(), true, w, r.name(), &summary));
+        }
+        let summary =
+            run_scenario(preset, &static_opts).unwrap_or_else(|e| die(&e.to_string())).summary();
+        print_row(&format!("{} (static)", preset.name()), &summary);
+        entries.push(ServeBenchEntry::from_summary(preset.name(), false, w, r.name(), &summary));
+    }
+
+    // The functional worker-scaling sweep. Its sizing is fixed
+    // (quick-independent) and it ignores the overrides above, so it only
+    // runs in default configurations — exactly the ones that may gate or
+    // rewrite the baseline.
+    if !overridden {
+        println!("\nfunctional worker scaling (toy zoo, cache-swap-heavy stream):");
+        let sweep = run_functional_scaling(&opts).unwrap_or_else(|e| die(&e.to_string()));
+        let base_goodput = sweep
+            .iter()
+            .find(|(w, r, _)| *w == 1 && *r == RoutingPolicy::CacheAffinity)
+            .map(|(_, _, s)| s.goodput_qps)
+            .unwrap_or_else(|| die("scaling sweep is missing its 1-worker anchor"));
+        for (w, r, summary) in &sweep {
+            print_row(&format!("scale_functional ({w}w, {r})"), summary);
+            entries.push(ServeBenchEntry::from_summary(
+                "scale_functional",
+                false,
+                *w,
+                r.name(),
+                summary,
+            ));
+        }
+        println!("\n{:<10} {:>14} {:>10}", "workers", "goodput (q/s)", "speedup");
+        for (w, r, summary) in &sweep {
+            if *r == RoutingPolicy::CacheAffinity {
+                println!(
+                    "{:<10} {:>14.1} {:>9.2}x",
+                    w,
+                    summary.goodput_qps,
+                    summary.goodput_qps / base_goodput
+                );
+            }
         }
     }
 

@@ -45,6 +45,7 @@ use sushi_wsnet::{zoo, SubNet, SuperNet};
 use crate::error::SushiError;
 use crate::serving::batch::BatchPolicy;
 use crate::serving::queue::DropPolicy;
+use crate::serving::routing::RoutingPolicy;
 use crate::serving::sim::{ServingSim, SimConfig, SimResult};
 use crate::stack::{ServedRecord, SushiStack};
 use crate::stream::{ConstraintSpace, TimedQuery};
@@ -82,7 +83,9 @@ pub enum BackendKind {
     /// Timing/energy model only (full-size nets simulate in microseconds).
     Analytical,
     /// Timing model plus the bit-exact packed int8 datapath (toy-zoo
-    /// scale; records per-query predictions). Requires exactly one worker.
+    /// scale; records per-query predictions). Workers share one pack-once
+    /// weight cache per SubNet and execute concurrently, so logits are
+    /// bit-identical across worker counts.
     Functional,
 }
 
@@ -345,6 +348,13 @@ impl EngineBuilder {
         self
     }
 
+    /// Sets the replica routing policy for [`Engine::serve_timed`]
+    /// (default: least-loaded).
+    pub fn routing(mut self, routing: RoutingPolicy) -> Self {
+        self.sim.routing = routing;
+        self
+    }
+
     /// Enables load-adaptive degradation for [`Engine::serve_timed`]: the
     /// serving loop walks SubNet selection down the latency ladder under
     /// pressure and back up when idle (see
@@ -362,10 +372,8 @@ impl EngineBuilder {
     ///
     /// # Errors
     /// Returns [`SushiError::Config`] on an empty serving set, a zero
-    /// `Q`/worker/queue/batch knob, a latency-table/serving-set mismatch,
-    /// or a functional backend configured with more than one worker (each
-    /// worker owns Persistent-Buffer state, but the functional weight
-    /// cache is engine-wide — a silent mismatch in the pre-builder API).
+    /// `Q`/worker/queue/batch knob, or a latency-table/serving-set
+    /// mismatch.
     pub fn build(self) -> Result<Engine, SushiError> {
         let (net, subnets, default_q) = match self.workload {
             WorkloadSpec::Zoo(z) => z.load(),
@@ -394,13 +402,6 @@ impl EngineBuilder {
         }
         if !(self.sim.batch.max_wait_ms.is_finite() && self.sim.batch.max_wait_ms >= 0.0) {
             return Err(SushiError::Config("batch wait must be finite and non-negative".into()));
-        }
-        if self.backend == BackendKind::Functional && self.sim.workers != 1 {
-            return Err(SushiError::Config(format!(
-                "the functional backend keeps one engine-wide subgraph-stationary weight \
-                 cache and requires exactly 1 worker, got {}",
-                self.sim.workers
-            )));
         }
         let (config, derived_selection) = match self.variant {
             Variant::NoSushi => (self.accel.without_pb(), CacheSelection::Disabled),
@@ -602,11 +603,11 @@ mod tests {
     }
 
     #[test]
-    fn functional_backend_with_multiple_workers_is_a_config_error() {
-        let err =
-            EngineBuilder::new().backend(BackendKind::Functional).workers(2).build().unwrap_err();
-        assert!(matches!(err, SushiError::Config(_)), "{err}");
-        assert!(err.to_string().contains("worker"));
+    fn functional_backend_builds_with_multiple_workers() {
+        let engine =
+            EngineBuilder::new().backend(BackendKind::Functional).workers(4).build().unwrap();
+        assert_eq!(engine.backend_name(), "functional");
+        assert_eq!(engine.sim_config().workers, 4);
     }
 
     #[test]

@@ -9,6 +9,7 @@ use sushi_tensor::KernelPolicy;
 use sushi_wsnet::{zoo, SubNet, SuperNet};
 
 use crate::engine::{BackendKind, Engine, EngineBuilder};
+use crate::serving::routing::RoutingPolicy;
 use crate::stream::ConstraintSpace;
 use crate::variants::{build_table, Variant};
 
@@ -34,11 +35,15 @@ pub struct ExpOptions {
     /// Execution backend for the serving-runtime experiments
     /// (`repro --backend analytical|functional`). The analytical default
     /// keeps full-size workloads fast; functional runs the real int8
-    /// datapath and requires `workers = Some(1)`.
+    /// datapath, in parallel across however many workers are configured.
     pub backend: BackendKind,
     /// Worker-count override for the serving-runtime presets
     /// (`repro --workers N`; `None` keeps each preset's own sizing).
     pub workers: Option<usize>,
+    /// Replica-routing override for the serving-runtime presets
+    /// (`repro --routing <policy>`; `None` keeps each preset's own
+    /// policy).
+    pub routing: Option<RoutingPolicy>,
     /// Whether the serving-runtime presets run with load-adaptive
     /// degradation (`repro --no-adaptive` turns it off; the static path
     /// stays bit-identical to the pre-adaptive runtime).
@@ -54,6 +59,7 @@ impl Default for ExpOptions {
             kernel_policy: KernelPolicy::Auto,
             backend: BackendKind::Analytical,
             workers: None,
+            routing: None,
             adaptive: true,
         }
     }

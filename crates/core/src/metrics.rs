@@ -411,10 +411,15 @@ pub struct ServeSummary {
 pub struct ServeBenchEntry {
     /// Scenario label, e.g. `"steady"`.
     pub scenario: String,
-    /// Whether load-adaptive degradation was enabled for this row. Each
-    /// scenario can appear twice in the baseline — once adaptive, once
-    /// static — and the pair `(scenario, adaptive)` is the row key.
+    /// Whether load-adaptive degradation was enabled for this row. A
+    /// scenario can appear multiple times in the baseline — adaptive and
+    /// static, at different pool sizes — and the quadruple
+    /// `(scenario, adaptive, workers, routing)` is the row key.
     pub adaptive: bool,
+    /// Worker (replica) count the row ran with.
+    pub workers: usize,
+    /// Routing-policy label (`RoutingPolicy::name`) the row ran with.
+    pub routing: String,
     /// p50 end-to-end latency, ms.
     pub p50_ms: f64,
     /// p95 end-to-end latency, ms.
@@ -436,10 +441,18 @@ pub struct ServeBenchEntry {
 impl ServeBenchEntry {
     /// Builds a baseline row from a scenario summary.
     #[must_use]
-    pub fn from_summary(scenario: impl Into<String>, adaptive: bool, s: &ServeSummary) -> Self {
+    pub fn from_summary(
+        scenario: impl Into<String>,
+        adaptive: bool,
+        workers: usize,
+        routing: impl Into<String>,
+        s: &ServeSummary,
+    ) -> Self {
         Self {
             scenario: scenario.into(),
             adaptive,
+            workers,
+            routing: routing.into(),
             p50_ms: s.p50_ms,
             p95_ms: s.p95_ms,
             p99_ms: s.p99_ms,
@@ -456,24 +469,29 @@ impl ServeBenchEntry {
 /// (hand-rolled for the same reason as [`kernel_bench_to_json`]).
 ///
 /// # Panics
-/// Panics if a scenario label contains `"`, `,`, `{` or `}`.
+/// Panics if a scenario or routing label contains `"`, `,`, `{` or `}`.
 #[must_use]
 pub fn serve_bench_to_json(entries: &[ServeBenchEntry]) -> String {
-    let mut out = String::from("{\n  \"schema\": \"sushi-serve-bench-v2\",\n  \"entries\": [\n");
+    let mut out = String::from("{\n  \"schema\": \"sushi-serve-bench-v3\",\n  \"entries\": [\n");
     for (i, e) in entries.iter().enumerate() {
         use std::fmt::Write as _;
-        assert!(
-            !e.scenario.contains(['"', ',', '{', '}']),
-            "serve bench scenario '{}' contains characters the minimal JSON format cannot carry",
-            e.scenario
-        );
+        for (what, label) in [("scenario", &e.scenario), ("routing", &e.routing)] {
+            assert!(
+                !label.contains(['"', ',', '{', '}']),
+                "serve bench {what} '{label}' contains characters the minimal JSON format \
+                 cannot carry"
+            );
+        }
         let _ = write!(
             out,
-            "    {{\"scenario\": \"{}\", \"adaptive\": {}, \"p50_ms\": {:.6}, \"p95_ms\": {:.6}, \
+            "    {{\"scenario\": \"{}\", \"adaptive\": {}, \"workers\": {}, \"routing\": \"{}\", \
+             \"p50_ms\": {:.6}, \"p95_ms\": {:.6}, \
              \"p99_ms\": {:.6}, \"goodput_qps\": {:.6}, \"slo_violation_rate\": {:.6}, \
              \"dropped\": {}, \"degrades\": {}, \"upgrades\": {}}}",
             e.scenario,
             e.adaptive,
+            e.workers,
+            e.routing,
             e.p50_ms,
             e.p95_ms,
             e.p99_ms,
@@ -504,14 +522,16 @@ pub fn serve_bench_from_json(text: &str) -> Result<Vec<ServeBenchEntry>, String>
     fn num(obj: &str, key: &str) -> Result<f64, String> {
         field(obj, key)?.parse().map_err(|e| format!("bad {key}: {e}"))
     }
-    if !text.contains("sushi-serve-bench-v2") {
-        return Err(if text.contains("sushi-serve-bench-v1") {
-            "baseline uses the pre-adaptive sushi-serve-bench-v1 schema — regenerate it with \
-             scripts/bench_baseline.sh --update"
-                .to_string()
-        } else {
-            "missing sushi-serve-bench-v2 schema marker".to_string()
-        });
+    if !text.contains("sushi-serve-bench-v3") {
+        return Err(
+            if text.contains("sushi-serve-bench-v1") || text.contains("sushi-serve-bench-v2") {
+                "baseline uses a pre-multi-worker serve-bench schema (v1/v2) — regenerate it \
+                 with scripts/bench_baseline.sh --update"
+                    .to_string()
+            } else {
+                "missing sushi-serve-bench-v3 schema marker".to_string()
+            },
+        );
     }
     let mut entries = Vec::new();
     for obj in text.split('{').skip(2) {
@@ -522,6 +542,8 @@ pub fn serve_bench_from_json(text: &str) -> Result<Vec<ServeBenchEntry>, String>
         entries.push(ServeBenchEntry {
             scenario: field(obj, "scenario")?.trim_matches('"').to_string(),
             adaptive: field(obj, "adaptive")?.parse().map_err(|e| format!("bad adaptive: {e}"))?,
+            workers: field(obj, "workers")?.parse().map_err(|e| format!("bad workers: {e}"))?,
+            routing: field(obj, "routing")?.trim_matches('"').to_string(),
             p50_ms: num(obj, "p50_ms")?,
             p95_ms: num(obj, "p95_ms")?,
             p99_ms: num(obj, "p99_ms")?,
@@ -540,7 +562,7 @@ pub fn serve_bench_from_json(text: &str) -> Result<Vec<ServeBenchEntry>, String>
 
 /// Compares a fresh deterministic serve run against the committed baseline.
 ///
-/// Rows are matched by `(scenario, adaptive)`. All
+/// Rows are matched by `(scenario, adaptive, workers, routing)`. All
 /// percentile/goodput/violation fields must agree within `rel_tol`
 /// (relative) and the dropped/degrades/upgrades counts exactly; a row
 /// missing from `current` fails, and so does a row present in `current`
@@ -559,13 +581,23 @@ pub fn serve_regressions(
 ) -> Result<(), String> {
     let close = |a: f64, b: f64| (a - b).abs() <= rel_tol * a.abs().max(b.abs()).max(1.0);
     let label = |e: &ServeBenchEntry| {
-        format!("{} ({})", e.scenario, if e.adaptive { "adaptive" } else { "static" })
+        format!(
+            "{} ({}, {}w, {})",
+            e.scenario,
+            if e.adaptive { "adaptive" } else { "static" },
+            e.workers,
+            e.routing
+        )
+    };
+    let same_key = |a: &ServeBenchEntry, b: &ServeBenchEntry| {
+        a.scenario == b.scenario
+            && a.adaptive == b.adaptive
+            && a.workers == b.workers
+            && a.routing == b.routing
     };
     let mut problems = Vec::new();
     for base in baseline {
-        let Some(cur) =
-            current.iter().find(|c| c.scenario == base.scenario && c.adaptive == base.adaptive)
-        else {
+        let Some(cur) = current.iter().find(|c| same_key(c, base)) else {
             problems.push(format!("scenario '{}' missing from current run", label(base)));
             continue;
         };
@@ -595,7 +627,7 @@ pub fn serve_regressions(
         }
     }
     for cur in current {
-        if !baseline.iter().any(|b| b.scenario == cur.scenario && b.adaptive == cur.adaptive) {
+        if !baseline.iter().any(|b| same_key(b, cur)) {
             problems.push(format!(
                 "scenario '{}' is not in the baseline — regenerate it with --update",
                 label(cur)
@@ -803,6 +835,8 @@ mod tests {
         ServeBenchEntry {
             scenario: scenario.into(),
             adaptive: false,
+            workers: 2,
+            routing: "least_loaded".into(),
             p50_ms: 2.0,
             p95_ms: 5.0,
             p99_ms: p99,
@@ -820,18 +854,24 @@ mod tests {
         entries[1].adaptive = true;
         entries[1].degrades = 5;
         entries[1].upgrades = 4;
+        entries[1].workers = 8;
+        entries[1].routing = "cache_affinity".into();
         let json = serve_bench_to_json(&entries);
-        assert!(json.contains("sushi-serve-bench-v2"));
+        assert!(json.contains("sushi-serve-bench-v3"));
         let parsed = serve_bench_from_json(&json).unwrap();
         assert_eq!(parsed, entries);
     }
 
     #[test]
-    fn serve_bench_rejects_stale_v1_baseline() {
-        let v1 = "{\n \"schema\": \"sushi-serve-bench-v1\",\n \"entries\": [\n \
-                  {\"scenario\": \"steady\", \"p50_ms\": 1.0}\n ]\n}\n";
-        let err = serve_bench_from_json(v1).unwrap_err();
-        assert!(err.contains("--update"), "{err}");
+    fn serve_bench_rejects_stale_v1_and_v2_baselines() {
+        for old in ["v1", "v2"] {
+            let stale = format!(
+                "{{\n \"schema\": \"sushi-serve-bench-{old}\",\n \"entries\": [\n \
+                 {{\"scenario\": \"steady\", \"p50_ms\": 1.0}}\n ]\n}}\n"
+            );
+            let err = serve_bench_from_json(&stale).unwrap_err();
+            assert!(err.contains("--update"), "{err}");
+        }
     }
 
     #[test]
@@ -862,6 +902,14 @@ mod tests {
         flipped[0].adaptive = true;
         let err = serve_regressions(&flipped, &base, 1e-9).unwrap_err();
         assert!(err.contains("missing from current run") && err.contains("not in the baseline"));
+        // Same scenario at another pool size or routing policy is a
+        // different row too.
+        let mut resized = base.clone();
+        resized[0].workers = 4;
+        assert!(serve_regressions(&resized, &base, 1e-9).is_err());
+        let mut rerouted = base.clone();
+        rerouted[0].routing = "round_robin".into();
+        assert!(serve_regressions(&rerouted, &base, 1e-9).is_err());
         // A scenario the baseline has never seen fails too: new presets
         // must enter the baseline explicitly via --update.
         let extra = vec![base[0].clone(), serve_entry("brand_new", 1.0, 0)];

@@ -2,20 +2,30 @@
 //!
 //! Each worker owns an [`Accelerator`] replica (its own Persistent-Buffer
 //! state) and a monotone `busy_until` clock; batches run to completion
-//! without preemption. Scheduler cache decisions are broadcast to every
-//! worker as a *pending install* and applied lazily at that worker's next
-//! dispatch, so the PB swap cost lands on the batch that first benefits
-//! from the new SubGraph — charging cache-swap time against the deadlines
-//! of the queries actually in flight (stage B of Fig. 9a, now under load).
+//! without preemption. Scheduler cache decisions are *routed*, not
+//! broadcast: a decision becomes one pool-level pending install
+//! ([`ExecutorPool::route_install`], newest overwrites an unapplied one)
+//! that the next dispatched batch's worker applies lazily — so the PB swap
+//! cost lands on the replica and batch that first benefit from the new
+//! SubGraph, charging cache-swap time against the deadlines of the queries
+//! actually in flight (stage B of Fig. 9a, now under load). Replicas
+//! therefore hold *different* resident SubGraphs over time, which is what
+//! cache-affinity routing ([`crate::serving::routing::RoutingPolicy`])
+//! exploits: the serving loop inspects [`ExecutorPool::resident`] and
+//! steers each batch to a warm replica when one is free.
 //!
 //! Execution is delegated to the engine's [`ExecutionBackend`]: the
 //! analytical backend advances simulated time only, while the functional
 //! backend additionally runs the real packed int8 datapath per dispatched
-//! batch and returns per-query predictions. Timing is identical across
-//! backends, so the serving layer never changes *what* is computed — only
-//! *when*.
+//! batch and returns per-query predictions. Batches bound for distinct
+//! workers at the same simulated instant go down as one *dispatch group*
+//! ([`ExecutorPool::dispatch_group`] →
+//! [`ExecutionBackend::execute_concurrent`]), which the functional backend
+//! executes as genuinely parallel int8 forwards. Timing is identical
+//! across backends, so the serving layer never changes *what* is computed
+//! — only *when*.
 
-use sushi_accel::backend::{Execution, ExecutionBackend};
+use sushi_accel::backend::{Execution, ExecutionBackend, ExecutionJob};
 use sushi_accel::exec::{Accelerator, BatchReport};
 use sushi_accel::functional::FunctionalOutput;
 use sushi_accel::AccelConfig;
@@ -28,7 +38,17 @@ use crate::error::SushiError;
 struct Worker {
     accel: Accelerator,
     busy_until_ms: f64,
-    pending_install: Option<SubGraph>,
+}
+
+/// One batch of a dispatch group: which worker runs which SubNet's queries.
+#[derive(Debug, Clone)]
+pub struct PlannedBatch<'a> {
+    /// Worker (replica) index chosen by the routing policy.
+    pub worker: usize,
+    /// The SubNet every query in the batch resolved to.
+    pub subnet: &'a SubNet,
+    /// The batched query ids.
+    pub query_ids: Vec<u64>,
 }
 
 /// What one dispatch did.
@@ -49,6 +69,9 @@ pub struct DispatchReport {
 #[derive(Debug, Clone)]
 pub struct ExecutorPool {
     workers: Vec<Worker>,
+    /// The newest unapplied cache decision; applied by (and charged to)
+    /// the next dispatched batch's worker.
+    pending_install: Option<SubGraph>,
     cache_installs: usize,
     swap_ms: f64,
     batches: usize,
@@ -62,12 +85,14 @@ impl ExecutorPool {
     #[must_use]
     pub fn new(config: &AccelConfig, workers: usize) -> Self {
         assert!(workers > 0, "executor pool needs at least one worker");
-        let worker = Worker {
-            accel: Accelerator::new(config.clone()),
-            busy_until_ms: 0.0,
+        let worker = Worker { accel: Accelerator::new(config.clone()), busy_until_ms: 0.0 };
+        Self {
+            workers: vec![worker; workers],
             pending_install: None,
-        };
-        Self { workers: vec![worker; workers], cache_installs: 0, swap_ms: 0.0, batches: 0 }
+            cache_installs: 0,
+            swap_ms: 0.0,
+            batches: 0,
+        }
     }
 
     /// Number of workers.
@@ -76,11 +101,25 @@ impl ExecutorPool {
         self.workers.len()
     }
 
-    /// Lowest-index worker free at `now_ms`, if any (deterministic tie
-    /// break: index order).
+    /// Whether any worker is free at `now_ms` (the lowest such index —
+    /// this is an availability query, *not* the routing decision, which
+    /// [`crate::serving::routing::RoutingPolicy::choose`] makes).
     #[must_use]
     pub fn free_worker_at(&self, now_ms: f64) -> Option<usize> {
         self.workers.iter().position(|w| w.busy_until_ms <= now_ms)
+    }
+
+    /// When worker `worker` last became (or next becomes) idle, ms.
+    #[must_use]
+    pub fn busy_until_ms(&self, worker: usize) -> f64 {
+        self.workers[worker].busy_until_ms
+    }
+
+    /// The SubGraph resident in worker `worker`'s Persistent Buffer
+    /// (`None` before its first applied install, or on PB-less configs).
+    #[must_use]
+    pub fn resident(&self, worker: usize) -> Option<&SubGraph> {
+        self.workers[worker].accel.cached()
     }
 
     /// Earliest time any worker becomes free.
@@ -98,19 +137,18 @@ impl ExecutorPool {
         self.workers.iter().map(|w| w.busy_until_ms).fold(0.0, f64::max)
     }
 
-    /// Broadcasts a cache decision: every worker installs `graph` before
-    /// its next batch (the newest decision overwrites an unapplied one).
-    pub fn broadcast_install(&mut self, graph: &SubGraph) {
+    /// Routes a cache decision: the *next dispatched batch's* worker
+    /// installs `graph` before executing (the newest decision overwrites
+    /// an unapplied one). Other replicas keep their resident SubGraphs —
+    /// installs accrete across the pool instead of thrashing every PB.
+    pub fn route_install(&mut self, graph: &SubGraph) {
         self.cache_installs += 1;
-        for w in &mut self.workers {
-            w.pending_install = Some(graph.clone());
-        }
+        self.pending_install = Some(graph.clone());
     }
 
     /// Runs the same-SubNet queries `query_ids` as one batch on `worker`
-    /// through `backend`, applying any pending cache install first (its
-    /// reload time is charged to this batch by the accelerator). Returns
-    /// the timing report plus the backend's per-query outputs, if any.
+    /// through `backend`. Equivalent to a one-batch
+    /// [`ExecutorPool::dispatch_group`].
     ///
     /// # Errors
     /// Returns [`SushiError::Backend`] when the backend fails (empty
@@ -128,21 +166,65 @@ impl ExecutorPool {
         backend: &mut dyn ExecutionBackend,
         query_ids: &[u64],
     ) -> Result<(DispatchReport, Option<Vec<FunctionalOutput>>), SushiError> {
-        let w = &mut self.workers[worker];
-        assert!(w.busy_until_ms <= now_ms, "dispatch to a busy worker");
-        if let Some(graph) = w.pending_install.take() {
-            let _ = w.accel.install_cache(net, graph);
-        }
-        let Execution { report, outputs } =
-            backend.execute_batch(&mut w.accel, net, subnet, query_ids)?;
-        self.swap_ms += w.accel.config().cycles_to_ms(report.pb_reload_cycles);
-        self.batches += 1;
-        let completion_ms = now_ms + report.total_latency_ms;
-        w.busy_until_ms = completion_ms;
-        Ok((DispatchReport { worker, start_ms: now_ms, completion_ms, report }, outputs))
+        let plan = [PlannedBatch { worker, subnet, query_ids: query_ids.to_vec() }];
+        let mut results = self.dispatch_group(now_ms, net, backend, &plan)?;
+        Ok(results.pop().expect("one batch in, one result out"))
     }
 
-    /// Number of cache decisions broadcast so far.
+    /// Dispatches a group of batches — one per distinct free worker — at
+    /// the same simulated instant, executing them through
+    /// [`ExecutionBackend::execute_concurrent`]. Any pending cache install
+    /// is applied by the first batch's worker (its PB reload time is
+    /// charged to that batch by the accelerator). Results come back in
+    /// plan order.
+    ///
+    /// # Errors
+    /// Returns [`SushiError::Backend`] when the backend fails.
+    ///
+    /// # Panics
+    /// Panics if a planned worker is still busy at `now_ms` or the plan
+    /// names the same worker twice (event-loop programming errors).
+    pub fn dispatch_group(
+        &mut self,
+        now_ms: f64,
+        net: &SuperNet,
+        backend: &mut dyn ExecutionBackend,
+        plan: &[PlannedBatch<'_>],
+    ) -> Result<Vec<(DispatchReport, Option<Vec<FunctionalOutput>>)>, SushiError> {
+        if let (Some(graph), Some(first)) = (self.pending_install.take(), plan.first()) {
+            let _ = self.workers[first.worker].accel.install_cache(net, graph);
+        }
+        let mut accels: Vec<Option<&mut Accelerator>> =
+            self.workers.iter_mut().map(|w| Some(&mut w.accel)).collect();
+        let mut jobs: Vec<ExecutionJob<'_>> = plan
+            .iter()
+            .map(|b| ExecutionJob {
+                worker: b.worker,
+                accel: accels[b.worker].take().expect("dispatch group reuses a worker"),
+                subnet: b.subnet,
+                query_ids: &b.query_ids,
+            })
+            .collect();
+        drop(accels);
+        let executions = backend.execute_concurrent(net, &mut jobs)?;
+        plan.iter()
+            .zip(executions)
+            .map(|(b, Execution { report, outputs })| {
+                let w = &mut self.workers[b.worker];
+                assert!(w.busy_until_ms <= now_ms, "dispatch to a busy worker");
+                self.swap_ms += w.accel.config().cycles_to_ms(report.pb_reload_cycles);
+                self.batches += 1;
+                let completion_ms = now_ms + report.total_latency_ms;
+                w.busy_until_ms = completion_ms;
+                Ok((
+                    DispatchReport { worker: b.worker, start_ms: now_ms, completion_ms, report },
+                    outputs,
+                ))
+            })
+            .collect()
+    }
+
+    /// Number of cache decisions routed so far.
     #[must_use]
     pub fn cache_installs(&self) -> usize {
         self.cache_installs
@@ -169,10 +251,12 @@ mod tests {
     use sushi_wsnet::zoo;
 
     #[test]
-    fn free_worker_selection_is_lowest_index() {
+    fn free_worker_query_reports_availability() {
         let pool = ExecutorPool::new(&zcu104(), 3);
         assert_eq!(pool.free_worker_at(0.0), Some(0));
         assert_eq!(pool.next_free_ms(), 0.0);
+        assert_eq!(pool.busy_until_ms(2), 0.0);
+        assert!(pool.resident(0).is_none(), "fresh replicas hold no resident SubGraph");
     }
 
     #[test]
@@ -198,7 +282,7 @@ mod tests {
         let b = &mut Analytical;
         let (cold, _) = pool.dispatch(0, 0.0, &net, &picks[0], b, &[0, 1]).unwrap();
         assert_eq!(cold.report.pb_reload_cycles, 0);
-        pool.broadcast_install(&picks[0].graph);
+        pool.route_install(&picks[0].graph);
         let t = cold.completion_ms;
         let (warmup, _) = pool.dispatch(0, t, &net, &picks[0], b, &[2, 3]).unwrap();
         assert!(warmup.report.pb_reload_cycles > 0, "swap charged to in-flight batch");
@@ -208,6 +292,42 @@ mod tests {
         assert_eq!(steady.report.pb_reload_cycles, 0);
         assert!(steady.report.total_latency_ms < cold.report.total_latency_ms);
         assert_eq!(pool.cache_installs(), 1);
+    }
+
+    #[test]
+    fn installs_are_routed_to_one_replica_not_broadcast() {
+        let net = zoo::mobilenet_v3_supernet();
+        let picks = zoo::paper_subnets(&net);
+        let mut pool = ExecutorPool::new(&zcu104(), 2);
+        pool.route_install(&picks[0].graph);
+        let plan = [
+            PlannedBatch { worker: 1, subnet: &picks[0], query_ids: vec![0, 1] },
+            PlannedBatch { worker: 0, subnet: &picks[0], query_ids: vec![2] },
+        ];
+        let results = pool.dispatch_group(0.0, &net, &mut Analytical, &plan).unwrap();
+        assert_eq!(results.len(), 2);
+        assert!(pool.resident(1).is_some(), "install applied by the first planned worker");
+        assert!(pool.resident(0).is_none(), "other replicas keep their PB state");
+        assert!(results[0].0.report.pb_reload_cycles > 0, "swap charged to the installing batch");
+        assert_eq!(results[1].0.report.pb_reload_cycles, 0);
+        assert_eq!(pool.batches(), 2);
+    }
+
+    #[test]
+    fn group_results_match_sequential_dispatches() {
+        let net = zoo::mobilenet_v3_supernet();
+        let picks = zoo::paper_subnets(&net);
+        let mut grouped = ExecutorPool::new(&zcu104(), 2);
+        let plan = [
+            PlannedBatch { worker: 0, subnet: &picks[0], query_ids: vec![0, 1] },
+            PlannedBatch { worker: 1, subnet: &picks[1], query_ids: vec![2] },
+        ];
+        let group = grouped.dispatch_group(1.0, &net, &mut Analytical, &plan).unwrap();
+        let mut seq = ExecutorPool::new(&zcu104(), 2);
+        let (a, _) = seq.dispatch(0, 1.0, &net, &picks[0], &mut Analytical, &[0, 1]).unwrap();
+        let (b, _) = seq.dispatch(1, 1.0, &net, &picks[1], &mut Analytical, &[2]).unwrap();
+        assert_eq!(group[0].0, a, "group timing is identical to lone dispatches");
+        assert_eq!(group[1].0, b);
     }
 
     #[test]

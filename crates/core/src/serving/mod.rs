@@ -17,16 +17,20 @@
 //!   policies and time-weighted depth accounting.
 //! * [`batch::BatchPolicy`] — size/timeout hybrid batching keyed on the
 //!   scheduler's SubNet decision.
-//! * [`executor::ExecutorPool`] — accelerator-replica workers dispatching
-//!   batches through the engine's
+//! * [`routing::RoutingPolicy`] — which free replica a ready batch is
+//!   dispatched to (least-loaded, round-robin, or cache-affinity over
+//!   per-replica resident SubGraphs).
+//! * [`executor::ExecutorPool`] — accelerator-replica workers with
+//!   per-replica cache state and routed (not broadcast) installs,
+//!   dispatching batch groups through the engine's
 //!   [`sushi_accel::backend::ExecutionBackend`] (analytical timing, or
-//!   real int8 forwards with per-query predictions).
+//!   real parallel int8 forwards with per-query predictions).
 //! * [`sim::ServingSim`] — the SLO-aware event loop tying scheduler,
-//!   queue, batcher and pool together (the run state behind
+//!   queue, batcher, router and pool together (the run state behind
 //!   [`crate::engine::Engine::serve_timed`]).
 //! * [`scenario`] — canned presets (`steady`, `burst`, `diurnal`,
-//!   `multi_tenant`) behind `repro --serve` and the `BENCH_serve.json`
-//!   baseline.
+//!   `multi_tenant`, …, `scale`) behind `repro --serve` and the
+//!   `BENCH_serve.json` baseline.
 //!
 //! See `docs/SERVING.md` for the queueing model and SLO semantics.
 //!
@@ -63,6 +67,7 @@ pub mod arrivals;
 pub mod batch;
 pub mod executor;
 pub mod queue;
+pub mod routing;
 pub mod scenario;
 pub mod sim;
 
@@ -70,5 +75,9 @@ pub use arrivals::ArrivalProcess;
 pub use batch::BatchPolicy;
 pub use executor::ExecutorPool;
 pub use queue::{AdmissionQueue, DropPolicy, DropReason, DroppedQuery};
-pub use scenario::{build_scenario, run_all_presets, run_scenario, Scenario, ServePreset};
+pub use routing::{ReplicaView, RoutingPolicy};
+pub use scenario::{
+    build_scenario, run_all_presets, run_functional_scaling, run_scenario, Scenario, ServePreset,
+    FUNCTIONAL_SCALING_POINTS,
+};
 pub use sim::{AdaptationTrace, ServedQuery, ServingSim, SimConfig, SimResult};

@@ -9,11 +9,15 @@
 //!    (`Scheduler::decide`, in arrival order, so the AvgNet state stream is
 //!    reproducible) and enqueued tagged with its SubNet row; the bounded
 //!    [`AdmissionQueue`] sheds load per its [`DropPolicy`]. Cache decisions
-//!    are broadcast to the pool and their swap time lands on the next
-//!    dispatched batch — charged against the deadlines then in flight.
-//! 2. **Dispatch.** Whenever a worker is free and the head-of-line batch is
-//!    ready ([`BatchPolicy`]), the batch runs to completion on the worker;
-//!    every query in it completes at the batch end.
+//!    are *routed*: the next dispatched batch's worker installs the new
+//!    SubGraph and its swap time lands on that batch — charged against the
+//!    deadlines then in flight — while other replicas keep their resident
+//!    state (which is what cache-affinity routing exploits).
+//! 2. **Dispatch.** At each instant the loop forms one ready head-of-line
+//!    batch ([`BatchPolicy`]) per free worker, routes each batch to a
+//!    replica via the configured [`RoutingPolicy`] (claiming it for this
+//!    group), and executes the whole group concurrently through the
+//!    backend; every query in a batch completes at its batch end.
 //! 3. **Accounting.** End-to-end latency (queueing + swap + service) feeds
 //!    a streaming [`LatencyHistogram`]; drops and deadline misses both
 //!    count against SLO attainment.
@@ -31,13 +35,15 @@ use sushi_sched::{
     AdaptiveEvent, AdaptiveOptions, AdaptivePolicy, CacheSelection, LatencyTable, LoadSignal,
     Policy, Query, Scheduler,
 };
+use sushi_wsnet::encoding::overlap_ratio;
 use sushi_wsnet::{SubNet, SuperNet};
 
 use crate::error::SushiError;
 use crate::metrics::{LatencyHistogram, ServeSummary};
 use crate::serving::batch::BatchPolicy;
-use crate::serving::executor::ExecutorPool;
+use crate::serving::executor::{ExecutorPool, PlannedBatch};
 use crate::serving::queue::{AdmissionQueue, DropPolicy, DroppedQuery, QueuedQuery};
+use crate::serving::routing::{ReplicaView, RoutingPolicy};
 use crate::stream::TimedQuery;
 
 /// Serving-loop knobs (everything except the stack itself).
@@ -57,6 +63,9 @@ pub struct SimConfig {
     pub drop_policy: DropPolicy,
     /// Dynamic-batching policy.
     pub batch: BatchPolicy,
+    /// Which free replica a ready batch is dispatched to (irrelevant with
+    /// one worker — every policy picks worker 0).
+    pub routing: RoutingPolicy,
     /// Load-adaptive degradation knobs (`None` = static scheduling; the
     /// loop then behaves bit-identically to the pre-adaptive runtime).
     pub adaptive: Option<AdaptiveOptions>,
@@ -69,6 +78,7 @@ impl Default for SimConfig {
             queue_capacity: 64,
             drop_policy: DropPolicy::DropNewest,
             batch: BatchPolicy::no_batching(),
+            routing: RoutingPolicy::LeastLoaded,
             adaptive: None,
         }
     }
@@ -100,6 +110,13 @@ impl SimConfig {
     #[must_use]
     pub fn with_batch(mut self, batch: BatchPolicy) -> Self {
         self.batch = batch;
+        self
+    }
+
+    /// Sets the replica routing policy.
+    #[must_use]
+    pub fn with_routing(mut self, routing: RoutingPolicy) -> Self {
+        self.routing = routing;
         self
     }
 
@@ -307,6 +324,8 @@ pub struct ServingSim {
     pool: ExecutorPool,
     config: SimConfig,
     adaptive: Option<AdaptivePolicy>,
+    /// Round-robin routing cursor (persists across dispatch groups).
+    rr_cursor: usize,
 }
 
 impl ServingSim {
@@ -334,6 +353,7 @@ impl ServingSim {
             pool: ExecutorPool::new(accel_config, config.workers),
             config,
             adaptive,
+            rr_cursor: 0,
         }
     }
 
@@ -452,7 +472,7 @@ impl ServingSim {
                 let decision = self.sched.decide(&scheduled);
                 if let Some(col) = decision.cache_update {
                     let graph = self.sched.table().column(col).graph.clone();
-                    self.pool.broadcast_install(&graph);
+                    self.pool.route_install(&graph);
                 }
                 if let Some(victim) =
                     queue.offer(now, QueuedQuery { timed, subnet_row: decision.subnet_row })
@@ -461,41 +481,79 @@ impl ServingSim {
                 }
             }
 
-            // Dispatch while a worker is free and a batch is ready.
+            // Dispatch: form one ready batch per free worker at this
+            // instant, route each to a replica ([`RoutingPolicy`]) — a
+            // chosen replica is claimed so later batches of the group see
+            // it busy — and execute the whole group concurrently.
             loop {
                 dropped.extend(queue.sweep_lapsed(now));
-                let Some(worker) = self.pool.free_worker_at(now) else { break };
-                if !batch_policy.ready(&queue, now) {
+                let mut claimed = vec![false; self.pool.num_workers()];
+                let mut plan: Vec<PlannedBatch<'_>> = Vec::new();
+                let mut pending: Vec<(usize, Vec<QueuedQuery>)> = Vec::new();
+                loop {
+                    let free = |w: usize| !claimed[w] && self.pool.busy_until_ms(w) <= now;
+                    if !(0..claimed.len()).any(free) || !batch_policy.ready(&queue, now) {
+                        break;
+                    }
+                    let batch = batch_policy.form(&mut queue, now);
+                    debug_assert!(!batch.is_empty());
+                    let row = batch[0].subnet_row;
+                    // Warmth per free replica: how much of this SubNet's
+                    // weight state its resident SubGraph already holds
+                    // (the same PB-overlap metric behind `hit_ratio`).
+                    // `covers` marks the warmest free replica(s) — routed
+                    // installs make residency heterogeneous, so under
+                    // cache-affinity routing a swap-heavy mix keeps each
+                    // band on the replica already holding its weights.
+                    let warmth: Vec<f64> = (0..claimed.len())
+                        .map(|w| match (free(w), self.pool.resident(w)) {
+                            (true, Some(g)) => overlap_ratio(&self.subnets[row].graph, g),
+                            _ => 0.0,
+                        })
+                        .collect();
+                    let warmest = warmth.iter().copied().fold(0.0, f64::max);
+                    let views: Vec<ReplicaView> = (0..claimed.len())
+                        .map(|w| ReplicaView {
+                            free: free(w),
+                            busy_until_ms: self.pool.busy_until_ms(w),
+                            covers: warmest > 0.0 && warmth[w] == warmest,
+                        })
+                        .collect();
+                    let worker = self
+                        .config
+                        .routing
+                        .choose(&views, &mut self.rr_cursor)
+                        .expect("a free replica exists");
+                    claimed[worker] = true;
+                    plan.push(PlannedBatch {
+                        worker,
+                        subnet: &self.subnets[row],
+                        query_ids: batch.iter().map(|q| q.timed.query.id).collect(),
+                    });
+                    pending.push((row, batch));
+                }
+                if plan.is_empty() {
                     break;
                 }
-                let batch = batch_policy.form(&mut queue, now);
-                debug_assert!(!batch.is_empty());
-                let row = batch[0].subnet_row;
-                let ids: Vec<u64> = batch.iter().map(|q| q.timed.query.id).collect();
-                let (report, outputs) = self.pool.dispatch(
-                    worker,
-                    now,
-                    &self.net,
-                    &self.subnets[row],
-                    backend,
-                    &ids,
-                )?;
-                for (i, q) in batch.iter().enumerate() {
-                    let done = ServedQuery {
-                        query: q.timed.query,
-                        tenant: q.timed.tenant,
-                        arrival_ms: q.timed.arrival_ms,
-                        start_ms: report.start_ms,
-                        completion_ms: report.completion_ms,
-                        subnet_row: row,
-                        batch_size: batch.len(),
-                        worker,
-                        prediction: outputs.as_ref().map(|o| o[i].prediction),
-                    };
-                    if self.adaptive.is_some() {
-                        recent.push_back((done.completion_ms, done.latency_ms()));
+                let results = self.pool.dispatch_group(now, &self.net, backend, &plan)?;
+                for ((row, batch), (report, outputs)) in pending.into_iter().zip(results) {
+                    for (i, q) in batch.iter().enumerate() {
+                        let done = ServedQuery {
+                            query: q.timed.query,
+                            tenant: q.timed.tenant,
+                            arrival_ms: q.timed.arrival_ms,
+                            start_ms: report.start_ms,
+                            completion_ms: report.completion_ms,
+                            subnet_row: row,
+                            batch_size: batch.len(),
+                            worker: report.worker,
+                            prediction: outputs.as_ref().map(|o| o[i].prediction),
+                        };
+                        if self.adaptive.is_some() {
+                            recent.push_back((done.completion_ms, done.latency_ms()));
+                        }
+                        served.push(done);
                     }
-                    served.push(done);
                 }
             }
 
@@ -573,6 +631,7 @@ mod tests {
             queue_capacity: 16,
             drop_policy: DropPolicy::DropNewest,
             batch: BatchPolicy::new(4, 2.0),
+            routing: RoutingPolicy::LeastLoaded,
             adaptive: None,
         };
         let (mut a, space) = sim(cfg);
@@ -588,6 +647,7 @@ mod tests {
             queue_capacity: 4,
             drop_policy: DropPolicy::DropOldest,
             batch: BatchPolicy::new(4, 1.0),
+            routing: RoutingPolicy::LeastLoaded,
             adaptive: None,
         };
         let (mut s, space) = sim(cfg);
@@ -612,6 +672,7 @@ mod tests {
             queue_capacity: 32,
             drop_policy: DropPolicy::DropNewest,
             batch: BatchPolicy::new(4, 2.0),
+            routing: RoutingPolicy::LeastLoaded,
             adaptive: None,
         };
         let (mut s, space) = sim(cfg);
@@ -630,6 +691,7 @@ mod tests {
             queue_capacity: 64,
             drop_policy: DropPolicy::DropNewest,
             batch: BatchPolicy::new(4, 1.0),
+            routing: RoutingPolicy::LeastLoaded,
             adaptive: None,
         };
         let (mut light, space) = sim(light_cfg);
@@ -648,6 +710,7 @@ mod tests {
             queue_capacity: 64,
             drop_policy: DropPolicy::DropNewest,
             batch: BatchPolicy::no_batching(),
+            routing: RoutingPolicy::LeastLoaded,
             adaptive: None,
         };
         let batched = SimConfig { batch: BatchPolicy::new(8, 4.0), ..no_batch };
@@ -669,6 +732,7 @@ mod tests {
             queue_capacity: 64,
             drop_policy: DropPolicy::DropNewest,
             batch: BatchPolicy::new(2, 1.0),
+            routing: RoutingPolicy::LeastLoaded,
             adaptive: None,
         };
         let (mut s, space) = sim(cfg);
@@ -684,6 +748,7 @@ mod tests {
             queue_capacity: 32,
             drop_policy: DropPolicy::DropNewest,
             batch: BatchPolicy::new(4, 2.0),
+            routing: RoutingPolicy::LeastLoaded,
             adaptive: None,
         };
         let (mut s, space) = sim(cfg);

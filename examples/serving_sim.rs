@@ -16,7 +16,9 @@ use std::sync::Arc;
 
 use sushi::core::engine::{BackendKind, EngineBuilder, FunctionalOptions};
 use sushi::core::experiments::ExpOptions;
-use sushi::core::serving::{run_scenario, ArrivalProcess, BatchPolicy, DropPolicy, ServePreset};
+use sushi::core::serving::{
+    run_scenario, ArrivalProcess, BatchPolicy, DropPolicy, RoutingPolicy, ServePreset,
+};
 use sushi::core::stream::{attach_arrivals, uniform_stream};
 use sushi::wsnet::zoo;
 
@@ -70,7 +72,11 @@ fn main() {
         .seed(42)
         .backend(BackendKind::Functional)
         .functional_options(FunctionalOptions::default().with_dpe(8, 8).with_seed(99))
-        .workers(1) // the functional backend keeps one pack-once weight cache
+        // The pack-once weight caches are Arc-shared across replicas, so a
+        // multi-worker pool serves real parallel int8 forwards; affinity
+        // routing keeps batches on the replica whose PB is already warm.
+        .workers(2)
+        .routing(RoutingPolicy::CacheAffinity)
         .queue_capacity(16)
         .drop_policy(DropPolicy::DeadlineAware)
         .batch_policy(BatchPolicy::new(4, 0.05))

@@ -68,11 +68,26 @@ fn worker_override_changes_service_capacity() {
 }
 
 #[test]
-fn functional_backend_with_preset_workers_is_rejected() {
-    let mut opts = ExpOptions::quick();
-    opts.backend = BackendKind::Functional; // presets run 2 workers
-    let err = run_scenario(ServePreset::Steady, &opts).unwrap_err();
-    assert!(matches!(err, sushi::core::SushiError::Config(_)), "{err}");
+fn functional_backend_builds_with_a_multi_worker_pool() {
+    // The single-worker restriction is gone: N replicas share one
+    // pack-once cache (Arc-shared panels, per-worker scratch arenas).
+    let net = Arc::new(zoo::toy_mobilenet_supernet());
+    let picks = {
+        let mut s = sushi::wsnet::sampler::ConfigSampler::new(&net, 3);
+        s.sample_subnets(3)
+    };
+    let engine = EngineBuilder::new()
+        .workload(net, picks)
+        .q_window(4)
+        .candidates(3)
+        .seed(11)
+        .backend(BackendKind::Functional)
+        .functional_options(FunctionalOptions::default().with_dpe(4, 4).with_seed(42))
+        .workers(4)
+        .build()
+        .expect("functional engine with 4 workers");
+    assert_eq!(engine.backend_name(), "functional");
+    assert_eq!(engine.sim_config().workers, 4);
 }
 
 #[test]

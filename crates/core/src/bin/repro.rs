@@ -10,6 +10,7 @@
 //! repro -- --serve --workers 4          # override the preset worker pools
 //! repro -- --serve --routing round_robin # override the routing policy
 //! repro -- --serve --no-adaptive        # static scheduling (pre-adaptive)
+//! repro -- --serve --no-tenants         # tierless global controller (pre-tenant)
 //! repro -- --serve --backend functional --workers 4
 //! ```
 //!
@@ -18,7 +19,9 @@
 //! deadline-mix / failover / scale) through the event-driven serving
 //! runtime (deterministic: same seed, same report). Load-adaptive
 //! degradation is on by default; `--no-adaptive` pins the presets to the
-//! static pre-adaptive scheduling path bit-for-bit.
+//! static pre-adaptive scheduling path bit-for-bit. Tenant tiering (the
+//! `multi_tenant` preset's per-tier controllers) is on by default too;
+//! `--no-tenants` falls back to the tierless global controller.
 //!
 //! `--backend analytical|functional` selects the serving runtime's
 //! execution backend (`EngineBuilder::backend`): `analytical` (default)
@@ -138,8 +141,10 @@ fn main() {
     opts.workers = workers;
     opts.routing = routing;
     // `--no-adaptive` pins the serving presets to static scheduling (the
-    // pre-adaptive runtime, bit-for-bit).
+    // pre-adaptive runtime, bit-for-bit); `--no-tenants` keeps adaptation
+    // but drops the multi_tenant preset back to the global controller.
     opts.adaptive = !args.iter().any(|a| a == "--no-adaptive");
+    opts.tenants = !args.iter().any(|a| a == "--no-tenants");
 
     let selected: Vec<&str> = if ids.is_empty() || ids.iter().any(|i| i == "all") {
         ALL_IDS.to_vec()

@@ -9,6 +9,7 @@
 //! serve_bench --workers 4              # override the preset worker pools
 //! serve_bench --routing round_robin    # override the routing policy
 //! serve_bench --no-adaptive            # static scheduling everywhere
+//! serve_bench --no-tenants             # tierless global controller everywhere
 //! serve_bench --backend functional     # real int8 forwards, any pool size
 //! ```
 //!
@@ -17,11 +18,15 @@
 //! the `scale_functional` worker-scaling sweep: one cache-swap-heavy
 //! toy-zoo stream served by the functional backend at 1/2/4/8 replicas
 //! under cache-affinity routing (with a 4-replica round-robin ablation),
-//! printed as a goodput speedup table. Rows are keyed
-//! `(scenario, adaptive, workers, routing)` — schema v3.
-//! `--backend` / `--workers` / `--routing` / `--no-adaptive` map onto the
-//! engine knobs; the committed baseline records the default configuration,
-//! so overridden runs cannot be combined with `--check`/`--out`.
+//! printed as a goodput speedup table. The tenant-tiered `multi_tenant`
+//! adaptive run additionally records one row per occupied tenant tier
+//! (`tier: "latency_critical"` / `"best_effort"`) next to its `"all"`
+//! aggregate. Rows are keyed
+//! `(scenario, adaptive, workers, routing, tier)` — schema v4.
+//! `--backend` / `--workers` / `--routing` / `--no-adaptive` /
+//! `--no-tenants` map onto the engine knobs; the committed baseline
+//! records the default configuration, so overridden runs cannot be
+//! combined with `--check`/`--out`.
 //!
 //! Every recorded figure (p50/p95/p99, goodput, SLO-violation rate, drop
 //! and degrade/upgrade counts) is *simulated* — no wall clock — so the
@@ -71,6 +76,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let no_adaptive = args.iter().any(|a| a == "--no-adaptive");
+    let no_tenants = args.iter().any(|a| a == "--no-tenants");
     let out_path = flag_value(&args, "--out").cloned();
     let check_path = flag_value(&args, "--check").cloned();
     let backend = match flag_value(&args, "--backend") {
@@ -83,11 +89,14 @@ fn main() {
         .map(|v| v.parse::<RoutingPolicy>().unwrap_or_else(|e| die(&e)));
     // The committed baseline records the default configuration; an
     // overridden run must never gate against or rewrite it.
-    let overridden =
-        backend != BackendKind::Analytical || workers.is_some() || routing.is_some() || no_adaptive;
+    let overridden = backend != BackendKind::Analytical
+        || workers.is_some()
+        || routing.is_some()
+        || no_adaptive
+        || no_tenants;
     if overridden && (out_path.is_some() || check_path.is_some()) {
-        die("--backend/--workers/--routing/--no-adaptive overrides cannot be combined with \
-             --check/--out");
+        die("--backend/--workers/--routing/--no-adaptive/--no-tenants overrides cannot be \
+             combined with --check/--out");
     }
 
     let mut opts = if quick { ExpOptions::quick() } else { ExpOptions::default() };
@@ -95,6 +104,7 @@ fn main() {
     opts.workers = workers;
     opts.routing = routing;
     opts.adaptive = !no_adaptive;
+    opts.tenants = !no_tenants;
     println!(
         "serving presets, {} queries each, {} backend, {} scheduling (simulated time — deterministic)\n",
         opts.queries,
@@ -110,15 +120,48 @@ fn main() {
         let w = opts.workers.unwrap_or(preset.default_workers());
         let r = opts.routing.unwrap_or(preset.default_routing());
         if opts.adaptive {
-            let summary =
-                run_scenario(preset, &opts).unwrap_or_else(|e| die(&e.to_string())).summary();
+            let result = run_scenario(preset, &opts).unwrap_or_else(|e| die(&e.to_string()));
+            let summary = result.summary();
             print_row(preset.name(), &summary);
-            entries.push(ServeBenchEntry::from_summary(preset.name(), true, w, r.name(), &summary));
+            entries.push(ServeBenchEntry::from_summary(
+                preset.name(),
+                true,
+                w,
+                r.name(),
+                "all",
+                &summary,
+            ));
+            // A tenant-tiered run also records each occupied tier as its
+            // own baseline row, so per-tier SLO regressions gate too.
+            if let Some(trace) = &result.adaptation {
+                for t in &trace.tiers {
+                    let tier_summary = result.tier_summary(t.tier);
+                    if tier_summary.offered == 0 {
+                        continue;
+                    }
+                    print_row(&format!("{} [{}]", preset.name(), t.tier.name()), &tier_summary);
+                    entries.push(ServeBenchEntry::from_summary(
+                        preset.name(),
+                        true,
+                        w,
+                        r.name(),
+                        t.tier.name(),
+                        &tier_summary,
+                    ));
+                }
+            }
         }
         let summary =
             run_scenario(preset, &static_opts).unwrap_or_else(|e| die(&e.to_string())).summary();
         print_row(&format!("{} (static)", preset.name()), &summary);
-        entries.push(ServeBenchEntry::from_summary(preset.name(), false, w, r.name(), &summary));
+        entries.push(ServeBenchEntry::from_summary(
+            preset.name(),
+            false,
+            w,
+            r.name(),
+            "all",
+            &summary,
+        ));
     }
 
     // The functional worker-scaling sweep. Its sizing is fixed
@@ -140,6 +183,7 @@ fn main() {
                 false,
                 *w,
                 r.name(),
+                "all",
                 summary,
             ));
         }

@@ -38,7 +38,7 @@ use std::sync::Arc;
 use sushi_accel::backend::{Analytical, ExecutionBackend, Functional};
 use sushi_accel::dpe::DpeArray;
 use sushi_accel::AccelConfig;
-use sushi_sched::{AdaptiveOptions, CacheSelection, LatencyTable, Policy, Query};
+use sushi_sched::{AdaptiveOptions, CacheSelection, LatencyTable, Policy, Query, TenantOptions};
 use sushi_tensor::KernelPolicy;
 use sushi_wsnet::{zoo, SubNet, SuperNet};
 
@@ -365,6 +365,17 @@ impl EngineBuilder {
         self
     }
 
+    /// Enables (`Some`) or disables (`None`) tenant-tiered adaptation for
+    /// [`Engine::serve_timed`]: one degradation ladder per priority tier
+    /// ([`sushi_sched::TenantPolicy`]), best-effort-first shedding, and an
+    /// optional feed-forward arrival predictor. Mutually exclusive with
+    /// [`Self::adaptive`] — `build` rejects setting both. With `None`
+    /// (the default) the loop is bit-identical to the tierless runtime.
+    pub fn tenants(mut self, opts: Option<TenantOptions>) -> Self {
+        self.sim.tenants = opts;
+        self
+    }
+
     /// Assembles the engine: loads the workload, derives the
     /// variant-adjusted accelerator configuration and cache-selection
     /// rule, builds (or adopts) the SushiAbs latency table, and
@@ -395,6 +406,18 @@ impl EngineBuilder {
         if let Some(opts) = &self.sim.adaptive {
             if let Err(e) = opts.validate() {
                 return Err(SushiError::Config(e));
+            }
+        }
+        if let Some(opts) = &self.sim.tenants {
+            if let Err(e) = opts.validate() {
+                return Err(SushiError::Config(e));
+            }
+            if self.sim.adaptive.is_some() {
+                return Err(SushiError::Config(
+                    "adaptive and tenants are mutually exclusive: the tenant controller \
+                     already runs one adaptive ladder per tier"
+                        .into(),
+                ));
             }
         }
         if self.sim.batch.max_batch == 0 {

@@ -48,6 +48,12 @@ pub struct ExpOptions {
     /// degradation (`repro --no-adaptive` turns it off; the static path
     /// stays bit-identical to the pre-adaptive runtime).
     pub adaptive: bool,
+    /// Whether the `multi_tenant` preset runs with tenant-tiered
+    /// adaptation (`repro --no-tenants` falls back to the single global
+    /// controller; no other preset defines tiers, so the knob is inert
+    /// elsewhere). Requires `adaptive` — with adaptation off the preset
+    /// is static either way.
+    pub tenants: bool,
 }
 
 impl Default for ExpOptions {
@@ -61,6 +67,7 @@ impl Default for ExpOptions {
             workers: None,
             routing: None,
             adaptive: true,
+            tenants: true,
         }
     }
 }

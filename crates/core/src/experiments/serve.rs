@@ -44,7 +44,7 @@ pub fn serve(opts: &ExpOptions) -> ExpReport {
         "q-depth", "batch", "installs", "lvl down", "lvl up",
     ]);
     let mut tenants = TextTable::new(vec![
-        "tenant", "offered", "done", "drop", "p50ms", "p99ms", "goodput", "SLO viol",
+        "tenant", "tier", "offered", "done", "drop", "p50ms", "p99ms", "goodput", "SLO viol",
     ]);
     for preset in ServePreset::ALL {
         let result = match run_scenario(preset, opts) {
@@ -58,8 +58,20 @@ pub fn serve(opts: &ExpOptions) -> ExpReport {
         if preset == ServePreset::MultiTenant {
             for (tenant, label) in [(0u32, "AV"), (1u32, "ICU")] {
                 let s = result.tenant_summary(tenant);
+                // The tier every record of this tenant carries: Standard
+                // on a tierless run, the preset mapping on a tiered one.
+                let tier = result
+                    .served
+                    .iter()
+                    .find(|q| q.tenant == tenant)
+                    .map(|q| q.tier)
+                    .or_else(|| {
+                        result.dropped.iter().find(|d| d.timed.tenant == tenant).map(|d| d.tier)
+                    })
+                    .map_or("-", |t| t.name());
                 tenants.push_row(vec![
                     label.to_string(),
+                    tier.to_string(),
                     s.offered.to_string(),
                     s.completed.to_string(),
                     s.dropped.to_string(),

@@ -413,13 +413,20 @@ pub struct ServeBenchEntry {
     pub scenario: String,
     /// Whether load-adaptive degradation was enabled for this row. A
     /// scenario can appear multiple times in the baseline — adaptive and
-    /// static, at different pool sizes — and the quadruple
-    /// `(scenario, adaptive, workers, routing)` is the row key.
+    /// static, at different pool sizes, aggregate and per-tier — and the
+    /// quintuple `(scenario, adaptive, workers, routing, tier)` is the
+    /// row key.
     pub adaptive: bool,
     /// Worker (replica) count the row ran with.
     pub workers: usize,
     /// Routing-policy label (`RoutingPolicy::name`) the row ran with.
     pub routing: String,
+    /// Tenant-tier slice the row summarizes: `"all"` for the aggregate
+    /// over every tenant (the only value static and tierless rows use),
+    /// or a `TenantTier::name` (`"latency_critical"`, `"best_effort"`,
+    /// ...) for a per-tier slice of a tenant-tiered run. Part of the row
+    /// key: `(scenario, adaptive, workers, routing, tier)`.
+    pub tier: String,
     /// p50 end-to-end latency, ms.
     pub p50_ms: f64,
     /// p95 end-to-end latency, ms.
@@ -446,6 +453,7 @@ impl ServeBenchEntry {
         adaptive: bool,
         workers: usize,
         routing: impl Into<String>,
+        tier: impl Into<String>,
         s: &ServeSummary,
     ) -> Self {
         Self {
@@ -453,6 +461,7 @@ impl ServeBenchEntry {
             adaptive,
             workers,
             routing: routing.into(),
+            tier: tier.into(),
             p50_ms: s.p50_ms,
             p95_ms: s.p95_ms,
             p99_ms: s.p99_ms,
@@ -472,10 +481,11 @@ impl ServeBenchEntry {
 /// Panics if a scenario or routing label contains `"`, `,`, `{` or `}`.
 #[must_use]
 pub fn serve_bench_to_json(entries: &[ServeBenchEntry]) -> String {
-    let mut out = String::from("{\n  \"schema\": \"sushi-serve-bench-v3\",\n  \"entries\": [\n");
+    let mut out = String::from("{\n  \"schema\": \"sushi-serve-bench-v4\",\n  \"entries\": [\n");
     for (i, e) in entries.iter().enumerate() {
         use std::fmt::Write as _;
-        for (what, label) in [("scenario", &e.scenario), ("routing", &e.routing)] {
+        for (what, label) in [("scenario", &e.scenario), ("routing", &e.routing), ("tier", &e.tier)]
+        {
             assert!(
                 !label.contains(['"', ',', '{', '}']),
                 "serve bench {what} '{label}' contains characters the minimal JSON format \
@@ -485,13 +495,14 @@ pub fn serve_bench_to_json(entries: &[ServeBenchEntry]) -> String {
         let _ = write!(
             out,
             "    {{\"scenario\": \"{}\", \"adaptive\": {}, \"workers\": {}, \"routing\": \"{}\", \
-             \"p50_ms\": {:.6}, \"p95_ms\": {:.6}, \
+             \"tier\": \"{}\", \"p50_ms\": {:.6}, \"p95_ms\": {:.6}, \
              \"p99_ms\": {:.6}, \"goodput_qps\": {:.6}, \"slo_violation_rate\": {:.6}, \
              \"dropped\": {}, \"degrades\": {}, \"upgrades\": {}}}",
             e.scenario,
             e.adaptive,
             e.workers,
             e.routing,
+            e.tier,
             e.p50_ms,
             e.p95_ms,
             e.p99_ms,
@@ -522,14 +533,14 @@ pub fn serve_bench_from_json(text: &str) -> Result<Vec<ServeBenchEntry>, String>
     fn num(obj: &str, key: &str) -> Result<f64, String> {
         field(obj, key)?.parse().map_err(|e| format!("bad {key}: {e}"))
     }
-    if !text.contains("sushi-serve-bench-v3") {
+    if !text.contains("sushi-serve-bench-v4") {
         return Err(
-            if text.contains("sushi-serve-bench-v1") || text.contains("sushi-serve-bench-v2") {
-                "baseline uses a pre-multi-worker serve-bench schema (v1/v2) — regenerate it \
+            if ["v1", "v2", "v3"].iter().any(|v| text.contains(&format!("sushi-serve-bench-{v}"))) {
+                "baseline uses a pre-tenant serve-bench schema (v1/v2/v3) — regenerate it \
                  with scripts/bench_baseline.sh --update"
                     .to_string()
             } else {
-                "missing sushi-serve-bench-v3 schema marker".to_string()
+                "missing sushi-serve-bench-v4 schema marker".to_string()
             },
         );
     }
@@ -544,6 +555,7 @@ pub fn serve_bench_from_json(text: &str) -> Result<Vec<ServeBenchEntry>, String>
             adaptive: field(obj, "adaptive")?.parse().map_err(|e| format!("bad adaptive: {e}"))?,
             workers: field(obj, "workers")?.parse().map_err(|e| format!("bad workers: {e}"))?,
             routing: field(obj, "routing")?.trim_matches('"').to_string(),
+            tier: field(obj, "tier")?.trim_matches('"').to_string(),
             p50_ms: num(obj, "p50_ms")?,
             p95_ms: num(obj, "p95_ms")?,
             p99_ms: num(obj, "p99_ms")?,
@@ -562,7 +574,7 @@ pub fn serve_bench_from_json(text: &str) -> Result<Vec<ServeBenchEntry>, String>
 
 /// Compares a fresh deterministic serve run against the committed baseline.
 ///
-/// Rows are matched by `(scenario, adaptive, workers, routing)`. All
+/// Rows are matched by `(scenario, adaptive, workers, routing, tier)`. All
 /// percentile/goodput/violation fields must agree within `rel_tol`
 /// (relative) and the dropped/degrades/upgrades counts exactly; a row
 /// missing from `current` fails, and so does a row present in `current`
@@ -582,11 +594,12 @@ pub fn serve_regressions(
     let close = |a: f64, b: f64| (a - b).abs() <= rel_tol * a.abs().max(b.abs()).max(1.0);
     let label = |e: &ServeBenchEntry| {
         format!(
-            "{} ({}, {}w, {})",
+            "{} ({}, {}w, {}, {})",
             e.scenario,
             if e.adaptive { "adaptive" } else { "static" },
             e.workers,
-            e.routing
+            e.routing,
+            e.tier
         )
     };
     let same_key = |a: &ServeBenchEntry, b: &ServeBenchEntry| {
@@ -594,6 +607,7 @@ pub fn serve_regressions(
             && a.adaptive == b.adaptive
             && a.workers == b.workers
             && a.routing == b.routing
+            && a.tier == b.tier
     };
     let mut problems = Vec::new();
     for base in baseline {
@@ -837,6 +851,7 @@ mod tests {
             adaptive: false,
             workers: 2,
             routing: "least_loaded".into(),
+            tier: "all".into(),
             p50_ms: 2.0,
             p95_ms: 5.0,
             p99_ms: p99,
@@ -856,15 +871,16 @@ mod tests {
         entries[1].upgrades = 4;
         entries[1].workers = 8;
         entries[1].routing = "cache_affinity".into();
+        entries[1].tier = "latency_critical".into();
         let json = serve_bench_to_json(&entries);
-        assert!(json.contains("sushi-serve-bench-v3"));
+        assert!(json.contains("sushi-serve-bench-v4"));
         let parsed = serve_bench_from_json(&json).unwrap();
         assert_eq!(parsed, entries);
     }
 
     #[test]
-    fn serve_bench_rejects_stale_v1_and_v2_baselines() {
-        for old in ["v1", "v2"] {
+    fn serve_bench_rejects_stale_baselines() {
+        for old in ["v1", "v2", "v3"] {
             let stale = format!(
                 "{{\n \"schema\": \"sushi-serve-bench-{old}\",\n \"entries\": [\n \
                  {{\"scenario\": \"steady\", \"p50_ms\": 1.0}}\n ]\n}}\n"
@@ -910,6 +926,10 @@ mod tests {
         let mut rerouted = base.clone();
         rerouted[0].routing = "round_robin".into();
         assert!(serve_regressions(&rerouted, &base, 1e-9).is_err());
+        // ... and so is a per-tier slice of the same scenario.
+        let mut sliced = base.clone();
+        sliced[0].tier = "best_effort".into();
+        assert!(serve_regressions(&sliced, &base, 1e-9).is_err());
         // A scenario the baseline has never seen fails too: new presets
         // must enter the baseline explicitly via --update.
         let extra = vec![base[0].clone(), serve_entry("brand_new", 1.0, 0)];

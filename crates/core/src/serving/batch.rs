@@ -5,8 +5,12 @@
 //! analogue of SubGraph-Stationary reuse; see
 //! [`sushi_accel::exec::Accelerator::serve_batch`]). The batcher is
 //! head-of-line fair: a batch always forms around the oldest queued query's
-//! SubNet row, and closes when either `max_batch` same-row queries are
-//! waiting or the head query has waited `max_wait_ms`.
+//! (SubNet row, tenant tier) key, and closes when either `max_batch`
+//! same-key queries are waiting or the head query has waited `max_wait_ms`.
+//! Tier affinity keeps a latency-critical query from riding — and a
+//! best-effort query from delaying — another tier's batch; in a run
+//! without tenant configuration every query shares one tier, so the key
+//! degenerates to the SubNet row alone.
 
 use crate::serving::queue::{AdmissionQueue, QueuedQuery};
 
@@ -54,7 +58,7 @@ impl BatchPolicy {
             // event loop relies on `ready(queue, ready_at(queue))` being
             // true to make progress.
             Some(head) => {
-                queue.count_row(head.subnet_row) >= self.max_batch
+                queue.count_row_tier(head.subnet_row, head.tier) >= self.max_batch
                     || now_ms >= head.timed.arrival_ms + self.max_wait_ms
             }
         }
@@ -70,15 +74,15 @@ impl BatchPolicy {
     }
 
     /// Extracts the head-of-line batch (up to `max_batch` queries sharing
-    /// the head's SubNet row, FIFO order). Call only when [`Self::ready`];
-    /// returns an empty vec on an empty queue.
+    /// the head's SubNet row and tenant tier, FIFO order). Call only when
+    /// [`Self::ready`]; returns an empty vec on an empty queue.
     #[must_use]
     pub fn form(&self, queue: &mut AdmissionQueue, now_ms: f64) -> Vec<QueuedQuery> {
         match queue.head() {
             None => Vec::new(),
             Some(head) => {
-                let row = head.subnet_row;
-                queue.take_row(now_ms, row, self.max_batch)
+                let (row, tier) = (head.subnet_row, head.tier);
+                queue.take_row_tier(now_ms, row, tier, self.max_batch)
             }
         }
     }
@@ -89,11 +93,15 @@ mod tests {
     use super::*;
     use crate::serving::queue::DropPolicy;
     use crate::stream::TimedQuery;
-    use sushi_sched::Query;
+    use sushi_sched::{Query, TenantTier};
 
     fn offer(q: &mut AdmissionQueue, id: u64, arrival: f64, row: usize) {
+        offer_tier(q, id, arrival, row, TenantTier::Standard);
+    }
+
+    fn offer_tier(q: &mut AdmissionQueue, id: u64, arrival: f64, row: usize, tier: TenantTier) {
         let timed = TimedQuery::new(arrival, Query::new(id, 0.7, 100.0));
-        assert!(q.offer(arrival, QueuedQuery { timed, subnet_row: row }).is_none());
+        assert!(q.offer(arrival, QueuedQuery { timed, subnet_row: row, tier }).is_none());
     }
 
     #[test]
@@ -130,6 +138,27 @@ mod tests {
         let batch = policy.form(&mut q, 2.0);
         assert_eq!(batch.iter().map(|b| b.timed.query.id).collect::<Vec<_>>(), vec![0, 2]);
         assert_eq!(q.head().unwrap().timed.query.id, 1);
+    }
+
+    #[test]
+    fn batch_never_crosses_a_tier_boundary() {
+        let policy = BatchPolicy::new(4, 50.0);
+        let mut q = AdmissionQueue::new(8, DropPolicy::DropNewest);
+        offer_tier(&mut q, 0, 0.0, 1, TenantTier::LatencyCritical);
+        offer_tier(&mut q, 1, 1.0, 1, TenantTier::BestEffort);
+        offer_tier(&mut q, 2, 2.0, 1, TenantTier::LatencyCritical);
+        offer_tier(&mut q, 3, 3.0, 1, TenantTier::BestEffort);
+        // Same SubNet row throughout, but the size trigger counts only the
+        // head's tier: 2 of 4 — not ready until the head times out.
+        assert!(!policy.ready(&q, 4.0));
+        assert!(policy.ready(&q, 50.0));
+        let batch = policy.form(&mut q, 50.0);
+        assert_eq!(batch.iter().map(|b| b.timed.query.id).collect::<Vec<_>>(), vec![0, 2]);
+        assert!(batch.iter().all(|b| b.tier == TenantTier::LatencyCritical));
+        // The best-effort pair is next, batched among themselves.
+        let batch = policy.form(&mut q, 51.0);
+        assert_eq!(batch.iter().map(|b| b.timed.query.id).collect::<Vec<_>>(), vec![1, 3]);
+        assert!(q.is_empty());
     }
 
     #[test]

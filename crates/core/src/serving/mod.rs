@@ -80,4 +80,4 @@ pub use scenario::{
     build_scenario, run_all_presets, run_functional_scaling, run_scenario, Scenario, ServePreset,
     FUNCTIONAL_SCALING_POINTS,
 };
-pub use sim::{AdaptationTrace, ServedQuery, ServingSim, SimConfig, SimResult};
+pub use sim::{AdaptationTrace, ServedQuery, ServingSim, SimConfig, SimResult, TierAdaptation};

@@ -9,6 +9,8 @@
 
 use std::collections::VecDeque;
 
+use sushi_sched::TenantTier;
+
 use crate::stream::TimedQuery;
 
 /// What to evict when an arrival finds the queue full.
@@ -30,6 +32,9 @@ pub struct QueuedQuery {
     pub timed: TimedQuery,
     /// SubNet row chosen by the scheduler at admission (the batching key).
     pub subnet_row: usize,
+    /// Priority tier of the query's tenant ([`TenantTier::Standard`] when
+    /// the run has no tenant configuration).
+    pub tier: TenantTier,
 }
 
 /// Why a query was dropped.
@@ -48,6 +53,8 @@ pub struct DroppedQuery {
     pub timed: TimedQuery,
     /// The reason it was shed.
     pub reason: DropReason,
+    /// Priority tier of the shed query's tenant.
+    pub tier: TenantTier,
 }
 
 /// Bounded FIFO admission queue with time-weighted depth accounting.
@@ -126,6 +133,26 @@ impl AdmissionQueue {
         self.items.iter().filter(|q| q.subnet_row == subnet_row).count()
     }
 
+    /// Number of queued queries with `subnet_row` *and* `tier` — the
+    /// tier-affine batching key.
+    #[must_use]
+    pub fn count_row_tier(&self, subnet_row: usize, tier: TenantTier) -> usize {
+        self.items.iter().filter(|q| q.subnet_row == subnet_row && q.tier == tier).count()
+    }
+
+    /// Number of queued queries in `tier`.
+    #[must_use]
+    pub fn count_tier(&self, tier: TenantTier) -> usize {
+        self.items.iter().filter(|q| q.tier == tier).count()
+    }
+
+    /// The oldest queued query in `tier`, if any (per-tier head-of-line
+    /// signal).
+    #[must_use]
+    pub fn head_tier(&self, tier: TenantTier) -> Option<&QueuedQuery> {
+        self.items.iter().find(|q| q.tier == tier)
+    }
+
     /// Advances the depth integral (and the EWMA, if enabled) to `now`
     /// (call before any mutation).
     fn advance(&mut self, now_ms: f64) {
@@ -163,40 +190,65 @@ impl AdmissionQueue {
     pub fn offer(&mut self, now_ms: f64, item: QueuedQuery) -> Option<DroppedQuery> {
         self.advance(now_ms);
         if self.policy == DropPolicy::DeadlineAware && item.timed.deadline_ms() < now_ms {
-            return Some(DroppedQuery { timed: item.timed, reason: DropReason::DeadlineLapsed });
+            return Some(DroppedQuery {
+                timed: item.timed,
+                reason: DropReason::DeadlineLapsed,
+                tier: item.tier,
+            });
         }
         let victim = if self.items.len() < self.capacity {
             None
         } else {
             match self.policy {
                 DropPolicy::DropNewest => {
-                    return Some(DroppedQuery { timed: item.timed, reason: DropReason::QueueFull });
+                    return Some(DroppedQuery {
+                        timed: item.timed,
+                        reason: DropReason::QueueFull,
+                        tier: item.tier,
+                    });
                 }
-                DropPolicy::DropOldest => self
-                    .items
-                    .pop_front()
-                    .map(|q| DroppedQuery { timed: q.timed, reason: DropReason::QueueFull }),
+                DropPolicy::DropOldest => self.items.pop_front().map(|q| DroppedQuery {
+                    timed: q.timed,
+                    reason: DropReason::QueueFull,
+                    tier: q.tier,
+                }),
                 DropPolicy::DeadlineAware => {
-                    // Earliest deadline among queued ∪ {incoming} loses;
-                    // FIFO position breaks exact ties (oldest goes first).
-                    let (idx, earliest) = self
+                    // Best-effort first: the victim is drawn from the
+                    // most-droppable tier present (highest shed
+                    // precedence); within that tier, earliest deadline
+                    // loses and FIFO position breaks exact ties (oldest
+                    // goes first). With a single tier this degenerates to
+                    // the plain earliest-deadline rule.
+                    let (idx, prec, earliest) = self
                         .items
                         .iter()
                         .enumerate()
-                        .min_by(|(_, a), (_, b)| {
-                            a.timed.deadline_ms().total_cmp(&b.timed.deadline_ms())
+                        .map(|(i, q)| (i, q.tier.shed_precedence(), q.timed.deadline_ms()))
+                        .reduce(|best, cand| {
+                            let worse_tier = cand.1 > best.1;
+                            let same_tier_sooner = cand.1 == best.1 && cand.2 < best.2;
+                            if worse_tier || same_tier_sooner {
+                                cand
+                            } else {
+                                best
+                            }
                         })
-                        .map(|(i, q)| (i, q.timed.deadline_ms()))
                         .expect("queue is full, hence non-empty");
-                    if item.timed.deadline_ms() < earliest {
+                    let incoming_loses = item.tier.shed_precedence() > prec
+                        || (item.tier.shed_precedence() == prec
+                            && item.timed.deadline_ms() < earliest);
+                    if incoming_loses {
                         return Some(DroppedQuery {
                             timed: item.timed,
                             reason: DropReason::QueueFull,
+                            tier: item.tier,
                         });
                     }
-                    self.items
-                        .remove(idx)
-                        .map(|q| DroppedQuery { timed: q.timed, reason: DropReason::QueueFull })
+                    self.items.remove(idx).map(|q| DroppedQuery {
+                        timed: q.timed,
+                        reason: DropReason::QueueFull,
+                        tier: q.tier,
+                    })
                 }
             }
         };
@@ -217,7 +269,11 @@ impl AdmissionQueue {
         let mut lapsed = Vec::new();
         self.items.retain(|q| {
             if q.timed.deadline_ms() < now_ms {
-                lapsed.push(DroppedQuery { timed: q.timed, reason: DropReason::DeadlineLapsed });
+                lapsed.push(DroppedQuery {
+                    timed: q.timed,
+                    reason: DropReason::DeadlineLapsed,
+                    tier: q.tier,
+                });
                 false
             } else {
                 true
@@ -233,6 +289,30 @@ impl AdmissionQueue {
         let mut taken = Vec::new();
         self.items.retain(|q| {
             if taken.len() < max && q.subnet_row == subnet_row {
+                taken.push(*q);
+                false
+            } else {
+                true
+            }
+        });
+        taken
+    }
+
+    /// [`take_row`](Self::take_row) restricted to one tier: removes up to
+    /// `max` queued queries matching both `subnet_row` and `tier`, in
+    /// FIFO order. Keeps batches tier-affine so a latency-critical query
+    /// never rides (and waits for) a best-effort batch.
+    pub fn take_row_tier(
+        &mut self,
+        now_ms: f64,
+        subnet_row: usize,
+        tier: TenantTier,
+        max: usize,
+    ) -> Vec<QueuedQuery> {
+        self.advance(now_ms);
+        let mut taken = Vec::new();
+        self.items.retain(|q| {
+            if taken.len() < max && q.subnet_row == subnet_row && q.tier == tier {
                 taken.push(*q);
                 false
             } else {
@@ -263,7 +343,15 @@ mod tests {
     }
 
     fn qq(id: u64, arrival: f64, lat_ms: f64) -> QueuedQuery {
-        QueuedQuery { timed: tq(id, arrival, lat_ms), subnet_row: (id % 3) as usize }
+        QueuedQuery {
+            timed: tq(id, arrival, lat_ms),
+            subnet_row: (id % 3) as usize,
+            tier: TenantTier::Standard,
+        }
+    }
+
+    fn qq_tier(id: u64, arrival: f64, lat_ms: f64, tier: TenantTier) -> QueuedQuery {
+        QueuedQuery { tier, ..qq(id, arrival, lat_ms) }
     }
 
     #[test]
@@ -337,6 +425,50 @@ mod tests {
         let taken = q.take_row(6.0, 1, 8);
         assert_eq!(taken.iter().map(|t| t.timed.query.id).collect::<Vec<_>>(), vec![1, 4]);
         assert_eq!(q.depth(), 3);
+    }
+
+    #[test]
+    fn deadline_aware_sheds_best_effort_before_latency_critical() {
+        let mut q = AdmissionQueue::new(2, DropPolicy::DeadlineAware);
+        // A latency-critical query with the *earliest* deadline and a
+        // best-effort one with a comfortable deadline.
+        let _ = q.offer(0.0, qq_tier(0, 0.0, 2.0, TenantTier::LatencyCritical)); // deadline 2
+        let _ = q.offer(0.0, qq_tier(1, 0.0, 100.0, TenantTier::BestEffort)); // deadline 100
+                                                                              // The best-effort query loses despite its later deadline.
+        let victim = q.offer(1.0, qq_tier(2, 1.0, 50.0, TenantTier::Standard)).unwrap();
+        assert_eq!(victim.timed.query.id, 1);
+        assert_eq!(victim.tier, TenantTier::BestEffort);
+        // Queue now holds {LC dl 2, Std dl 51}. A best-effort arrival is
+        // itself the most droppable thing in sight.
+        let victim = q.offer(2.0, qq_tier(3, 2.0, 100.0, TenantTier::BestEffort)).unwrap();
+        assert_eq!(victim.timed.query.id, 3);
+        // Within one tier, earliest deadline still loses: a second
+        // standard query with a sooner deadline displaces nothing — it is
+        // refused in favor of keeping the later-deadline standard one.
+        let victim = q.offer(3.0, qq_tier(4, 3.0, 1.0, TenantTier::Standard)).unwrap();
+        assert_eq!(victim.timed.query.id, 4);
+        // An incoming latency-critical query evicts the queued standard
+        // one rather than being refused.
+        let victim = q.offer(4.0, qq_tier(5, 4.0, 10.0, TenantTier::LatencyCritical)).unwrap();
+        assert_eq!(victim.timed.query.id, 2);
+        assert_eq!(victim.tier, TenantTier::Standard);
+        assert_eq!(q.count_tier(TenantTier::LatencyCritical), 2);
+    }
+
+    #[test]
+    fn tier_scoped_helpers_filter_by_tier() {
+        let mut q = AdmissionQueue::new(8, DropPolicy::DropNewest);
+        let _ = q.offer(0.0, qq_tier(0, 0.0, 100.0, TenantTier::BestEffort)); // row 0
+        let _ = q.offer(1.0, qq_tier(1, 1.0, 100.0, TenantTier::Standard)); // row 1
+        let _ = q.offer(2.0, qq_tier(3, 2.0, 100.0, TenantTier::BestEffort)); // row 0
+        assert_eq!(q.count_row_tier(0, TenantTier::BestEffort), 2);
+        assert_eq!(q.count_row_tier(0, TenantTier::Standard), 0);
+        assert_eq!(q.count_tier(TenantTier::BestEffort), 2);
+        assert_eq!(q.head_tier(TenantTier::Standard).unwrap().timed.query.id, 1);
+        assert!(q.head_tier(TenantTier::LatencyCritical).is_none());
+        let taken = q.take_row_tier(3.0, 0, TenantTier::BestEffort, 8);
+        assert_eq!(taken.iter().map(|t| t.timed.query.id).collect::<Vec<_>>(), vec![0, 3]);
+        assert_eq!(q.depth(), 1);
     }
 
     #[test]

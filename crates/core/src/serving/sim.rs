@@ -33,7 +33,7 @@ use sushi_accel::backend::ExecutionBackend;
 use sushi_accel::AccelConfig;
 use sushi_sched::{
     AdaptiveEvent, AdaptiveOptions, AdaptivePolicy, CacheSelection, LatencyTable, LoadSignal,
-    Policy, Query, Scheduler,
+    Policy, Query, Scheduler, TenantOptions, TenantPolicy, TenantTier, TierSignals, TIER_COUNT,
 };
 use sushi_wsnet::encoding::overlap_ratio;
 use sushi_wsnet::{SubNet, SuperNet};
@@ -69,6 +69,12 @@ pub struct SimConfig {
     /// Load-adaptive degradation knobs (`None` = static scheduling; the
     /// loop then behaves bit-identically to the pre-adaptive runtime).
     pub adaptive: Option<AdaptiveOptions>,
+    /// Tenant-tiered adaptation (`None` = tierless; mutually exclusive
+    /// with `adaptive` — the engine builder rejects setting both). With
+    /// `None` the loop is bit-identical to the tierless runtime: every
+    /// query is tagged [`TenantTier::Standard`] and no tier machinery
+    /// runs.
+    pub tenants: Option<TenantOptions>,
 }
 
 impl Default for SimConfig {
@@ -80,6 +86,7 @@ impl Default for SimConfig {
             batch: BatchPolicy::no_batching(),
             routing: RoutingPolicy::LeastLoaded,
             adaptive: None,
+            tenants: None,
         }
     }
 }
@@ -126,6 +133,14 @@ impl SimConfig {
         self.adaptive = adaptive;
         self
     }
+
+    /// Enables (`Some`) or disables (`None`) tenant-tiered adaptation.
+    /// Mutually exclusive with [`Self::with_adaptive`].
+    #[must_use]
+    pub fn with_tenants(mut self, tenants: Option<TenantOptions>) -> Self {
+        self.tenants = tenants;
+        self
+    }
 }
 
 /// One query served to completion.
@@ -136,6 +151,9 @@ pub struct ServedQuery {
     pub query: Query,
     /// Tenant that issued it.
     pub tenant: u32,
+    /// Priority tier the tenant maps to ([`TenantTier::Standard`] in a
+    /// run without tenant configuration).
+    pub tier: TenantTier,
     /// Arrival time, ms.
     pub arrival_ms: f64,
     /// Dispatch (service start) time, ms.
@@ -166,13 +184,29 @@ impl ServedQuery {
     }
 }
 
+/// What one tenant tier's degradation ladder did over a tenant-tiered
+/// run (one entry per tier in [`AdaptationTrace::tiers`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TierAdaptation {
+    /// Which tier this ladder serves.
+    pub tier: TenantTier,
+    /// The tier's degradation level when the run ended.
+    pub final_level: usize,
+    /// Level changes that degraded this tier.
+    pub degrades: usize,
+    /// Level changes that upgraded this tier.
+    pub upgrades: usize,
+}
+
 /// What the adaptive controller did over one run (`None` in
 /// [`SimResult::adaptation`] when adaptation was disabled).
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct AdaptationTrace {
-    /// Every enacted level change, in simulated-time order.
+    /// Every enacted level change, in simulated-time order (for a
+    /// tenant-tiered run, the merged event stream across all tiers).
     pub events: Vec<AdaptiveEvent>,
-    /// Degradation level when the run ended.
+    /// Degradation level when the run ended (for a tenant-tiered run,
+    /// the deepest tier's level).
     pub final_level: usize,
     /// Level changes that degraded.
     pub degrades: usize,
@@ -180,6 +214,8 @@ pub struct AdaptationTrace {
     pub upgrades: usize,
     /// Queries whose constraints were shaped before scheduling.
     pub shaped: usize,
+    /// Per-tier ladder traces (empty unless the run was tenant-tiered).
+    pub tiers: Vec<TierAdaptation>,
 }
 
 /// Everything a simulation run produced.
@@ -291,6 +327,39 @@ impl SimResult {
         };
         summary
     }
+
+    /// Summary restricted to one priority tier's queries (drops
+    /// included), with the same shared-field semantics as
+    /// [`Self::tenant_summary`]. `degrades`/`upgrades` come from the
+    /// tier's own ladder trace (zero for a run without tenant
+    /// configuration, where every query is [`TenantTier::Standard`] and
+    /// only the global controller — if any — moved).
+    #[must_use]
+    pub fn tier_summary(&self, tier: TenantTier) -> ServeSummary {
+        let filtered = SimResult {
+            served: self.served.iter().copied().filter(|s| s.tier == tier).collect(),
+            dropped: self.dropped.iter().copied().filter(|d| d.tier == tier).collect(),
+            mean_queue_depth: self.mean_queue_depth,
+            max_queue_depth: self.max_queue_depth,
+            batches: self.batches,
+            cache_installs: self.cache_installs,
+            swap_ms: self.swap_ms,
+            makespan_ms: self.makespan_ms,
+            adaptation: self.adaptation.clone(),
+        };
+        let mut summary = filtered.summary();
+        summary.mean_batch = if filtered.served.is_empty() {
+            0.0
+        } else {
+            filtered.served.iter().map(|s| s.batch_size as f64).sum::<f64>()
+                / filtered.served.len() as f64
+        };
+        let ladder =
+            self.adaptation.as_ref().and_then(|a| a.tiers.iter().find(|t| t.tier == tier).copied());
+        summary.degrades = ladder.map_or(0, |t| t.degrades);
+        summary.upgrades = ladder.map_or(0, |t| t.upgrades);
+        summary
+    }
 }
 
 /// p99 end-to-end latency over a `(completion_ms, latency_ms)` window
@@ -324,6 +393,7 @@ pub struct ServingSim {
     pool: ExecutorPool,
     config: SimConfig,
     adaptive: Option<AdaptivePolicy>,
+    tenant: Option<TenantPolicy>,
     /// Round-robin routing cursor (persists across dispatch groups).
     rr_cursor: usize,
 }
@@ -345,7 +415,12 @@ impl ServingSim {
         config: SimConfig,
     ) -> Self {
         debug_assert_eq!(subnets.len(), table.num_rows(), "serving set / table mismatch");
+        debug_assert!(
+            config.adaptive.is_none() || config.tenants.is_none(),
+            "adaptive and tenants are mutually exclusive (builder-enforced)"
+        );
         let adaptive = config.adaptive.map(|opts| AdaptivePolicy::new(&table, policy, opts));
+        let tenant = config.tenants.map(|opts| TenantPolicy::new(&table, policy, opts));
         Self {
             net,
             subnets,
@@ -353,6 +428,7 @@ impl ServingSim {
             pool: ExecutorPool::new(accel_config, config.workers),
             config,
             adaptive,
+            tenant,
             rr_cursor: 0,
         }
     }
@@ -361,6 +437,12 @@ impl ServingSim {
     #[must_use]
     pub fn adaptive(&self) -> Option<&AdaptivePolicy> {
         self.adaptive.as_ref()
+    }
+
+    /// The tenant-tiered controller, when tenancy is enabled.
+    #[must_use]
+    pub fn tenant(&self) -> Option<&TenantPolicy> {
+        self.tenant.as_ref()
     }
 
     /// The scheduler (for inspection).
@@ -397,10 +479,15 @@ impl ServingSim {
             // Smooth the depth signal on the controller's own time scale so
             // a single momentary spike cannot trigger a degrade.
             queue = queue.with_depth_tau(pol.scale_ms());
+        } else if let Some(pol) = &self.tenant {
+            queue = queue.with_depth_tau(pol.scale_ms());
         }
         let base_batch = self.config.batch;
         let mut batch_policy = base_batch;
         if let Some(pol) = &self.adaptive {
+            batch_policy =
+                BatchPolicy::new(pol.batch_cap(base_batch.max_batch), base_batch.max_wait_ms);
+        } else if let Some(pol) = &self.tenant {
             batch_policy =
                 BatchPolicy::new(pol.batch_cap(base_batch.max_batch), base_batch.max_wait_ms);
         }
@@ -408,8 +495,16 @@ impl ServingSim {
         // completions, tagged with their completion time for aging — a
         // couple of dwell periods, so latencies observed at a stale level
         // age out within a few permitted level changes.
-        let tail_window_ms = self.adaptive.as_ref().map_or(0.0, |p| 2.0 * p.scale_ms());
+        let tail_window_ms = match (&self.adaptive, &self.tenant) {
+            (Some(p), _) => 2.0 * p.scale_ms(),
+            (None, Some(p)) => 2.0 * p.scale_ms(),
+            (None, None) => 0.0,
+        };
         let mut recent: VecDeque<(f64, f64)> = VecDeque::new();
+        // Per-tier completion windows (tenant-tiered runs only): each
+        // tier's ladder reacts to its *own* tail, so one tenant's burst
+        // cannot read as tail pressure on another tier's signal.
+        let mut recent_tier: [VecDeque<(f64, f64)>; TIER_COUNT] = Default::default();
         let mut events: Vec<AdaptiveEvent> = Vec::new();
         let mut shaped_count = 0usize;
         let mut served: Vec<ServedQuery> = Vec::with_capacity(stream.len());
@@ -449,17 +544,75 @@ impl ServingSim {
                     );
                     events.push(ev);
                 }
+            } else if let Some(pol) = self.tenant.as_mut() {
+                // Tenant-tiered runs observe the same shared signal the
+                // global controller would, plus one per-tier signal: raw
+                // tier occupancy of the shared queue, the tier's own
+                // head-of-line slack, and the tier's own completion tail.
+                let (head_slack_ms, head_budget_ms) =
+                    queue.head().map_or((f64::INFINITY, 0.0), |h| {
+                        (h.timed.deadline_ms() - now, h.timed.query.latency_constraint_ms)
+                    });
+                while recent.front().is_some_and(|&(t, _)| t < now - tail_window_ms) {
+                    recent.pop_front();
+                }
+                let shared = LoadSignal {
+                    now_ms: now,
+                    queue_depth: queue.smoothed_depth(now),
+                    queue_capacity: self.config.queue_capacity,
+                    p99_ms: recent_p99(&recent),
+                    head_slack_ms,
+                    head_budget_ms,
+                };
+                let mut signals = TierSignals::uniform(shared);
+                for tier in TenantTier::ALL {
+                    let window = &mut recent_tier[tier.index()];
+                    while window.front().is_some_and(|&(t, _)| t < now - tail_window_ms) {
+                        window.pop_front();
+                    }
+                    let (slack_ms, budget_ms) =
+                        queue.head_tier(tier).map_or((f64::INFINITY, 0.0), |h| {
+                            (h.timed.deadline_ms() - now, h.timed.query.latency_constraint_ms)
+                        });
+                    signals = signals.with_tier(
+                        tier,
+                        LoadSignal {
+                            now_ms: now,
+                            queue_depth: queue.count_tier(tier) as f64,
+                            queue_capacity: self.config.queue_capacity,
+                            p99_ms: recent_p99(window),
+                            head_slack_ms: slack_ms,
+                            head_budget_ms: budget_ms,
+                        },
+                    );
+                }
+                let stepped = pol.observe(&signals);
+                if !stepped.is_empty() {
+                    batch_policy = BatchPolicy::new(
+                        pol.batch_cap(base_batch.max_batch),
+                        base_batch.max_wait_ms,
+                    );
+                    events.extend(stepped.iter().map(|te| te.event));
+                }
             }
 
             // Admit every arrival due at (or before) the current instant.
             while next < stream.len() && stream[next].arrival_ms <= now {
                 let timed = stream[next];
                 next += 1;
+                let tier =
+                    self.tenant.as_ref().map_or(TenantTier::Standard, |p| p.tier_of(timed.tenant));
+                if let Some(pol) = self.tenant.as_mut() {
+                    // Feed the arrival predictor at the query's true
+                    // arrival instant (≤ now when several arrivals are
+                    // admitted in one event step).
+                    pol.observe_arrival(tier, timed.arrival_ms);
+                }
                 // Shape the query for the current degradation level before
                 // the scheduler sees it; the queued copy keeps the original
                 // constraints, so SLO accounting never moves the goalposts.
-                let scheduled = match &self.adaptive {
-                    Some(pol) => {
+                let scheduled = match (&self.adaptive, &self.tenant) {
+                    (Some(pol), _) => {
                         let shaped =
                             pol.shape(&timed.query, self.sched.table(), self.sched.current_cache());
                         if shaped != timed.query {
@@ -467,7 +620,19 @@ impl ServingSim {
                         }
                         shaped
                     }
-                    None => timed.query,
+                    (None, Some(pol)) => {
+                        let shaped = pol.shape(
+                            tier,
+                            &timed.query,
+                            self.sched.table(),
+                            self.sched.current_cache(),
+                        );
+                        if shaped != timed.query {
+                            shaped_count += 1;
+                        }
+                        shaped
+                    }
+                    (None, None) => timed.query,
                 };
                 let decision = self.sched.decide(&scheduled);
                 if let Some(col) = decision.cache_update {
@@ -475,7 +640,7 @@ impl ServingSim {
                     self.pool.route_install(&graph);
                 }
                 if let Some(victim) =
-                    queue.offer(now, QueuedQuery { timed, subnet_row: decision.subnet_row })
+                    queue.offer(now, QueuedQuery { timed, subnet_row: decision.subnet_row, tier })
                 {
                     dropped.push(victim);
                 }
@@ -541,6 +706,7 @@ impl ServingSim {
                         let done = ServedQuery {
                             query: q.timed.query,
                             tenant: q.timed.tenant,
+                            tier: q.tier,
                             arrival_ms: q.timed.arrival_ms,
                             start_ms: report.start_ms,
                             completion_ms: report.completion_ms,
@@ -549,8 +715,12 @@ impl ServingSim {
                             worker: report.worker,
                             prediction: outputs.as_ref().map(|o| o[i].prediction),
                         };
-                        if self.adaptive.is_some() {
+                        if self.adaptive.is_some() || self.tenant.is_some() {
                             recent.push_back((done.completion_ms, done.latency_ms()));
+                        }
+                        if self.tenant.is_some() {
+                            recent_tier[done.tier.index()]
+                                .push_back((done.completion_ms, done.latency_ms()));
                         }
                         served.push(done);
                     }
@@ -588,13 +758,36 @@ impl ServingSim {
             cache_installs: self.pool.cache_installs(),
             swap_ms: self.pool.total_swap_ms(),
             makespan_ms,
-            adaptation: self.adaptive.as_ref().map(|pol| AdaptationTrace {
-                events,
-                final_level: pol.level(),
-                degrades: pol.degrades(),
-                upgrades: pol.upgrades(),
-                shaped: shaped_count,
-            }),
+            adaptation: match (&self.adaptive, &self.tenant) {
+                (Some(pol), _) => Some(AdaptationTrace {
+                    events,
+                    final_level: pol.level(),
+                    degrades: pol.degrades(),
+                    upgrades: pol.upgrades(),
+                    shaped: shaped_count,
+                    tiers: Vec::new(),
+                }),
+                (None, Some(pol)) => {
+                    let tiers: Vec<TierAdaptation> = TenantTier::ALL
+                        .iter()
+                        .map(|&tier| TierAdaptation {
+                            tier,
+                            final_level: pol.level(tier),
+                            degrades: pol.degrades(tier),
+                            upgrades: pol.upgrades(tier),
+                        })
+                        .collect();
+                    Some(AdaptationTrace {
+                        events,
+                        final_level: tiers.iter().map(|t| t.final_level).max().unwrap_or(0),
+                        degrades: tiers.iter().map(|t| t.degrades).sum(),
+                        upgrades: tiers.iter().map(|t| t.upgrades).sum(),
+                        shaped: shaped_count,
+                        tiers,
+                    })
+                }
+                (None, None) => None,
+            },
         })
     }
 }
@@ -633,6 +826,7 @@ mod tests {
             batch: BatchPolicy::new(4, 2.0),
             routing: RoutingPolicy::LeastLoaded,
             adaptive: None,
+            tenants: None,
         };
         let (mut a, space) = sim(cfg);
         let (mut b, _) = sim(cfg);
@@ -649,6 +843,7 @@ mod tests {
             batch: BatchPolicy::new(4, 1.0),
             routing: RoutingPolicy::LeastLoaded,
             adaptive: None,
+            tenants: None,
         };
         let (mut s, space) = sim(cfg);
         let st = stream(&space, 200, 400.0, 3); // overload: drops expected
@@ -674,6 +869,7 @@ mod tests {
             batch: BatchPolicy::new(4, 2.0),
             routing: RoutingPolicy::LeastLoaded,
             adaptive: None,
+            tenants: None,
         };
         let (mut s, space) = sim(cfg);
         let r = s.serve_timed(&stream(&space, 150, 150.0, 4)).unwrap();
@@ -693,6 +889,7 @@ mod tests {
             batch: BatchPolicy::new(4, 1.0),
             routing: RoutingPolicy::LeastLoaded,
             adaptive: None,
+            tenants: None,
         };
         let (mut light, space) = sim(light_cfg);
         let lr = light.serve_timed(&stream(&space, 150, 40.0, 5)).unwrap().summary();
@@ -712,6 +909,7 @@ mod tests {
             batch: BatchPolicy::no_batching(),
             routing: RoutingPolicy::LeastLoaded,
             adaptive: None,
+            tenants: None,
         };
         let batched = SimConfig { batch: BatchPolicy::new(8, 4.0), ..no_batch };
         let (mut a, space) = sim(no_batch);
@@ -734,6 +932,7 @@ mod tests {
             batch: BatchPolicy::new(2, 1.0),
             routing: RoutingPolicy::LeastLoaded,
             adaptive: None,
+            tenants: None,
         };
         let (mut s, space) = sim(cfg);
         let r = s.serve_timed(&stream(&space, 120, 150.0, 7)).unwrap();
@@ -750,6 +949,7 @@ mod tests {
             batch: BatchPolicy::new(4, 2.0),
             routing: RoutingPolicy::LeastLoaded,
             adaptive: None,
+            tenants: None,
         };
         let (mut s, space) = sim(cfg);
         let qs = uniform_stream(&space, 100, 8);

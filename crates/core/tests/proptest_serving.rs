@@ -1,29 +1,43 @@
 //! Property-based tests for the serving building blocks: admission-queue
-//! depth accounting (conservation, non-negativity, smoothing) and dynamic
-//! batching (a batch never spans a cache-install boundary).
+//! depth accounting (conservation, non-negativity, smoothing — globally
+//! *and* per tenant tier), best-effort-first shedding under deadline-aware
+//! pressure, and dynamic batching (a batch never spans a cache-install
+//! boundary).
 
 use proptest::prelude::*;
 
 use sushi_core::serving::queue::QueuedQuery;
-use sushi_core::serving::{AdmissionQueue, BatchPolicy, DropPolicy};
+use sushi_core::serving::{AdmissionQueue, BatchPolicy, DropPolicy, DropReason};
 use sushi_core::stream::TimedQuery;
-use sushi_sched::Query;
+use sushi_sched::{Query, TenantTier};
 
-fn item(id: u64, arrival_ms: f64, lat_ms: f64, subnet_row: usize) -> QueuedQuery {
-    QueuedQuery { timed: TimedQuery::new(arrival_ms, Query::new(id, 0.7, lat_ms)), subnet_row }
+fn item(id: u64, arrival_ms: f64, lat_ms: f64, subnet_row: usize, tier: TenantTier) -> QueuedQuery {
+    QueuedQuery {
+        timed: TimedQuery::new(arrival_ms, Query::new(id, 0.7, lat_ms)),
+        subnet_row,
+        tier,
+    }
+}
+
+fn tier_strategy() -> impl Strategy<Value = TenantTier> {
+    (0usize..3).prop_map(|i| TenantTier::ALL[i])
 }
 
 /// One randomized queue operation (applied at a strictly advancing clock).
 #[derive(Debug, Clone, Copy)]
 enum Op {
-    Offer { lat_ms: f64, row: usize },
+    Offer { lat_ms: f64, row: usize, tier: TenantTier },
     Sweep,
     TakeRow { row: usize, max: usize },
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (0.5f64..40.0, 0usize..3).prop_map(|(lat_ms, row)| Op::Offer { lat_ms, row }),
+        (0.5f64..40.0, 0usize..3, tier_strategy()).prop_map(|(lat_ms, row, tier)| Op::Offer {
+            lat_ms,
+            row,
+            tier
+        }),
         Just(Op::Sweep),
         (0usize..3, 1usize..6).prop_map(|(row, max)| Op::TakeRow { row, max }),
     ]
@@ -34,9 +48,10 @@ proptest! {
 
     /// Depth accounting is conserved and non-negative under arbitrary
     /// admit/drop/pop interleavings, for every drop policy: every offered
-    /// query ends up in exactly one of {queued, dropped, taken}, the depth
-    /// never exceeds capacity, and both depth aggregates (time-weighted
-    /// mean, EWMA) stay within `[0, max_depth]`.
+    /// query ends up in exactly one of {queued, dropped, taken} — globally
+    /// *and within its own tenant tier* — the depth never exceeds
+    /// capacity, and both depth aggregates (time-weighted mean, EWMA) stay
+    /// within `[0, max_depth]`.
     #[test]
     fn queue_depth_accounting_is_conserved(
         policy_pick in 0usize..3,
@@ -48,19 +63,35 @@ proptest! {
             [policy_pick];
         let mut q = AdmissionQueue::new(capacity, policy).with_depth_tau(tau_ms);
         let (mut now, mut offered, mut dropped, mut taken) = (0.0f64, 0usize, 0usize, 0usize);
+        // The same accounting, partitioned by tenant tier.
+        let mut offered_t = [0usize; 3];
+        let mut dropped_t = [0usize; 3];
+        let mut taken_t = [0usize; 3];
         let mut next_id = 0u64;
         for (dt, op) in ops {
             now += dt;
             match op {
-                Op::Offer { lat_ms, row } => {
+                Op::Offer { lat_ms, row, tier } => {
                     offered += 1;
+                    offered_t[tier.index()] += 1;
                     next_id += 1;
-                    if q.offer(now, item(next_id, now, lat_ms, row)).is_some() {
+                    if let Some(victim) = q.offer(now, item(next_id, now, lat_ms, row, tier)) {
                         dropped += 1;
+                        dropped_t[victim.tier.index()] += 1;
                     }
                 }
-                Op::Sweep => dropped += q.sweep_lapsed(now).len(),
-                Op::TakeRow { row, max } => taken += q.take_row(now, row, max).len(),
+                Op::Sweep => {
+                    for victim in q.sweep_lapsed(now) {
+                        dropped += 1;
+                        dropped_t[victim.tier.index()] += 1;
+                    }
+                }
+                Op::TakeRow { row, max } => {
+                    for popped in q.take_row(now, row, max) {
+                        taken += 1;
+                        taken_t[popped.tier.index()] += 1;
+                    }
+                }
             }
             // Conservation: nothing is ever double-counted or lost.
             prop_assert_eq!(offered, q.depth() + dropped + taken);
@@ -69,6 +100,17 @@ proptest! {
             // Per-row counts partition the queue.
             let by_row: usize = (0..3).map(|r| q.count_row(r)).sum();
             prop_assert_eq!(by_row, q.depth());
+            // Per-tier counts partition it too, and each tier's own
+            // accounting closes: admitted = queued + shed + taken.
+            let by_tier: usize = TenantTier::ALL.iter().map(|&t| q.count_tier(t)).sum();
+            prop_assert_eq!(by_tier, q.depth());
+            for tier in TenantTier::ALL {
+                let i = tier.index();
+                prop_assert_eq!(
+                    offered_t[i], q.count_tier(tier) + dropped_t[i] + taken_t[i],
+                    "tier {} accounting leaked", tier.name()
+                );
+            }
             // Aggregates stay inside the envelope the raw depth traced out.
             let mean = q.mean_depth(now + 1e-9);
             prop_assert!(mean >= 0.0 && mean <= q.max_depth() as f64 + 1e-9);
@@ -79,6 +121,58 @@ proptest! {
             );
             if tau_ms == 0.0 {
                 prop_assert_eq!(smoothed, q.depth() as f64);
+            }
+        }
+    }
+
+    /// Deadline-aware shedding is best-effort first: when capacity forces
+    /// a drop, the victim always comes from the most-droppable tier
+    /// present in the contention set (queue plus the arriving query). In
+    /// particular a latency-critical query is never shed while a
+    /// best-effort or standard one was available to shed instead. Lapsed
+    /// arrivals are exempt — refusing an already-dead query is deadline
+    /// semantics, not shedding order.
+    #[test]
+    fn deadline_aware_sheds_best_effort_first(
+        capacity in 1usize..8,
+        offers in proptest::collection::vec(
+            (0.01f64..5.0, 0.5f64..60.0, 0usize..3, tier_strategy()),
+            1..60,
+        ),
+    ) {
+        let mut q = AdmissionQueue::new(capacity, DropPolicy::DeadlineAware);
+        let mut now = 0.0f64;
+        let mut next_id = 0u64;
+        for (dt, lat_ms, row, tier) in offers {
+            now += dt;
+            next_id += 1;
+            let incoming = item(next_id, now, lat_ms, row, tier);
+            let lapsed = incoming.timed.deadline_ms() < now;
+            // Tier census of the contention set before the offer.
+            let mut present = [0usize; 3];
+            for t in TenantTier::ALL {
+                present[t.index()] = q.count_tier(t);
+            }
+            present[tier.index()] += 1;
+            let at_capacity = q.depth() == capacity;
+            let victim = q.offer(now, incoming);
+            if lapsed {
+                continue;
+            }
+            if let Some(v) = &victim {
+                prop_assert_eq!(v.reason, DropReason::QueueFull);
+                prop_assert!(at_capacity, "a non-full queue shed a query");
+                let worst_present = TenantTier::ALL
+                    .iter()
+                    .filter(|t| present[t.index()] > 0)
+                    .map(|t| t.shed_precedence())
+                    .max()
+                    .expect("contention set is non-empty");
+                prop_assert_eq!(
+                    v.tier.shed_precedence(), worst_present,
+                    "shed a {} query while a more droppable tier was present",
+                    v.tier.name()
+                );
             }
         }
     }
@@ -103,7 +197,9 @@ proptest! {
             for _ in 0..count {
                 arrival += 1.0;
                 id += 1;
-                prop_assert!(q.offer(arrival, item(id, arrival, 1e6, epoch)).is_none());
+                prop_assert!(
+                    q.offer(arrival, item(id, arrival, 1e6, epoch, TenantTier::Standard)).is_none()
+                );
             }
         }
         let policy = BatchPolicy::new(max_batch, 0.0);

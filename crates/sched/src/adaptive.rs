@@ -321,7 +321,17 @@ impl AdaptivePolicy {
     /// change, if any.
     pub fn observe(&mut self, signal: &LoadSignal) -> Option<AdaptiveEvent> {
         let pressure = signal.pressure(self.scale_ms);
-        if signal.now_ms - self.last_change_ms < self.dwell_ms {
+        self.observe_pressure(signal.now_ms, pressure)
+    }
+
+    /// [`observe`](Self::observe) with an externally computed pressure:
+    /// the same one-step-per-dwell hysteresis walk, but the caller owns
+    /// the signal-to-pressure fold. This is the entry point of the tenant
+    /// layer ([`crate::tenant::TenantPolicy`]), which mixes per-tier
+    /// signals and a feed-forward arrival-prediction boost into the
+    /// pressure before stepping each tier's ladder.
+    pub fn observe_pressure(&mut self, now_ms: f64, pressure: f64) -> Option<AdaptiveEvent> {
+        if now_ms - self.last_change_ms < self.dwell_ms {
             return None;
         }
         if pressure >= self.opts.degrade_threshold && self.level < self.max_level {
@@ -333,8 +343,8 @@ impl AdaptivePolicy {
         } else {
             return None;
         }
-        self.last_change_ms = signal.now_ms;
-        Some(AdaptiveEvent { at_ms: signal.now_ms, pressure, level: self.level })
+        self.last_change_ms = now_ms;
+        Some(AdaptiveEvent { at_ms: now_ms, pressure, level: self.level })
     }
 
     /// The ladder rung the current level caps the walk at: with `R` rows

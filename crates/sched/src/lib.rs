@@ -55,8 +55,13 @@ pub mod candidates;
 pub mod query;
 pub mod scheduler;
 pub mod table;
+pub mod tenant;
 
 pub use adaptive::{AdaptiveEvent, AdaptiveOptions, AdaptivePolicy, LoadSignal};
 pub use query::{Policy, Query};
 pub use scheduler::{CacheSelection, Decision, Scheduler};
 pub use table::{LatencyTable, EMPTY_COLUMN};
+pub use tenant::{
+    ArrivalPredictor, ArrivalState, PredictorOptions, TenantEvent, TenantOptions, TenantPolicy,
+    TenantTier, TierSignals, MAX_TENANT_SLOTS, TIER_COUNT,
+};

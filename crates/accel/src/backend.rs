@@ -242,6 +242,9 @@ pub struct Functional {
     /// Per-worker scratch, grown lazily to the highest worker index seen
     /// (`arenas[w]` is worker `w`'s private arena).
     arenas: Vec<Arena>,
+    /// Times an existing cache entry was rebuilt because the same SubNet
+    /// name arrived with a different SubGraph (first-time packs excluded).
+    repacks: usize,
 }
 
 impl Functional {
@@ -254,6 +257,7 @@ impl Functional {
             input_seed: seed ^ 0x1A7E,
             caches: HashMap::new(),
             arenas: Vec::new(),
+            repacks: 0,
         }
     }
 
@@ -271,7 +275,9 @@ impl Functional {
             // First dispatch under this SubNet (or same name, different
             // SubGraph — defensive): slice + pack once.
             let cache = SubgraphCache::build(net, &self.store, &subnet.graph)?;
-            self.caches.insert(subnet.name.clone(), Arc::new(cache));
+            if self.caches.insert(subnet.name.clone(), Arc::new(cache)).is_some() {
+                self.repacks += 1;
+            }
         }
         Ok(Arc::clone(&self.caches[&subnet.name]))
     }
@@ -296,6 +302,15 @@ impl Functional {
     #[must_use]
     pub fn packed_subnets(&self) -> usize {
         self.caches.len()
+    }
+
+    /// Times a cache entry was *re*built — the same SubNet name served
+    /// with a different SubGraph after its first pack. Zero in healthy
+    /// serving (names are stable); nonzero flags a zoo whose SubNet
+    /// identities churn, each churn paying a full slice + pack.
+    #[must_use]
+    pub fn repacks(&self) -> usize {
+        self.repacks
     }
 
     /// The deterministic input tensor for a query id.
@@ -480,6 +495,22 @@ mod tests {
             .unwrap();
             assert_eq!(&single, out);
         }
+    }
+
+    #[test]
+    fn same_name_different_graph_counts_a_repack() {
+        let (net, picks) = toy_setup();
+        let mut accel = Accelerator::new(zcu104());
+        let mut backend = Functional::new(DpeArray::new(4, 4), &net, 77);
+        let _ = backend.execute_batch(&mut accel, &net, &picks[0], &[0]).unwrap();
+        let _ = backend.execute_batch(&mut accel, &net, &picks[0], &[1]).unwrap();
+        assert_eq!(backend.repacks(), 0, "stable identity never repacks");
+        // Same name, a different SubGraph: the defensive rebuild path.
+        let mut churned = picks[1].clone();
+        churned.name = picks[0].name.clone();
+        let _ = backend.execute_batch(&mut accel, &net, &churned, &[2]).unwrap();
+        assert_eq!(backend.repacks(), 1, "identity churn pays a repack");
+        assert_eq!(backend.packed_subnets(), 1, "the churned entry replaces, not adds");
     }
 
     #[test]

@@ -16,8 +16,8 @@
 //!
 //! `--serve` is shorthand for the `serve` experiment id: it runs the
 //! traffic presets (steady / burst / diurnal / multi-tenant / overload /
-//! deadline-mix / failover / scale) through the event-driven serving
-//! runtime (deterministic: same seed, same report). Load-adaptive
+//! deadline-mix / failover / scale / chaos) through the event-driven
+//! serving runtime (deterministic: same seed, same report). Load-adaptive
 //! degradation is on by default; `--no-adaptive` pins the presets to the
 //! static pre-adaptive scheduling path bit-for-bit. Tenant tiering (the
 //! `multi_tenant` preset's per-tier controllers) is on by default too;

@@ -21,8 +21,11 @@
 //! printed as a goodput speedup table. The tenant-tiered `multi_tenant`
 //! adaptive run additionally records one row per occupied tenant tier
 //! (`tier: "latency_critical"` / `"best_effort"`) next to its `"all"`
-//! aggregate. Rows are keyed
-//! `(scenario, adaptive, workers, routing, tier)` — schema v4.
+//! aggregate. The fault-injected `chaos` preset records its supervised
+//! run (`faults: "supervised"`) plus an unsupervised ablation row
+//! (`faults: "unsupervised"` — same fault plan, no retry/hedge/
+//! quarantine); every other row carries `faults: "none"`. Rows are keyed
+//! `(scenario, adaptive, workers, routing, tier, faults)` — schema v5.
 //! `--backend` / `--workers` / `--routing` / `--no-adaptive` /
 //! `--no-tenants` map onto the engine knobs; the committed baseline
 //! records the default configuration, so overridden runs cannot be
@@ -42,7 +45,9 @@ use sushi_core::experiments::ExpOptions;
 use sushi_core::metrics::{
     serve_bench_from_json, serve_bench_to_json, serve_regressions, ServeBenchEntry, ServeSummary,
 };
-use sushi_core::serving::{run_functional_scaling, run_scenario, RoutingPolicy, ServePreset};
+use sushi_core::serving::{
+    run_functional_scaling, run_scenario, run_scenario_unsupervised, RoutingPolicy, ServePreset,
+};
 
 /// Relative tolerance for the drift gate: wide enough for the `%.6` JSON
 /// round-trip, far below any semantic change.
@@ -119,6 +124,9 @@ fn main() {
     for preset in ServePreset::ALL {
         let w = opts.workers.unwrap_or(preset.default_workers());
         let r = opts.routing.unwrap_or(preset.default_routing());
+        // Fault-bearing presets record their supervision mode; every
+        // other row stays `faults: "none"`.
+        let faults = if preset == ServePreset::Chaos { "supervised" } else { "none" };
         if opts.adaptive {
             let result = run_scenario(preset, &opts).unwrap_or_else(|e| die(&e.to_string()));
             let summary = result.summary();
@@ -129,8 +137,27 @@ fn main() {
                 w,
                 r.name(),
                 "all",
+                faults,
                 &summary,
             ));
+            // The chaos preset's ablation: same stream, same fault plan,
+            // supervision stripped — the row the supervised pool must
+            // beat on violation rate and goodput.
+            if preset == ServePreset::Chaos {
+                let unsup = run_scenario_unsupervised(preset, &opts)
+                    .unwrap_or_else(|e| die(&e.to_string()))
+                    .summary();
+                print_row(&format!("{} (unsupervised)", preset.name()), &unsup);
+                entries.push(ServeBenchEntry::from_summary(
+                    preset.name(),
+                    true,
+                    w,
+                    r.name(),
+                    "all",
+                    "unsupervised",
+                    &unsup,
+                ));
+            }
             // A tenant-tiered run also records each occupied tier as its
             // own baseline row, so per-tier SLO regressions gate too.
             if let Some(trace) = &result.adaptation {
@@ -146,6 +173,7 @@ fn main() {
                         w,
                         r.name(),
                         t.tier.name(),
+                        faults,
                         &tier_summary,
                     ));
                 }
@@ -160,6 +188,7 @@ fn main() {
             w,
             r.name(),
             "all",
+            faults,
             &summary,
         ));
     }
@@ -184,6 +213,7 @@ fn main() {
                 *w,
                 r.name(),
                 "all",
+                "none",
                 summary,
             ));
         }

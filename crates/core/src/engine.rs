@@ -44,6 +44,7 @@ use sushi_wsnet::{zoo, SubNet, SuperNet};
 
 use crate::error::SushiError;
 use crate::serving::batch::BatchPolicy;
+use crate::serving::fault::FaultOptions;
 use crate::serving::queue::DropPolicy;
 use crate::serving::routing::RoutingPolicy;
 use crate::serving::sim::{ServingSim, SimConfig, SimResult};
@@ -376,6 +377,17 @@ impl EngineBuilder {
         self
     }
 
+    /// Enables (`Some`) or disables (`None`) deterministic fault injection
+    /// for [`Engine::serve_timed`]: seeded replica crashes, straggler
+    /// episodes, and transient batch errors, supervised by retry/hedge/
+    /// quarantine policies unless stripped
+    /// ([`FaultOptions::without_supervision`]). With `None` (the default)
+    /// the serving loop is bit-identical to the fault-free runtime.
+    pub fn faults(mut self, opts: Option<FaultOptions>) -> Self {
+        self.sim.faults = opts;
+        self
+    }
+
     /// Assembles the engine: loads the workload, derives the
     /// variant-adjusted accelerator configuration and cache-selection
     /// rule, builds (or adopts) the SushiAbs latency table, and
@@ -418,6 +430,11 @@ impl EngineBuilder {
                      already runs one adaptive ladder per tier"
                         .into(),
                 ));
+            }
+        }
+        if let Some(opts) = &self.sim.faults {
+            if let Err(e) = opts.validate() {
+                return Err(SushiError::Config(e));
             }
         }
         if self.sim.batch.max_batch == 0 {
@@ -638,6 +655,8 @@ mod tests {
         assert!(EngineBuilder::new().q_window(0).build().is_err());
         assert!(EngineBuilder::new().workers(0).build().is_err());
         assert!(EngineBuilder::new().queue_capacity(0).build().is_err());
+        let bad_faults = FaultOptions::default().with_transient_rate(2.0);
+        assert!(EngineBuilder::new().faults(Some(bad_faults)).build().is_err());
     }
 
     #[test]

@@ -20,6 +20,11 @@ pub enum SushiError {
     /// The execution backend failed (empty batch, SubNet mismatch, or a
     /// functional datapath error).
     Backend(BackendError),
+    /// A serving-loop invariant was violated (e.g. the routing policy
+    /// declined every replica of a dispatch group). These indicate a bug
+    /// in the event loop, surfaced as an error instead of a panic so a
+    /// fault-injected run degrades gracefully.
+    Internal(String),
 }
 
 impl fmt::Display for SushiError {
@@ -28,6 +33,9 @@ impl fmt::Display for SushiError {
             SushiError::Config(what) => write!(f, "invalid engine configuration: {what}"),
             SushiError::Stream(what) => write!(f, "invalid query stream: {what}"),
             SushiError::Backend(e) => write!(f, "execution backend failed: {e}"),
+            SushiError::Internal(what) => {
+                write!(f, "internal serving invariant violated: {what}")
+            }
         }
     }
 }
@@ -57,6 +65,9 @@ mod tests {
         assert!(SushiError::Stream("empty".into()).to_string().contains("empty"));
         let e = SushiError::from(BackendError::EmptyBatch);
         assert!(e.to_string().contains("empty batch"));
+        let e = SushiError::Internal("routing declined every replica".into());
+        assert!(e.to_string().contains("invariant"));
+        assert!(e.to_string().contains("routing declined"));
     }
 
     #[test]

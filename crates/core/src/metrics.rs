@@ -398,6 +398,29 @@ pub struct ServeSummary {
     pub degrades: usize,
     /// Adaptive level changes that upgraded (0 on static runs).
     pub upgrades: usize,
+    /// Drops shed by the admission queue for capacity
+    /// ([`crate::serving::DropReason::QueueFull`]).
+    pub dropped_queue_full: usize,
+    /// Drops whose deadline lapsed before dispatch
+    /// ([`crate::serving::DropReason::DeadlineLapsed`]).
+    pub dropped_deadline: usize,
+    /// Drops that exhausted their retry budget after transient failures
+    /// ([`crate::serving::DropReason::RetryBudgetExhausted`]; 0 on
+    /// fault-free runs).
+    pub dropped_retry_budget: usize,
+    /// Drops stranded by a permanently lost pool
+    /// ([`crate::serving::DropReason::ReplicaLost`]; 0 on fault-free runs).
+    pub dropped_replica_lost: usize,
+    /// Replica crashes enacted (0 on fault-free runs).
+    pub crashes: usize,
+    /// Queries re-admitted by the retry policy (0 on fault-free runs).
+    pub retries: usize,
+    /// Batches duplicated onto a backup replica (0 on fault-free runs).
+    pub hedges: usize,
+    /// Hedged batches the backup won (0 on fault-free runs).
+    pub hedges_won: usize,
+    /// Replica quarantines enacted (0 on fault-free runs).
+    pub quarantines: usize,
 }
 
 /// One scenario row of the `BENCH_serve.json` baseline.
@@ -413,9 +436,10 @@ pub struct ServeBenchEntry {
     pub scenario: String,
     /// Whether load-adaptive degradation was enabled for this row. A
     /// scenario can appear multiple times in the baseline — adaptive and
-    /// static, at different pool sizes, aggregate and per-tier — and the
-    /// quintuple `(scenario, adaptive, workers, routing, tier)` is the
-    /// row key.
+    /// static, at different pool sizes, aggregate and per-tier, faulted
+    /// and fault-free — and the sextuple
+    /// `(scenario, adaptive, workers, routing, tier, faults)` is the row
+    /// key.
     pub adaptive: bool,
     /// Worker (replica) count the row ran with.
     pub workers: usize,
@@ -425,8 +449,13 @@ pub struct ServeBenchEntry {
     /// over every tenant (the only value static and tierless rows use),
     /// or a `TenantTier::name` (`"latency_critical"`, `"best_effort"`,
     /// ...) for a per-tier slice of a tenant-tiered run. Part of the row
-    /// key: `(scenario, adaptive, workers, routing, tier)`.
+    /// key: `(scenario, adaptive, workers, routing, tier, faults)`.
     pub tier: String,
+    /// Fault mode the row ran under: `"none"` for a fault-free run,
+    /// `"supervised"` for injected faults with the supervised pool, or
+    /// `"unsupervised"` for the ablation (same fault plan, no
+    /// supervision). Part of the row key.
+    pub faults: String,
     /// p50 end-to-end latency, ms.
     pub p50_ms: f64,
     /// p95 end-to-end latency, ms.
@@ -454,6 +483,7 @@ impl ServeBenchEntry {
         workers: usize,
         routing: impl Into<String>,
         tier: impl Into<String>,
+        faults: impl Into<String>,
         s: &ServeSummary,
     ) -> Self {
         Self {
@@ -462,6 +492,7 @@ impl ServeBenchEntry {
             workers,
             routing: routing.into(),
             tier: tier.into(),
+            faults: faults.into(),
             p50_ms: s.p50_ms,
             p95_ms: s.p95_ms,
             p99_ms: s.p99_ms,
@@ -478,14 +509,19 @@ impl ServeBenchEntry {
 /// (hand-rolled for the same reason as [`kernel_bench_to_json`]).
 ///
 /// # Panics
-/// Panics if a scenario or routing label contains `"`, `,`, `{` or `}`.
+/// Panics if a scenario, routing, tier, or faults label contains `"`,
+/// `,`, `{` or `}`.
 #[must_use]
 pub fn serve_bench_to_json(entries: &[ServeBenchEntry]) -> String {
-    let mut out = String::from("{\n  \"schema\": \"sushi-serve-bench-v4\",\n  \"entries\": [\n");
+    let mut out = String::from("{\n  \"schema\": \"sushi-serve-bench-v5\",\n  \"entries\": [\n");
     for (i, e) in entries.iter().enumerate() {
         use std::fmt::Write as _;
-        for (what, label) in [("scenario", &e.scenario), ("routing", &e.routing), ("tier", &e.tier)]
-        {
+        for (what, label) in [
+            ("scenario", &e.scenario),
+            ("routing", &e.routing),
+            ("tier", &e.tier),
+            ("faults", &e.faults),
+        ] {
             assert!(
                 !label.contains(['"', ',', '{', '}']),
                 "serve bench {what} '{label}' contains characters the minimal JSON format \
@@ -495,7 +531,7 @@ pub fn serve_bench_to_json(entries: &[ServeBenchEntry]) -> String {
         let _ = write!(
             out,
             "    {{\"scenario\": \"{}\", \"adaptive\": {}, \"workers\": {}, \"routing\": \"{}\", \
-             \"tier\": \"{}\", \"p50_ms\": {:.6}, \"p95_ms\": {:.6}, \
+             \"tier\": \"{}\", \"faults\": \"{}\", \"p50_ms\": {:.6}, \"p95_ms\": {:.6}, \
              \"p99_ms\": {:.6}, \"goodput_qps\": {:.6}, \"slo_violation_rate\": {:.6}, \
              \"dropped\": {}, \"degrades\": {}, \"upgrades\": {}}}",
             e.scenario,
@@ -503,6 +539,7 @@ pub fn serve_bench_to_json(entries: &[ServeBenchEntry]) -> String {
             e.workers,
             e.routing,
             e.tier,
+            e.faults,
             e.p50_ms,
             e.p95_ms,
             e.p99_ms,
@@ -533,14 +570,17 @@ pub fn serve_bench_from_json(text: &str) -> Result<Vec<ServeBenchEntry>, String>
     fn num(obj: &str, key: &str) -> Result<f64, String> {
         field(obj, key)?.parse().map_err(|e| format!("bad {key}: {e}"))
     }
-    if !text.contains("sushi-serve-bench-v4") {
+    if !text.contains("sushi-serve-bench-v5") {
         return Err(
-            if ["v1", "v2", "v3"].iter().any(|v| text.contains(&format!("sushi-serve-bench-{v}"))) {
-                "baseline uses a pre-tenant serve-bench schema (v1/v2/v3) — regenerate it \
+            if ["v1", "v2", "v3", "v4"]
+                .iter()
+                .any(|v| text.contains(&format!("sushi-serve-bench-{v}")))
+            {
+                "baseline uses a pre-fault serve-bench schema (v1/v2/v3/v4) — regenerate it \
                  with scripts/bench_baseline.sh --update"
                     .to_string()
             } else {
-                "missing sushi-serve-bench-v4 schema marker".to_string()
+                "missing sushi-serve-bench-v5 schema marker".to_string()
             },
         );
     }
@@ -556,6 +596,7 @@ pub fn serve_bench_from_json(text: &str) -> Result<Vec<ServeBenchEntry>, String>
             workers: field(obj, "workers")?.parse().map_err(|e| format!("bad workers: {e}"))?,
             routing: field(obj, "routing")?.trim_matches('"').to_string(),
             tier: field(obj, "tier")?.trim_matches('"').to_string(),
+            faults: field(obj, "faults")?.trim_matches('"').to_string(),
             p50_ms: num(obj, "p50_ms")?,
             p95_ms: num(obj, "p95_ms")?,
             p99_ms: num(obj, "p99_ms")?,
@@ -574,7 +615,8 @@ pub fn serve_bench_from_json(text: &str) -> Result<Vec<ServeBenchEntry>, String>
 
 /// Compares a fresh deterministic serve run against the committed baseline.
 ///
-/// Rows are matched by `(scenario, adaptive, workers, routing, tier)`. All
+/// Rows are matched by `(scenario, adaptive, workers, routing, tier,
+/// faults)`. All
 /// percentile/goodput/violation fields must agree within `rel_tol`
 /// (relative) and the dropped/degrades/upgrades counts exactly; a row
 /// missing from `current` fails, and so does a row present in `current`
@@ -594,12 +636,13 @@ pub fn serve_regressions(
     let close = |a: f64, b: f64| (a - b).abs() <= rel_tol * a.abs().max(b.abs()).max(1.0);
     let label = |e: &ServeBenchEntry| {
         format!(
-            "{} ({}, {}w, {}, {})",
+            "{} ({}, {}w, {}, {}, faults={})",
             e.scenario,
             if e.adaptive { "adaptive" } else { "static" },
             e.workers,
             e.routing,
-            e.tier
+            e.tier,
+            e.faults
         )
     };
     let same_key = |a: &ServeBenchEntry, b: &ServeBenchEntry| {
@@ -608,6 +651,7 @@ pub fn serve_regressions(
             && a.workers == b.workers
             && a.routing == b.routing
             && a.tier == b.tier
+            && a.faults == b.faults
     };
     let mut problems = Vec::new();
     for base in baseline {
@@ -852,6 +896,7 @@ mod tests {
             workers: 2,
             routing: "least_loaded".into(),
             tier: "all".into(),
+            faults: "none".into(),
             p50_ms: 2.0,
             p95_ms: 5.0,
             p99_ms: p99,
@@ -872,15 +917,16 @@ mod tests {
         entries[1].workers = 8;
         entries[1].routing = "cache_affinity".into();
         entries[1].tier = "latency_critical".into();
+        entries[1].faults = "supervised".into();
         let json = serve_bench_to_json(&entries);
-        assert!(json.contains("sushi-serve-bench-v4"));
+        assert!(json.contains("sushi-serve-bench-v5"));
         let parsed = serve_bench_from_json(&json).unwrap();
         assert_eq!(parsed, entries);
     }
 
     #[test]
     fn serve_bench_rejects_stale_baselines() {
-        for old in ["v1", "v2", "v3"] {
+        for old in ["v1", "v2", "v3", "v4"] {
             let stale = format!(
                 "{{\n \"schema\": \"sushi-serve-bench-{old}\",\n \"entries\": [\n \
                  {{\"scenario\": \"steady\", \"p50_ms\": 1.0}}\n ]\n}}\n"
@@ -930,6 +976,10 @@ mod tests {
         let mut sliced = base.clone();
         sliced[0].tier = "best_effort".into();
         assert!(serve_regressions(&sliced, &base, 1e-9).is_err());
+        // ... and the same scenario under a different fault mode.
+        let mut refaulted = base.clone();
+        refaulted[0].faults = "supervised".into();
+        assert!(serve_regressions(&refaulted, &base, 1e-9).is_err());
         // A scenario the baseline has never seen fails too: new presets
         // must enter the baseline explicitly via --update.
         let extra = vec![base[0].clone(), serve_entry("brand_new", 1.0, 0)];

@@ -38,6 +38,13 @@ use crate::error::SushiError;
 struct Worker {
     accel: Accelerator,
     busy_until_ms: f64,
+    /// Service-time multiplier applied to dispatched batches (fault
+    /// injection's straggler episodes; `1.0` = nominal, and the nominal
+    /// path never multiplies, so faultless timing is bit-identical).
+    service_multiplier: f64,
+    /// Set by a crash (the replica lost its PB-resident SubGraph);
+    /// cleared when the next install lands, which counts as a re-install.
+    lost_cache: bool,
 }
 
 /// One batch of a dispatch group: which worker runs which SubNet's queries.
@@ -75,6 +82,7 @@ pub struct ExecutorPool {
     cache_installs: usize,
     swap_ms: f64,
     batches: usize,
+    reinstalls: usize,
 }
 
 impl ExecutorPool {
@@ -85,13 +93,19 @@ impl ExecutorPool {
     #[must_use]
     pub fn new(config: &AccelConfig, workers: usize) -> Self {
         assert!(workers > 0, "executor pool needs at least one worker");
-        let worker = Worker { accel: Accelerator::new(config.clone()), busy_until_ms: 0.0 };
+        let worker = Worker {
+            accel: Accelerator::new(config.clone()),
+            busy_until_ms: 0.0,
+            service_multiplier: 1.0,
+            lost_cache: false,
+        };
         Self {
             workers: vec![worker; workers],
             pending_install: None,
             cache_installs: 0,
             swap_ms: 0.0,
             batches: 0,
+            reinstalls: 0,
         }
     }
 
@@ -135,6 +149,46 @@ impl ExecutorPool {
     #[must_use]
     pub fn drain_ms(&self) -> f64 {
         self.workers.iter().map(|w| w.busy_until_ms).fold(0.0, f64::max)
+    }
+
+    /// Fail-stops worker `worker` (fault injection): its Persistent
+    /// Buffer — the resident SubGraph — is lost, so it re-enters cold and
+    /// the next install it applies counts as a re-install. The simulated
+    /// availability clock is left alone; the serving loop's fault runtime
+    /// gates dispatchability while the replica is down.
+    pub fn crash_worker(&mut self, worker: usize) {
+        self.workers[worker].accel.clear_cache();
+        self.workers[worker].lost_cache = true;
+    }
+
+    /// Sets worker `worker`'s service-time multiplier (straggler
+    /// episodes; `1.0` restores nominal service).
+    ///
+    /// # Panics
+    /// Panics unless `multiplier >= 1` and finite.
+    pub fn set_service_multiplier(&mut self, worker: usize, multiplier: f64) {
+        assert!(multiplier.is_finite() && multiplier >= 1.0, "service multiplier must be >= 1");
+        self.workers[worker].service_multiplier = multiplier;
+    }
+
+    /// Worker `worker`'s current service-time multiplier.
+    #[must_use]
+    pub fn service_multiplier(&self, worker: usize) -> f64 {
+        self.workers[worker].service_multiplier
+    }
+
+    /// Clamps worker `worker`'s availability clock to at most `until_ms`
+    /// (hedge cancellation: the losing replica abandons its duplicate
+    /// batch the instant the winner's result lands).
+    pub fn clamp_busy(&mut self, worker: usize, until_ms: f64) {
+        let w = &mut self.workers[worker];
+        w.busy_until_ms = w.busy_until_ms.min(until_ms);
+    }
+
+    /// Test hook: pins worker `worker`'s availability clock.
+    #[cfg(test)]
+    pub(crate) fn force_busy_until(&mut self, worker: usize, until_ms: f64) {
+        self.workers[worker].busy_until_ms = until_ms;
     }
 
     /// Routes a cache decision: the *next dispatched batch's* worker
@@ -192,7 +246,14 @@ impl ExecutorPool {
         plan: &[PlannedBatch<'_>],
     ) -> Result<Vec<(DispatchReport, Option<Vec<FunctionalOutput>>)>, SushiError> {
         if let (Some(graph), Some(first)) = (self.pending_install.take(), plan.first()) {
-            let _ = self.workers[first.worker].accel.install_cache(net, graph);
+            let w = &mut self.workers[first.worker];
+            if w.lost_cache {
+                // The replica lost its PB state to a crash: this install
+                // is a re-pack of state it already paid for once.
+                self.reinstalls += 1;
+                w.lost_cache = false;
+            }
+            let _ = w.accel.install_cache(net, graph);
         }
         let mut accels: Vec<Option<&mut Accelerator>> =
             self.workers.iter_mut().map(|w| Some(&mut w.accel)).collect();
@@ -214,7 +275,14 @@ impl ExecutorPool {
                 assert!(w.busy_until_ms <= now_ms, "dispatch to a busy worker");
                 self.swap_ms += w.accel.config().cycles_to_ms(report.pb_reload_cycles);
                 self.batches += 1;
-                let completion_ms = now_ms + report.total_latency_ms;
+                // The straggler multiplier stretches simulated service
+                // time; the nominal path keeps the exact original value.
+                let service_ms = if w.service_multiplier == 1.0 {
+                    report.total_latency_ms
+                } else {
+                    report.total_latency_ms * w.service_multiplier
+                };
+                let completion_ms = now_ms + service_ms;
                 w.busy_until_ms = completion_ms;
                 Ok((
                     DispatchReport { worker: b.worker, start_ms: now_ms, completion_ms, report },
@@ -240,6 +308,13 @@ impl ExecutorPool {
     #[must_use]
     pub fn batches(&self) -> usize {
         self.batches
+    }
+
+    /// Number of applied installs that re-packed a crash-lost PB (a
+    /// subset of [`Self::cache_installs`]'s applied decisions).
+    #[must_use]
+    pub fn reinstalls(&self) -> usize {
+        self.reinstalls
     }
 }
 
@@ -337,6 +412,55 @@ mod tests {
         let mut pool = ExecutorPool::new(&zcu104(), 1);
         let err = pool.dispatch(0, 0.0, &net, &picks[0], &mut Analytical, &[]).unwrap_err();
         assert!(matches!(err, SushiError::Backend(_)));
+    }
+
+    #[test]
+    fn crash_loses_the_resident_cache_and_next_install_is_a_reinstall() {
+        let net = zoo::mobilenet_v3_supernet();
+        let picks = zoo::paper_subnets(&net);
+        let mut pool = ExecutorPool::new(&zcu104(), 1);
+        pool.route_install(&picks[0].graph);
+        let (d, _) = pool.dispatch(0, 0.0, &net, &picks[0], &mut Analytical, &[0]).unwrap();
+        assert!(pool.resident(0).is_some());
+        assert_eq!(pool.reinstalls(), 0);
+        pool.crash_worker(0);
+        assert!(pool.resident(0).is_none(), "a crash loses the PB-resident SubGraph");
+        pool.route_install(&picks[0].graph);
+        let _ = pool.dispatch(0, d.completion_ms, &net, &picks[0], &mut Analytical, &[1]).unwrap();
+        assert_eq!(pool.reinstalls(), 1, "re-packing crash-lost state is accounted separately");
+        assert_eq!(pool.cache_installs(), 2);
+    }
+
+    #[test]
+    fn straggler_multiplier_stretches_service_time() {
+        let net = zoo::mobilenet_v3_supernet();
+        let picks = zoo::paper_subnets(&net);
+        let mut nominal = ExecutorPool::new(&zcu104(), 1);
+        let (base, _) = nominal.dispatch(0, 0.0, &net, &picks[0], &mut Analytical, &[0]).unwrap();
+        let mut slow = ExecutorPool::new(&zcu104(), 1);
+        slow.set_service_multiplier(0, 3.0);
+        let (stretched, _) = slow.dispatch(0, 0.0, &net, &picks[0], &mut Analytical, &[0]).unwrap();
+        let base_ms = base.completion_ms - base.start_ms;
+        let slow_ms = stretched.completion_ms - stretched.start_ms;
+        assert!((slow_ms - 3.0 * base_ms).abs() < 1e-9, "{slow_ms} vs 3x{base_ms}");
+        assert_eq!(stretched.report, base.report, "the nominal report is unchanged");
+        slow.set_service_multiplier(0, 1.0);
+        let (recovered, _) = slow
+            .dispatch(0, stretched.completion_ms, &net, &picks[0], &mut Analytical, &[1])
+            .unwrap();
+        assert_eq!(recovered.completion_ms - recovered.start_ms, base_ms);
+    }
+
+    #[test]
+    fn clamp_busy_only_moves_the_clock_earlier() {
+        let net = zoo::mobilenet_v3_supernet();
+        let picks = zoo::paper_subnets(&net);
+        let mut pool = ExecutorPool::new(&zcu104(), 1);
+        let (d, _) = pool.dispatch(0, 0.0, &net, &picks[0], &mut Analytical, &[0]).unwrap();
+        pool.clamp_busy(0, d.completion_ms + 100.0);
+        assert_eq!(pool.busy_until_ms(0), d.completion_ms, "clamp never extends");
+        pool.clamp_busy(0, d.completion_ms / 2.0);
+        assert_eq!(pool.busy_until_ms(0), d.completion_ms / 2.0);
     }
 
     #[test]

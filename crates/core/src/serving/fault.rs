@@ -1,0 +1,796 @@
+//! Deterministic fault injection for the serving simulator.
+//!
+//! [`FaultOptions`] seeds a per-replica fault plan — everything is drawn
+//! from [`sushi_tensor::DetRng`] streams derived from one seed, so a
+//! `(stream, config, seed)` triple replays the exact same crashes,
+//! straggler episodes, and transient errors on every platform:
+//!
+//! * **Crash** — a replica fail-stops at a drawn instant (enacted at the
+//!   next batch boundary: an in-flight batch completes, then the replica
+//!   dies), losing its Persistent-Buffer resident SubGraph
+//!   ([`crate::serving::executor::ExecutorPool::crash_worker`]). With a
+//!   non-zero outage mean it restarts after a drawn outage window and
+//!   re-enters cold (`Warming` under supervision); with a zero mean the
+//!   crash is permanent.
+//! * **Straggler** — a replica's service time is multiplied by
+//!   [`FaultOptions::straggler_factor`] over a drawn episode window.
+//! * **Transient** — a dispatched batch fails with a retryable error after
+//!   burning its service time; supervision
+//!   ([`crate::serving::supervise::SuperviseOptions`]) re-admits the
+//!   batch's queries with backoff, an unsupervised pool drops them.
+//!
+//! Replica health ([`ReplicaHealth`]) is a supervised-only state machine
+//! `Healthy → Suspect → Quarantined → Warming → Healthy`, driven by
+//! consecutive failures and straggler detection (per-replica EWMA service
+//! time vs. the pool median). The serving loop never routes to a
+//! `Quarantined` (or down) replica, and treats a `Warming` replica's cache
+//! as cold until a re-install completes.
+//!
+//! When [`crate::serving::sim::SimConfig::faults`] is `None`, none of this
+//! machinery runs — not even its RNG draws — so faultless runs stay
+//! bit-identical to the pre-fault runtime.
+
+use sushi_tensor::DetRng;
+
+use crate::serving::executor::ExecutorPool;
+use crate::serving::supervise::SuperviseOptions;
+
+/// Fault-injection knobs. All processes are off by default; supervision
+/// defaults to on, so enabling a fault process exercises the supervised
+/// pool unless explicitly stripped with
+/// [`FaultOptions::without_supervision`].
+///
+/// `#[non_exhaustive]`: construct via [`Default`] and adjust with the
+/// `with_*` setters (or [`crate::engine::EngineBuilder::faults`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub struct FaultOptions {
+    /// Seed for every fault-plan RNG stream (independent of the arrival
+    /// and query seeds). Default `0xFA17`.
+    pub seed: u64,
+    /// Mean time between crashes per replica, ms (exponential inter-event
+    /// times; `0.0` disables crashes). Default `0.0`.
+    pub crash_mtbf_ms: f64,
+    /// Mean outage before a crashed replica restarts, ms (`0.0` makes
+    /// crashes permanent). Default `0.0`.
+    pub crash_outage_ms: f64,
+    /// Mean time between straggler episodes per replica, ms (`0.0`
+    /// disables). Default `0.0`.
+    pub straggler_mtbf_ms: f64,
+    /// Mean straggler episode duration, ms. Default `0.0`.
+    pub straggler_duration_ms: f64,
+    /// Service-time multiplier during a straggler episode (`>= 1`).
+    /// Default `1.0`.
+    pub straggler_factor: f64,
+    /// Probability that a dispatched batch fails with a retryable error,
+    /// in `[0, 1)`. Default `0.0`.
+    pub transient_rate: f64,
+    /// Supervision (retry / hedge / quarantine) enacted by the serving
+    /// loop; `None` leaves faults injected but unsupervised. Default
+    /// `Some(SuperviseOptions::default())`.
+    pub supervise: Option<SuperviseOptions>,
+}
+
+impl Default for FaultOptions {
+    fn default() -> Self {
+        Self {
+            seed: 0xFA17,
+            crash_mtbf_ms: 0.0,
+            crash_outage_ms: 0.0,
+            straggler_mtbf_ms: 0.0,
+            straggler_duration_ms: 0.0,
+            straggler_factor: 1.0,
+            transient_rate: 0.0,
+            supervise: Some(SuperviseOptions::default()),
+        }
+    }
+}
+
+impl FaultOptions {
+    /// Sets the fault-plan seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the per-replica crash MTBF, ms (`0.0` disables crashes).
+    #[must_use]
+    pub fn with_crash_mtbf_ms(mut self, mtbf_ms: f64) -> Self {
+        self.crash_mtbf_ms = mtbf_ms;
+        self
+    }
+
+    /// Sets the mean restart outage, ms (`0.0` makes crashes permanent).
+    #[must_use]
+    pub fn with_crash_outage_ms(mut self, outage_ms: f64) -> Self {
+        self.crash_outage_ms = outage_ms;
+        self
+    }
+
+    /// Sets the straggler episode MTBF, ms (`0.0` disables).
+    #[must_use]
+    pub fn with_straggler_mtbf_ms(mut self, mtbf_ms: f64) -> Self {
+        self.straggler_mtbf_ms = mtbf_ms;
+        self
+    }
+
+    /// Sets the mean straggler episode duration, ms.
+    #[must_use]
+    pub fn with_straggler_duration_ms(mut self, duration_ms: f64) -> Self {
+        self.straggler_duration_ms = duration_ms;
+        self
+    }
+
+    /// Sets the straggler service-time multiplier (`>= 1`).
+    #[must_use]
+    pub fn with_straggler_factor(mut self, factor: f64) -> Self {
+        self.straggler_factor = factor;
+        self
+    }
+
+    /// Sets the per-batch transient failure probability, in `[0, 1)`.
+    #[must_use]
+    pub fn with_transient_rate(mut self, rate: f64) -> Self {
+        self.transient_rate = rate;
+        self
+    }
+
+    /// Sets (or disables, with `None`) supervision.
+    #[must_use]
+    pub fn with_supervise(mut self, supervise: Option<SuperviseOptions>) -> Self {
+        self.supervise = supervise;
+        self
+    }
+
+    /// The same fault plan with supervision stripped — the ablation
+    /// baseline the supervised pool is measured against.
+    #[must_use]
+    pub fn without_supervision(mut self) -> Self {
+        self.supervise = None;
+        self
+    }
+
+    /// Validates the options.
+    ///
+    /// # Errors
+    /// Returns a description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, v) in [
+            ("crash mtbf", self.crash_mtbf_ms),
+            ("crash outage", self.crash_outage_ms),
+            ("straggler mtbf", self.straggler_mtbf_ms),
+            ("straggler duration", self.straggler_duration_ms),
+        ] {
+            if !v.is_finite() || v < 0.0 {
+                return Err(format!("fault {name} must be finite and >= 0 ms, got {v}"));
+            }
+        }
+        if !self.straggler_factor.is_finite() || self.straggler_factor < 1.0 {
+            return Err(format!(
+                "straggler factor must be finite and >= 1, got {}",
+                self.straggler_factor
+            ));
+        }
+        if self.straggler_mtbf_ms > 0.0 && self.straggler_duration_ms <= 0.0 {
+            return Err("straggler episodes need a positive mean duration".into());
+        }
+        if !self.transient_rate.is_finite() || !(0.0..1.0).contains(&self.transient_rate) {
+            return Err(format!("transient rate must be in [0, 1), got {}", self.transient_rate));
+        }
+        if let Some(s) = &self.supervise {
+            s.validate()?;
+        }
+        Ok(())
+    }
+}
+
+/// Replica health as the supervisor sees it.
+///
+/// `Healthy → Suspect` on a first failure or straggler strike;
+/// `Suspect → Quarantined` when consecutive failures or strikes cross
+/// their thresholds; `Quarantined → Warming` after probation;
+/// `Warming → Healthy` on the first clean completion (a failure while
+/// warming re-quarantines). A crashed replica sits out via its up/down
+/// state; it re-enters as `Warming` (cold cache) when it restarts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReplicaHealth {
+    /// In rotation, no strikes outstanding.
+    #[default]
+    Healthy,
+    /// In rotation, but its last completion failed or straggled.
+    Suspect,
+    /// Out of rotation until probation expires.
+    Quarantined,
+    /// Back in rotation after quarantine or a restart; its cache is
+    /// treated as cold until a re-install completes, and its first
+    /// completion decides whether it returns to `Healthy`.
+    Warming,
+}
+
+impl ReplicaHealth {
+    /// Stable snake_case label for reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ReplicaHealth::Healthy => "healthy",
+            ReplicaHealth::Suspect => "suspect",
+            ReplicaHealth::Quarantined => "quarantined",
+            ReplicaHealth::Warming => "warming",
+        }
+    }
+}
+
+/// What fault injection and supervision did over one run (in
+/// [`crate::serving::sim::SimResult::faults`], `None` for a faultless
+/// run).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultSummary {
+    /// Crashes enacted.
+    pub crashes: usize,
+    /// Per-replica downtime, ms (indexed by worker; still-down replicas
+    /// are accounted up to the makespan).
+    pub downtime_ms: Vec<f64>,
+    /// Dispatched batches that failed with an injected transient error.
+    pub transient_failures: usize,
+    /// Queries re-admitted by the retry policy.
+    pub retries: usize,
+    /// Batches duplicated onto a backup replica.
+    pub hedges: usize,
+    /// Hedged batches where the backup finished first.
+    pub hedges_won: usize,
+    /// Transitions into [`ReplicaHealth::Quarantined`] (crash downtime is
+    /// tracked separately in `downtime_ms`).
+    pub quarantines: usize,
+    /// Pending cache installs applied to a replica that had lost its PB
+    /// state to a crash (re-packs, accounted separately from the
+    /// pack-once install count).
+    pub cache_reinstalls: usize,
+}
+
+impl FaultSummary {
+    /// Total downtime across the pool, ms.
+    #[must_use]
+    pub fn total_downtime_ms(&self) -> f64 {
+        self.downtime_ms.iter().sum()
+    }
+}
+
+/// Exponential draw with mean `mean_ms`, floored away from zero so
+/// back-to-back events can never stall the event loop.
+fn exp_draw(rng: &mut DetRng, mean_ms: f64) -> f64 {
+    let u = rng.next_f64();
+    (-mean_ms * (1.0 - u).ln()).max(mean_ms * 1e-6)
+}
+
+/// Per-replica fault-plan state.
+#[derive(Debug, Clone)]
+struct ReplicaFaults {
+    crash_rng: DetRng,
+    straggle_rng: DetRng,
+    /// Whether the replica is up (dispatchable, health permitting).
+    up: bool,
+    /// Next drawn crash instant (`INFINITY` when crashes are off).
+    next_crash_ms: f64,
+    /// Restart instant while down (`INFINITY` = permanent).
+    down_until_ms: f64,
+    /// When the current outage began (accounting).
+    down_since_ms: f64,
+    /// Next drawn straggler-episode start (`INFINITY` when off).
+    next_straggle_ms: f64,
+    /// End of the active straggler episode (`NEG_INFINITY` when idle).
+    straggle_until_ms: f64,
+    /// Supervised health state.
+    health: ReplicaHealth,
+    /// Probation end while quarantined.
+    quarantine_until_ms: f64,
+    /// Consecutive failed completions.
+    consecutive_failures: u32,
+    /// Consecutive straggling completions.
+    straggler_strikes: u32,
+    /// EWMA of per-batch service time, ms (`None` until the first
+    /// completion).
+    ewma_service_ms: Option<f64>,
+}
+
+/// Run state enacting a [`FaultOptions`] plan over an [`ExecutorPool`].
+/// Built fresh per [`crate::serving::sim::ServingSim::run`] call, so every
+/// run replays the identical plan.
+#[derive(Debug, Clone)]
+pub(crate) struct FaultRuntime {
+    opts: FaultOptions,
+    replicas: Vec<ReplicaFaults>,
+    transient_rng: DetRng,
+    pub(crate) summary: FaultSummary,
+}
+
+impl FaultRuntime {
+    pub(crate) fn new(opts: FaultOptions, workers: usize) -> Self {
+        let replicas = (0..workers as u64)
+            .map(|w| {
+                let mut crash_rng = DetRng::new(opts.seed ^ (w.wrapping_mul(0x9E37_79B9) | 1));
+                let mut straggle_rng =
+                    DetRng::new(opts.seed ^ 0x5742_6717 ^ (w.wrapping_mul(0x85EB_CA6B) | 1));
+                let next_crash_ms = if opts.crash_mtbf_ms > 0.0 {
+                    exp_draw(&mut crash_rng, opts.crash_mtbf_ms)
+                } else {
+                    f64::INFINITY
+                };
+                let next_straggle_ms = if opts.straggler_mtbf_ms > 0.0 {
+                    exp_draw(&mut straggle_rng, opts.straggler_mtbf_ms)
+                } else {
+                    f64::INFINITY
+                };
+                ReplicaFaults {
+                    crash_rng,
+                    straggle_rng,
+                    up: true,
+                    next_crash_ms,
+                    down_until_ms: f64::INFINITY,
+                    down_since_ms: 0.0,
+                    next_straggle_ms,
+                    straggle_until_ms: f64::NEG_INFINITY,
+                    health: ReplicaHealth::Healthy,
+                    quarantine_until_ms: f64::NEG_INFINITY,
+                    consecutive_failures: 0,
+                    straggler_strikes: 0,
+                    ewma_service_ms: None,
+                }
+            })
+            .collect();
+        Self {
+            opts,
+            replicas,
+            transient_rng: DetRng::new(opts.seed ^ 0x7417_5EED),
+            summary: FaultSummary { downtime_ms: vec![0.0; workers], ..FaultSummary::default() },
+        }
+    }
+
+    pub(crate) fn supervise(&self) -> Option<&SuperviseOptions> {
+        self.opts.supervise.as_ref()
+    }
+
+    /// Enacts every fault event due at or before `now_ms`: crashes (at
+    /// batch boundaries — an in-flight batch completes first), restarts,
+    /// straggler episode starts/ends, and quarantine expiries. Call at the
+    /// top of every event-loop step, before admissions and dispatch.
+    pub(crate) fn advance(&mut self, now_ms: f64, pool: &mut ExecutorPool) {
+        for w in 0..self.replicas.len() {
+            // Crash / restart catch-up.
+            loop {
+                let r = &mut self.replicas[w];
+                if !r.up {
+                    if now_ms < r.down_until_ms {
+                        break;
+                    }
+                    // Restart: account the outage, come back cold.
+                    self.summary.downtime_ms[w] += r.down_until_ms - r.down_since_ms;
+                    r.up = true;
+                    if self.opts.supervise.is_some() {
+                        r.health = ReplicaHealth::Warming;
+                        r.consecutive_failures = 0;
+                        r.straggler_strikes = 0;
+                    }
+                    r.next_crash_ms =
+                        r.down_until_ms + exp_draw(&mut r.crash_rng, self.opts.crash_mtbf_ms);
+                    r.down_until_ms = f64::INFINITY;
+                } else if now_ms >= r.next_crash_ms && pool.busy_until_ms(w) <= now_ms {
+                    // Fail-stop at the batch boundary: the replica dies at
+                    // its drawn instant, or when its in-flight batch
+                    // completed — whichever is later.
+                    let down_from = r.next_crash_ms.max(pool.busy_until_ms(w));
+                    r.up = false;
+                    r.down_since_ms = down_from;
+                    r.down_until_ms = if self.opts.crash_outage_ms > 0.0 {
+                        down_from + exp_draw(&mut r.crash_rng, self.opts.crash_outage_ms)
+                    } else {
+                        f64::INFINITY
+                    };
+                    self.summary.crashes += 1;
+                    pool.crash_worker(w);
+                } else {
+                    break;
+                }
+            }
+            // Straggler episode catch-up.
+            loop {
+                let r = &mut self.replicas[w];
+                if r.straggle_until_ms > f64::NEG_INFINITY && now_ms >= r.straggle_until_ms {
+                    pool.set_service_multiplier(w, 1.0);
+                    r.straggle_until_ms = f64::NEG_INFINITY;
+                } else if r.straggle_until_ms == f64::NEG_INFINITY && now_ms >= r.next_straggle_ms {
+                    let dur = exp_draw(&mut r.straggle_rng, self.opts.straggler_duration_ms);
+                    r.straggle_until_ms = r.next_straggle_ms + dur;
+                    r.next_straggle_ms = r.straggle_until_ms
+                        + exp_draw(&mut r.straggle_rng, self.opts.straggler_mtbf_ms);
+                    pool.set_service_multiplier(w, self.opts.straggler_factor);
+                } else {
+                    break;
+                }
+            }
+            // Quarantine expiry: probation served, re-enter warming.
+            let r = &mut self.replicas[w];
+            if r.up && r.health == ReplicaHealth::Quarantined && now_ms >= r.quarantine_until_ms {
+                r.health = ReplicaHealth::Warming;
+                r.consecutive_failures = 0;
+                r.straggler_strikes = 0;
+            }
+        }
+    }
+
+    /// Whether the serving loop may route a batch to replica `w`.
+    pub(crate) fn dispatchable(&self, w: usize) -> bool {
+        let r = &self.replicas[w];
+        r.up && r.health != ReplicaHealth::Quarantined
+    }
+
+    /// Whether replica `w`'s resident cache may count as warm for
+    /// cache-affinity routing (a `Warming` replica is treated cold until
+    /// its re-install completes).
+    pub(crate) fn cache_warm(&self, w: usize) -> bool {
+        self.dispatchable(w) && self.replicas[w].health != ReplicaHealth::Warming
+    }
+
+    /// Replica `w`'s health state.
+    #[cfg(test)]
+    pub(crate) fn health(&self, w: usize) -> ReplicaHealth {
+        self.replicas[w].health
+    }
+
+    /// Fraction of the pool that is down or quarantined — the capacity
+    /// term of the adaptive pressure signal (`Warming` replicas count as
+    /// available).
+    pub(crate) fn unavailable_frac(&self) -> f64 {
+        let n = self.replicas.len();
+        let out = (0..n).filter(|&w| !self.dispatchable(w)).count();
+        out as f64 / n.max(1) as f64
+    }
+
+    /// When replica `w` can next accept a batch, given its executor clock:
+    /// its busy-until while dispatchable, its restart (or never, if the
+    /// crash is permanent) while down, and its probation end while
+    /// quarantined.
+    pub(crate) fn release_ms(&self, w: usize, busy_until_ms: f64) -> f64 {
+        let r = &self.replicas[w];
+        if !r.up {
+            return r.down_until_ms;
+        }
+        if r.health == ReplicaHealth::Quarantined {
+            return r.quarantine_until_ms.max(busy_until_ms);
+        }
+        busy_until_ms
+    }
+
+    /// Rolls the per-batch transient-failure coin (one draw per primary
+    /// dispatch, in dispatch order — deterministic).
+    pub(crate) fn roll_transient(&mut self) -> bool {
+        if self.opts.transient_rate <= 0.0 {
+            return false;
+        }
+        let failed = self.transient_rng.next_f64() < self.opts.transient_rate;
+        if failed {
+            self.summary.transient_failures += 1;
+        }
+        failed
+    }
+
+    /// Records a failed completion on replica `w` at `at_ms` and steps the
+    /// health machine (supervised runs only).
+    pub(crate) fn note_failure(&mut self, w: usize, at_ms: f64) {
+        let Some(sup) = self.opts.supervise else { return };
+        let r = &mut self.replicas[w];
+        r.consecutive_failures += 1;
+        if r.health == ReplicaHealth::Warming
+            || r.consecutive_failures >= sup.quarantine.consecutive_failures
+        {
+            Self::quarantine_replica(r, at_ms, sup.quarantine.probation_ms, &mut self.summary);
+        } else {
+            r.health = ReplicaHealth::Suspect;
+        }
+    }
+
+    /// Records a successful completion of `service_ms` on replica `w` at
+    /// `at_ms`: feeds the straggler detector (EWMA vs. pool median) and
+    /// steps the health machine (supervised runs only).
+    pub(crate) fn note_success(&mut self, w: usize, service_ms: f64, at_ms: f64) {
+        let Some(sup) = self.opts.supervise else { return };
+        let alpha = sup.quarantine.ewma_alpha;
+        {
+            let r = &mut self.replicas[w];
+            r.consecutive_failures = 0;
+            r.ewma_service_ms = Some(match r.ewma_service_ms {
+                None => service_ms,
+                Some(prev) => alpha * service_ms + (1.0 - alpha) * prev,
+            });
+        }
+        let median = self.pool_median_service_ms();
+        let r = &mut self.replicas[w];
+        let straggling = median.is_some_and(|m| {
+            m > 0.0 && r.ewma_service_ms.unwrap_or(0.0) > sup.quarantine.straggler_ratio * m
+        });
+        if straggling {
+            r.straggler_strikes += 1;
+            if r.straggler_strikes >= sup.quarantine.straggler_strikes {
+                Self::quarantine_replica(r, at_ms, sup.quarantine.probation_ms, &mut self.summary);
+                // A quarantined straggler re-enters with a clean slate:
+                // its stale EWMA would instantly re-strike it otherwise.
+                r.ewma_service_ms = None;
+            } else if r.health == ReplicaHealth::Healthy {
+                r.health = ReplicaHealth::Suspect;
+            }
+        } else {
+            r.straggler_strikes = 0;
+            if matches!(r.health, ReplicaHealth::Suspect | ReplicaHealth::Warming) {
+                r.health = ReplicaHealth::Healthy;
+            }
+        }
+    }
+
+    fn quarantine_replica(
+        r: &mut ReplicaFaults,
+        at_ms: f64,
+        probation_ms: f64,
+        summary: &mut FaultSummary,
+    ) {
+        r.health = ReplicaHealth::Quarantined;
+        r.quarantine_until_ms = at_ms + probation_ms;
+        r.straggler_strikes = 0;
+        summary.quarantines += 1;
+    }
+
+    /// Median EWMA service time over up replicas with at least one sample
+    /// (`None` until two replicas have history — one sample is its own
+    /// median, which would self-diagnose the only active replica).
+    fn pool_median_service_ms(&self) -> Option<f64> {
+        let mut v: Vec<f64> =
+            self.replicas.iter().filter(|r| r.up).filter_map(|r| r.ewma_service_ms).collect();
+        if v.len() < 2 {
+            return None;
+        }
+        v.sort_by(f64::total_cmp);
+        Some(v[v.len() / 2])
+    }
+
+    /// Finalizes accounting at the simulation horizon and returns the
+    /// run's fault summary (replicas still down at `makespan_ms` are
+    /// charged up to it).
+    pub(crate) fn finish(mut self, makespan_ms: f64) -> FaultSummary {
+        for (w, r) in self.replicas.iter().enumerate() {
+            if !r.up && makespan_ms > r.down_since_ms {
+                self.summary.downtime_ms[w] += makespan_ms - r.down_since_ms;
+            }
+        }
+        self.summary
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sushi_accel::config::zcu104;
+
+    fn chaosy() -> FaultOptions {
+        FaultOptions::default()
+            .with_crash_mtbf_ms(100.0)
+            .with_crash_outage_ms(50.0)
+            .with_straggler_mtbf_ms(80.0)
+            .with_straggler_duration_ms(40.0)
+            .with_straggler_factor(3.0)
+            .with_transient_rate(0.1)
+    }
+
+    #[test]
+    fn defaults_validate_and_inject_nothing() {
+        let opts = FaultOptions::default();
+        assert_eq!(opts.validate(), Ok(()));
+        let mut rt = FaultRuntime::new(opts, 2);
+        let mut pool = ExecutorPool::new(&zcu104(), 2);
+        rt.advance(1e6, &mut pool);
+        assert!(rt.dispatchable(0) && rt.dispatchable(1));
+        assert!(!rt.roll_transient());
+        let s = rt.finish(1e6);
+        assert_eq!(s, FaultSummary { downtime_ms: vec![0.0, 0.0], ..FaultSummary::default() });
+    }
+
+    #[test]
+    fn invalid_knobs_are_rejected_with_context() {
+        assert!(chaosy().with_crash_mtbf_ms(-1.0).validate().unwrap_err().contains("crash mtbf"));
+        assert!(chaosy().with_straggler_factor(0.5).validate().unwrap_err().contains("factor"));
+        assert!(chaosy().with_transient_rate(1.0).validate().unwrap_err().contains("transient"));
+        assert!(FaultOptions::default()
+            .with_straggler_mtbf_ms(10.0)
+            .validate()
+            .unwrap_err()
+            .contains("duration"));
+        let bad_sup = chaosy()
+            .with_supervise(Some(SuperviseOptions::default().with_retry(
+                crate::serving::supervise::RetryPolicy::default().with_max_attempts(0),
+            )));
+        assert!(bad_sup.validate().is_err());
+    }
+
+    #[test]
+    fn fault_plan_is_deterministic_in_its_seed() {
+        let opts = chaosy();
+        let mut a = FaultRuntime::new(opts, 3);
+        let mut b = FaultRuntime::new(opts, 3);
+        let mut pa = ExecutorPool::new(&zcu104(), 3);
+        let mut pb = ExecutorPool::new(&zcu104(), 3);
+        for step in 0..200 {
+            let now = step as f64 * 7.0;
+            a.advance(now, &mut pa);
+            b.advance(now, &mut pb);
+            for w in 0..3 {
+                assert_eq!(a.dispatchable(w), b.dispatchable(w), "t={now} w={w}");
+                assert_eq!(a.health(w), b.health(w));
+            }
+            assert_eq!(a.roll_transient(), b.roll_transient());
+        }
+        assert_eq!(a.finish(1400.0), b.finish(1400.0));
+        // A different seed yields a different plan.
+        let mut c = FaultRuntime::new(opts.with_seed(0xDEAD), 3);
+        let mut pc = ExecutorPool::new(&zcu104(), 3);
+        let mut diverged = false;
+        let mut a2 = FaultRuntime::new(opts, 3);
+        let mut pa2 = ExecutorPool::new(&zcu104(), 3);
+        for step in 0..200 {
+            let now = step as f64 * 7.0;
+            c.advance(now, &mut pc);
+            a2.advance(now, &mut pa2);
+            diverged |= (0..3).any(|w| c.dispatchable(w) != a2.dispatchable(w));
+        }
+        assert!(diverged, "re-seeding the plan must change it");
+    }
+
+    #[test]
+    fn crashes_enact_downtime_and_permanent_without_outage() {
+        let opts = FaultOptions::default().with_crash_mtbf_ms(20.0).with_crash_outage_ms(30.0);
+        let mut rt = FaultRuntime::new(opts, 1);
+        let mut pool = ExecutorPool::new(&zcu104(), 1);
+        let mut saw_down = false;
+        let mut saw_restart = false;
+        for step in 0..500 {
+            rt.advance(step as f64, &mut pool);
+            if !rt.dispatchable(0) {
+                saw_down = true;
+            } else if saw_down {
+                saw_restart = true;
+            }
+        }
+        assert!(saw_down && saw_restart, "crash/restart cycle should occur within 500 ms");
+        let s = rt.finish(500.0);
+        assert!(s.crashes >= 1);
+        assert!(s.downtime_ms[0] > 0.0);
+
+        // Zero outage mean: the first crash is forever.
+        let mut perm = FaultRuntime::new(FaultOptions::default().with_crash_mtbf_ms(20.0), 1);
+        let mut pool = ExecutorPool::new(&zcu104(), 1);
+        for step in 0..500 {
+            perm.advance(step as f64, &mut pool);
+        }
+        assert!(!perm.dispatchable(0));
+        assert_eq!(perm.release_ms(0, 0.0), f64::INFINITY);
+        let s = perm.finish(500.0);
+        assert_eq!(s.crashes, 1);
+        assert!(s.downtime_ms[0] > 0.0 && s.downtime_ms[0] <= 500.0);
+    }
+
+    #[test]
+    fn crash_waits_for_the_inflight_batch() {
+        let opts = FaultOptions::default().with_crash_mtbf_ms(10.0);
+        let mut rt = FaultRuntime::new(opts, 1);
+        let mut pool = ExecutorPool::new(&zcu104(), 1);
+        // Find the drawn crash instant by probing a parallel runtime.
+        let mut probe = FaultRuntime::new(opts, 1);
+        let mut probe_pool = ExecutorPool::new(&zcu104(), 1);
+        let mut crash_t = 0.0;
+        for step in 0..10_000 {
+            let now = step as f64 * 0.01;
+            probe.advance(now, &mut probe_pool);
+            if !probe.dispatchable(0) {
+                crash_t = now;
+                break;
+            }
+        }
+        assert!(crash_t > 0.0, "crash should fire");
+        // Simulate a batch in flight across the crash instant: the replica
+        // survives until the batch boundary.
+        let busy_until = crash_t + 5.0;
+        pool.force_busy_until(0, busy_until);
+        rt.advance(crash_t + 1.0, &mut pool);
+        assert!(rt.dispatchable(0), "fail-stop must wait for the batch boundary");
+        rt.advance(busy_until, &mut pool);
+        assert!(!rt.dispatchable(0), "replica dies once the batch completes");
+    }
+
+    #[test]
+    fn straggler_episodes_set_and_clear_the_multiplier() {
+        let opts = FaultOptions::default()
+            .with_straggler_mtbf_ms(30.0)
+            .with_straggler_duration_ms(20.0)
+            .with_straggler_factor(4.0);
+        let mut rt = FaultRuntime::new(opts, 1);
+        let mut pool = ExecutorPool::new(&zcu104(), 1);
+        let (mut saw_slow, mut saw_recover) = (false, false);
+        for step in 0..1000 {
+            rt.advance(step as f64, &mut pool);
+            if pool.service_multiplier(0) > 1.0 {
+                saw_slow = true;
+            } else if saw_slow {
+                saw_recover = true;
+            }
+        }
+        assert!(saw_slow && saw_recover, "episode should start and end within 1000 ms");
+    }
+
+    #[test]
+    fn health_machine_walks_healthy_suspect_quarantined_warming_healthy() {
+        // No injected crashes or stragglers: the walk below drives the
+        // machine purely through note_failure/note_success, and a random
+        // crash would pin a replica down (quarantine expiry requires an
+        // up replica).
+        let opts = FaultOptions::default().with_transient_rate(0.1);
+        let mut rt = FaultRuntime::new(opts, 2);
+        let mut pool = ExecutorPool::new(&zcu104(), 2);
+        assert_eq!(rt.health(0), ReplicaHealth::Healthy);
+        rt.note_failure(0, 10.0);
+        assert_eq!(rt.health(0), ReplicaHealth::Suspect);
+        rt.note_failure(0, 12.0); // consecutive_failures hits the default threshold (2)
+        assert_eq!(rt.health(0), ReplicaHealth::Quarantined);
+        assert!(!rt.dispatchable(0));
+        assert_eq!(rt.summary.quarantines, 1);
+        // Probation (default 50 ms) expires → Warming, treated cold.
+        rt.advance(12.0 + 50.0, &mut pool);
+        assert_eq!(rt.health(0), ReplicaHealth::Warming);
+        assert!(rt.dispatchable(0) && !rt.cache_warm(0));
+        // A clean completion returns it to Healthy.
+        rt.note_success(0, 5.0, 70.0);
+        assert_eq!(rt.health(0), ReplicaHealth::Healthy);
+        assert!(rt.cache_warm(0));
+        // A failure while warming re-quarantines immediately.
+        rt.note_failure(1, 5.0);
+        rt.note_failure(1, 6.0);
+        rt.advance(6.0 + 50.0, &mut pool);
+        assert_eq!(rt.health(1), ReplicaHealth::Warming);
+        rt.note_failure(1, 60.0);
+        assert_eq!(rt.health(1), ReplicaHealth::Quarantined);
+    }
+
+    #[test]
+    fn straggler_detection_quarantines_the_slow_replica() {
+        let mut rt = FaultRuntime::new(chaosy(), 3);
+        // Replicas 1 and 2 serve at ~5 ms; replica 0 at 10x the median.
+        for round in 0..5 {
+            let t = round as f64 * 10.0;
+            rt.note_success(1, 5.0, t);
+            rt.note_success(2, 5.0, t);
+            rt.note_success(0, 50.0, t);
+        }
+        assert_eq!(rt.health(0), ReplicaHealth::Quarantined, "EWMA 10x the median must strike out");
+        assert!(rt.summary.quarantines >= 1);
+        assert_eq!(rt.health(1), ReplicaHealth::Healthy);
+        assert_eq!(rt.health(2), ReplicaHealth::Healthy);
+    }
+
+    #[test]
+    fn unsupervised_runs_have_no_health_machine() {
+        let mut rt = FaultRuntime::new(chaosy().without_supervision(), 2);
+        for _ in 0..10 {
+            rt.note_failure(0, 1.0);
+            rt.note_success(1, 100.0, 1.0);
+            rt.note_success(0, 1.0, 1.0);
+        }
+        assert_eq!(rt.health(0), ReplicaHealth::Healthy);
+        assert_eq!(rt.health(1), ReplicaHealth::Healthy);
+        assert_eq!(rt.summary.quarantines, 0);
+    }
+
+    #[test]
+    fn unavailable_frac_counts_down_and_quarantined() {
+        let mut rt = FaultRuntime::new(chaosy(), 4);
+        assert_eq!(rt.unavailable_frac(), 0.0);
+        rt.note_failure(0, 1.0);
+        rt.note_failure(0, 2.0);
+        assert_eq!(rt.unavailable_frac(), 0.25);
+    }
+}

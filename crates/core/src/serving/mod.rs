@@ -20,6 +20,12 @@
 //! * [`routing::RoutingPolicy`] — which free replica a ready batch is
 //!   dispatched to (least-loaded, round-robin, or cache-affinity over
 //!   per-replica resident SubGraphs).
+//! * [`fault::FaultOptions`] — deterministic, replayable fault injection
+//!   (replica crashes, straggler episodes, transient batch errors) with a
+//!   supervised [`fault::ReplicaHealth`] quarantine/recovery machine.
+//! * [`supervise::SuperviseOptions`] — the supervision knobs: retry with
+//!   exponential backoff and per-tier budgets, optional tail hedging, and
+//!   quarantine thresholds.
 //! * [`executor::ExecutorPool`] — accelerator-replica workers with
 //!   per-replica cache state and routed (not broadcast) installs,
 //!   dispatching batch groups through the engine's
@@ -66,18 +72,22 @@
 pub mod arrivals;
 pub mod batch;
 pub mod executor;
+pub mod fault;
 pub mod queue;
 pub mod routing;
 pub mod scenario;
 pub mod sim;
+pub mod supervise;
 
 pub use arrivals::ArrivalProcess;
 pub use batch::BatchPolicy;
 pub use executor::ExecutorPool;
+pub use fault::{FaultOptions, FaultSummary, ReplicaHealth};
 pub use queue::{AdmissionQueue, DropPolicy, DropReason, DroppedQuery};
 pub use routing::{ReplicaView, RoutingPolicy};
 pub use scenario::{
-    build_scenario, run_all_presets, run_functional_scaling, run_scenario, Scenario, ServePreset,
-    FUNCTIONAL_SCALING_POINTS,
+    build_scenario, run_all_presets, run_functional_scaling, run_scenario,
+    run_scenario_unsupervised, Scenario, ServePreset, FUNCTIONAL_SCALING_POINTS,
 };
 pub use sim::{AdaptationTrace, ServedQuery, ServingSim, SimConfig, SimResult, TierAdaptation};
+pub use supervise::{HedgePolicy, QuarantinePolicy, RetryPolicy, SuperviseOptions};

@@ -42,8 +42,29 @@ pub struct QueuedQuery {
 pub enum DropReason {
     /// Evicted by the queue's overflow policy.
     QueueFull,
-    /// Its deadline lapsed while still queued (deadline-aware sweep).
+    /// Its deadline lapsed while still queued (deadline-aware sweep), or a
+    /// retry could not possibly restart before it (deadline-aware
+    /// give-up).
     DeadlineLapsed,
+    /// A transiently-failed query exhausted its retry attempts or its
+    /// tier's retry budget (or failed with retries unsupervised/disabled).
+    RetryBudgetExhausted,
+    /// Still queued when the run ended with no replica left to serve it
+    /// (every replica crashed without restart).
+    ReplicaLost,
+}
+
+impl DropReason {
+    /// Stable snake_case label for reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            DropReason::QueueFull => "queue_full",
+            DropReason::DeadlineLapsed => "deadline_lapsed",
+            DropReason::RetryBudgetExhausted => "retry_budget_exhausted",
+            DropReason::ReplicaLost => "replica_lost",
+        }
+    }
 }
 
 /// A dropped query and why.
@@ -322,6 +343,14 @@ impl AdmissionQueue {
         taken
     }
 
+    /// Removes and returns everything still queued, in FIFO order (the
+    /// serving loop's end-of-run drain when no replica is left to serve
+    /// them).
+    pub fn drain(&mut self, now_ms: f64) -> Vec<QueuedQuery> {
+        self.advance(now_ms);
+        self.items.drain(..).collect()
+    }
+
     /// Time-weighted mean depth over `[0, end_ms]`.
     ///
     /// # Panics
@@ -469,6 +498,27 @@ mod tests {
         let taken = q.take_row_tier(3.0, 0, TenantTier::BestEffort, 8);
         assert_eq!(taken.iter().map(|t| t.timed.query.id).collect::<Vec<_>>(), vec![0, 3]);
         assert_eq!(q.depth(), 1);
+    }
+
+    #[test]
+    fn drain_empties_in_fifo_order_and_updates_accounting() {
+        let mut q = AdmissionQueue::new(4, DropPolicy::DropNewest);
+        for id in 0..3 {
+            let _ = q.offer(id as f64, qq(id, id as f64, 100.0));
+        }
+        let drained = q.drain(10.0);
+        assert_eq!(drained.iter().map(|d| d.timed.query.id).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert!(q.is_empty());
+        // The depth integral covered [0, 10] at the pre-drain depths.
+        assert!(q.mean_depth(10.0) > 0.0);
+    }
+
+    #[test]
+    fn drop_reason_names_are_stable() {
+        assert_eq!(DropReason::QueueFull.name(), "queue_full");
+        assert_eq!(DropReason::DeadlineLapsed.name(), "deadline_lapsed");
+        assert_eq!(DropReason::RetryBudgetExhausted.name(), "retry_budget_exhausted");
+        assert_eq!(DropReason::ReplicaLost.name(), "replica_lost");
     }
 
     #[test]

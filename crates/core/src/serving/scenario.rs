@@ -15,6 +15,7 @@
 //! | `deadline_mix` | Poisson @ 90% capacity | tight/loose interleave | deadline-aware |
 //! | `failover` | Poisson @ 55%, outage → recovery burst | uniform | deadline-aware |
 //! | `scale` | Poisson @ 10× the 2-worker rates, 8 replicas | accuracy-band interleave | deadline-aware |
+//! | `chaos` | Poisson @ 1.4× the 2-worker anchor, 4 replicas + fault plan | uniform | deadline-aware |
 //!
 //! All presets run the full SUSHI stack (state-aware caching, dynamic
 //! batching, a replica pool with routed installs) on the MobileNetV3
@@ -23,7 +24,11 @@
 //! two-worker pool so arrival rates stay comparable across presets;
 //! `scale` is the scale-out regime — eight replicas, ten times the
 //! baseline arrival rate, and a cache-swap-heavy accuracy mix routed with
-//! [`RoutingPolicy::CacheAffinity`]. With `opts.adaptive` (the default)
+//! [`RoutingPolicy::CacheAffinity`]. `chaos` is the robustness regime — a
+//! four-replica pool under a deterministic fault plan (crashes with
+//! outages, straggler episodes, transient batch failures) served by the
+//! supervised executor pool; [`run_scenario_unsupervised`] is its
+//! ablation baseline. With `opts.adaptive` (the default)
 //! the serving loop degrades SubNet selection under pressure
 //! ([`sushi_sched::AdaptivePolicy`]); `overload`, `deadline_mix` and
 //! `failover` exist to exercise exactly that loop — sustained overload, a
@@ -46,6 +51,7 @@ use crate::experiments::common::{mobv3_workload, ExpOptions, Workload};
 use crate::metrics::ServeSummary;
 use crate::serving::arrivals::ArrivalProcess;
 use crate::serving::batch::BatchPolicy;
+use crate::serving::fault::FaultOptions;
 use crate::serving::queue::DropPolicy;
 use crate::serving::routing::RoutingPolicy;
 use crate::serving::sim::{SimConfig, SimResult};
@@ -80,11 +86,16 @@ pub enum ServePreset {
     /// scheduler between SubNets — the cache-swap-heavy load where
     /// per-replica cache state and affinity routing matter.
     Scale,
+    /// The fault-injection regime: four replicas under moderate load with
+    /// a deterministic fault plan — replica crashes with outages,
+    /// straggler episodes, and transient batch failures — served by the
+    /// supervised executor pool (retry, hedging, quarantine/recovery).
+    Chaos,
 }
 
 impl ServePreset {
     /// All presets, in report order.
-    pub const ALL: [ServePreset; 8] = [
+    pub const ALL: [ServePreset; 9] = [
         ServePreset::Steady,
         ServePreset::Burst,
         ServePreset::Diurnal,
@@ -93,6 +104,7 @@ impl ServePreset {
         ServePreset::DeadlineMix,
         ServePreset::Failover,
         ServePreset::Scale,
+        ServePreset::Chaos,
     ];
 
     /// Stable scenario label (used in reports and `BENCH_serve.json`).
@@ -107,6 +119,7 @@ impl ServePreset {
             ServePreset::DeadlineMix => "deadline_mix",
             ServePreset::Failover => "failover",
             ServePreset::Scale => "scale",
+            ServePreset::Chaos => "chaos",
         }
     }
 
@@ -122,6 +135,7 @@ impl ServePreset {
     pub fn default_workers(&self) -> usize {
         match self {
             ServePreset::Scale => 8,
+            ServePreset::Chaos => 4,
             _ => 2,
         }
     }
@@ -131,7 +145,7 @@ impl ServePreset {
     #[must_use]
     pub fn default_routing(&self) -> RoutingPolicy {
         match self {
-            ServePreset::Scale => RoutingPolicy::CacheAffinity,
+            ServePreset::Scale | ServePreset::Chaos => RoutingPolicy::CacheAffinity,
             _ => RoutingPolicy::LeastLoaded,
         }
     }
@@ -199,6 +213,7 @@ fn build_scenario_for(workload: &Workload, preset: ServePreset, opts: &ExpOption
                 batch,
                 adaptive,
                 tenants: None,
+                faults: None,
             };
             (attach_arrivals(&qs, &arrivals), sim)
         }
@@ -220,6 +235,7 @@ fn build_scenario_for(workload: &Workload, preset: ServePreset, opts: &ExpOption
                 batch,
                 adaptive,
                 tenants: None,
+                faults: None,
             };
             (attach_arrivals(&qs, &arrivals), sim)
         }
@@ -242,6 +258,7 @@ fn build_scenario_for(workload: &Workload, preset: ServePreset, opts: &ExpOption
                 batch,
                 adaptive,
                 tenants: None,
+                faults: None,
             };
             (attach_arrivals(&qs, &arrivals), sim)
         }
@@ -298,6 +315,7 @@ fn build_scenario_for(workload: &Workload, preset: ServePreset, opts: &ExpOption
                 batch,
                 adaptive,
                 tenants,
+                faults: None,
             };
             (merged, sim)
         }
@@ -316,6 +334,7 @@ fn build_scenario_for(workload: &Workload, preset: ServePreset, opts: &ExpOption
                 batch,
                 adaptive,
                 tenants: None,
+                faults: None,
             };
             (attach_arrivals(&qs, &arrivals), sim)
         }
@@ -344,6 +363,7 @@ fn build_scenario_for(workload: &Workload, preset: ServePreset, opts: &ExpOption
                 batch,
                 adaptive,
                 tenants: None,
+                faults: None,
             };
             (attach_arrivals(&qs, &arrivals), sim)
         }
@@ -369,6 +389,7 @@ fn build_scenario_for(workload: &Workload, preset: ServePreset, opts: &ExpOption
                 batch,
                 adaptive,
                 tenants: None,
+                faults: None,
             };
             (attach_arrivals(&qs, &arrivals), sim)
         }
@@ -403,6 +424,42 @@ fn build_scenario_for(workload: &Workload, preset: ServePreset, opts: &ExpOption
                 batch,
                 adaptive,
                 tenants: None,
+                faults: None,
+            };
+            (attach_arrivals(&qs, &arrivals), sim)
+        }
+        ServePreset::Chaos => {
+            // Moderate load on a four-replica pool (1.4× the two-worker
+            // capacity anchor, ~70% of the chaos pool) with a
+            // deterministic fault plan scaled to the workload's own mean
+            // cold service time. The headroom is what the faults eat:
+            // straggler episodes quadruple one replica's service time,
+            // crashes take a replica out for ~20 service times (losing
+            // its resident SubgraphCache), and transient batch failures
+            // hit ~8% of dispatches. The supervised pool — retry,
+            // hedging, quarantine/recovery, the preset default — must
+            // win back the goodput and tail SLOs the unsupervised
+            // ablation loses (see [`run_scenario_unsupervised`]).
+            let qs = uniform_stream(&space, n, seed ^ 0x0F);
+            let arrivals =
+                ArrivalProcess::Poisson { rate_qps: 1.4 * capacity_qps }.timestamps(n, seed ^ 0x10);
+            let faults = FaultOptions::default()
+                .with_seed(seed ^ 0x11)
+                .with_crash_mtbf_ms(200.0 * mean_cold_ms)
+                .with_crash_outage_ms(20.0 * mean_cold_ms)
+                .with_straggler_mtbf_ms(40.0 * mean_cold_ms)
+                .with_straggler_duration_ms(12.0 * mean_cold_ms)
+                .with_straggler_factor(4.0)
+                .with_transient_rate(0.08);
+            let sim = SimConfig {
+                workers: preset.default_workers(),
+                routing: preset.default_routing(),
+                queue_capacity: 48,
+                drop_policy: DropPolicy::DeadlineAware,
+                batch,
+                adaptive,
+                tenants: None,
+                faults: Some(faults),
             };
             (attach_arrivals(&qs, &arrivals), sim)
         }
@@ -423,9 +480,35 @@ fn build_scenario_for(workload: &Workload, preset: ServePreset, opts: &ExpOption
 /// Returns [`SushiError::Config`] for invalid overrides (e.g. zero
 /// workers) and [`SushiError::Backend`] when execution fails.
 pub fn run_scenario(preset: ServePreset, opts: &ExpOptions) -> Result<SimResult, SushiError> {
+    run_scenario_inner(preset, opts, false)
+}
+
+/// [`run_scenario`] with the preset's fault plan stripped of supervision:
+/// same stream, same faults, but no retry, no hedging, no quarantine —
+/// the ablation baseline the `chaos` preset's supervised pool is measured
+/// against (the `faults = "unsupervised"` rows of `BENCH_serve.json`).
+/// For presets without a fault plan this is identical to [`run_scenario`].
+///
+/// # Errors
+/// Same contract as [`run_scenario`].
+pub fn run_scenario_unsupervised(
+    preset: ServePreset,
+    opts: &ExpOptions,
+) -> Result<SimResult, SushiError> {
+    run_scenario_inner(preset, opts, true)
+}
+
+fn run_scenario_inner(
+    preset: ServePreset,
+    opts: &ExpOptions,
+    strip_supervision: bool,
+) -> Result<SimResult, SushiError> {
     let workload = mobv3_workload();
     let scenario = build_scenario_for(&workload, preset, opts);
     let mut sim = scenario.sim;
+    if strip_supervision {
+        sim.faults = sim.faults.map(FaultOptions::without_supervision);
+    }
     if let Some(workers) = opts.workers {
         sim.workers = workers;
     }
@@ -636,6 +719,50 @@ mod tests {
             adap.goodput_qps,
             stat.goodput_qps
         );
+    }
+
+    #[test]
+    fn chaos_scenario_injects_faults() {
+        let res = run_scenario(ServePreset::Chaos, &ExpOptions::quick()).unwrap();
+        let faults = res.faults.clone().expect("chaos runs carry a fault summary");
+        assert!(
+            faults.transient_failures + faults.crashes + faults.quarantines > 0,
+            "the chaos fault plan must actually fire: {faults:?}"
+        );
+        let s = res.summary();
+        assert_eq!(s.offered, s.completed + s.dropped, "conservation");
+    }
+
+    #[test]
+    fn supervised_chaos_beats_unsupervised_chaos() {
+        // The acceptance gate for the supervised executor pool: on the
+        // chaos preset, retry + hedging + quarantine must beat the bare
+        // pool on *both* the SLO-violation rate and goodput.
+        let opts = ExpOptions::quick();
+        let sup = run_scenario(ServePreset::Chaos, &opts).unwrap().summary();
+        let unsup = run_scenario_unsupervised(ServePreset::Chaos, &opts).unwrap().summary();
+        assert!(
+            sup.slo_violation_rate < unsup.slo_violation_rate,
+            "supervised violations {} !< unsupervised {}",
+            sup.slo_violation_rate,
+            unsup.slo_violation_rate
+        );
+        assert!(
+            sup.goodput_qps > unsup.goodput_qps,
+            "supervised goodput {} !> unsupervised {}",
+            sup.goodput_qps,
+            unsup.goodput_qps
+        );
+        assert_eq!(unsup.retries, 0, "unsupervised pool must not retry");
+        assert_eq!(unsup.hedges, 0, "unsupervised pool must not hedge");
+    }
+
+    #[test]
+    fn unsupervised_is_identity_for_faultless_presets() {
+        let opts = static_quick();
+        let a = run_scenario(ServePreset::Steady, &opts).unwrap();
+        let b = run_scenario_unsupervised(ServePreset::Steady, &opts).unwrap();
+        assert_eq!(a.summary(), b.summary());
     }
 
     #[test]

@@ -26,7 +26,7 @@
 //! `(stream, config, seed)` triple reproduces bit-identical results on any
 //! platform.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 use sushi_accel::backend::ExecutionBackend;
@@ -42,7 +42,8 @@ use crate::error::SushiError;
 use crate::metrics::{LatencyHistogram, ServeSummary};
 use crate::serving::batch::BatchPolicy;
 use crate::serving::executor::{ExecutorPool, PlannedBatch};
-use crate::serving::queue::{AdmissionQueue, DropPolicy, DroppedQuery, QueuedQuery};
+use crate::serving::fault::{FaultOptions, FaultRuntime, FaultSummary};
+use crate::serving::queue::{AdmissionQueue, DropPolicy, DropReason, DroppedQuery, QueuedQuery};
 use crate::serving::routing::{ReplicaView, RoutingPolicy};
 use crate::stream::TimedQuery;
 
@@ -75,6 +76,11 @@ pub struct SimConfig {
     /// query is tagged [`TenantTier::Standard`] and no tier machinery
     /// runs.
     pub tenants: Option<TenantOptions>,
+    /// Deterministic fault injection and supervision (`None` = the
+    /// fault-free runtime; the loop is then bit-identical to a build
+    /// without this field — no fault RNG is drawn and no event order
+    /// changes).
+    pub faults: Option<FaultOptions>,
 }
 
 impl Default for SimConfig {
@@ -87,6 +93,7 @@ impl Default for SimConfig {
             routing: RoutingPolicy::LeastLoaded,
             adaptive: None,
             tenants: None,
+            faults: None,
         }
     }
 }
@@ -139,6 +146,14 @@ impl SimConfig {
     #[must_use]
     pub fn with_tenants(mut self, tenants: Option<TenantOptions>) -> Self {
         self.tenants = tenants;
+        self
+    }
+
+    /// Enables (`Some`) or disables (`None`) deterministic fault
+    /// injection and the supervised executor pool.
+    #[must_use]
+    pub fn with_faults(mut self, faults: Option<FaultOptions>) -> Self {
+        self.faults = faults;
         self
     }
 }
@@ -230,7 +245,11 @@ pub struct SimResult {
     pub mean_queue_depth: f64,
     /// Maximum queue depth observed.
     pub max_queue_depth: usize,
-    /// Batches dispatched.
+    /// Batches whose results were committed. Equal to total dispatches on
+    /// a faultless run; under fault injection, transiently-failed batches
+    /// and hedge duplicates burned a service slot without committing, so
+    /// they are excluded (keeping `mean_batch >= 1` whenever anything
+    /// completed).
     pub batches: usize,
     /// Cache decisions enacted.
     pub cache_installs: usize,
@@ -240,6 +259,8 @@ pub struct SimResult {
     pub makespan_ms: f64,
     /// Adaptation trace (`None` when the run was static).
     pub adaptation: Option<AdaptationTrace>,
+    /// Fault-injection accounting (`None` when the run was fault-free).
+    pub faults: Option<FaultSummary>,
 }
 
 impl SimResult {
@@ -262,6 +283,16 @@ impl SimResult {
             (0.0, 0.0, 0.0, 0.0)
         };
         let violations = (self.served.len() - met) + self.dropped.len();
+        let mut by_reason = [0usize; 4];
+        for d in &self.dropped {
+            by_reason[match d.reason {
+                DropReason::QueueFull => 0,
+                DropReason::DeadlineLapsed => 1,
+                DropReason::RetryBudgetExhausted => 2,
+                DropReason::ReplicaLost => 3,
+            }] += 1;
+        }
+        let f = self.faults.as_ref();
         ServeSummary {
             offered,
             completed: self.served.len(),
@@ -288,6 +319,15 @@ impl SimResult {
             makespan_ms: self.makespan_ms,
             degrades: self.adaptation.as_ref().map_or(0, |a| a.degrades),
             upgrades: self.adaptation.as_ref().map_or(0, |a| a.upgrades),
+            dropped_queue_full: by_reason[0],
+            dropped_deadline: by_reason[1],
+            dropped_retry_budget: by_reason[2],
+            dropped_replica_lost: by_reason[3],
+            crashes: f.map_or(0, |s| s.crashes),
+            retries: f.map_or(0, |s| s.retries),
+            hedges: f.map_or(0, |s| s.hedges),
+            hedges_won: f.map_or(0, |s| s.hedges_won),
+            quarantines: f.map_or(0, |s| s.quarantines),
         }
     }
 
@@ -314,6 +354,7 @@ impl SimResult {
             swap_ms: self.swap_ms,
             makespan_ms: self.makespan_ms,
             adaptation: self.adaptation.clone(),
+            faults: self.faults.clone(),
         };
         let mut summary = filtered.summary();
         // `summary()` derives mean_batch from the run-global dispatch
@@ -346,6 +387,7 @@ impl SimResult {
             swap_ms: self.swap_ms,
             makespan_ms: self.makespan_ms,
             adaptation: self.adaptation.clone(),
+            faults: self.faults.clone(),
         };
         let mut summary = filtered.summary();
         summary.mean_batch = if filtered.served.is_empty() {
@@ -380,9 +422,32 @@ fn recent_p99(recent: &VecDeque<(f64, f64)>) -> f64 {
         return 0.0;
     }
     let mut v: Vec<f64> = recent.iter().map(|&(_, lat)| lat).collect();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    // total_cmp: a NaN smuggled in by a hostile backend must not panic the
+    // dispatch path — it sorts to the end and at worst skews the signal.
+    v.sort_by(f64::total_cmp);
     v[(0.99 * (v.len() - 1) as f64).ceil() as usize]
 }
+
+/// Hedge threshold signal: p99 service time over a count-bounded window of
+/// recent batch service times (`0.0` while empty). Unlike the SLO tail
+/// window this tracks *service* time (dispatch → completion), which is what
+/// a straggling replica inflates.
+fn service_p99(window: &VecDeque<f64>) -> f64 {
+    if window.is_empty() {
+        return 0.0;
+    }
+    let mut v: Vec<f64> = window.iter().copied().collect();
+    v.sort_by(f64::total_cmp);
+    v[(0.99 * (v.len() - 1) as f64).ceil() as usize]
+}
+
+/// Hedge service-time window: bounded count (not time) — service times are
+/// level-independent, so aging by count is enough and keeps the fault path
+/// allocation-free in steady state.
+const HEDGE_WINDOW: usize = 64;
+/// Completions observed before hedging arms: an empty/noisy p99 estimate
+/// must not fire duplicates at the start of a run.
+const HEDGE_WARMUP: usize = 16;
 
 /// The SLO-aware serving loop: scheduler + executor pool + queue + batcher.
 #[derive(Debug)]
@@ -505,6 +570,26 @@ impl ServingSim {
         // tier's ladder reacts to its *own* tail, so one tenant's burst
         // cannot read as tail pressure on another tier's signal.
         let mut recent_tier: [VecDeque<(f64, f64)>; TIER_COUNT] = Default::default();
+        // Fault injection: a fresh runtime per run — the fault plan is a
+        // pure function of the options' seed, so a rerun replays the same
+        // schedule. All of this state is inert when `faults: None`; the
+        // fault-free loop never touches it.
+        let mut fault = self.config.faults.map(|opts| FaultRuntime::new(opts, self.config.workers));
+        let mut tier_retry_budget = [usize::MAX; TIER_COUNT];
+        if let Some(sup) = fault.as_ref().and_then(FaultRuntime::supervise) {
+            tier_retry_budget = sup.retry.tier_budgets;
+        }
+        // Retried queries waiting out their backoff (re-admission times);
+        // attempt counts are keyed by (tenant, id) because ids are only
+        // unique per tenant in a merged stream.
+        let mut retry_buf: Vec<(QueuedQuery, f64)> = Vec::new();
+        let mut attempts: HashMap<(u32, u64), u32> = HashMap::new();
+        let mut hedge_window: VecDeque<f64> = VecDeque::new();
+        // Dispatches that committed no results: transiently-failed batches
+        // and hedge duplicates (exactly one of a hedged pair commits).
+        // Excluded from `SimResult::batches` so `mean_batch` keeps meaning
+        // "served queries per useful batch"; zero when faultless.
+        let mut wasted_batches = 0usize;
         let mut events: Vec<AdaptiveEvent> = Vec::new();
         let mut shaped_count = 0usize;
         let mut served: Vec<ServedQuery> = Vec::with_capacity(stream.len());
@@ -513,6 +598,29 @@ impl ServingSim {
         let mut now = 0.0f64;
 
         loop {
+            // Enact fault events due at this instant first: a replica whose
+            // crash is due must be gone before this step's admissions or
+            // dispatch can see it, and restarts / probation expiries come
+            // back the same way. Retries whose backoff has elapsed re-enter
+            // through the shared queue, competing for capacity like any
+            // arrival (and can themselves be shed).
+            if let Some(f) = fault.as_mut() {
+                f.advance(now, &mut self.pool);
+                if !retry_buf.is_empty() {
+                    let mut still_waiting = Vec::with_capacity(retry_buf.len());
+                    for (qq, ready_ms) in retry_buf.drain(..) {
+                        if ready_ms <= now {
+                            if let Some(victim) = queue.offer(now, qq) {
+                                dropped.push(victim);
+                            }
+                        } else {
+                            still_waiting.push((qq, ready_ms));
+                        }
+                    }
+                    retry_buf = still_waiting;
+                }
+            }
+
             // Observe load and (maybe) step the degradation level. Sampled
             // once per event — before admissions — so the controller sees
             // the queue as the arriving queries will find it, and recovery
@@ -534,6 +642,7 @@ impl ServingSim {
                     },
                     head_slack_ms,
                     head_budget_ms,
+                    quarantined_frac: fault.as_ref().map_or(0.0, FaultRuntime::unavailable_frac),
                 };
                 if let Some(ev) = pol.observe(&signal) {
                     // Shrink (or re-grow) the dynamic batch with the level:
@@ -563,6 +672,7 @@ impl ServingSim {
                     p99_ms: recent_p99(&recent),
                     head_slack_ms,
                     head_budget_ms,
+                    quarantined_frac: fault.as_ref().map_or(0.0, FaultRuntime::unavailable_frac),
                 };
                 let mut signals = TierSignals::uniform(shared);
                 for tier in TenantTier::ALL {
@@ -583,6 +693,9 @@ impl ServingSim {
                             p99_ms: recent_p99(window),
                             head_slack_ms: slack_ms,
                             head_budget_ms: budget_ms,
+                            quarantined_frac: fault
+                                .as_ref()
+                                .map_or(0.0, FaultRuntime::unavailable_frac),
                         },
                     );
                 }
@@ -656,7 +769,13 @@ impl ServingSim {
                 let mut plan: Vec<PlannedBatch<'_>> = Vec::new();
                 let mut pending: Vec<(usize, Vec<QueuedQuery>)> = Vec::new();
                 loop {
-                    let free = |w: usize| !claimed[w] && self.pool.busy_until_ms(w) <= now;
+                    // A replica is routable only while up and not
+                    // quarantined; the fault-free closure is unchanged.
+                    let free = |w: usize| {
+                        !claimed[w]
+                            && self.pool.busy_until_ms(w) <= now
+                            && fault.as_ref().map_or(true, |f| f.dispatchable(w))
+                    };
                     if !(0..claimed.len()).any(free) || !batch_policy.ready(&queue, now) {
                         break;
                     }
@@ -670,10 +789,15 @@ impl ServingSim {
                     // installs make residency heterogeneous, so under
                     // cache-affinity routing a swap-heavy mix keeps each
                     // band on the replica already holding its weights.
+                    // A Warming replica's cache counts as cold until the
+                    // next install lands on it: the crash wiped its PB.
                     let warmth: Vec<f64> = (0..claimed.len())
-                        .map(|w| match (free(w), self.pool.resident(w)) {
-                            (true, Some(g)) => overlap_ratio(&self.subnets[row].graph, g),
-                            _ => 0.0,
+                        .map(|w| {
+                            let warm = fault.as_ref().map_or(true, |f| f.cache_warm(w));
+                            match (free(w) && warm, self.pool.resident(w)) {
+                                (true, Some(g)) => overlap_ratio(&self.subnets[row].graph, g),
+                                _ => 0.0,
+                            }
                         })
                         .collect();
                     let warmest = warmth.iter().copied().fold(0.0, f64::max);
@@ -684,11 +808,14 @@ impl ServingSim {
                             covers: warmest > 0.0 && warmth[w] == warmest,
                         })
                         .collect();
-                    let worker = self
-                        .config
-                        .routing
-                        .choose(&views, &mut self.rr_cursor)
-                        .expect("a free replica exists");
+                    let worker =
+                        self.config.routing.choose(&views, &mut self.rr_cursor).ok_or_else(
+                            || {
+                                SushiError::Internal(
+                                    "routing declined every replica for a ready batch".into(),
+                                )
+                            },
+                        )?;
                     claimed[worker] = true;
                     plan.push(PlannedBatch {
                         worker,
@@ -701,7 +828,140 @@ impl ServingSim {
                     break;
                 }
                 let results = self.pool.dispatch_group(now, &self.net, backend, &plan)?;
-                for ((row, batch), (report, outputs)) in pending.into_iter().zip(results) {
+                for ((row, batch), (mut report, mut outputs)) in pending.into_iter().zip(results) {
+                    if let Some(f) = fault.as_mut() {
+                        if f.roll_transient() {
+                            // The batch burned its service slot and failed
+                            // retryably at completion. Supervision retries
+                            // each query under its tier budget; an
+                            // unsupervised pool just loses them.
+                            f.note_failure(report.worker, report.completion_ms);
+                            let sup = f.supervise().copied();
+                            for q in &batch {
+                                let key = (q.timed.tenant, q.timed.query.id);
+                                let attempt = attempts.get(&key).copied().unwrap_or(1);
+                                let retry_at = sup.and_then(|sup| {
+                                    if attempt >= sup.retry.max_attempts
+                                        || tier_retry_budget[q.tier.index()] == 0
+                                    {
+                                        return None;
+                                    }
+                                    let salt = q.timed.query.id
+                                        ^ (u64::from(q.timed.tenant) << 32)
+                                        ^ (u64::from(attempt) << 48);
+                                    Some(report.completion_ms + sup.retry.backoff_ms(attempt, salt))
+                                });
+                                match retry_at {
+                                    Some(ready_ms)
+                                        if self.config.drop_policy == DropPolicy::DeadlineAware
+                                            && ready_ms > q.timed.deadline_ms() =>
+                                    {
+                                        // Deadline-aware give-up: the retry
+                                        // could not even restart in time.
+                                        dropped.push(DroppedQuery {
+                                            timed: q.timed,
+                                            reason: DropReason::DeadlineLapsed,
+                                            tier: q.tier,
+                                        });
+                                    }
+                                    Some(ready_ms) => {
+                                        tier_retry_budget[q.tier.index()] =
+                                            tier_retry_budget[q.tier.index()].saturating_sub(1);
+                                        attempts.insert(key, attempt + 1);
+                                        f.summary.retries += 1;
+                                        retry_buf.push((*q, ready_ms));
+                                    }
+                                    None => dropped.push(DroppedQuery {
+                                        timed: q.timed,
+                                        reason: DropReason::RetryBudgetExhausted,
+                                        tier: q.tier,
+                                    }),
+                                }
+                            }
+                            wasted_batches += 1;
+                            continue;
+                        }
+                        // Tail hedge: when this batch ran far past the
+                        // recent p99 service time, race a duplicate on the
+                        // warmest free healthy replica — first result wins,
+                        // the loser's slot is reclaimed at that instant.
+                        let service_ms = report.completion_ms - report.start_ms;
+                        let hedge = f.supervise().and_then(|s| s.hedge);
+                        if let Some(hp) = hedge {
+                            let p99 = service_p99(&hedge_window);
+                            if hedge_window.len() >= HEDGE_WARMUP
+                                && service_ms > hp.min_threshold_ms
+                                && service_ms > hp.p99_factor * p99
+                            {
+                                let mut backup: Option<(usize, f64)> = None;
+                                for w in 0..self.pool.num_workers() {
+                                    if w == report.worker
+                                        || self.pool.busy_until_ms(w) > now
+                                        || !f.dispatchable(w)
+                                    {
+                                        continue;
+                                    }
+                                    let warm = if f.cache_warm(w) {
+                                        self.pool.resident(w).map_or(0.0, |g| {
+                                            overlap_ratio(&self.subnets[row].graph, g)
+                                        })
+                                    } else {
+                                        0.0
+                                    };
+                                    if backup.map_or(true, |(_, best)| warm > best) {
+                                        backup = Some((w, warm));
+                                    }
+                                }
+                                if let Some((bw, _)) = backup {
+                                    let hedge_plan = [PlannedBatch {
+                                        worker: bw,
+                                        subnet: &self.subnets[row],
+                                        query_ids: batch.iter().map(|q| q.timed.query.id).collect(),
+                                    }];
+                                    let mut hres = self.pool.dispatch_group(
+                                        now,
+                                        &self.net,
+                                        backend,
+                                        &hedge_plan,
+                                    )?;
+                                    let (hreport, houts) =
+                                        hres.pop().expect("one planned batch, one result");
+                                    f.summary.hedges += 1;
+                                    wasted_batches += 1;
+                                    if hreport.completion_ms < report.completion_ms {
+                                        // Backup won: cancel the primary at
+                                        // the winner's completion, but keep
+                                        // feeding its would-be service time
+                                        // to the straggler detector.
+                                        f.summary.hedges_won += 1;
+                                        self.pool.clamp_busy(report.worker, hreport.completion_ms);
+                                        f.note_success(
+                                            report.worker,
+                                            service_ms,
+                                            hreport.completion_ms,
+                                        );
+                                        report = hreport;
+                                        outputs = houts;
+                                    } else {
+                                        self.pool.clamp_busy(bw, report.completion_ms);
+                                        f.note_success(
+                                            bw,
+                                            hreport.completion_ms - hreport.start_ms,
+                                            report.completion_ms,
+                                        );
+                                    }
+                                }
+                            }
+                        }
+                        let final_service = report.completion_ms - report.start_ms;
+                        f.note_success(report.worker, final_service, report.completion_ms);
+                        if hedge.is_some() {
+                            hedge_window.push_back(final_service);
+                            if hedge_window.len() > HEDGE_WINDOW {
+                                hedge_window.pop_front();
+                            }
+                        }
+                    }
                     for (i, q) in batch.iter().enumerate() {
                         let done = ServedQuery {
                             query: q.timed.query,
@@ -728,16 +988,38 @@ impl ServingSim {
             }
 
             // Advance to the next event: an arrival, a worker becoming
-            // free, or the head-of-line batch timing out.
+            // free (which under faults means *available* — restarted or
+            // released from probation, not merely past its busy clock), a
+            // retry's backoff elapsing, or the head-of-line batch timing
+            // out.
             let mut next_event = f64::INFINITY;
             if next < stream.len() {
                 next_event = next_event.min(stream[next].arrival_ms);
             }
+            for &(_, ready_ms) in &retry_buf {
+                next_event = next_event.min(ready_ms);
+            }
             if !queue.is_empty() {
-                if self.pool.free_worker_at(now).is_none() {
-                    next_event = next_event.min(self.pool.next_free_ms());
-                } else if let Some(t) = batch_policy.ready_at(&queue) {
-                    next_event = next_event.min(t);
+                match fault.as_ref() {
+                    None => {
+                        if self.pool.free_worker_at(now).is_none() {
+                            next_event = next_event.min(self.pool.next_free_ms());
+                        } else if let Some(t) = batch_policy.ready_at(&queue) {
+                            next_event = next_event.min(t);
+                        }
+                    }
+                    Some(f) => {
+                        let dispatchable_free = (0..self.pool.num_workers())
+                            .any(|w| f.dispatchable(w) && self.pool.busy_until_ms(w) <= now);
+                        if !dispatchable_free {
+                            let release = (0..self.pool.num_workers())
+                                .map(|w| f.release_ms(w, self.pool.busy_until_ms(w)))
+                                .fold(f64::INFINITY, f64::min);
+                            next_event = next_event.min(release);
+                        } else if let Some(t) = batch_policy.ready_at(&queue) {
+                            next_event = next_event.min(t);
+                        }
+                    }
                 }
             }
             if !next_event.is_finite() {
@@ -747,14 +1029,44 @@ impl ServingSim {
             now = next_event;
         }
 
+        // With the pool permanently lost, whatever is still queued (or
+        // waiting out a retry backoff) can never be served: account every
+        // survivor as dropped so conservation holds. The fault-free loop
+        // always drains its queue, so this is gated to keep its
+        // accounting (and depth integral) bit-identical.
+        if fault.is_some() {
+            for q in queue.drain(now) {
+                dropped.push(DroppedQuery {
+                    timed: q.timed,
+                    reason: DropReason::ReplicaLost,
+                    tier: q.tier,
+                });
+            }
+            for (q, _) in retry_buf.drain(..) {
+                dropped.push(DroppedQuery {
+                    timed: q.timed,
+                    reason: DropReason::ReplicaLost,
+                    tier: q.tier,
+                });
+            }
+        }
+        assert_eq!(
+            served.len() + dropped.len(),
+            stream.len(),
+            "conservation: every admitted query must be served or dropped exactly once"
+        );
         let makespan_ms =
             self.pool.drain_ms().max(stream.last().map_or(0.0, |tq| tq.arrival_ms)).max(now);
+        let fault_summary = fault.map(|mut f| {
+            f.summary.cache_reinstalls = self.pool.reinstalls();
+            f.finish(makespan_ms)
+        });
         Ok(SimResult {
             served,
             dropped,
             mean_queue_depth: queue.mean_depth(makespan_ms.max(f64::MIN_POSITIVE)),
             max_queue_depth: queue.max_depth(),
-            batches: self.pool.batches(),
+            batches: self.pool.batches() - wasted_batches,
             cache_installs: self.pool.cache_installs(),
             swap_ms: self.pool.total_swap_ms(),
             makespan_ms,
@@ -788,6 +1100,7 @@ impl ServingSim {
                 }
                 (None, None) => None,
             },
+            faults: fault_summary,
         })
     }
 }
@@ -827,6 +1140,7 @@ mod tests {
             routing: RoutingPolicy::LeastLoaded,
             adaptive: None,
             tenants: None,
+            faults: None,
         };
         let (mut a, space) = sim(cfg);
         let (mut b, _) = sim(cfg);
@@ -844,6 +1158,7 @@ mod tests {
             routing: RoutingPolicy::LeastLoaded,
             adaptive: None,
             tenants: None,
+            faults: None,
         };
         let (mut s, space) = sim(cfg);
         let st = stream(&space, 200, 400.0, 3); // overload: drops expected
@@ -870,6 +1185,7 @@ mod tests {
             routing: RoutingPolicy::LeastLoaded,
             adaptive: None,
             tenants: None,
+            faults: None,
         };
         let (mut s, space) = sim(cfg);
         let r = s.serve_timed(&stream(&space, 150, 150.0, 4)).unwrap();
@@ -890,6 +1206,7 @@ mod tests {
             routing: RoutingPolicy::LeastLoaded,
             adaptive: None,
             tenants: None,
+            faults: None,
         };
         let (mut light, space) = sim(light_cfg);
         let lr = light.serve_timed(&stream(&space, 150, 40.0, 5)).unwrap().summary();
@@ -910,6 +1227,7 @@ mod tests {
             routing: RoutingPolicy::LeastLoaded,
             adaptive: None,
             tenants: None,
+            faults: None,
         };
         let batched = SimConfig { batch: BatchPolicy::new(8, 4.0), ..no_batch };
         let (mut a, space) = sim(no_batch);
@@ -933,6 +1251,7 @@ mod tests {
             routing: RoutingPolicy::LeastLoaded,
             adaptive: None,
             tenants: None,
+            faults: None,
         };
         let (mut s, space) = sim(cfg);
         let r = s.serve_timed(&stream(&space, 120, 150.0, 7)).unwrap();
@@ -950,6 +1269,7 @@ mod tests {
             routing: RoutingPolicy::LeastLoaded,
             adaptive: None,
             tenants: None,
+            faults: None,
         };
         let (mut s, space) = sim(cfg);
         let qs = uniform_stream(&space, 100, 8);
@@ -988,5 +1308,126 @@ mod tests {
         let st = vec![TimedQuery::new(5.0, qs[0]), TimedQuery::new(1.0, qs[1])];
         let err = s.serve_timed(&st).unwrap_err();
         assert!(matches!(err, SushiError::Stream(_)), "{err}");
+    }
+
+    #[test]
+    fn faultless_some_zero_rates_matches_none() {
+        // `faults: Some(..)` with every rate zeroed injects nothing: the
+        // run must produce the same served/dropped trace as `faults: None`
+        // (the summaries differ only in the `faults` accounting field).
+        let cfg = SimConfig {
+            workers: 2,
+            queue_capacity: 16,
+            drop_policy: DropPolicy::DropNewest,
+            batch: BatchPolicy::new(4, 2.0),
+            routing: RoutingPolicy::CacheAffinity,
+            adaptive: None,
+            tenants: None,
+            faults: None,
+        };
+        let injected = SimConfig { faults: Some(FaultOptions::default()), ..cfg };
+        let (mut a, space) = sim(cfg);
+        let (mut b, _) = sim(injected);
+        let st = stream(&space, 150, 120.0, 9);
+        let ra = a.serve_timed(&st).unwrap();
+        let rb = b.serve_timed(&st).unwrap();
+        assert_eq!(ra.served, rb.served);
+        assert_eq!(ra.dropped, rb.dropped);
+        assert_eq!(ra.faults, None);
+        let fs = rb.faults.expect("fault accounting present when faults are configured");
+        assert_eq!((fs.crashes, fs.transient_failures, fs.retries, fs.hedges), (0, 0, 0, 0));
+    }
+
+    #[test]
+    fn losing_every_replica_is_accounted_not_a_panic() {
+        // A permanent crash (no outage window) of the whole pool must end
+        // the run cleanly: whatever could not be served is dropped as
+        // `ReplicaLost`, and conservation still holds.
+        let cfg = SimConfig {
+            workers: 1,
+            queue_capacity: 64,
+            drop_policy: DropPolicy::DropNewest,
+            batch: BatchPolicy::new(4, 1.0),
+            routing: RoutingPolicy::LeastLoaded,
+            adaptive: None,
+            tenants: None,
+            faults: Some(FaultOptions::default().with_crash_mtbf_ms(0.5).without_supervision()),
+        };
+        let (mut s, space) = sim(cfg);
+        let st = stream(&space, 100, 200.0, 11);
+        let r = s.serve_timed(&st).unwrap();
+        assert_eq!(r.served.len() + r.dropped.len(), 100);
+        let fs = r.faults.as_ref().expect("fault accounting");
+        assert!(fs.crashes >= 1, "the tiny MTBF must crash the only replica");
+        assert!(
+            r.dropped.iter().any(|d| d.reason == DropReason::ReplicaLost),
+            "queries stranded by the dead pool are ReplicaLost drops"
+        );
+        assert!(fs.total_downtime_ms() > 0.0);
+    }
+
+    #[test]
+    fn supervised_transients_retry_and_unsupervised_drop() {
+        let base = SimConfig {
+            workers: 2,
+            queue_capacity: 64,
+            drop_policy: DropPolicy::DropNewest,
+            batch: BatchPolicy::new(4, 2.0),
+            routing: RoutingPolicy::LeastLoaded,
+            adaptive: None,
+            tenants: None,
+            faults: Some(FaultOptions::default().with_transient_rate(0.2)),
+        };
+        let (mut sup, space) = sim(base);
+        let st = stream(&space, 200, 100.0, 13);
+        let rs = sup.serve_timed(&st).unwrap();
+        let fs = rs.faults.as_ref().expect("fault accounting");
+        assert!(fs.transient_failures > 0, "a 20% transient rate must fire");
+        assert!(fs.retries > 0, "supervision retries transient failures");
+        assert!(
+            rs.served.len() > 150,
+            "retries recover most transient losses: served {}",
+            rs.served.len()
+        );
+
+        let unsup = SimConfig {
+            faults: Some(FaultOptions::default().with_transient_rate(0.2).without_supervision()),
+            ..base
+        };
+        let (mut u, _) = sim(unsup);
+        let ru = u.serve_timed(&st).unwrap();
+        let fu = ru.faults.as_ref().expect("fault accounting");
+        assert_eq!(fu.retries, 0, "no supervision, no retries");
+        assert!(
+            ru.dropped.iter().any(|d| d.reason == DropReason::RetryBudgetExhausted),
+            "unsupervised transient losses drop with an exhausted (zero) budget"
+        );
+        assert!(rs.served.len() > ru.served.len(), "supervision must out-serve ablation");
+    }
+
+    #[test]
+    fn fault_runs_are_deterministic() {
+        let cfg = SimConfig {
+            workers: 3,
+            queue_capacity: 32,
+            drop_policy: DropPolicy::DeadlineAware,
+            batch: BatchPolicy::new(4, 2.0),
+            routing: RoutingPolicy::CacheAffinity,
+            adaptive: None,
+            tenants: None,
+            faults: Some(
+                FaultOptions::default()
+                    .with_crash_mtbf_ms(400.0)
+                    .with_crash_outage_ms(60.0)
+                    .with_straggler_mtbf_ms(300.0)
+                    .with_straggler_duration_ms(50.0)
+                    .with_straggler_factor(3.0)
+                    .with_transient_rate(0.05),
+            ),
+        };
+        let (mut a, space) = sim(cfg);
+        let (mut b, _) = sim(cfg);
+        let st = stream(&space, 250, 180.0, 17);
+        assert_eq!(a.serve_timed(&st).unwrap(), b.serve_timed(&st).unwrap());
     }
 }

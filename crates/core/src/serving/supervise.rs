@@ -1,0 +1,459 @@
+//! Supervision policies for a fault-injected executor pool: retry with
+//! deterministic exponential backoff, p99-triggered request hedging, and
+//! failure/straggler-driven replica quarantine.
+//!
+//! These knobs only *describe* supervision; the serving loop
+//! ([`crate::serving::sim::ServingSim`]) enacts them when
+//! [`crate::serving::fault::FaultOptions::supervise`] is set. Everything
+//! here is plain data — `Copy`, comparable, and deterministic — so a
+//! `(stream, config, seed)` triple still reproduces bit-identical results
+//! with supervision enabled.
+//!
+//! * [`RetryPolicy`] — a batch that fails with a transient error is
+//!   re-admitted after an exponential backoff with deterministic jitter.
+//!   Retries draw from *per-tier budgets* so a flood of best-effort
+//!   retries can never starve latency-critical capacity, and a retry whose
+//!   earliest restart already overruns its deadline gives up immediately
+//!   under [`crate::serving::queue::DropPolicy::DeadlineAware`].
+//! * [`HedgePolicy`] — when a dispatched batch's projected completion
+//!   exceeds a multiple of the recent p99 service time, the loop
+//!   duplicates it onto a second warm replica; the first completion wins
+//!   and the loser is cancelled. Bit-identical logits across replicas
+//!   make the race safe: both outcomes are the same answer.
+//! * [`QuarantinePolicy`] — drives the
+//!   [`crate::serving::fault::ReplicaHealth`] state machine: consecutive
+//!   transient failures or repeated straggler strikes (per-replica EWMA
+//!   service time vs. the pool median) quarantine a replica, which
+//!   re-enters through a `Warming` probation before it counts as healthy
+//!   again.
+
+use sushi_sched::TIER_COUNT;
+
+/// Retry policy for transiently-failed batches: exponential backoff with
+/// deterministic jitter, capped attempts, and per-tier retry budgets.
+///
+/// `#[non_exhaustive]`: construct via [`Default`] and adjust with the
+/// `with_*` setters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub struct RetryPolicy {
+    /// Maximum total attempts per query, the initial dispatch included
+    /// (so `1` disables retries). Default `3`.
+    pub max_attempts: u32,
+    /// Backoff before attempt `n + 1` is `base_backoff_ms * 2^(n-1)`,
+    /// jittered. Default `1.0`.
+    pub base_backoff_ms: f64,
+    /// Deterministic jitter: each backoff is scaled by a seeded factor in
+    /// `[1 - jitter_frac, 1 + jitter_frac]`. Default `0.25`.
+    pub jitter_frac: f64,
+    /// Run-long retry budget per tenant tier, indexed by
+    /// [`sushi_sched::TenantTier::index`]. A tier whose budget is spent
+    /// drops further failed queries instead of retrying, so best-effort
+    /// retries never starve latency-critical capacity. Default
+    /// `[usize::MAX, 256, 64]`.
+    pub tier_budgets: [usize; TIER_COUNT],
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 3,
+            base_backoff_ms: 1.0,
+            jitter_frac: 0.25,
+            tier_budgets: [usize::MAX, 256, 64],
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Sets the maximum total attempts per query (initial dispatch
+    /// included).
+    #[must_use]
+    pub fn with_max_attempts(mut self, max_attempts: u32) -> Self {
+        self.max_attempts = max_attempts;
+        self
+    }
+
+    /// Sets the base backoff, ms.
+    #[must_use]
+    pub fn with_base_backoff_ms(mut self, base_backoff_ms: f64) -> Self {
+        self.base_backoff_ms = base_backoff_ms;
+        self
+    }
+
+    /// Sets the jitter fraction.
+    #[must_use]
+    pub fn with_jitter_frac(mut self, jitter_frac: f64) -> Self {
+        self.jitter_frac = jitter_frac;
+        self
+    }
+
+    /// Sets the per-tier retry budgets (indexed by
+    /// [`sushi_sched::TenantTier::index`]).
+    #[must_use]
+    pub fn with_tier_budgets(mut self, tier_budgets: [usize; TIER_COUNT]) -> Self {
+        self.tier_budgets = tier_budgets;
+        self
+    }
+
+    /// Backoff before attempt `attempt + 1` (so `attempt >= 1`), ms:
+    /// exponential in the attempt number with deterministic jitter keyed
+    /// by `salt` (the serving loop salts with the query identity, so every
+    /// query jitters differently but reproducibly).
+    #[must_use]
+    pub fn backoff_ms(&self, attempt: u32, salt: u64) -> f64 {
+        debug_assert!(attempt >= 1, "backoff follows a completed attempt");
+        let exp = 2.0f64.powi(attempt.saturating_sub(1).min(30) as i32);
+        self.base_backoff_ms * exp * jitter_factor(salt, self.jitter_frac)
+    }
+
+    /// Validates the policy.
+    ///
+    /// # Errors
+    /// Returns a description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.max_attempts == 0 {
+            return Err("retry max_attempts must be >= 1 (1 disables retries)".into());
+        }
+        if !self.base_backoff_ms.is_finite() || self.base_backoff_ms < 0.0 {
+            return Err(format!(
+                "retry base backoff must be finite and >= 0 ms, got {}",
+                self.base_backoff_ms
+            ));
+        }
+        if !self.jitter_frac.is_finite() || !(0.0..1.0).contains(&self.jitter_frac) {
+            return Err(format!(
+                "retry jitter fraction must be in [0, 1), got {}",
+                self.jitter_frac
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Hedging policy: duplicate a slow head-of-line batch onto a second warm
+/// replica and take whichever completes first.
+///
+/// `#[non_exhaustive]`: construct via [`Default`] and adjust with the
+/// `with_*` setters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub struct HedgePolicy {
+    /// Hedge when the batch's projected service time exceeds this multiple
+    /// of the recent p99 service time. Default `2.0`.
+    pub p99_factor: f64,
+    /// Never hedge a batch projected to finish faster than this, ms (keeps
+    /// hedging off the fast path even when the p99 window is tiny).
+    /// Default `1.0`.
+    pub min_threshold_ms: f64,
+}
+
+impl Default for HedgePolicy {
+    fn default() -> Self {
+        Self { p99_factor: 2.0, min_threshold_ms: 1.0 }
+    }
+}
+
+impl HedgePolicy {
+    /// Sets the p99 multiple that triggers a hedge.
+    #[must_use]
+    pub fn with_p99_factor(mut self, p99_factor: f64) -> Self {
+        self.p99_factor = p99_factor;
+        self
+    }
+
+    /// Sets the minimum projected service time worth hedging, ms.
+    #[must_use]
+    pub fn with_min_threshold_ms(mut self, min_threshold_ms: f64) -> Self {
+        self.min_threshold_ms = min_threshold_ms;
+        self
+    }
+
+    /// Validates the policy.
+    ///
+    /// # Errors
+    /// Returns a description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.p99_factor.is_finite() || self.p99_factor < 1.0 {
+            return Err(format!(
+                "hedge p99 factor must be finite and >= 1, got {}",
+                self.p99_factor
+            ));
+        }
+        if !self.min_threshold_ms.is_finite() || self.min_threshold_ms < 0.0 {
+            return Err(format!(
+                "hedge threshold must be finite and >= 0 ms, got {}",
+                self.min_threshold_ms
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Quarantine policy: when failures or straggling push a replica out of
+/// rotation, and how it earns its way back.
+///
+/// `#[non_exhaustive]`: construct via [`Default`] and adjust with the
+/// `with_*` setters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub struct QuarantinePolicy {
+    /// Consecutive batch failures that quarantine a replica. Default `2`.
+    pub consecutive_failures: u32,
+    /// A completion counts as a straggler strike when the replica's EWMA
+    /// service time exceeds this multiple of the pool median. Default
+    /// `2.5`.
+    pub straggler_ratio: f64,
+    /// Straggler strikes that quarantine a replica. Default `3`.
+    pub straggler_strikes: u32,
+    /// How long a quarantined replica sits out before re-entering (as
+    /// `Warming`), ms. Default `50.0`.
+    pub probation_ms: f64,
+    /// EWMA smoothing factor for per-replica service time, in `(0, 1]`.
+    /// Default `0.3`.
+    pub ewma_alpha: f64,
+}
+
+impl Default for QuarantinePolicy {
+    fn default() -> Self {
+        Self {
+            consecutive_failures: 2,
+            straggler_ratio: 2.5,
+            straggler_strikes: 3,
+            probation_ms: 50.0,
+            ewma_alpha: 0.3,
+        }
+    }
+}
+
+impl QuarantinePolicy {
+    /// Sets the consecutive-failure quarantine threshold.
+    #[must_use]
+    pub fn with_consecutive_failures(mut self, consecutive_failures: u32) -> Self {
+        self.consecutive_failures = consecutive_failures;
+        self
+    }
+
+    /// Sets the straggler EWMA/median ratio.
+    #[must_use]
+    pub fn with_straggler_ratio(mut self, straggler_ratio: f64) -> Self {
+        self.straggler_ratio = straggler_ratio;
+        self
+    }
+
+    /// Sets the straggler strike count that quarantines.
+    #[must_use]
+    pub fn with_straggler_strikes(mut self, straggler_strikes: u32) -> Self {
+        self.straggler_strikes = straggler_strikes;
+        self
+    }
+
+    /// Sets the quarantine probation window, ms.
+    #[must_use]
+    pub fn with_probation_ms(mut self, probation_ms: f64) -> Self {
+        self.probation_ms = probation_ms;
+        self
+    }
+
+    /// Sets the service-time EWMA smoothing factor.
+    #[must_use]
+    pub fn with_ewma_alpha(mut self, ewma_alpha: f64) -> Self {
+        self.ewma_alpha = ewma_alpha;
+        self
+    }
+
+    /// Validates the policy.
+    ///
+    /// # Errors
+    /// Returns a description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.consecutive_failures == 0 {
+            return Err("quarantine consecutive_failures must be >= 1".into());
+        }
+        if !self.straggler_ratio.is_finite() || self.straggler_ratio <= 1.0 {
+            return Err(format!(
+                "straggler ratio must be finite and > 1, got {}",
+                self.straggler_ratio
+            ));
+        }
+        if self.straggler_strikes == 0 {
+            return Err("straggler_strikes must be >= 1".into());
+        }
+        if !self.probation_ms.is_finite() || self.probation_ms < 0.0 {
+            return Err(format!("probation must be finite and >= 0 ms, got {}", self.probation_ms));
+        }
+        if !self.ewma_alpha.is_finite() || !(self.ewma_alpha > 0.0 && self.ewma_alpha <= 1.0) {
+            return Err(format!("ewma alpha must be in (0, 1], got {}", self.ewma_alpha));
+        }
+        Ok(())
+    }
+}
+
+/// The full supervision bundle the serving loop enacts when
+/// [`crate::serving::fault::FaultOptions::supervise`] is set.
+///
+/// `#[non_exhaustive]`: construct via [`Default`] and adjust with the
+/// `with_*` setters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub struct SuperviseOptions {
+    /// Retry policy for transiently-failed batches.
+    pub retry: RetryPolicy,
+    /// Optional tail-latency hedging (`None` disables; default
+    /// `Some(HedgePolicy::default())`).
+    pub hedge: Option<HedgePolicy>,
+    /// Replica health / quarantine policy.
+    pub quarantine: QuarantinePolicy,
+}
+
+impl Default for SuperviseOptions {
+    fn default() -> Self {
+        Self {
+            retry: RetryPolicy::default(),
+            hedge: Some(HedgePolicy::default()),
+            quarantine: QuarantinePolicy::default(),
+        }
+    }
+}
+
+impl SuperviseOptions {
+    /// Sets the retry policy.
+    #[must_use]
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Enables (`Some`) or disables (`None`) hedging.
+    #[must_use]
+    pub fn with_hedge(mut self, hedge: Option<HedgePolicy>) -> Self {
+        self.hedge = hedge;
+        self
+    }
+
+    /// Sets the quarantine policy.
+    #[must_use]
+    pub fn with_quarantine(mut self, quarantine: QuarantinePolicy) -> Self {
+        self.quarantine = quarantine;
+        self
+    }
+
+    /// Validates every contained policy.
+    ///
+    /// # Errors
+    /// Returns a description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        self.retry.validate()?;
+        if let Some(h) = &self.hedge {
+            h.validate()?;
+        }
+        self.quarantine.validate()
+    }
+}
+
+/// Deterministic jitter factor in `[1 - frac, 1 + frac]`, keyed by `salt`
+/// (SplitMix64 finalizer — the same mix behind
+/// [`sushi_tensor::DetRng`], so one salt yields one factor on every
+/// platform).
+#[must_use]
+pub fn jitter_factor(salt: u64, frac: f64) -> f64 {
+    if frac <= 0.0 {
+        return 1.0;
+    }
+    let mut z = salt.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    let unit = (z >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+    1.0 - frac + 2.0 * frac * unit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        assert_eq!(SuperviseOptions::default().validate(), Ok(()));
+        assert_eq!(RetryPolicy::default().validate(), Ok(()));
+        assert_eq!(HedgePolicy::default().validate(), Ok(()));
+        assert_eq!(QuarantinePolicy::default().validate(), Ok(()));
+    }
+
+    #[test]
+    fn invalid_knobs_are_rejected_with_context() {
+        assert!(RetryPolicy::default()
+            .with_max_attempts(0)
+            .validate()
+            .unwrap_err()
+            .contains("max_attempts"));
+        assert!(RetryPolicy::default()
+            .with_base_backoff_ms(f64::NAN)
+            .validate()
+            .unwrap_err()
+            .contains("backoff"));
+        assert!(RetryPolicy::default()
+            .with_jitter_frac(1.0)
+            .validate()
+            .unwrap_err()
+            .contains("jitter"));
+        assert!(HedgePolicy::default()
+            .with_p99_factor(0.5)
+            .validate()
+            .unwrap_err()
+            .contains("p99"));
+        assert!(HedgePolicy::default()
+            .with_min_threshold_ms(-1.0)
+            .validate()
+            .unwrap_err()
+            .contains("threshold"));
+        assert!(QuarantinePolicy::default()
+            .with_straggler_ratio(1.0)
+            .validate()
+            .unwrap_err()
+            .contains("ratio"));
+        assert!(QuarantinePolicy::default()
+            .with_probation_ms(f64::INFINITY)
+            .validate()
+            .unwrap_err()
+            .contains("probation"));
+        assert!(QuarantinePolicy::default()
+            .with_ewma_alpha(0.0)
+            .validate()
+            .unwrap_err()
+            .contains("alpha"));
+        let bad = SuperviseOptions::default()
+            .with_hedge(Some(HedgePolicy::default().with_p99_factor(0.0)));
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_jitter_is_deterministic_and_bounded() {
+        let pol = RetryPolicy::default().with_jitter_frac(0.0).with_base_backoff_ms(2.0);
+        assert_eq!(pol.backoff_ms(1, 7), 2.0);
+        assert_eq!(pol.backoff_ms(2, 7), 4.0);
+        assert_eq!(pol.backoff_ms(3, 7), 8.0);
+        let jit = RetryPolicy::default().with_base_backoff_ms(2.0); // jitter 0.25
+        for salt in 0..64u64 {
+            let b = jit.backoff_ms(1, salt);
+            assert!((1.5..=2.5).contains(&b), "jittered backoff {b} escaped its band");
+            assert_eq!(b, jit.backoff_ms(1, salt), "jitter must be pure in its salt");
+        }
+        // Distinct salts actually spread (not a constant function).
+        assert_ne!(jit.backoff_ms(1, 1), jit.backoff_ms(1, 2));
+    }
+
+    #[test]
+    fn jitter_factor_disabled_below_zero_frac() {
+        assert_eq!(jitter_factor(123, 0.0), 1.0);
+        assert_eq!(jitter_factor(123, -0.5), 1.0);
+    }
+
+    #[test]
+    fn tier_budget_defaults_shield_latency_critical() {
+        let pol = RetryPolicy::default();
+        // Index order is LatencyCritical, Standard, BestEffort.
+        assert!(pol.tier_budgets[0] > pol.tier_budgets[1]);
+        assert!(pol.tier_budgets[1] > pol.tier_budgets[2]);
+    }
+}

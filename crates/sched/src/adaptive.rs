@@ -55,6 +55,10 @@ pub struct LoadSignal {
     /// The head-of-line query's full latency budget, ms (`0.0` when the
     /// queue is empty).
     pub head_budget_ms: f64,
+    /// Fraction of the worker pool currently out of rotation — down or
+    /// quarantined by fault supervision (`0.0` in a fault-free run, which
+    /// keeps the pressure fold bit-identical to the pre-fault signal).
+    pub quarantined_frac: f64,
 }
 
 impl LoadSignal {
@@ -68,12 +72,13 @@ impl LoadSignal {
             p99_ms: 0.0,
             head_slack_ms: f64::INFINITY,
             head_budget_ms: 0.0,
+            quarantined_frac: 0.0,
         }
     }
 
     /// Folds the observation into a scalar pressure in `[0, 1]`.
     ///
-    /// Three saturating components, combined by `max` (any one red signal
+    /// Four saturating components, combined by `max` (any one red signal
     /// is enough to degrade):
     ///
     /// * **occupancy** — `depth / capacity`, clamped to `[0, 1]`;
@@ -81,7 +86,10 @@ impl LoadSignal {
     ///   reference scale `scale_ms` (p99 at `2 × scale` saturates);
     /// * **slack deficit** — how much of the head-of-line query's own
     ///   latency budget is already gone (`≥ 50%` budget left ⇒ 0,
-    ///   none left ⇒ 1).
+    ///   none left ⇒ 1);
+    /// * **capacity loss** — the fraction of the pool out of rotation,
+    ///   so the ladder pre-degrades the moment replicas crash or are
+    ///   quarantined instead of waiting for the queue to build up.
     #[must_use]
     pub fn pressure(&self, scale_ms: f64) -> f64 {
         let occ = (self.queue_depth / self.queue_capacity.max(1) as f64).clamp(0.0, 1.0);
@@ -92,7 +100,8 @@ impl LoadSignal {
         } else {
             0.0
         };
-        occ.max(tail).max(slack)
+        let capacity = self.quarantined_frac.clamp(0.0, 1.0);
+        occ.max(tail).max(slack).max(capacity)
     }
 }
 
@@ -431,6 +440,7 @@ mod tests {
             p99_ms: 100.0,
             head_slack_ms: 0.5,
             head_budget_ms: 20.0,
+            quarantined_frac: 0.0,
         }
     }
 
@@ -448,8 +458,20 @@ mod tests {
             p99_ms: 1e9,
             head_slack_ms: -500.0,
             head_budget_ms: 1.0,
+            quarantined_frac: 5.0,
         };
         assert_eq!(s.pressure(10.0), 1.0);
+    }
+
+    #[test]
+    fn capacity_loss_alone_raises_pressure() {
+        // An otherwise idle pool with half its replicas out of rotation
+        // reads as pressure 0.5 — the ladder pre-degrades on capacity
+        // loss instead of waiting for queue buildup.
+        let s = LoadSignal { quarantined_frac: 0.5, ..LoadSignal::idle(0.0) };
+        assert_eq!(s.pressure(10.0), 0.5);
+        // And a fault-free signal is bit-identical to the old fold.
+        assert_eq!(LoadSignal::idle(0.0).pressure(10.0), 0.0);
     }
 
     #[test]

@@ -726,6 +726,7 @@ mod tests {
             p99_ms: p99,
             head_slack_ms: f64::INFINITY,
             head_budget_ms: f64::INFINITY,
+            quarantined_frac: 0.0,
         }
     }
 

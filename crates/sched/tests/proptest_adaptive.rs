@@ -50,6 +50,7 @@ fn signal_at(now_ms: f64, depth: f64, p99_ms: f64, slack_ms: f64, budget_ms: f64
         p99_ms,
         head_slack_ms: slack_ms,
         head_budget_ms: budget_ms,
+        quarantined_frac: 0.0,
     }
 }
 

@@ -5,13 +5,15 @@
 #                       gemm / packed (pack-amortized) / cold-pack columns;
 #                       20% tolerance on gemm_ms AND packed_ms, plus an 8x
 #                       floor on the largest workload's *packed* speedup
-#   BENCH_serve.json    serving-runtime simulated metrics, schema v4
+#   BENCH_serve.json    serving-runtime simulated metrics, schema v5
 #                       (serve_bench): rows keyed by (scenario, adaptive,
-#                       workers, routing, tier) — adaptive + static rows for
-#                       every preset, per-tier slices of the tenant-tiered
-#                       multi_tenant run, plus the scale_functional
-#                       worker-scaling sweep and its routing ablation
-#                       (deterministic, near-zero drift tolerance)
+#                       workers, routing, tier, faults) — adaptive + static
+#                       rows for every preset, per-tier slices of the
+#                       tenant-tiered multi_tenant run, the fault-injected
+#                       chaos preset with its unsupervised ablation row,
+#                       plus the scale_functional worker-scaling sweep and
+#                       its routing ablation (deterministic, near-zero
+#                       drift tolerance)
 #
 #   scripts/bench_baseline.sh            # measure + gate vs committed baselines
 #   scripts/bench_baseline.sh --update   # measure, then rewrite baselines

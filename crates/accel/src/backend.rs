@@ -238,6 +238,10 @@ pub struct Functional {
     dpe: DpeArray,
     store: WeightStore,
     input_seed: u64,
+    /// Whether cache installs lower the SubNet IR and fuse conv epilogues
+    /// onto the k-pair datapath (on by default; logits are bit-identical
+    /// either way).
+    fusion: bool,
     caches: HashMap<String, Arc<SubgraphCache>>,
     /// Per-worker scratch, grown lazily to the highest worker index seen
     /// (`arenas[w]` is worker `w`'s private arena).
@@ -248,17 +252,28 @@ pub struct Functional {
 }
 
 impl Functional {
-    /// Creates a backend with synthesized weights for `net`.
+    /// Creates a backend with synthesized weights for `net`. IR fusion is
+    /// on by default; see [`Functional::with_fusion`].
     #[must_use]
     pub fn new(dpe: DpeArray, net: &SuperNet, seed: u64) -> Self {
         Self {
             dpe,
             store: WeightStore::synthesize(net, seed),
             input_seed: seed ^ 0x1A7E,
+            fusion: true,
             caches: HashMap::new(),
             arenas: Vec::new(),
             repacks: 0,
         }
+    }
+
+    /// Enables or disables install-time IR fusion. With fusion off, cache
+    /// installs use [`SubgraphCache::build`] and queries run the per-layer
+    /// interpreter — the pre-IR datapath, bit for bit.
+    #[must_use]
+    pub fn with_fusion(mut self, fusion: bool) -> Self {
+        self.fusion = fusion;
+        self
     }
 
     /// Builds (or reuses) the shared pack-once cache for `subnet`.
@@ -273,8 +288,13 @@ impl Functional {
     ) -> Result<Arc<SubgraphCache>, BackendError> {
         if !self.caches.get(&subnet.name).is_some_and(|c| c.matches(&subnet.graph)) {
             // First dispatch under this SubNet (or same name, different
-            // SubGraph — defensive): slice + pack once.
-            let cache = SubgraphCache::build(net, &self.store, &subnet.graph)?;
+            // SubGraph — defensive): slice + pack once (plus the IR
+            // lowering and k-pair pack when fusion is on).
+            let cache = if self.fusion {
+                SubgraphCache::build_fused(net, &self.store, subnet)?
+            } else {
+                SubgraphCache::build(net, &self.store, &subnet.graph)?
+            };
             if self.caches.insert(subnet.name.clone(), Arc::new(cache)).is_some() {
                 self.repacks += 1;
             }

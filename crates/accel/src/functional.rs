@@ -6,11 +6,14 @@
 //! `functional_inference` example and the cross-crate validation tests;
 //! full-size experiments use timing-only mode instead.
 
+use sushi_ir::{Plan, Step};
 use sushi_tensor::ops::activation::Activation;
-use sushi_tensor::ops::conv::Conv2dParams;
+use sushi_tensor::ops::conv::{conv2d_i8_fused, Conv2dParams};
 use sushi_tensor::ops::pool::{global_avg_pool, max_pool, PoolParams};
 use sushi_tensor::quant::{dequantize_tensor, quantize_tensor};
-use sushi_tensor::{Arena, PackedConv2d, QuantParams, Shape4, Tensor, TensorError};
+use sushi_tensor::{
+    Arena, Epilogue, PackLayout, PackedConv2d, QuantParams, Shape4, Tensor, TensorError,
+};
 use sushi_wsnet::arch::NO_STAGE;
 use sushi_wsnet::layer::{ConvKind, ConvLayerDesc, LayerRole, LayerSlice};
 use sushi_wsnet::{Family, SubGraph, SubNet, SuperNet, WeightStore};
@@ -33,6 +36,19 @@ fn layer_conv_params(layer: &ConvLayerDesc, slice: &LayerSlice) -> Conv2dParams 
         .with_groups(groups)
 }
 
+/// Install-time state for one conv the IR lowered onto the fused k-pair
+/// datapath: pair-interleaved weight panels plus the baked
+/// bias/requantization/activation epilogue the microkernel applies at
+/// writeback. Built once per cache install, read in place per query.
+#[derive(Debug, Clone)]
+pub struct FusedLayer {
+    /// K-pair packed weight panels for the `pmaddwd` microkernel.
+    pub packed: PackedConv2d,
+    /// The fused writeback: bias + (per-channel) requantization +
+    /// activation.
+    pub epilogue: Epilogue,
+}
+
 /// One layer's install-time state: the sliced weights/bias (so queries
 /// never re-slice the shared SuperNet store) plus, for dense layers, the
 /// panel-packed weight matrix the GEMM fast path reads in place.
@@ -47,6 +63,9 @@ pub struct CachedLayer {
     /// Pre-packed GEMM panels (dense layers only; depthwise stays on the
     /// direct schedule, which reads `weights` directly).
     pub packed: Option<PackedConv2d>,
+    /// Fused-datapath state when the IR plan routed this layer through the
+    /// k-pair kernel ([`SubgraphCache::build_fused`] installs only).
+    pub fused: Option<FusedLayer>,
     /// The conv hyper-parameters the slice resolves to.
     pub params: Conv2dParams,
 }
@@ -66,6 +85,9 @@ pub struct CachedLayer {
 pub struct SubgraphCache {
     layers: Vec<Option<CachedLayer>>,
     graph: SubGraph,
+    /// The lowered IR plan ([`SubgraphCache::build_fused`] installs only);
+    /// its presence routes [`forward_cached`] through the fused executor.
+    plan: Option<Plan>,
 }
 
 impl SubgraphCache {
@@ -96,9 +118,73 @@ impl SubgraphCache {
                 ConvKind::Dense => Some(PackedConv2d::pack(&weights, w_q, &params)?),
                 ConvKind::Depthwise => None,
             };
-            layers.push(Some(CachedLayer { weights, bias, w_q, packed, params }));
+            layers.push(Some(CachedLayer { weights, bias, w_q, packed, fused: None, params }));
         }
-        Ok(Self { layers, graph: graph.clone() })
+        Ok(Self { layers, graph: graph.clone(), plan: None })
+    }
+
+    /// [`SubgraphCache::build`] plus the IR lowering: translates `subnet` to
+    /// the typed op-graph, runs the fusion rewrites, lowers the plan, and
+    /// for every conv the plan routed onto the k-pair datapath packs
+    /// pair-interleaved panels and bakes the bias/requant/activation
+    /// [`Epilogue`]. [`forward_cached`] under this cache executes the plan;
+    /// logits stay bit-identical to [`SubgraphCache::build`] installs
+    /// (pinned by `tests/proptest_fusion.rs`).
+    ///
+    /// # Errors
+    /// Returns an error when weights cannot be packed or the SubNet's IR
+    /// fails to build, normalize or lower (inconsistent zoo definitions —
+    /// a programming error).
+    pub fn build_fused(
+        net: &SuperNet,
+        store: &WeightStore,
+        subnet: &SubNet,
+    ) -> Result<Self, TensorError> {
+        let mut cache = Self::build(net, store, &subnet.graph)?;
+        let plan = sushi_wsnet::ir_build::build_plan(net, subnet)
+            .map_err(|_| TensorError::InvalidParam { what: "SubNet IR failed to lower" })?;
+        for step in &plan.steps {
+            let Step::FusedConv { layer, bias, act, bn, .. } = step else {
+                continue;
+            };
+            let cl = cache.layers[*layer]
+                .as_mut()
+                .ok_or(TensorError::InvalidParam { what: "fused step on an inactive layer" })?;
+            let packed =
+                PackedConv2d::pack_with_layout(&cl.weights, cl.w_q, &cl.params, PackLayout::KPair)?;
+            let kernels = cl.weights.shape().n;
+            let bias_vec = if *bias { cl.bias.clone() } else { vec![0i32; kernels] };
+            // Same accumulator→output rescale expression as the unfused
+            // datapath (`conv2d_i8_in`), so the no-batch-norm epilogue is
+            // bit-identical to requantize-then-activate.
+            let acc_scale = ACT_Q.scale * cl.w_q.scale / ACT_Q.scale;
+            let epilogue = match bn {
+                None => Epilogue::uniform(bias_vec, acc_scale, ACT_Q, *act)?,
+                Some(fold) => {
+                    let scales = fold.scale.iter().map(|s| acc_scale * s).collect();
+                    // IR batch-norm offsets are in real units; the epilogue
+                    // wants output quanta.
+                    let offsets = fold.offset.iter().map(|o| o / ACT_Q.scale).collect();
+                    Epilogue::per_channel(bias_vec, scales, offsets, ACT_Q, *act)?
+                }
+            };
+            cl.fused = Some(FusedLayer { packed, epilogue });
+        }
+        cache.plan = Some(plan);
+        Ok(cache)
+    }
+
+    /// The lowered IR plan, when this cache was built with
+    /// [`SubgraphCache::build_fused`].
+    #[must_use]
+    pub fn plan(&self) -> Option<&Plan> {
+        self.plan.as_ref()
+    }
+
+    /// Number of layers holding fused k-pair state.
+    #[must_use]
+    pub fn fused_layers(&self) -> usize {
+        self.layers.iter().flatten().filter(|l| l.fused.is_some()).count()
     }
 
     /// Whether this cache was built for exactly `graph`.
@@ -369,7 +455,15 @@ impl<'a> Runtime<'a> {
 
     /// Runs the datapath on a (possibly batched) input, returning the
     /// dequantized `(B, classes, 1, 1)` logits tensor.
+    ///
+    /// A cache installed with [`SubgraphCache::build_fused`] carries a
+    /// lowered IR plan; execution then goes through the slot machine in
+    /// [`Runtime::run_plan`] (fused convs on the k-pair kernel). Otherwise
+    /// this is the per-layer interpreter.
     fn run(&mut self, input: &Tensor<i8>) -> Result<Tensor<f32>, TensorError> {
+        if let Some(plan) = self.cache.and_then(SubgraphCache::plan) {
+            return self.run_plan(plan, input);
+        }
         let layers = &self.net.layers;
         let mut idx = 0usize;
         // Stem.
@@ -399,6 +493,74 @@ impl<'a> Runtime<'a> {
             last = h.clone();
             idx += 1;
         }
+        Ok(dequantize_tensor(&last, ACT_Q))
+    }
+
+    /// Executes a lowered IR plan: steps in order over a dense slot table,
+    /// freeing each slot after its last read (`drop_after`), so peak memory
+    /// matches the sequential interpreter. Fused conv steps run the k-pair
+    /// `pmaddwd` kernel with the baked epilogue; everything else reuses the
+    /// interpreter's primitives, so logits are bit-identical either way.
+    fn run_plan(&mut self, plan: &Plan, input: &Tensor<i8>) -> Result<Tensor<f32>, TensorError> {
+        fn fetch(slots: &[Option<Tensor<i8>>], s: usize) -> Result<&Tensor<i8>, TensorError> {
+            slots
+                .get(s)
+                .and_then(Option::as_ref)
+                .ok_or(TensorError::InvalidParam { what: "plan read an empty slot" })
+        }
+        let mut slots: Vec<Option<Tensor<i8>>> = vec![None; plan.slots];
+        slots[plan.input_slot] = Some(input.clone());
+        for (i, step) in plan.steps.iter().enumerate() {
+            let (dst, out) = match *step {
+                Step::Conv { layer, act, src, dst, .. } => {
+                    let x = fetch(&slots, src)?;
+                    (dst, self.conv_act(layer, x, act)?)
+                }
+                Step::FusedConv { layer, src, dst, .. } => {
+                    let cl = self
+                        .cache
+                        .and_then(|c| c.layer(layer))
+                        .ok_or(TensorError::InvalidParam { what: "fused step without cache" })?;
+                    let fl = cl.fused.as_ref().ok_or(TensorError::InvalidParam {
+                        what: "fused step without k-pair panels",
+                    })?;
+                    let x = fetch(&slots, src)?;
+                    let y = conv2d_i8_fused(
+                        x,
+                        ACT_Q,
+                        &fl.packed,
+                        &fl.epilogue,
+                        &cl.params,
+                        self.arena,
+                    )?;
+                    (dst, y)
+                }
+                Step::Act { act, src, dst } => (dst, apply_activation(fetch(&slots, src)?, act)),
+                Step::Add { a, b, act, dst } => {
+                    let sum = saturating_add_i8(fetch(&slots, a)?, fetch(&slots, b)?)?;
+                    (dst, apply_activation(&sum, act))
+                }
+                Step::SqueezeExcite { reduce, expand, src, dst } => {
+                    let x = fetch(&slots, src)?;
+                    (dst, self.squeeze_excite(reduce, expand, x)?)
+                }
+                Step::MaxPool { window, stride, padding, src, dst } => {
+                    let p = PoolParams { window, stride, padding };
+                    (dst, i8_max_pool(fetch(&slots, src)?, &p)?)
+                }
+                Step::GlobalAvgPool { src, dst } => {
+                    let x = fetch(&slots, src)?;
+                    (dst, quantize_tensor(&global_avg_pool(&dequantize_tensor(x, ACT_Q)), ACT_Q))
+                }
+            };
+            slots[dst] = Some(out);
+            for &s in &plan.drop_after[i] {
+                slots[s] = None;
+            }
+        }
+        let last = slots[plan.logits_slot]
+            .take()
+            .ok_or(TensorError::InvalidParam { what: "plan finished with empty logits slot" })?;
         Ok(dequantize_tensor(&last, ACT_Q))
     }
 

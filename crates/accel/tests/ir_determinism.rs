@@ -1,0 +1,46 @@
+//! Install-time determinism of the IR pipeline — the contract CI's
+//! `ir-smoke` step rides on: lowering the same SubNet twice (graph build →
+//! rewrite fixpoint → plan) must yield byte-identical plans, and building
+//! the fused cache twice must fuse the same layers. Nondeterminism here
+//! would make cache installs unreproducible across replicas, breaking the
+//! shared-cache serving model.
+
+use sushi_accel::functional::SubgraphCache;
+use sushi_wsnet::ir_build::build_plan;
+use sushi_wsnet::{zoo, WeightStore};
+
+/// The full zoo (paper-scale + toy): graph construction, the rewrite
+/// engine's fixpoint, and slot allocation are all deterministic.
+#[test]
+fn lowering_the_full_zoo_twice_yields_identical_plans() {
+    let nets = [
+        zoo::toy_supernet(),
+        zoo::toy_mobilenet_supernet(),
+        zoo::resnet50_supernet(),
+        zoo::mobilenet_v3_supernet(),
+    ];
+    for net in &nets {
+        for (label, cfg) in [("max", net.max_config()), ("min", net.min_config())] {
+            let sn = net.materialize(label, &cfg).expect("zoo config");
+            let a = build_plan(net, &sn).expect("first lowering");
+            let b = build_plan(net, &sn).expect("second lowering");
+            assert_eq!(a, b, "{}/{label}: lowering is nondeterministic", net.name);
+            assert!(!a.steps.is_empty());
+        }
+    }
+}
+
+/// Fused cache installs are reproducible: same net, same weights → the
+/// same layers fused, the same plan driving the executor.
+#[test]
+fn building_the_fused_cache_twice_fuses_identically() {
+    for (net, seed) in [(zoo::toy_supernet(), 7u64), (zoo::toy_mobilenet_supernet(), 8u64)] {
+        let store = WeightStore::synthesize(&net, seed);
+        let sn = net.materialize("max", &net.max_config()).expect("max config");
+        let a = SubgraphCache::build_fused(&net, &store, &sn).expect("first install");
+        let b = SubgraphCache::build_fused(&net, &store, &sn).expect("second install");
+        assert_eq!(a.fused_layers(), b.fused_layers(), "{}: fusion set drifted", net.name);
+        assert!(a.fused_layers() > 0, "{}: nothing fused on the max config", net.name);
+        assert_eq!(a.plan(), b.plan(), "{}: installed plans differ", net.name);
+    }
+}

@@ -23,7 +23,7 @@ fn bench_gemm_f32(c: &mut Criterion) {
     c.bench_function(&format!("gemm_f32_{dim}x{dim}x{dim}"), |bch| {
         bch.iter(|| {
             out.fill(0.0);
-            gemm_f32(dim, dim, dim, black_box(&a), black_box(&b), &mut out);
+            gemm_f32(dim, dim, dim, black_box(&a), black_box(&b), &mut out).unwrap();
             black_box(out[0])
         })
     });
@@ -38,7 +38,7 @@ fn bench_gemm_i8(c: &mut Criterion) {
     c.bench_function(&format!("gemm_i8_i32_{dim}x{dim}x{dim}"), |bch| {
         bch.iter(|| {
             out.fill(0);
-            gemm_i8_i32(dim, dim, dim, black_box(&a), 3, black_box(&b), -7, &mut out);
+            gemm_i8_i32(dim, dim, dim, black_box(&a), 3, black_box(&b), -7, &mut out).unwrap();
             black_box(out[0])
         })
     });

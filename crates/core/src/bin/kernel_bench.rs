@@ -4,12 +4,15 @@
 //!
 //! Times the largest ("max") SubNet of each zoo SuperNet through the full
 //! DPE datapath, verifying on the way that every backend produces identical
-//! logits. Reports four columns (BENCH_kernels.json schema v2):
+//! logits. Reports five columns (BENCH_kernels.json schema v3):
 //!
 //! * `naive`  — [`KernelPolicy::Naive`], the cycle-faithful tiled schedule;
 //! * `gemm`   — [`KernelPolicy::Im2colGemm`], packing both operands per call;
 //! * `packed` — pre-packed [`SubgraphCache`] + reused [`Arena`], steady state
 //!              (pack-amortized: what every query after the install pays);
+//! * `fused`  — IR-lowered [`SubgraphCache::build_fused`] steady state:
+//!              bias/requant/activation run inside the conv epilogue of the
+//!              k-pair microkernel instead of as separate passes;
 //! * `cold`   — cache build + first packed forward (what the install-bearing
 //!              query pays before amortization begins).
 //!
@@ -17,16 +20,21 @@
 //! kernel_bench                        # paper zoo (ResNet50 + MobileNetV3)
 //! kernel_bench --quick                # toy zoo (CI-sized, seconds)
 //! kernel_bench --runs 3               # best-of-3 timing
+//! kernel_bench --no-fusion            # time the unfused datapath only
 //! kernel_bench --out BENCH_kernels.json
-//! kernel_bench --check BENCH_kernels.json   # fail if gemm/packed regressed >20%
-//! kernel_bench --check-schema BENCH_kernels.json  # machine-independent v2 gate
-//! kernel_bench --min-speedup 8.0      # gate the largest workload's packed speedup
+//! kernel_bench --check BENCH_kernels.json   # fail if gemm/packed/fused regressed >20%
+//! kernel_bench --check-schema BENCH_kernels.json  # machine-independent v3 gate
+//! kernel_bench --min-speedup 8.0      # gate the largest workload's fused speedup
 //! ```
+//!
+//! `--no-fusion` skips the IR lowering pass: the fused column then re-times
+//! the plain packed path (a bisection aid); such a run refuses `--out` so
+//! the committed baseline always carries a real fused measurement.
 //!
 //! `scripts/bench_baseline.sh` combines `--check` (against the committed
 //! baseline) and `--out` (regenerating it) in one measured run; CI's
 //! bench-smoke job runs `--quick` (correctness + relative sanity) and
-//! `--check-schema` (the committed baseline's v2 invariants), which do not
+//! `--check-schema` (the committed baseline's v3 invariants), which do not
 //! depend on the runner's absolute speed.
 
 use std::time::Instant;
@@ -57,7 +65,7 @@ fn parse_flag_value<T: std::str::FromStr>(args: &[String], flag: &str) -> Option
     }
 }
 
-fn bench_net(net: &SuperNet, runs: usize, seed: u64) -> KernelBenchEntry {
+fn bench_net(net: &SuperNet, runs: usize, seed: u64, fusion: bool) -> KernelBenchEntry {
     let store = WeightStore::synthesize(net, seed);
     let sn = net.materialize("max", &net.max_config()).expect("max config");
     let shape = Shape4::new(1, 3, net.input_hw, net.input_hw);
@@ -80,17 +88,35 @@ fn bench_net(net: &SuperNet, runs: usize, seed: u64) -> KernelBenchEntry {
     let cold_pack_ms = t.elapsed().as_secs_f64() * 1e3;
     let mut packed_out = Some(packed_out);
 
+    // The IR-lowered serving path: same weights, bias/requant/activation
+    // fused into the conv epilogue at install. `--no-fusion` re-times the
+    // plain packed cache instead (the IR-bypass bisection aid).
+    let fused_cache = if fusion {
+        SubgraphCache::build_fused(net, &store, &sn).expect("SubNet lowers to a fused plan")
+    } else {
+        SubgraphCache::build(net, &store, &sn.graph).expect("packable zoo weights")
+    };
+
     let mut naive_ms = f64::INFINITY;
     let mut gemm_ms = f64::INFINITY;
     let mut packed_ms = f64::INFINITY;
+    let mut fused_ms = f64::INFINITY;
     let mut naive_out = None;
     let mut gemm_out = None;
+    let mut fused_out = None;
     for _ in 0..runs.max(1) {
         let t = Instant::now();
         let out = forward_cached(&gemm_dpe, net, &store, &sn, Some(&cache), &mut arena, &input)
             .expect("packed forward");
         packed_ms = packed_ms.min(t.elapsed().as_secs_f64() * 1e3);
         packed_out = Some(out);
+
+        let t = Instant::now();
+        let out =
+            forward_cached(&gemm_dpe, net, &store, &sn, Some(&fused_cache), &mut arena, &input)
+                .expect("fused forward");
+        fused_ms = fused_ms.min(t.elapsed().as_secs_f64() * 1e3);
+        fused_out = Some(out);
 
         let t = Instant::now();
         let out = forward(&gemm_dpe, net, &store, &sn, &input).expect("gemm forward");
@@ -112,22 +138,29 @@ fn bench_net(net: &SuperNet, runs: usize, seed: u64) -> KernelBenchEntry {
         "{}: pre-packed serving path diverged from the naive oracle",
         net.name
     );
+    assert_eq!(
+        naive_out, fused_out,
+        "{}: IR-lowered fused path diverged from the naive oracle",
+        net.name
+    );
     KernelBenchEntry {
         label: format!("{}/max", net.name),
         naive_ms,
         gemm_ms,
         packed_ms,
+        fused_ms,
         cold_pack_ms,
     }
 }
 
-/// Machine-independent gate over a committed v2 baseline: schema parses,
+/// Machine-independent gate over a committed v3 baseline: schema parses,
 /// every column is positive, and the within-file invariants hold (packed
-/// not meaningfully slower than per-call packing; cold pack at least one
-/// packed run). The packed-vs-gemm bound carries a small tolerance:
-/// depthwise-dominated workloads amortize only a sliver of packing, so
-/// best-of-N scheduling noise at baseline regeneration time must not be
-/// able to commit a file that CI then rejects.
+/// not meaningfully slower than per-call packing; fused not meaningfully
+/// slower than packed; cold pack at least one packed run). The ordering
+/// bounds carry a small tolerance: depthwise-dominated workloads amortize
+/// only a sliver of packing/fusion, so best-of-N scheduling noise at
+/// baseline regeneration time must not be able to commit a file that CI
+/// then rejects.
 const SCHEMA_PACKED_SLACK: f64 = 1.10;
 
 fn check_schema(path: &str) -> Result<(), String> {
@@ -141,6 +174,7 @@ fn check_schema(path: &str) -> Result<(), String> {
             ("naive_ms", e.naive_ms),
             ("gemm_ms", e.gemm_ms),
             ("packed_ms", e.packed_ms),
+            ("fused_ms", e.fused_ms),
             ("cold_pack_ms", e.cold_pack_ms),
         ] {
             if !(v.is_finite() && v > 0.0) {
@@ -157,6 +191,16 @@ fn check_schema(path: &str) -> Result<(), String> {
                 (SCHEMA_PACKED_SLACK - 1.0) * 100.0
             ));
         }
+        if e.fused_ms > e.packed_ms * SCHEMA_PACKED_SLACK {
+            return Err(format!(
+                "'{}': fused_ms {:.3} exceeds packed_ms {:.3} by more than {:.0}% — epilogue \
+                 fusion must not lose to the unfused cache in the committed baseline",
+                e.label,
+                e.fused_ms,
+                e.packed_ms,
+                (SCHEMA_PACKED_SLACK - 1.0) * 100.0
+            ));
+        }
         if e.cold_pack_ms < e.packed_ms {
             return Err(format!(
                 "'{}': cold_pack_ms {:.3} below packed_ms {:.3} — the cold pass includes a \
@@ -165,13 +209,14 @@ fn check_schema(path: &str) -> Result<(), String> {
             ));
         }
     }
-    println!("{path}: schema v2 OK ({} entries)", entries.len());
+    println!("{path}: schema v3 OK ({} entries)", entries.len());
     Ok(())
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let fusion = !args.iter().any(|a| a == "--no-fusion");
     let runs: usize = parse_flag_value(&args, "--runs").unwrap_or(1);
     let out_path: Option<String> = parse_flag_value(&args, "--out");
     let check_path: Option<String> = parse_flag_value(&args, "--check");
@@ -194,20 +239,26 @@ fn main() {
         vec![zoo::resnet50_supernet(), zoo::mobilenet_v3_supernet()]
     };
 
-    println!("timing largest SubNet forward pass, best of {runs} run(s) per backend\n");
+    println!("timing largest SubNet forward pass, best of {runs} run(s) per backend");
+    if !fusion {
+        println!("fusion disabled: the fused column re-times the plain packed cache");
+    }
+    println!();
     let mut entries = Vec::new();
     for net in &nets {
-        let entry = bench_net(net, runs, 2024);
+        let entry = bench_net(net, runs, 2024, fusion);
         println!(
-            "{:<24} naive {:>10.2} ms   gemm {:>9.2} ms   packed {:>9.2} ms   cold {:>9.2} ms   \
-             speedup {:>6.2}x (packed {:>6.2}x)",
+            "{:<24} naive {:>10.2} ms   gemm {:>9.2} ms   packed {:>9.2} ms   fused {:>9.2} ms   \
+             cold {:>9.2} ms   speedup {:>6.2}x (packed {:>6.2}x, fused {:>6.2}x)",
             entry.label,
             entry.naive_ms,
             entry.gemm_ms,
             entry.packed_ms,
+            entry.fused_ms,
             entry.cold_pack_ms,
             entry.speedup(),
-            entry.packed_speedup()
+            entry.packed_speedup(),
+            entry.fused_speedup()
         );
         entries.push(entry);
     }
@@ -235,21 +286,23 @@ fn main() {
     if let Some(min) = min_speedup {
         // The headline target applies to the largest workload (the one the
         // perf trajectory is anchored on) and to the serving hot path —
-        // the pack-amortized column; depthwise-dominated nets win less
-        // because depthwise stays on the direct schedule.
+        // the fused (IR-lowered, pack-amortized) column; depthwise-dominated
+        // nets win less because depthwise stays on the direct schedule.
         if let Some(largest) = entries.iter().max_by(|a, b| a.naive_ms.total_cmp(&b.naive_ms)) {
-            if largest.packed_speedup() < min {
+            if largest.fused_speedup() < min {
                 eprintln!(
-                    "{}: packed speedup {:.2}x below target {min}x",
+                    "{}: fused speedup {:.2}x below target {min}x",
                     largest.label,
-                    largest.packed_speedup()
+                    largest.fused_speedup()
                 );
                 failed = true;
             }
         }
     }
     if let Some(path) = &out_path {
-        if failed {
+        if !fusion {
+            eprintln!("not writing {path}: a --no-fusion run has no fused measurement to commit");
+        } else if failed {
             eprintln!("not writing {path}: a failing run must not become the baseline");
         } else {
             if let Err(e) = std::fs::write(path, kernel_bench_to_json(&entries)) {

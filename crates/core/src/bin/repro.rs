@@ -12,6 +12,7 @@
 //! repro -- --serve --no-adaptive        # static scheduling (pre-adaptive)
 //! repro -- --serve --no-tenants         # tierless global controller (pre-tenant)
 //! repro -- --serve --backend functional --workers 4
+//! repro -- --serve --backend functional --no-fusion  # unfused cache installs
 //! ```
 //!
 //! `--serve` is shorthand for the `serve` experiment id: it runs the
@@ -40,6 +41,11 @@
 //! experiments that execute the functional int8 datapath. Experiment
 //! outputs are identical across policies (the backends compute the same
 //! function); only wall time changes.
+//!
+//! `--no-fusion` makes functional cache installs skip the IR lowering
+//! pass, so queries run the per-layer interpreter against plain packed
+//! weights instead of fused conv epilogues. Logits are bit-identical with
+//! fusion on or off; the flag exists to time and bisect the fused path.
 
 use std::io::Write as _;
 
@@ -145,6 +151,9 @@ fn main() {
     // but drops the multi_tenant preset back to the global controller.
     opts.adaptive = !args.iter().any(|a| a == "--no-adaptive");
     opts.tenants = !args.iter().any(|a| a == "--no-tenants");
+    // `--no-fusion` pins functional installs to the unfused packed cache
+    // (bit-identical logits; the IR-bypass debugging/bisection path).
+    opts.fusion = !args.iter().any(|a| a == "--no-fusion");
 
     let selected: Vec<&str> = if ids.is_empty() || ids.iter().any(|i| i == "all") {
         ALL_IDS.to_vec()

@@ -135,11 +135,14 @@ pub struct FunctionalOptions {
     pub kernel_policy: KernelPolicy,
     /// Seed for synthesized weights and per-query inputs.
     pub seed: u64,
+    /// Lower each installed SubNet through the typed IR and run fused
+    /// conv+bias+requant+activation steps (never affects logits).
+    pub fusion: bool,
 }
 
 impl Default for FunctionalOptions {
     fn default() -> Self {
-        Self { dpe_rows: 4, dpe_cols: 4, kernel_policy: KernelPolicy::Auto, seed: 42 }
+        Self { dpe_rows: 4, dpe_cols: 4, kernel_policy: KernelPolicy::Auto, seed: 42, fusion: true }
     }
 }
 
@@ -163,6 +166,13 @@ impl FunctionalOptions {
     #[must_use]
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Enables or disables IR-lowered epilogue fusion at cache install.
+    #[must_use]
+    pub fn with_fusion(mut self, fusion: bool) -> Self {
+        self.fusion = fusion;
         self
     }
 }
@@ -308,6 +318,13 @@ impl EngineBuilder {
     /// Sets the functional backend's host-simulation kernel policy.
     pub fn kernel_policy(mut self, policy: KernelPolicy) -> Self {
         self.functional.kernel_policy = policy;
+        self
+    }
+
+    /// Enables or disables the functional backend's IR-lowered epilogue
+    /// fusion (default on; logits are bit-identical either way).
+    pub fn fusion(mut self, fusion: bool) -> Self {
+        self.functional.fusion = fusion;
         self
     }
 
@@ -468,7 +485,7 @@ impl EngineBuilder {
                     return Err(SushiError::Config("DPE array dims must be positive".into()));
                 }
                 let dpe = DpeArray::new(f.dpe_rows, f.dpe_cols).with_policy(f.kernel_policy);
-                Box::new(Functional::new(dpe, &net, f.seed))
+                Box::new(Functional::new(dpe, &net, f.seed).with_fusion(f.fusion))
             }
         };
         Ok(Engine {

@@ -54,6 +54,11 @@ pub struct ExpOptions {
     /// elsewhere). Requires `adaptive` — with adaptation off the preset
     /// is static either way.
     pub tenants: bool,
+    /// Whether functional-backend cache installs lower SubNets through the
+    /// typed IR and fuse bias/requant/activation into the conv epilogue
+    /// (`repro --no-fusion` turns it off). Logits are bit-identical either
+    /// way; only wall time changes.
+    pub fusion: bool,
 }
 
 impl Default for ExpOptions {
@@ -68,6 +73,7 @@ impl Default for ExpOptions {
             routing: None,
             adaptive: true,
             tenants: true,
+            fusion: true,
         }
     }
 }

@@ -74,12 +74,14 @@ pub fn reduction_pct(base: f64, ours: f64) -> f64 {
 }
 
 /// Wall-clock timing of one workload's forward pass under the kernel
-/// backends (see `BENCH_kernels.json`, schema v2):
+/// backends (see `BENCH_kernels.json`, schema v3):
 ///
 /// * `naive_ms` — the direct-loop tiled schedule (the oracle);
 /// * `gemm_ms` — im2col + packed GEMM, packing **both** operands per call;
 /// * `packed_ms` — steady-state serving path: weights pre-packed once per
 ///   SubGraph install, scratch arena reused (pack-amortized);
+/// * `fused_ms` — steady-state IR-lowered path: pre-packed weights *plus*
+///   bias/requant/activation fused into the conv epilogue at install time;
 /// * `cold_pack_ms` — building the weight cache *plus* the first forward,
 ///   i.e. what the install-bearing query pays before amortization begins.
 #[derive(Debug, Clone, PartialEq)]
@@ -92,6 +94,8 @@ pub struct KernelBenchEntry {
     pub gemm_ms: f64,
     /// Best-of-N wall time of the pre-packed (pack-amortized) forward, ms.
     pub packed_ms: f64,
+    /// Best-of-N wall time of the IR-lowered fused-epilogue forward, ms.
+    pub fused_ms: f64,
     /// Wall time of cache build + first pre-packed forward (cold pack), ms.
     pub cold_pack_ms: f64,
 }
@@ -107,7 +111,7 @@ impl KernelBenchEntry {
         }
     }
 
-    /// Naive-over-packed speedup: the serving hot path's headline number.
+    /// Naive-over-packed speedup: the pre-IR serving hot path's number.
     #[must_use]
     pub fn packed_speedup(&self) -> f64 {
         if self.packed_ms > 0.0 {
@@ -116,14 +120,24 @@ impl KernelBenchEntry {
             f64::INFINITY
         }
     }
+
+    /// Naive-over-fused speedup: the serving hot path's headline number.
+    #[must_use]
+    pub fn fused_speedup(&self) -> f64 {
+        if self.fused_ms > 0.0 {
+            self.naive_ms / self.fused_ms
+        } else {
+            f64::INFINITY
+        }
+    }
 }
 
 /// The schema marker written into (and required from) `BENCH_kernels.json`.
-pub const KERNEL_BENCH_SCHEMA: &str = "sushi-kernel-bench-v2";
+pub const KERNEL_BENCH_SCHEMA: &str = "sushi-kernel-bench-v3";
 
 /// Serializes kernel bench entries as the `BENCH_kernels.json` baseline
-/// (schema v2: adds the pack-amortized `packed_ms` and the `cold_pack_ms`
-/// install cost next to the v1 naive/gemm columns).
+/// (schema v3: adds the IR-lowered `fused_ms` column next to the v2
+/// naive/gemm/packed/cold columns).
 ///
 /// Hand-rolled writer: the vendored `serde` stub does not serialize, and
 /// the format is a stable schema consumed by [`kernel_bench_from_json`]
@@ -145,15 +159,17 @@ pub fn kernel_bench_to_json(entries: &[KernelBenchEntry]) -> String {
         let _ = write!(
             out,
             "    {{\"label\": \"{}\", \"naive_ms\": {:.3}, \"gemm_ms\": {:.3}, \
-             \"packed_ms\": {:.3}, \"cold_pack_ms\": {:.3}, \"speedup\": {:.2}, \
-             \"packed_speedup\": {:.2}}}",
+             \"packed_ms\": {:.3}, \"fused_ms\": {:.3}, \"cold_pack_ms\": {:.3}, \
+             \"speedup\": {:.2}, \"packed_speedup\": {:.2}, \"fused_speedup\": {:.2}}}",
             e.label,
             e.naive_ms,
             e.gemm_ms,
             e.packed_ms,
+            e.fused_ms,
             e.cold_pack_ms,
             e.speedup(),
-            e.packed_speedup()
+            e.packed_speedup(),
+            e.fused_speedup()
         );
         out.push_str(if i + 1 < entries.len() { ",\n" } else { "\n" });
     }
@@ -166,7 +182,7 @@ pub fn kernel_bench_to_json(entries: &[KernelBenchEntry]) -> String {
 ///
 /// # Errors
 /// Returns a description of the first malformed entry, or a schema error
-/// for pre-v2 baselines (which lack the packed columns the regression gate
+/// for pre-v3 baselines (which lack the fused column the regression gate
 /// now protects — regenerate with `scripts/bench_baseline.sh --update`).
 pub fn kernel_bench_from_json(text: &str) -> Result<Vec<KernelBenchEntry>, String> {
     fn field<'a>(obj: &'a str, key: &str) -> Result<&'a str, String> {
@@ -181,7 +197,7 @@ pub fn kernel_bench_from_json(text: &str) -> Result<Vec<KernelBenchEntry>, Strin
     }
     if !text.contains(KERNEL_BENCH_SCHEMA) {
         return Err(format!(
-            "missing {KERNEL_BENCH_SCHEMA} schema marker (pre-v2 baseline? re-run \
+            "missing {KERNEL_BENCH_SCHEMA} schema marker (pre-v3 baseline? re-run \
              scripts/bench_baseline.sh --update)"
         ));
     }
@@ -200,6 +216,7 @@ pub fn kernel_bench_from_json(text: &str) -> Result<Vec<KernelBenchEntry>, Strin
             naive_ms: num(obj, "naive_ms")?,
             gemm_ms: num(obj, "gemm_ms")?,
             packed_ms: num(obj, "packed_ms")?,
+            fused_ms: num(obj, "fused_ms")?,
             cold_pack_ms: num(obj, "cold_pack_ms")?,
         });
     }
@@ -213,9 +230,10 @@ pub fn kernel_bench_from_json(text: &str) -> Result<Vec<KernelBenchEntry>, Strin
 /// the GEMM or pack-amortized path regressed by more than `tolerance_pct`
 /// on any workload.
 ///
-/// `gemm_ms` and `packed_ms` both gate — `packed_ms` is the serving hot
-/// path, `gemm_ms` the no-cache fallback. Baseline labels absent from
-/// `current` fail too (a silently dropped workload is a regression).
+/// `gemm_ms`, `packed_ms` and `fused_ms` all gate — `fused_ms` is the
+/// serving hot path, `packed_ms` its fusion-off fallback, `gemm_ms` the
+/// no-cache fallback. Baseline labels absent from `current` fail too (a
+/// silently dropped workload is a regression).
 ///
 /// # Errors
 /// Returns a human-readable description of every regression found.
@@ -229,9 +247,11 @@ pub fn kernel_regressions(
         match current.iter().find(|c| c.label == base.label) {
             None => problems.push(format!("workload '{}' missing from current run", base.label)),
             Some(cur) => {
-                for (what, cur_ms, base_ms) in
-                    [("gemm", cur.gemm_ms, base.gemm_ms), ("packed", cur.packed_ms, base.packed_ms)]
-                {
+                for (what, cur_ms, base_ms) in [
+                    ("gemm", cur.gemm_ms, base.gemm_ms),
+                    ("packed", cur.packed_ms, base.packed_ms),
+                    ("fused", cur.fused_ms, base.fused_ms),
+                ] {
                     let limit = base_ms * (1.0 + tolerance_pct / 100.0);
                     if cur_ms > limit {
                         problems.push(format!(
@@ -781,12 +801,20 @@ mod tests {
         assert_eq!(reduction_pct(0.0, 5.0), 0.0);
     }
 
-    fn kb(label: &str, naive: f64, gemm: f64, packed: f64, cold: f64) -> KernelBenchEntry {
+    fn kb(
+        label: &str,
+        naive: f64,
+        gemm: f64,
+        packed: f64,
+        fused: f64,
+        cold: f64,
+    ) -> KernelBenchEntry {
         KernelBenchEntry {
             label: label.into(),
             naive_ms: naive,
             gemm_ms: gemm,
             packed_ms: packed,
+            fused_ms: fused,
             cold_pack_ms: cold,
         }
     }
@@ -794,8 +822,8 @@ mod tests {
     #[test]
     fn kernel_bench_json_round_trips() {
         let entries = vec![
-            kb("ResNet50/max", 1234.5, 98.7, 55.5, 140.2),
-            kb("MobV3/max", 456.0, 45.6, 30.1, 60.9),
+            kb("ResNet50/max", 1234.5, 98.7, 55.5, 48.8, 140.2),
+            kb("MobV3/max", 456.0, 45.6, 30.1, 28.4, 60.9),
         ];
         let json = kernel_bench_to_json(&entries);
         assert!(json.contains(KERNEL_BENCH_SCHEMA));
@@ -804,6 +832,7 @@ mod tests {
         assert_eq!(parsed[0].label, "ResNet50/max");
         assert!((parsed[0].naive_ms - 1234.5).abs() < 1e-9);
         assert!((parsed[0].packed_ms - 55.5).abs() < 1e-9);
+        assert!((parsed[0].fused_ms - 48.8).abs() < 1e-9);
         assert!((parsed[1].gemm_ms - 45.6).abs() < 1e-9);
         assert!((parsed[1].cold_pack_ms - 60.9).abs() < 1e-9);
     }
@@ -812,17 +841,22 @@ mod tests {
     fn kernel_bench_rejects_garbage_and_old_schema() {
         assert!(kernel_bench_from_json("not json").is_err());
         assert!(kernel_bench_from_json("{\"entries\": []}").is_err());
-        // A v1 baseline (no schema marker / packed columns) must be
-        // rejected with a regeneration hint, not silently half-parsed.
+        // Pre-v3 baselines (no fused column) must be rejected with a
+        // regeneration hint, not silently half-parsed.
         let v1 = "{\n  \"schema\": \"sushi-kernel-bench-v1\",\n  \"entries\": [\n    \
                   {\"label\": \"a\", \"naive_ms\": 1.0, \"gemm_ms\": 0.5, \"speedup\": 2.00}\n  ]\n}\n";
         let err = kernel_bench_from_json(v1).unwrap_err();
+        assert!(err.contains("schema"), "{err}");
+        let v2 = "{\n  \"schema\": \"sushi-kernel-bench-v2\",\n  \"entries\": [\n    \
+                  {\"label\": \"a\", \"naive_ms\": 1.0, \"gemm_ms\": 0.5, \"packed_ms\": 0.4, \
+                  \"cold_pack_ms\": 0.6, \"speedup\": 2.00, \"packed_speedup\": 2.50}\n  ]\n}\n";
+        let err = kernel_bench_from_json(v2).unwrap_err();
         assert!(err.contains("schema"), "{err}");
     }
 
     #[test]
     fn kernel_bench_rejects_truncated_baseline() {
-        let entries = vec![kb("a", 10.0, 1.0, 0.5, 1.5)];
+        let entries = vec![kb("a", 10.0, 1.0, 0.5, 0.4, 1.5)];
         let json = kernel_bench_to_json(&entries);
         // Chop inside the entry object (before its closing brace): the
         // parse must fail, not return a shorter entry list.
@@ -832,26 +866,31 @@ mod tests {
 
     #[test]
     fn kernel_speedups_are_naive_over_backend() {
-        let e = kb("x", 100.0, 10.0, 4.0, 12.0);
+        let e = kb("x", 100.0, 10.0, 4.0, 2.0, 12.0);
         assert!((e.speedup() - 10.0).abs() < 1e-12);
         assert!((e.packed_speedup() - 25.0).abs() < 1e-12);
+        assert!((e.fused_speedup() - 50.0).abs() < 1e-12);
     }
 
     #[test]
     fn kernel_regressions_gate_on_gemm_and_packed_time() {
-        let base = vec![kb("a", 50.0, 10.0, 5.0, 12.0)];
-        // 15% slower on both: within the 20% tolerance.
-        let ok = vec![kb("a", 60.0, 11.5, 5.7, 14.0)];
+        let base = vec![kb("a", 50.0, 10.0, 5.0, 4.0, 12.0)];
+        // 15% slower across the board: within the 20% tolerance.
+        let ok = vec![kb("a", 60.0, 11.5, 5.7, 4.6, 14.0)];
         assert!(kernel_regressions(&ok, &base, 20.0).is_ok());
         // gemm 50% slower: regression.
-        let slow_gemm = vec![kb("a", 50.0, 15.0, 5.0, 12.0)];
+        let slow_gemm = vec![kb("a", 50.0, 15.0, 5.0, 4.0, 12.0)];
         let err = kernel_regressions(&slow_gemm, &base, 20.0).unwrap_err();
         assert!(err.contains("gemm path regressed"));
-        // packed 50% slower (gemm fine): also a regression — the serving
-        // hot path is the column the perf trajectory actually rides on.
-        let slow_packed = vec![kb("a", 50.0, 10.0, 7.5, 12.0)];
+        // packed 50% slower (gemm fine): also a regression.
+        let slow_packed = vec![kb("a", 50.0, 10.0, 7.5, 4.0, 12.0)];
         let err = kernel_regressions(&slow_packed, &base, 20.0).unwrap_err();
         assert!(err.contains("packed path regressed"));
+        // fused 50% slower (rest fine): also a regression — the fused
+        // column is the serving hot path the perf trajectory rides on.
+        let slow_fused = vec![kb("a", 50.0, 10.0, 5.0, 6.0, 12.0)];
+        let err = kernel_regressions(&slow_fused, &base, 20.0).unwrap_err();
+        assert!(err.contains("fused path regressed"));
         // Missing workload: regression.
         assert!(kernel_regressions(&[], &base, 20.0).is_err());
     }

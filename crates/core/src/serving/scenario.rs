@@ -522,6 +522,7 @@ fn run_scenario_inner(
         .seed(opts.seed)
         .backend(opts.backend)
         .kernel_policy(opts.kernel_policy)
+        .fusion(opts.fusion)
         .sim_config(sim)
         .build()?;
     engine.serve_timed(&scenario.stream)
@@ -586,7 +587,8 @@ pub fn run_functional_scaling(
                 crate::engine::FunctionalOptions::default()
                     .with_dpe(8, 8)
                     .with_seed(99)
-                    .with_kernel_policy(opts.kernel_policy),
+                    .with_kernel_policy(opts.kernel_policy)
+                    .with_fusion(opts.fusion),
             )
             .workers(workers)
             .routing(routing)

@@ -1,0 +1,47 @@
+//! Errors raised by graph validation, rewriting and lowering.
+
+use std::fmt;
+
+/// Error type for the IR layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IrError {
+    /// A node failed dtype/shape validation.
+    Validation {
+        /// Offending node index.
+        node: usize,
+        /// What was violated.
+        what: &'static str,
+    },
+    /// The graph has no declared output node.
+    NoOutput,
+    /// Lowering met a node the rewrite passes should have eliminated.
+    NotNormalized {
+        /// Offending node index.
+        node: usize,
+        /// What remained unfused.
+        what: &'static str,
+    },
+    /// The rewrite engine exceeded its iteration budget without reaching a
+    /// fixpoint (a rewrite keeps producing new matches — a rewrite bug).
+    NoFixpoint {
+        /// The rewrite that was still firing.
+        rewrite: &'static str,
+    },
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Validation { node, what } => write!(f, "ir validation: node {node}: {what}"),
+            Self::NoOutput => write!(f, "ir validation: graph has no output node"),
+            Self::NotNormalized { node, what } => {
+                write!(f, "ir lowering: node {node} not normalized: {what}")
+            }
+            Self::NoFixpoint { rewrite } => {
+                write!(f, "ir rewriting: no fixpoint (rewrite `{rewrite}` kept firing)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IrError {}

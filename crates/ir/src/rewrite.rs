@@ -1,0 +1,200 @@
+//! The patch-based rewrite engine.
+//!
+//! A [`Rewrite`] inspects one node at a time and, when its pattern matches,
+//! returns a [`Patch`] — a declarative local edit (set ops, rewire
+//! consumers, delete nodes). The engine applies patches one at a time in a
+//! deterministic order (rewrites in declaration order, nodes in id order,
+//! first match wins) and re-validates the graph after every application, so
+//! a buggy rewrite fails loudly at install time instead of corrupting the
+//! datapath. [`run_to_fixpoint`] loops until a full sweep produces no patch.
+//!
+//! Determinism and confluence are pinned by tests: the same graph always
+//! normalizes to the same form, *regardless of the order the rewrite list
+//! is presented in* (the `rewrites` module's confluence tests permute it).
+
+use crate::error::IrError;
+use crate::graph::{Graph, NodeId, Op};
+
+/// A declarative local edit produced by a matched [`Rewrite`].
+///
+/// Application order within one patch: `set_op`, then `redirect` (every live
+/// consumer of `from` reads `to` instead, and the graph output moves too),
+/// then `delete` (tombstoning). Redirect targets must be earlier nodes than
+/// the consumers they gain, preserving the append-is-topological invariant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Patch {
+    /// Name of the rewrite that produced this patch (for logs/tests).
+    pub rewrite: &'static str,
+    /// Nodes whose op is replaced.
+    pub set_op: Vec<(NodeId, Op)>,
+    /// Consumer rewiring: `(from, to)` makes every consumer of `from` (and
+    /// the graph output, if it was `from`) point at `to`.
+    pub redirect: Vec<(NodeId, NodeId)>,
+    /// Nodes to tombstone.
+    pub delete: Vec<NodeId>,
+}
+
+impl Patch {
+    /// An empty patch for `rewrite`.
+    #[must_use]
+    pub fn new(rewrite: &'static str) -> Self {
+        Self { rewrite, set_op: Vec::new(), redirect: Vec::new(), delete: Vec::new() }
+    }
+}
+
+/// A declared rewrite: a pattern over one anchor node plus the patch that
+/// rewrites it.
+pub trait Rewrite {
+    /// Stable name (shows up in [`RewriteLog`] and errors).
+    fn name(&self) -> &'static str;
+
+    /// Tries to match with `id` as the anchor node; returns the patch to
+    /// apply on success.
+    fn match_at(&self, g: &Graph, id: NodeId) -> Option<Patch>;
+}
+
+/// Record of the patches applied by one [`run_to_fixpoint`] run, in order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RewriteLog {
+    /// Rewrite names, one per applied patch.
+    pub applied: Vec<&'static str>,
+}
+
+/// Applies `patch` to `g` and re-validates.
+///
+/// # Errors
+/// Returns an error when the patched graph fails validation.
+pub fn apply(g: &mut Graph, patch: &Patch) -> Result<(), IrError> {
+    for (id, op) in &patch.set_op {
+        g.node_mut(*id).op = op.clone();
+    }
+    for &(from, to) in &patch.redirect {
+        for idx in 0..g.len() {
+            let node = g.node_mut(NodeId(idx));
+            if node.dead {
+                continue;
+            }
+            for input in &mut node.inputs {
+                if *input == from {
+                    *input = to;
+                }
+            }
+        }
+        if g.output() == Some(from) {
+            g.set_output_raw(Some(to));
+        }
+    }
+    for &id in &patch.delete {
+        g.node_mut(id).dead = true;
+    }
+    g.infer().map(|_| ())
+}
+
+/// Runs `rewrites` to fixpoint in deterministic order: sweep rewrites in
+/// declaration order and nodes in id order, apply the first match, restart
+/// the sweep; stop when a full sweep matches nothing.
+///
+/// # Errors
+/// Returns an error when an applied patch breaks validation, or when the
+/// iteration budget (proportional to graph size) is exhausted — which means
+/// some rewrite keeps generating matches and would loop forever.
+pub fn run_to_fixpoint(g: &mut Graph, rewrites: &[&dyn Rewrite]) -> Result<RewriteLog, IrError> {
+    let mut log = RewriteLog::default();
+    // Every rewrite either deletes a node or permanently annotates one, so
+    // a generous multiple of |nodes|·|rewrites| bounds any terminating run.
+    let budget = g.len() * rewrites.len() * 4 + 16;
+    loop {
+        let mut matched: Option<Patch> = None;
+        'sweep: for rw in rewrites {
+            for id in g.live_ids().collect::<Vec<_>>() {
+                if let Some(patch) = rw.match_at(g, id) {
+                    matched = Some(patch);
+                    break 'sweep;
+                }
+            }
+        }
+        match matched {
+            None => return Ok(log),
+            Some(patch) => {
+                if log.applied.len() >= budget {
+                    return Err(IrError::NoFixpoint { rewrite: patch.rewrite });
+                }
+                apply(g, &patch)?;
+                log.applied.push(patch.rewrite);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::EpilogueSpec;
+    use sushi_tensor::ops::activation::Activation;
+    use sushi_tensor::ops::conv::Conv2dParams;
+    use sushi_tensor::Shape4;
+
+    fn chain() -> (Graph, NodeId, NodeId) {
+        let mut g = Graph::new(Shape4::new(1, 3, 8, 8));
+        let c = g.push(
+            Op::Conv {
+                layer: 0,
+                params: Conv2dParams::new(3, 3).with_padding(1),
+                out_channels: 4,
+                epilogue: EpilogueSpec { requant: true, ..EpilogueSpec::default() },
+            },
+            &[g.input()],
+        );
+        let a = g.push(Op::Act(Activation::Relu), &[c]);
+        let o = g.push(Op::Output, &[a]);
+        g.set_output(o);
+        (g, c, a)
+    }
+
+    #[test]
+    fn apply_redirects_consumers_and_tombstones() {
+        let (mut g, c, a) = chain();
+        let mut p = Patch::new("test");
+        p.redirect.push((a, c));
+        p.delete.push(a);
+        apply(&mut g, &p).unwrap();
+        assert!(g.node(a).dead);
+        let out = g.output().unwrap();
+        assert_eq!(g.node(out).inputs, vec![c]);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn apply_rejects_validation_breakage() {
+        let (mut g, c, _a) = chain();
+        // Making the conv produce raw accumulators breaks the Act consumer.
+        let mut p = Patch::new("test");
+        p.set_op.push((
+            c,
+            Op::Conv {
+                layer: 0,
+                params: Conv2dParams::new(3, 3).with_padding(1),
+                out_channels: 4,
+                epilogue: EpilogueSpec::default(),
+            },
+        ));
+        assert!(matches!(apply(&mut g, &p), Err(IrError::Validation { .. })));
+    }
+
+    /// A rewrite that always matches must hit the budget, not hang.
+    #[test]
+    fn runaway_rewrite_is_caught() {
+        struct Runaway;
+        impl Rewrite for Runaway {
+            fn name(&self) -> &'static str {
+                "runaway"
+            }
+            fn match_at(&self, _g: &Graph, id: NodeId) -> Option<Patch> {
+                (id.0 == 0).then(|| Patch::new("runaway"))
+            }
+        }
+        let (mut g, _, _) = chain();
+        let err = run_to_fixpoint(&mut g, &[&Runaway]).unwrap_err();
+        assert!(matches!(err, IrError::NoFixpoint { rewrite: "runaway" }));
+    }
+}

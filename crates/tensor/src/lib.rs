@@ -51,8 +51,9 @@ pub mod tensor;
 
 pub use arena::Arena;
 pub use error::TensorError;
+pub use ops::epilogue::{Epilogue, EpilogueScale};
 pub use ops::gemm::KernelPolicy;
-pub use ops::pack::PackedConv2d;
+pub use ops::pack::{PackLayout, PackedConv2d};
 pub use quant::QuantParams;
 pub use rng::DetRng;
 pub use shape::Shape4;

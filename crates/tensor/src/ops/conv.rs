@@ -26,11 +26,14 @@ use serde::{Deserialize, Serialize};
 
 use crate::arena::Arena;
 use crate::error::TensorError;
-use crate::ops::gemm::{gemm_f32_packed, gemm_i8_packed, ConvBackend, KernelPolicy};
+use crate::ops::epilogue::Epilogue;
+use crate::ops::gemm::{
+    gemm_f32_packed, gemm_i8_packed, gemm_i8_packed_pairs, ConvBackend, KernelPolicy,
+};
 use crate::ops::im2col::im2col;
 use crate::ops::pack::{
-    pack_a_f32_into, pack_a_i8_into, pack_b_f32_into, pack_b_i8_into, packed_a_len, packed_b_len,
-    PackedConv2d,
+    pack_a_f32_into, pack_a_i8_into, pack_b_f32_into, pack_b_i8_into, pack_b_i8_pairs_into,
+    packed_a_len, packed_b_len, packed_b_pairs_len, PackLayout, PackedConv2d,
 };
 use crate::quant::{requantize_accumulator, QuantParams};
 use crate::shape::{conv_out_dim, Shape4};
@@ -221,7 +224,7 @@ pub fn conv2d_f32_in(
     }
     match params.backend(ishape, wshape, oh, ow, policy) {
         ConvBackend::Direct => Ok(conv2d_f32_direct(input, weights, bias, params, oh, ow)),
-        ConvBackend::Im2colGemm => Ok(conv2d_f32_gemm(input, weights, bias, params, oh, ow, arena)),
+        ConvBackend::Im2colGemm => conv2d_f32_gemm(input, weights, bias, params, oh, ow, arena),
     }
 }
 
@@ -291,7 +294,7 @@ fn conv2d_f32_gemm(
     oh: usize,
     ow: usize,
     arena: &mut Arena,
-) -> Tensor<f32> {
+) -> Result<Tensor<f32>, TensorError> {
     let ishape = input.shape();
     let wshape = weights.shape();
     let k_total = wshape.n;
@@ -304,12 +307,12 @@ fn conv2d_f32_gemm(
     let (patches, pa, pb, acc) =
         arena.f32_conv(kdim * npix, packed_a_len(kg, kdim), packed_b_len(kdim, npix), kg * npix);
     for g in 0..params.groups {
-        pack_a_f32_into(pa, &wdata[g * kg * kdim..(g + 1) * kg * kdim], kg, kdim);
+        pack_a_f32_into(pa, &wdata[g * kg * kdim..(g + 1) * kg * kdim], kg, kdim)?;
         for n in 0..ishape.n {
-            im2col(input, n, g * cg, cg, params, oh, ow, 0.0, patches);
-            pack_b_f32_into(pb, patches, kdim, npix);
+            im2col(input, n, g * cg, cg, params, oh, ow, 0.0, patches)?;
+            pack_b_f32_into(pb, patches, kdim, npix)?;
             acc.fill(0.0);
-            gemm_f32_packed(kg, kdim, npix, pa, pb, acc);
+            gemm_f32_packed(kg, kdim, npix, pa, pb, acc)?;
             for kk in 0..kg {
                 let k = g * kg + kk;
                 let bias_v = bias.map_or(0.0, |b| b[k]);
@@ -321,7 +324,7 @@ fn conv2d_f32_gemm(
             }
         }
     }
-    out
+    Ok(out)
 }
 
 /// Quantized int8 convolution under [`KernelPolicy::Auto`].
@@ -398,7 +401,7 @@ pub fn conv2d_i8_in(
         ConvBackend::Direct => {
             Ok(conv2d_i8_direct(input, in_q, weights, w_q, bias, out_q, params, oh, ow))
         }
-        ConvBackend::Im2colGemm => Ok(conv2d_i8_gemm(
+        ConvBackend::Im2colGemm => conv2d_i8_gemm(
             input,
             in_q,
             PackSource::Raw(weights.as_slice()),
@@ -410,7 +413,7 @@ pub fn conv2d_i8_in(
             oh,
             ow,
             arena,
-        )),
+        ),
     }
 }
 
@@ -440,12 +443,17 @@ pub fn conv2d_i8_prepacked(
     if params.groups != packed.groups() {
         return Err(TensorError::InvalidParam { what: "packed weights built for other groups" });
     }
+    if packed.layout() != PackLayout::Panel {
+        return Err(TensorError::InvalidParam {
+            what: "k-pair packed weights require the fused conv entry point",
+        });
+    }
     if let Some(b) = bias {
         if b.len() != wshape.n {
             return Err(TensorError::LengthMismatch { expected: wshape.n, actual: b.len() });
         }
     }
-    Ok(conv2d_i8_gemm(
+    conv2d_i8_gemm(
         input,
         in_q,
         PackSource::Prepacked(packed),
@@ -457,7 +465,7 @@ pub fn conv2d_i8_prepacked(
         oh,
         ow,
         arena,
-    ))
+    )
 }
 
 /// Where the GEMM core finds its packed weight panels.
@@ -484,7 +492,7 @@ fn conv2d_i8_gemm(
     oh: usize,
     ow: usize,
     arena: &mut Arena,
-) -> Tensor<i8> {
+) -> Result<Tensor<i8>, TensorError> {
     let ishape = input.shape();
     let k_total = wshape.n;
     let cg = wshape.c;
@@ -508,7 +516,7 @@ fn conv2d_i8_gemm(
                     w_q.zero_point,
                     kg,
                     kdim,
-                );
+                )?;
                 pa_buf
             }
             PackSource::Prepacked(p) => p.group(g),
@@ -516,10 +524,10 @@ fn conv2d_i8_gemm(
         for n in 0..ishape.n {
             // Padding cells are written as the input zero point so the
             // pack-time Zero-Subtraction turns them into literal zeros.
-            im2col(input, n, g * cg, cg, params, oh, ow, in_q.zero_point, patches);
-            pack_b_i8_into(pb, patches, in_q.zero_point, kdim, npix);
+            im2col(input, n, g * cg, cg, params, oh, ow, in_q.zero_point, patches)?;
+            pack_b_i8_into(pb, patches, in_q.zero_point, kdim, npix)?;
             acc.fill(0);
-            gemm_i8_packed(kg, kdim, npix, pa, pb, acc);
+            gemm_i8_packed(kg, kdim, npix, pa, pb, acc)?;
             for kk in 0..kg {
                 let k = g * kg + kk;
                 let bias_v = bias.map_or(0, |b| b[k]);
@@ -531,7 +539,94 @@ fn conv2d_i8_gemm(
             }
         }
     }
-    out
+    Ok(out)
+}
+
+/// Fused quantized convolution: k-pair packed weights, the `pmaddwd` pair
+/// microkernel, and a typed [`Epilogue`] (bias + requantization + activation)
+/// applied to each accumulator row while it is cache-hot.
+///
+/// This is the IR-lowered datapath: `sushi-ir` rewrites fold batch-norm and
+/// activations into the epilogue at cache-install time, and the install packs
+/// weights in [`PackLayout::KPair`]. For 1×1/stride-1/unpadded dense convs the
+/// im2col step is skipped entirely — the patch matrix *is* the input slice.
+///
+/// Output is bit-identical to [`conv2d_i8`] + reference activation for
+/// uniform-scale epilogues (pinned by the cross-crate fusion proptests).
+///
+/// # Errors
+/// Returns an error on shape/parameter mismatch, when `packed` is not in
+/// [`PackLayout::KPair`], or when the epilogue's channel count disagrees with
+/// the packed weights.
+pub fn conv2d_i8_fused(
+    input: &Tensor<i8>,
+    in_q: QuantParams,
+    packed: &PackedConv2d,
+    epilogue: &Epilogue,
+    params: &Conv2dParams,
+    arena: &mut Arena,
+) -> Result<Tensor<i8>, TensorError> {
+    let ishape = input.shape();
+    let wshape = packed.wshape();
+    let (oh, ow) = params.validate(ishape, wshape)?;
+    if params.groups != packed.groups() {
+        return Err(TensorError::InvalidParam { what: "packed weights built for other groups" });
+    }
+    if packed.layout() != PackLayout::KPair {
+        return Err(TensorError::InvalidParam {
+            what: "fused conv requires k-pair packed weights",
+        });
+    }
+    if epilogue.channels() != wshape.n {
+        return Err(TensorError::LengthMismatch {
+            expected: wshape.n,
+            actual: epilogue.channels(),
+        });
+    }
+    let k_total = wshape.n;
+    let cg = wshape.c;
+    let kg = k_total / params.groups;
+    let kdim = cg * params.kernel_h * params.kernel_w;
+    let npix = oh * ow;
+    let chw = ishape.c * ishape.h * ishape.w;
+    // A 1×1/stride-1/unpadded dense conv's patch matrix is exactly the
+    // input batch slice: pack B straight from the input, no im2col copy.
+    let direct_b = params.kernel_h == 1
+        && params.kernel_w == 1
+        && params.stride == 1
+        && params.padding == 0
+        && params.groups == 1;
+    let mut out = Tensor::zeros(Shape4::new(ishape.n, k_total, oh, ow));
+    let (patches, _pa_buf, pb, acc) = arena.i8_conv(
+        if direct_b { 0 } else { kdim * npix },
+        0,
+        packed_b_pairs_len(kdim, npix),
+        kg * npix,
+    );
+    for g in 0..params.groups {
+        let pa = packed.group(g);
+        for n in 0..ishape.n {
+            let bsrc: &[i8] = if direct_b {
+                &input.as_slice()[n * chw..(n + 1) * chw]
+            } else {
+                im2col(input, n, g * cg, cg, params, oh, ow, in_q.zero_point, patches)?;
+                patches
+            };
+            pack_b_i8_pairs_into(pb, bsrc, in_q.zero_point, kdim, npix)?;
+            acc.fill(0);
+            gemm_i8_packed_pairs(kg, kdim, npix, pa, pb, acc)?;
+            for kk in 0..kg {
+                let k = g * kg + kk;
+                let base = out.shape().row_offset(n, k, 0);
+                epilogue.apply_row(
+                    k,
+                    &acc[kk * npix..(kk + 1) * npix],
+                    &mut out.as_mut_slice()[base..base + npix],
+                )?;
+            }
+        }
+    }
+    Ok(out)
 }
 
 /// Direct-loop oracle for the quantized path: shape checks already done.
@@ -798,6 +893,65 @@ mod tests {
         let q = QuantParams::new(0.1, 0);
         let err = conv2d_i8_prepacked(&x, q, &packed, None, q, &p, &mut Arena::new()).unwrap_err();
         assert!(matches!(err, TensorError::ShapeMismatch { .. }));
+    }
+
+    #[test]
+    fn fused_conv_matches_oracle_plus_activation_bitwise() {
+        use crate::ops::activation::Activation;
+        let mut rng = DetRng::new(321);
+        let in_q = QuantParams::new(0.05, 3);
+        let w_q = QuantParams::new(0.02, -1);
+        let out_q = QuantParams::new(0.21, 2);
+        // One 3×3 padded conv and one 1×1 (exercises the im2col-skip path).
+        for (ishape, wshape, p) in [
+            (
+                Shape4::new(2, 5, 7, 7),
+                Shape4::new(6, 5, 3, 3),
+                Conv2dParams::new(3, 3).with_padding(1),
+            ),
+            (Shape4::new(1, 8, 6, 6), Shape4::new(10, 8, 1, 1), Conv2dParams::new(1, 1)),
+        ] {
+            let x = Tensor::from_vec(ishape, (0..ishape.volume()).map(|_| rng.next_i8()).collect())
+                .unwrap();
+            let w = Tensor::from_vec(wshape, (0..wshape.volume()).map(|_| rng.next_i8()).collect())
+                .unwrap();
+            let bias: Vec<i32> = (0..wshape.n).map(|i| (i as i32) * 13 - 31).collect();
+            let acc_scale = in_q.scale * w_q.scale / out_q.scale;
+            for act in [Activation::None, Activation::Relu, Activation::HSwish] {
+                let oracle =
+                    conv2d_i8_with(&x, in_q, &w, w_q, Some(&bias), out_q, &p, KernelPolicy::Naive)
+                        .unwrap();
+                let want = oracle.map(|q| match act {
+                    Activation::None => q,
+                    Activation::Relu => q.max(0),
+                    other => out_q.quantize(other.apply(out_q.dequantize(q))),
+                });
+                let packed =
+                    PackedConv2d::pack_with_layout(&w, w_q, &p, PackLayout::KPair).unwrap();
+                let ep = Epilogue::uniform(bias.clone(), acc_scale, out_q, act).unwrap();
+                let got = conv2d_i8_fused(&x, in_q, &packed, &ep, &p, &mut Arena::new()).unwrap();
+                assert_eq!(want, got, "fused conv must match oracle+activation for {act:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_conv_rejects_layout_and_channel_mismatch() {
+        use crate::ops::activation::Activation;
+        let w = Tensor::<i8>::zeros(Shape4::new(4, 3, 3, 3));
+        let p = Conv2dParams::new(3, 3).with_padding(1);
+        let q = QuantParams::new(0.1, 0);
+        let x = Tensor::<i8>::zeros(Shape4::new(1, 3, 8, 8));
+        let ep = Epilogue::uniform(vec![0; 4], 0.1, q, Activation::None).unwrap();
+        // Panel layout must be rejected by the fused path...
+        let panel = PackedConv2d::pack(&w, q, &p).unwrap();
+        assert!(conv2d_i8_fused(&x, q, &panel, &ep, &p, &mut Arena::new()).is_err());
+        // ...and KPair layout by the unfused prepacked path.
+        let kpair = PackedConv2d::pack_with_layout(&w, q, &p, PackLayout::KPair).unwrap();
+        assert!(conv2d_i8_prepacked(&x, q, &kpair, None, q, &p, &mut Arena::new()).is_err());
+        // Epilogue channel count must match the packed weights.
+        let ep3 = Epilogue::uniform(vec![0; 3], 0.1, q, Activation::None).unwrap();
+        assert!(conv2d_i8_fused(&x, q, &kpair, &ep3, &p, &mut Arena::new()).is_err());
     }
 
     /// Diagnostic, not a gate: prints direct-vs-packed-GEMM wall times

@@ -1,0 +1,286 @@
+//! Typed GEMM epilogues: bias + requantization + activation fused into the
+//! accumulator writeback.
+//!
+//! The unfused datapath finishes a quantized convolution in three separate
+//! passes over the output tensor: requantize the `i32` accumulators
+//! (adding bias), then (for layers that carry one) a batch-norm affine,
+//! then the activation. An [`Epilogue`] is the install-time record of that
+//! whole tail — built once per SubGraph install by the IR lowering
+//! (`sushi-ir`), applied per output *row* while the accumulator tile is
+//! still cache-hot.
+//!
+//! Exactness contract (pinned by the unit tests below and the cross-crate
+//! fusion proptests): with a uniform scale and no offset, [`Epilogue::
+//! apply_row`] is **bit-identical** to
+//! [`requantize_accumulator`](crate::quant::requantize_accumulator)
+//! followed by the reference int8 activation (`max(0)` for ReLU;
+//! quantize∘act∘dequantize for the h-family). Batch-norm folding uses the
+//! per-channel scale/offset form and matches the two-pass reference within
+//! one output quantum (one extra rounding step is folded away).
+
+use crate::error::TensorError;
+use crate::ops::activation::Activation;
+use crate::quant::QuantParams;
+
+/// The accumulator→output rescale of an [`Epilogue`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum EpilogueScale {
+    /// One scale for every output channel (`in.scale · w.scale / out.scale`
+    /// — the plain conv requantization).
+    Uniform(f32),
+    /// Per-output-channel scales (conv requantization with a folded
+    /// batch-norm multiplier).
+    PerChannel(Vec<f32>),
+}
+
+/// A fused conv tail: `i32` accumulator → bias add → per-channel rescale
+/// (+ offset) → round/clamp to `i8` → activation, in one pass.
+///
+/// Built once per cache install; [`Epilogue::apply_row`] runs per output
+/// row inside [`crate::ops::conv::conv2d_i8_fused`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Epilogue {
+    bias: Vec<i32>,
+    scale: EpilogueScale,
+    /// Per-channel additive offset in output-quantum units, applied after
+    /// the rescale and before rounding (folded batch-norm shift). Empty
+    /// means zero for every channel.
+    offset: Vec<f32>,
+    out_q: QuantParams,
+    act: Activation,
+}
+
+impl Epilogue {
+    /// Epilogue for a plain quantized conv: per-channel bias, one
+    /// accumulator scale, optional fused activation.
+    ///
+    /// # Errors
+    /// Returns an error when `bias` is empty (every conv layer in the
+    /// datapath carries a bias vector sized to its output channels).
+    pub fn uniform(
+        bias: Vec<i32>,
+        acc_scale: f32,
+        out_q: QuantParams,
+        act: Activation,
+    ) -> Result<Self, TensorError> {
+        if bias.is_empty() {
+            return Err(TensorError::InvalidParam { what: "epilogue needs per-channel bias" });
+        }
+        Ok(Self { bias, scale: EpilogueScale::Uniform(acc_scale), offset: Vec::new(), out_q, act })
+    }
+
+    /// Epilogue with per-channel scales and offsets — the folded-batch-norm
+    /// form: channel `c` computes
+    /// `round((acc + bias[c]) · scales[c] + offsets[c]) + zp`, clamped.
+    ///
+    /// # Errors
+    /// Returns an error when the vector lengths disagree.
+    pub fn per_channel(
+        bias: Vec<i32>,
+        scales: Vec<f32>,
+        offsets: Vec<f32>,
+        out_q: QuantParams,
+        act: Activation,
+    ) -> Result<Self, TensorError> {
+        if bias.is_empty() {
+            return Err(TensorError::InvalidParam { what: "epilogue needs per-channel bias" });
+        }
+        if scales.len() != bias.len() {
+            return Err(TensorError::LengthMismatch { expected: bias.len(), actual: scales.len() });
+        }
+        if offsets.len() != bias.len() {
+            return Err(TensorError::LengthMismatch {
+                expected: bias.len(),
+                actual: offsets.len(),
+            });
+        }
+        Ok(Self { bias, scale: EpilogueScale::PerChannel(scales), offset: offsets, out_q, act })
+    }
+
+    /// Number of output channels this epilogue covers.
+    #[must_use]
+    pub fn channels(&self) -> usize {
+        self.bias.len()
+    }
+
+    /// The fused activation.
+    #[must_use]
+    pub fn activation(&self) -> Activation {
+        self.act
+    }
+
+    /// The output quantization.
+    #[must_use]
+    pub fn out_q(&self) -> QuantParams {
+        self.out_q
+    }
+
+    /// The rescale applied to channel `ch`.
+    #[must_use]
+    pub fn scale_for(&self, ch: usize) -> f32 {
+        match &self.scale {
+            EpilogueScale::Uniform(s) => *s,
+            EpilogueScale::PerChannel(v) => v[ch],
+        }
+    }
+
+    /// Applies the full tail to one accumulator value of channel `ch`.
+    #[must_use]
+    pub fn apply(&self, ch: usize, acc: i32) -> i8 {
+        let mut out = [0i8];
+        // Lengths match by construction; `ch` bounds are the caller's
+        // contract, same as indexing `bias[ch]`.
+        self.apply_row(ch, &[acc], &mut out).expect("single-element row");
+        out[0]
+    }
+
+    /// Applies the full tail to one output row (all pixels of channel `ch`
+    /// for one batch item), reading `acc` and writing `dst`.
+    ///
+    /// # Errors
+    /// Returns an error when `acc`/`dst` lengths disagree or `ch` is out of
+    /// range.
+    pub fn apply_row(&self, ch: usize, acc: &[i32], dst: &mut [i8]) -> Result<(), TensorError> {
+        if acc.len() != dst.len() {
+            return Err(TensorError::LengthMismatch { expected: acc.len(), actual: dst.len() });
+        }
+        if ch >= self.bias.len() {
+            return Err(TensorError::InvalidParam { what: "epilogue channel out of range" });
+        }
+        let bias = self.bias[ch];
+        let scale = self.scale_for(ch);
+        let offset = self.offset.get(ch).copied().unwrap_or(0.0);
+        let zp = f32::from(self.out_q.zero_point);
+        // `x + 0.0` is exact for every f32 `x` (only -0.0 is canonicalized,
+        // and the subsequent round/add/clamp/cast agree on ±0.0), so the
+        // no-offset case below stays bit-identical to
+        // `requantize_accumulator(acc + bias, scale, zp)`.
+        let requant = |v: i32| -> i8 {
+            let y = ((v + bias) as f32 * scale + offset).round() + zp;
+            y.clamp(-128.0, 127.0) as i8
+        };
+        match self.act {
+            Activation::None => {
+                for (d, &v) in dst.iter_mut().zip(acc) {
+                    *d = requant(v);
+                }
+            }
+            Activation::Relu => {
+                // Exact on data whose zero point is representable: matches
+                // requantize-then-`max(0)` (the reference int8 ReLU).
+                for (d, &v) in dst.iter_mut().zip(acc) {
+                    *d = requant(v).max(0);
+                }
+            }
+            act => {
+                // h-family: the reference applies the activation in the
+                // dequantized domain and requantizes; replicate exactly.
+                for (d, &v) in dst.iter_mut().zip(acc) {
+                    let q = requant(v);
+                    *d = self.out_q.quantize(act.apply(self.out_q.dequantize(q)));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quant::requantize_accumulator;
+    use crate::rng::DetRng;
+
+    const OUT_Q: QuantParams = QuantParams { scale: 8.0 / 127.0, zero_point: 0 };
+
+    fn reference_tail(acc: i32, bias: i32, scale: f32, out_q: QuantParams, act: Activation) -> i8 {
+        let q = requantize_accumulator(acc + bias, scale, out_q.zero_point);
+        match act {
+            Activation::None => q,
+            Activation::Relu => q.max(0),
+            other => out_q.quantize(other.apply(out_q.dequantize(q))),
+        }
+    }
+
+    #[test]
+    fn uniform_matches_requantize_then_activation_bitwise() {
+        let mut rng = DetRng::new(404);
+        for act in [
+            Activation::None,
+            Activation::Relu,
+            Activation::Relu6,
+            Activation::HSwish,
+            Activation::HSigmoid,
+        ] {
+            let bias: Vec<i32> = (0..5).map(|_| i32::from(rng.next_i8()) * 100).collect();
+            let ep = Epilogue::uniform(bias.clone(), 0.0037, OUT_Q, act).unwrap();
+            for ch in 0..5 {
+                let acc: Vec<i32> = (0..64).map(|_| i32::from(rng.next_i8()) * 977).collect();
+                let mut fused = vec![0i8; acc.len()];
+                ep.apply_row(ch, &acc, &mut fused).unwrap();
+                for (f, &v) in fused.iter().zip(&acc) {
+                    assert_eq!(*f, reference_tail(v, bias[ch], 0.0037, OUT_Q, act), "{act:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn apply_scalar_matches_row() {
+        let ep = Epilogue::uniform(vec![7, -3], 0.01, OUT_Q, Activation::Relu).unwrap();
+        assert_eq!(ep.apply(0, 500), reference_tail(500, 7, 0.01, OUT_Q, Activation::Relu));
+        assert_eq!(ep.apply(1, -900), reference_tail(-900, -3, 0.01, OUT_Q, Activation::Relu));
+    }
+
+    #[test]
+    fn per_channel_scales_and_offsets_apply() {
+        let ep = Epilogue::per_channel(
+            vec![0, 0],
+            vec![0.01, 0.02],
+            vec![0.0, 10.0],
+            OUT_Q,
+            Activation::None,
+        )
+        .unwrap();
+        // ch 0: round(100·0.01) = 1; ch 1: round(100·0.02 + 10) = 12.
+        assert_eq!(ep.apply(0, 100), 1);
+        assert_eq!(ep.apply(1, 100), 12);
+        assert_eq!(ep.scale_for(1), 0.02);
+    }
+
+    #[test]
+    fn saturates_at_i8_limits() {
+        let ep = Epilogue::uniform(vec![0], 1.0, OUT_Q, Activation::None).unwrap();
+        assert_eq!(ep.apply(0, 1 << 20), 127);
+        assert_eq!(ep.apply(0, -(1 << 20)), -128);
+    }
+
+    #[test]
+    fn rejects_inconsistent_construction() {
+        assert!(Epilogue::uniform(vec![], 1.0, OUT_Q, Activation::None).is_err());
+        assert!(Epilogue::per_channel(
+            vec![1, 2],
+            vec![1.0],
+            vec![0.0, 0.0],
+            OUT_Q,
+            Activation::None
+        )
+        .is_err());
+        assert!(Epilogue::per_channel(
+            vec![1, 2],
+            vec![1.0, 1.0],
+            vec![0.0],
+            OUT_Q,
+            Activation::None
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn apply_row_validates_lengths_and_channel() {
+        let ep = Epilogue::uniform(vec![0], 1.0, OUT_Q, Activation::None).unwrap();
+        let mut dst = [0i8; 2];
+        assert!(ep.apply_row(0, &[1, 2, 3], &mut dst).is_err());
+        assert!(ep.apply_row(1, &[1, 2], &mut dst).is_err());
+    }
+}

@@ -53,9 +53,10 @@ use std::fmt;
 use std::str::FromStr;
 use std::sync::OnceLock;
 
+use crate::error::TensorError;
 use crate::ops::pack::{
-    pack_a_f32_into, pack_a_i8_into, pack_b_f32_into, pack_b_i8_into, packed_a_len, packed_b_len,
-    MR, NR,
+    pack_a_f32_into, pack_a_i8_into, pack_b_f32_into, pack_b_i8_into, packed_a_len,
+    packed_a_pairs_len, packed_b_len, packed_b_pairs_len, MR, NR,
 };
 
 /// Which kernel implementation `conv2d_*` / `linear_*` should use.
@@ -275,6 +276,70 @@ unsafe fn mk_i16_avx2(kc: usize, a: &[i16], b: &[i16], acc: &mut [i32; MR * NR])
 }
 
 #[inline(always)]
+fn mk_i16_pairs_portable(kpairs: usize, a: &[i16], b: &[i16], acc: &mut [i32; MR * NR]) {
+    for kp in 0..kpairs {
+        let av = &a[kp * MR * 2..(kp + 1) * MR * 2];
+        let bv = &b[kp * NR * 2..(kp + 1) * NR * 2];
+        for r in 0..MR {
+            let a0 = i32::from(av[r * 2]);
+            let a1 = i32::from(av[r * 2 + 1]);
+            for j in 0..NR {
+                acc[r * NR + j] += a0 * i32::from(bv[j * 2]) + a1 * i32::from(bv[j * 2 + 1]);
+            }
+        }
+    }
+}
+
+/// AVX2 `pmaddwd` microkernel over pair-interleaved panels: one 256-bit B
+/// load per k-pair carries `[b(k₀,j), b(k₁,j)]` for 8 columns; each A row's
+/// pair broadcasts as a 32-bit value and `_mm256_madd_epi16` retires 16
+/// multiply-accumulates per instruction (vs 8 for the `mullo` kernel).
+///
+/// Bit-identical to [`mk_i16_pairs_portable`] (and therefore to the `mullo`
+/// and scalar paths): the `i16` products are exact in `i32` — operands are
+/// zero-point-subtracted `i8` values, so `|a·b| ≤ 255² = 65 025` and a pair
+/// sum stays below `2¹⁸` — and `i32` addition is associative, so
+/// reassociating the reduction into pairs cannot change the sum. With the
+/// datapath's maximum reduction depth (`kdim ≤ 720·3·3 < 2¹³`) the full
+/// accumulator stays below `2³¹`.
+///
+/// # Safety
+/// Caller must have verified AVX2 support (see [`simd_kernels_active`]) and
+/// pass pair-interleaved slices of at least `kpairs·MR·2` / `kpairs·NR·2`
+/// elements.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn mk_i16_pairs_avx2(kpairs: usize, a: &[i16], b: &[i16], acc: &mut [i32; MR * NR]) {
+    use std::arch::x86_64::{
+        _mm256_add_epi32, _mm256_loadu_si256, _mm256_madd_epi16, _mm256_set1_epi32,
+        _mm256_storeu_si256,
+    };
+    debug_assert!(a.len() >= kpairs * MR * 2 && b.len() >= kpairs * NR * 2);
+    let mut c0 = _mm256_loadu_si256(acc.as_ptr().cast());
+    let mut c1 = _mm256_loadu_si256(acc.as_ptr().add(NR).cast());
+    let mut c2 = _mm256_loadu_si256(acc.as_ptr().add(2 * NR).cast());
+    let mut c3 = _mm256_loadu_si256(acc.as_ptr().add(3 * NR).cast());
+    for kp in 0..kpairs {
+        let bv = _mm256_loadu_si256(b.as_ptr().add(kp * NR * 2).cast());
+        let ap = a.as_ptr().add(kp * MR * 2);
+        // Each A pair occupies 32 bits; an unaligned i32 read + set1 is the
+        // pair broadcast.
+        let a0 = _mm256_set1_epi32(ap.cast::<i32>().read_unaligned());
+        let a1 = _mm256_set1_epi32(ap.add(2).cast::<i32>().read_unaligned());
+        let a2 = _mm256_set1_epi32(ap.add(4).cast::<i32>().read_unaligned());
+        let a3 = _mm256_set1_epi32(ap.add(6).cast::<i32>().read_unaligned());
+        c0 = _mm256_add_epi32(c0, _mm256_madd_epi16(a0, bv));
+        c1 = _mm256_add_epi32(c1, _mm256_madd_epi16(a1, bv));
+        c2 = _mm256_add_epi32(c2, _mm256_madd_epi16(a2, bv));
+        c3 = _mm256_add_epi32(c3, _mm256_madd_epi16(a3, bv));
+    }
+    _mm256_storeu_si256(acc.as_mut_ptr().cast(), c0);
+    _mm256_storeu_si256(acc.as_mut_ptr().add(NR).cast(), c1);
+    _mm256_storeu_si256(acc.as_mut_ptr().add(2 * NR).cast(), c2);
+    _mm256_storeu_si256(acc.as_mut_ptr().add(3 * NR).cast(), c3);
+}
+
+#[inline(always)]
 fn writeback<T: Copy + std::ops::AddAssign>(
     c: &mut [T],
     n: usize,
@@ -399,21 +464,107 @@ fn run_packed_i8(m: usize, k: usize, n: usize, pa: &[i16], pb: &[i16], c: &mut [
     });
 }
 
+/// Pair-interleaved block driver: identical KC/MC blocking to
+/// [`gemm_block_i8_packed`], with every k index counted in pairs (the panel
+/// stride per k-pair is `2·MR` / `2·NR` elements).
+fn gemm_block_i8_pairs(kpairs: usize, n: usize, pa: &[i16], pb: &[i16], c: &mut [i32], simd: bool) {
+    const KCP: usize = KC / 2;
+    let m = c.len() / n;
+    let n_panels = n.div_ceil(NR);
+    for kb in (0..kpairs).step_by(KCP) {
+        let kc = KCP.min(kpairs - kb);
+        for i0 in (0..m).step_by(MC) {
+            let rows_block = MC.min(m - i0);
+            for jp in 0..n_panels {
+                let j0 = jp * NR;
+                let cols = NR.min(n - j0);
+                let pb0 = jp * kpairs * NR * 2;
+                let bp = &pb[pb0 + kb * NR * 2..pb0 + (kb + kc) * NR * 2];
+                for ip in (i0 / MR)..(i0 + rows_block).div_ceil(MR) {
+                    let pa0 = ip * kpairs * MR * 2;
+                    let ap = &pa[pa0 + kb * MR * 2..pa0 + (kb + kc) * MR * 2];
+                    let mut acc = [0i32; MR * NR];
+                    #[cfg(target_arch = "x86_64")]
+                    if simd {
+                        // SAFETY: `simd` is only true when AVX2 was
+                        // detected; slices satisfy the kernel contract.
+                        unsafe { mk_i16_pairs_avx2(kc, ap, bp, &mut acc) }
+                    } else {
+                        mk_i16_pairs_portable(kc, ap, bp, &mut acc);
+                    }
+                    #[cfg(not(target_arch = "x86_64"))]
+                    {
+                        let _ = simd;
+                        mk_i16_pairs_portable(kc, ap, bp, &mut acc);
+                    }
+                    writeback(c, n, ip * MR, j0, MR.min(m - ip * MR), cols, &acc);
+                }
+            }
+        }
+    }
+}
+
+fn run_packed_i8_pairs(
+    m: usize,
+    kpairs: usize,
+    n: usize,
+    pa: &[i16],
+    pb: &[i16],
+    c: &mut [i32],
+    simd: bool,
+) {
+    let threads = worker_count(m, kpairs * 2, n);
+    if threads <= 1 {
+        gemm_block_i8_pairs(kpairs, n, pa, pb, c, simd);
+        return;
+    }
+    let panels_per = m.div_ceil(MR).div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (chunk_idx, c_chunk) in c.chunks_mut(panels_per * MR * n).enumerate() {
+            let pa_chunk = &pa[chunk_idx * panels_per * MR * kpairs * 2..];
+            scope.spawn(move || gemm_block_i8_pairs(kpairs, n, pa_chunk, pb, c_chunk, simd));
+        }
+    });
+}
+
+fn check_packed_lens(
+    pa_len: usize,
+    pa_expect: usize,
+    pb_len: usize,
+    pb_expect: usize,
+    c_len: usize,
+    c_expect: usize,
+) -> Result<(), TensorError> {
+    for (actual, expected) in [(pa_len, pa_expect), (pb_len, pb_expect), (c_len, c_expect)] {
+        if actual != expected {
+            return Err(TensorError::LengthMismatch { expected, actual });
+        }
+    }
+    Ok(())
+}
+
 /// `C += A·B` over pre-packed operands: `pa` is the MR-row-panel packing of
 /// the `m×k` A matrix ([`crate::ops::pack::pack_a_f32_into`]), `pb` the
 /// NR-column-panel packing of the `k×n` B matrix. `C` is dense row-major
 /// `m×n`, accumulated into.
 ///
-/// # Panics
-/// Panics if any slice length disagrees with the packed-layout lengths.
-pub fn gemm_f32_packed(m: usize, k: usize, n: usize, pa: &[f32], pb: &[f32], c: &mut [f32]) {
-    assert_eq!(pa.len(), packed_a_len(m, k), "packed A length");
-    assert_eq!(pb.len(), packed_b_len(k, n), "packed B length");
-    assert_eq!(c.len(), m * n, "C must be m*n");
+/// # Errors
+/// Returns an error if any slice length disagrees with the packed-layout
+/// lengths.
+pub fn gemm_f32_packed(
+    m: usize,
+    k: usize,
+    n: usize,
+    pa: &[f32],
+    pb: &[f32],
+    c: &mut [f32],
+) -> Result<(), TensorError> {
+    check_packed_lens(pa.len(), packed_a_len(m, k), pb.len(), packed_b_len(k, n), c.len(), m * n)?;
     if m == 0 || k == 0 || n == 0 {
-        return;
+        return Ok(());
     }
     run_packed_f32(m, k, n, pa, pb, c, simd_kernels_active());
+    Ok(())
 }
 
 /// Portable-microkernel variant of [`gemm_f32_packed`], bypassing runtime
@@ -427,14 +578,13 @@ pub fn gemm_f32_packed_portable(
     pa: &[f32],
     pb: &[f32],
     c: &mut [f32],
-) {
-    assert_eq!(pa.len(), packed_a_len(m, k), "packed A length");
-    assert_eq!(pb.len(), packed_b_len(k, n), "packed B length");
-    assert_eq!(c.len(), m * n, "C must be m*n");
+) -> Result<(), TensorError> {
+    check_packed_lens(pa.len(), packed_a_len(m, k), pb.len(), packed_b_len(k, n), c.len(), m * n)?;
     if m == 0 || k == 0 || n == 0 {
-        return;
+        return Ok(());
     }
     run_packed_f32(m, k, n, pa, pb, c, false);
+    Ok(())
 }
 
 /// `C += (A − zp_a)·(B − zp_b)` over pre-packed, zero-point-subtracted
@@ -444,16 +594,23 @@ pub fn gemm_f32_packed_portable(
 ///
 /// Bit-identical to the scalar reference for every blocking and ISA choice.
 ///
-/// # Panics
-/// Panics if any slice length disagrees with the packed-layout lengths.
-pub fn gemm_i8_packed(m: usize, k: usize, n: usize, pa: &[i16], pb: &[i16], c: &mut [i32]) {
-    assert_eq!(pa.len(), packed_a_len(m, k), "packed A length");
-    assert_eq!(pb.len(), packed_b_len(k, n), "packed B length");
-    assert_eq!(c.len(), m * n, "C must be m*n");
+/// # Errors
+/// Returns an error if any slice length disagrees with the packed-layout
+/// lengths.
+pub fn gemm_i8_packed(
+    m: usize,
+    k: usize,
+    n: usize,
+    pa: &[i16],
+    pb: &[i16],
+    c: &mut [i32],
+) -> Result<(), TensorError> {
+    check_packed_lens(pa.len(), packed_a_len(m, k), pb.len(), packed_b_len(k, n), c.len(), m * n)?;
     if m == 0 || k == 0 || n == 0 {
-        return;
+        return Ok(());
     }
     run_packed_i8(m, k, n, pa, pb, c, simd_kernels_active());
+    Ok(())
 }
 
 /// Portable-microkernel variant of [`gemm_i8_packed`], bypassing runtime
@@ -467,14 +624,76 @@ pub fn gemm_i8_packed_portable(
     pa: &[i16],
     pb: &[i16],
     c: &mut [i32],
-) {
-    assert_eq!(pa.len(), packed_a_len(m, k), "packed A length");
-    assert_eq!(pb.len(), packed_b_len(k, n), "packed B length");
-    assert_eq!(c.len(), m * n, "C must be m*n");
+) -> Result<(), TensorError> {
+    check_packed_lens(pa.len(), packed_a_len(m, k), pb.len(), packed_b_len(k, n), c.len(), m * n)?;
     if m == 0 || k == 0 || n == 0 {
-        return;
+        return Ok(());
     }
     run_packed_i8(m, k, n, pa, pb, c, false);
+    Ok(())
+}
+
+/// `C += (A − zp_a)·(B − zp_b)` over **pair-interleaved** pre-packed `i16`
+/// operands (see [`crate::ops::pack::pack_a_i8_pairs_into`] /
+/// [`crate::ops::pack::pack_b_i8_pairs_into`]); `C` is a dense row-major
+/// `m×n` `i32` accumulator.
+///
+/// This is the `pmaddwd` fast path: on AVX2 it retires twice the
+/// multiply-accumulates per instruction of [`gemm_i8_packed`], and its
+/// result is **bit-identical** to it (exact `i16·i16` products, associative
+/// `i32` reduction — see `mk_i16_pairs_avx2` for the overflow budget).
+///
+/// # Errors
+/// Returns an error if any slice length disagrees with the pair-packed
+/// layout lengths.
+pub fn gemm_i8_packed_pairs(
+    m: usize,
+    k: usize,
+    n: usize,
+    pa: &[i16],
+    pb: &[i16],
+    c: &mut [i32],
+) -> Result<(), TensorError> {
+    check_packed_lens(
+        pa.len(),
+        packed_a_pairs_len(m, k),
+        pb.len(),
+        packed_b_pairs_len(k, n),
+        c.len(),
+        m * n,
+    )?;
+    if m == 0 || k == 0 || n == 0 {
+        return Ok(());
+    }
+    run_packed_i8_pairs(m, k.div_ceil(2), n, pa, pb, c, simd_kernels_active());
+    Ok(())
+}
+
+/// Portable-microkernel variant of [`gemm_i8_packed_pairs`], bypassing
+/// runtime SIMD dispatch. Exists so tests can pin `pmaddwd`-vs-portable
+/// bit-identity; use [`gemm_i8_packed_pairs`] everywhere else.
+#[doc(hidden)]
+pub fn gemm_i8_packed_pairs_portable(
+    m: usize,
+    k: usize,
+    n: usize,
+    pa: &[i16],
+    pb: &[i16],
+    c: &mut [i32],
+) -> Result<(), TensorError> {
+    check_packed_lens(
+        pa.len(),
+        packed_a_pairs_len(m, k),
+        pb.len(),
+        packed_b_pairs_len(k, n),
+        c.len(),
+        m * n,
+    )?;
+    if m == 0 || k == 0 || n == 0 {
+        return Ok(());
+    }
+    run_packed_i8_pairs(m, k.div_ceil(2), n, pa, pb, c, false);
+    Ok(())
 }
 
 /// `C += A · B` over `f32`, where `A` is `m×k`, `B` is `k×n` and `C` is
@@ -483,20 +702,35 @@ pub fn gemm_i8_packed_portable(
 /// panel kernels; hot paths that can reuse scratch or pre-packed weights
 /// should call [`gemm_f32_packed`] directly.
 ///
-/// # Panics
-/// Panics if any slice length disagrees with its `m`/`k`/`n` dimensions.
-pub fn gemm_f32(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
-    assert_eq!(a.len(), m * k, "A must be m*k");
-    assert_eq!(b.len(), k * n, "B must be k*n");
-    assert_eq!(c.len(), m * n, "C must be m*n");
+/// # Errors
+/// Returns an error if any slice length disagrees with its `m`/`k`/`n`
+/// dimensions.
+pub fn gemm_f32(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+) -> Result<(), TensorError> {
+    if c.len() != m * n {
+        return Err(TensorError::LengthMismatch { expected: m * n, actual: c.len() });
+    }
     if m == 0 || k == 0 || n == 0 {
-        return;
+        if a.len() != m * k {
+            return Err(TensorError::LengthMismatch { expected: m * k, actual: a.len() });
+        }
+        if b.len() != k * n {
+            return Err(TensorError::LengthMismatch { expected: k * n, actual: b.len() });
+        }
+        return Ok(());
     }
     let mut pa = vec![0.0f32; packed_a_len(m, k)];
     let mut pb = vec![0.0f32; packed_b_len(k, n)];
-    pack_a_f32_into(&mut pa, a, m, k);
-    pack_b_f32_into(&mut pb, b, k, n);
+    pack_a_f32_into(&mut pa, a, m, k)?;
+    pack_b_f32_into(&mut pb, b, k, n)?;
     run_packed_f32(m, k, n, &pa, &pb, c, simd_kernels_active());
+    Ok(())
 }
 
 /// `C += (A − zp_a) · (B − zp_b)` over `i8` operands widened to `i32`
@@ -507,8 +741,10 @@ pub fn gemm_f32(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32
 /// zero. The result is bit-identical to the scalar reference regardless of
 /// blocking, because `i32` addition is associative.
 ///
-/// # Panics
-/// Panics if any slice length disagrees with its `m`/`k`/`n` dimensions.
+/// # Errors
+/// Returns an error if any slice length disagrees with its `m`/`k`/`n`
+/// dimensions.
+#[allow(clippy::too_many_arguments)]
 pub fn gemm_i8_i32(
     m: usize,
     k: usize,
@@ -518,18 +754,25 @@ pub fn gemm_i8_i32(
     b: &[i8],
     zp_b: i8,
     c: &mut [i32],
-) {
-    assert_eq!(a.len(), m * k, "A must be m*k");
-    assert_eq!(b.len(), k * n, "B must be k*n");
-    assert_eq!(c.len(), m * n, "C must be m*n");
+) -> Result<(), TensorError> {
+    if c.len() != m * n {
+        return Err(TensorError::LengthMismatch { expected: m * n, actual: c.len() });
+    }
     if m == 0 || k == 0 || n == 0 {
-        return;
+        if a.len() != m * k {
+            return Err(TensorError::LengthMismatch { expected: m * k, actual: a.len() });
+        }
+        if b.len() != k * n {
+            return Err(TensorError::LengthMismatch { expected: k * n, actual: b.len() });
+        }
+        return Ok(());
     }
     let mut pa = vec![0i16; packed_a_len(m, k)];
     let mut pb = vec![0i16; packed_b_len(k, n)];
-    pack_a_i8_into(&mut pa, a, zp_a, m, k);
-    pack_b_i8_into(&mut pb, b, zp_b, k, n);
+    pack_a_i8_into(&mut pa, a, zp_a, m, k)?;
+    pack_b_i8_into(&mut pb, b, zp_b, k, n)?;
     run_packed_i8(m, k, n, &pa, &pb, c, simd_kernels_active());
+    Ok(())
 }
 
 #[cfg(test)]
@@ -557,7 +800,7 @@ mod tests {
             let a: Vec<f32> = (0..m * k).map(|_| rng.uniform_f32(-1.0, 1.0)).collect();
             let b: Vec<f32> = (0..k * n).map(|_| rng.uniform_f32(-1.0, 1.0)).collect();
             let mut c = vec![0.0; m * n];
-            gemm_f32(m, k, n, &a, &b, &mut c);
+            gemm_f32(m, k, n, &a, &b, &mut c).unwrap();
             let expect = naive_f32(m, k, n, &a, &b);
             for (x, y) in c.iter().zip(&expect) {
                 assert!((x - y).abs() < 1e-4, "({m},{k},{n}): {x} vs {y}");
@@ -570,7 +813,7 @@ mod tests {
         let a = [1.0, 2.0];
         let b = [10.0, 100.0];
         let mut c = [5.0];
-        gemm_f32(1, 2, 1, &a, &b, &mut c);
+        gemm_f32(1, 2, 1, &a, &b, &mut c).unwrap();
         assert_eq!(c[0], 5.0 + 210.0);
     }
 
@@ -582,7 +825,7 @@ mod tests {
         let b: Vec<i8> = (0..k * n).map(|_| rng.next_i8()).collect();
         let (zp_a, zp_b) = (-3i8, 7i8);
         let mut c = vec![0i32; m * n];
-        gemm_i8_i32(m, k, n, &a, zp_a, &b, zp_b, &mut c);
+        gemm_i8_i32(m, k, n, &a, zp_a, &b, zp_b, &mut c).unwrap();
         for i in 0..m {
             for j in 0..n {
                 let mut acc = 0i32;
@@ -602,7 +845,7 @@ mod tests {
         let a = vec![i8::MIN; m * k];
         let b = vec![i8::MAX; k * n];
         let mut c = vec![0i32; m * n];
-        gemm_i8_i32(m, k, n, &a, i8::MAX, &b, i8::MIN, &mut c);
+        gemm_i8_i32(m, k, n, &a, i8::MAX, &b, i8::MIN, &mut c).unwrap();
         // Every MAC is (−128 − 127)·(127 − (−128)) = −255·255.
         assert!(c.iter().all(|&v| v == (k as i32) * -255 * 255));
     }
@@ -613,24 +856,24 @@ mod tests {
         let a = [5i8, -9, 3];
         let b = [4i8, 4, 4];
         let mut c = [0i32];
-        gemm_i8_i32(1, 3, 1, &a, 0, &b, 4, &mut c);
+        gemm_i8_i32(1, 3, 1, &a, 0, &b, 4, &mut c).unwrap();
         assert_eq!(c[0], 0);
     }
 
     #[test]
     fn degenerate_dims_are_no_ops() {
         let mut c: [f32; 0] = [];
-        gemm_f32(0, 4, 0, &[], &[0.0; 0], &mut c);
+        gemm_f32(0, 4, 0, &[], &[0.0; 0], &mut c).unwrap();
         let mut c2 = [1.0f32, 2.0];
-        gemm_f32(2, 0, 1, &[], &[], &mut c2);
+        gemm_f32(2, 0, 1, &[], &[], &mut c2).unwrap();
         assert_eq!(c2, [1.0, 2.0]); // k == 0 leaves C untouched
     }
 
     #[test]
-    #[should_panic(expected = "A must be m*k")]
     fn rejects_wrong_a_len() {
         let mut c = [0.0f32; 4];
-        gemm_f32(2, 2, 2, &[0.0; 3], &[0.0; 4], &mut c);
+        assert!(gemm_f32(2, 2, 2, &[0.0; 3], &[0.0; 4], &mut c).is_err());
+        assert!(gemm_i8_i32(2, 2, 2, &[0; 4], 0, &[0; 4], 0, &mut [0i32; 3]).is_err());
     }
 
     #[test]
@@ -641,7 +884,7 @@ mod tests {
         let a: Vec<f32> = (0..m * k).map(|_| rng.uniform_f32(-0.5, 0.5)).collect();
         let b: Vec<f32> = (0..k * n).map(|_| rng.uniform_f32(-0.5, 0.5)).collect();
         let mut c = vec![0.0; m * n];
-        gemm_f32(m, k, n, &a, &b, &mut c);
+        gemm_f32(m, k, n, &a, &b, &mut c).unwrap();
         let expect = naive_f32(m, k, n, &a, &b);
         let max_err = c.iter().zip(&expect).map(|(x, y)| (x - y).abs()).fold(0.0f32, f32::max);
         assert!(max_err < 1e-3, "max err {max_err}");
@@ -655,11 +898,11 @@ mod tests {
         let a: Vec<i8> = (0..m * k).map(|_| rng.next_i8()).collect();
         let b: Vec<i8> = (0..k * n).map(|_| rng.next_i8()).collect();
         let mut threaded = vec![0i32; m * n];
-        gemm_i8_i32(m, k, n, &a, 5, &b, -11, &mut threaded);
+        gemm_i8_i32(m, k, n, &a, 5, &b, -11, &mut threaded).unwrap();
         let mut pa = vec![0i16; packed_a_len(m, k)];
         let mut pb = vec![0i16; packed_b_len(k, n)];
-        pack_a_i8_into(&mut pa, &a, 5, m, k);
-        pack_b_i8_into(&mut pb, &b, -11, k, n);
+        pack_a_i8_into(&mut pa, &a, 5, m, k).unwrap();
+        pack_b_i8_into(&mut pb, &b, -11, k, n).unwrap();
         let mut single = vec![0i32; m * n];
         gemm_block_i8_packed(k, n, &pa, &pb, &mut single, simd_kernels_active());
         assert_eq!(threaded, single);
@@ -673,12 +916,12 @@ mod tests {
         let b: Vec<i8> = (0..k * n).map(|_| rng.next_i8()).collect();
         let mut pa = vec![0i16; packed_a_len(m, k)];
         let mut pb = vec![0i16; packed_b_len(k, n)];
-        pack_a_i8_into(&mut pa, &a, -2, m, k);
-        pack_b_i8_into(&mut pb, &b, 9, k, n);
+        pack_a_i8_into(&mut pa, &a, -2, m, k).unwrap();
+        pack_b_i8_into(&mut pb, &b, 9, k, n).unwrap();
         let mut dispatched = vec![0i32; m * n];
-        gemm_i8_packed(m, k, n, &pa, &pb, &mut dispatched);
+        gemm_i8_packed(m, k, n, &pa, &pb, &mut dispatched).unwrap();
         let mut portable = vec![0i32; m * n];
-        gemm_i8_packed_portable(m, k, n, &pa, &pb, &mut portable);
+        gemm_i8_packed_portable(m, k, n, &pa, &pb, &mut portable).unwrap();
         assert_eq!(dispatched, portable);
     }
 
@@ -690,12 +933,12 @@ mod tests {
         let b: Vec<f32> = (0..k * n).map(|_| rng.uniform_f32(-1.0, 1.0)).collect();
         let mut pa = vec![0.0; packed_a_len(m, k)];
         let mut pb = vec![0.0; packed_b_len(k, n)];
-        pack_a_f32_into(&mut pa, &a, m, k);
-        pack_b_f32_into(&mut pb, &b, k, n);
+        pack_a_f32_into(&mut pa, &a, m, k).unwrap();
+        pack_b_f32_into(&mut pb, &b, k, n).unwrap();
         let mut via_packed = vec![0.0; m * n];
-        gemm_f32_packed(m, k, n, &pa, &pb, &mut via_packed);
+        gemm_f32_packed(m, k, n, &pa, &pb, &mut via_packed).unwrap();
         let mut via_raw = vec![0.0; m * n];
-        gemm_f32(m, k, n, &a, &b, &mut via_raw);
+        gemm_f32(m, k, n, &a, &b, &mut via_raw).unwrap();
         assert_eq!(via_packed, via_raw, "same packing must give the same bits");
     }
 

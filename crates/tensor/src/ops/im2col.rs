@@ -18,6 +18,7 @@
 //! matrix is heap-allocated per query (the conv entry points in
 //! [`crate::ops::conv`] do the routing).
 
+use crate::error::TensorError;
 use crate::ops::conv::Conv2dParams;
 use crate::tensor::{Element, Tensor};
 
@@ -50,9 +51,9 @@ pub fn out_range(
 /// `oh`/`ow` are the validated output dims for `params` (the caller has run
 /// [`Conv2dParams`] validation). Padded cells are written as `pad`.
 ///
-/// # Panics
-/// Panics if `out` has the wrong length or the channel range is out of
-/// bounds.
+/// # Errors
+/// Returns an error if `out` has the wrong length.
+#[allow(clippy::too_many_arguments)]
 pub fn im2col<T: Element>(
     input: &Tensor<T>,
     n: usize,
@@ -63,12 +64,17 @@ pub fn im2col<T: Element>(
     ow: usize,
     pad: T,
     out: &mut [T],
-) {
+) -> Result<(), TensorError> {
     let ishape = input.shape();
     let (kh, kw, stride, padding) =
         (params.kernel_h, params.kernel_w, params.stride, params.padding);
     let npix = oh * ow;
-    assert_eq!(out.len(), cg * kh * kw * npix, "patch matrix length");
+    if out.len() != cg * kh * kw * npix {
+        return Err(TensorError::LengthMismatch {
+            expected: cg * kh * kw * npix,
+            actual: out.len(),
+        });
+    }
     for cc in 0..cg {
         let c = c0 + cc;
         for ry in 0..kh {
@@ -100,6 +106,7 @@ pub fn im2col<T: Element>(
             }
         }
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -135,7 +142,7 @@ mod tests {
         let ow = conv_out_dim(ishape.w, params.kernel_w, params.stride, params.padding).unwrap();
         let cg = ishape.c;
         let mut patches = vec![0.0f32; cg * params.kernel_h * params.kernel_w * oh * ow];
-        im2col(&input, 0, 0, cg, params, oh, ow, pad, &mut patches);
+        im2col(&input, 0, 0, cg, params, oh, ow, pad, &mut patches).unwrap();
         for cc in 0..cg {
             for ry in 0..params.kernel_h {
                 for rx in 0..params.kernel_w {

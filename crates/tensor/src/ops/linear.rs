@@ -57,7 +57,7 @@ pub fn linear_f32_with(
     let macs = ishape.n * out_features * in_features;
     match policy.resolve(macs, false) {
         ConvBackend::Direct => Ok(linear_direct(input, weights, bias, out_features, in_features)),
-        ConvBackend::Im2colGemm => Ok(linear_gemm(input, weights, bias, out_features, in_features)),
+        ConvBackend::Im2colGemm => linear_gemm(input, weights, bias, out_features, in_features),
     }
 }
 
@@ -93,7 +93,7 @@ fn linear_gemm(
     bias: Option<&[f32]>,
     out_features: usize,
     in_features: usize,
-) -> Vec<Vec<f32>> {
+) -> Result<Vec<Vec<f32>>, TensorError> {
     let data = input.as_slice();
     let batch = input.shape().n;
     // B = Xᵀ (in_features × batch), so C = W·B is (out_features × batch).
@@ -104,10 +104,10 @@ fn linear_gemm(
         }
     }
     let mut c = vec![0.0_f32; out_features * batch];
-    gemm_f32(out_features, in_features, batch, weights, &xt, &mut c);
-    (0..batch)
+    gemm_f32(out_features, in_features, batch, weights, &xt, &mut c)?;
+    Ok((0..batch)
         .map(|n| (0..out_features).map(|o| c[o * batch + n] + bias.map_or(0.0, |b| b[o])).collect())
-        .collect()
+        .collect())
 }
 
 /// Index of the maximum score (argmax) per batch row.

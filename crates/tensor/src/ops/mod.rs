@@ -12,6 +12,7 @@
 
 pub mod activation;
 pub mod conv;
+pub mod epilogue;
 pub mod gemm;
 pub mod im2col;
 pub mod linear;

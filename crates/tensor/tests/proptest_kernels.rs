@@ -10,11 +10,13 @@ use proptest::prelude::*;
 
 use sushi_tensor::ops::conv::{conv2d_f32_with, conv2d_i8_prepacked, conv2d_i8_with, Conv2dParams};
 use sushi_tensor::ops::gemm::{
-    gemm_f32_packed, gemm_f32_packed_portable, gemm_i8_packed, gemm_i8_packed_portable,
+    gemm_f32_packed, gemm_f32_packed_portable, gemm_i8_packed, gemm_i8_packed_pairs,
+    gemm_i8_packed_pairs_portable, gemm_i8_packed_portable,
 };
 use sushi_tensor::ops::linear::linear_f32_with;
 use sushi_tensor::ops::pack::{
-    pack_a_f32_into, pack_a_i8_into, pack_b_f32_into, pack_b_i8_into, packed_a_len, packed_b_len,
+    pack_a_f32_into, pack_a_i8_into, pack_a_i8_pairs_into, pack_b_f32_into, pack_b_i8_into,
+    pack_b_i8_pairs_into, packed_a_len, packed_a_pairs_len, packed_b_len, packed_b_pairs_len,
     PackedConv2d, MR, NR,
 };
 use sushi_tensor::shape::conv_out_dim;
@@ -172,10 +174,10 @@ proptest! {
         let b: Vec<i8> = (0..k * n).map(|_| rng.next_i8()).collect();
         let mut pa = vec![0i16; packed_a_len(m, k)];
         let mut pb = vec![0i16; packed_b_len(k, n)];
-        pack_a_i8_into(&mut pa, &a, zp_a, m, k);
-        pack_b_i8_into(&mut pb, &b, zp_b, k, n);
+        pack_a_i8_into(&mut pa, &a, zp_a, m, k).unwrap();
+        pack_b_i8_into(&mut pb, &b, zp_b, k, n).unwrap();
         let mut c = vec![0i32; m * n];
-        gemm_i8_packed(m, k, n, &pa, &pb, &mut c);
+        gemm_i8_packed(m, k, n, &pa, &pb, &mut c).unwrap();
         for i in 0..m {
             for j in 0..n {
                 let mut acc = 0i32;
@@ -189,7 +191,7 @@ proptest! {
         // Dispatched (possibly AVX2) and portable microkernels agree
         // bit-for-bit; on machines without AVX2 this is trivially true.
         let mut portable = vec![0i32; m * n];
-        gemm_i8_packed_portable(m, k, n, &pa, &pb, &mut portable);
+        gemm_i8_packed_portable(m, k, n, &pa, &pb, &mut portable).unwrap();
         prop_assert_eq!(c, portable);
     }
 
@@ -208,10 +210,10 @@ proptest! {
         let b: Vec<f32> = (0..k * n).map(|_| rng.uniform_f32(-1.0, 1.0)).collect();
         let mut pa = vec![0.0f32; packed_a_len(m, k)];
         let mut pb = vec![0.0f32; packed_b_len(k, n)];
-        pack_a_f32_into(&mut pa, &a, m, k);
-        pack_b_f32_into(&mut pb, &b, k, n);
+        pack_a_f32_into(&mut pa, &a, m, k).unwrap();
+        pack_b_f32_into(&mut pb, &b, k, n).unwrap();
         let mut c = vec![0.0f32; m * n];
-        gemm_f32_packed(m, k, n, &pa, &pb, &mut c);
+        gemm_f32_packed(m, k, n, &pa, &pb, &mut c).unwrap();
         for i in 0..m {
             for j in 0..n {
                 let mut acc = 0.0f64;
@@ -223,7 +225,7 @@ proptest! {
             }
         }
         let mut portable = vec![0.0f32; m * n];
-        gemm_f32_packed_portable(m, k, n, &pa, &pb, &mut portable);
+        gemm_f32_packed_portable(m, k, n, &pa, &pb, &mut portable).unwrap();
         for (x, y) in c.iter().zip(&portable) {
             prop_assert!((x - y).abs() <= 1e-4, "simd {} vs portable {}", x, y);
         }
@@ -276,13 +278,47 @@ proptest! {
         let b: Vec<i8> = (0..k * n).map(|_| rng.next_i8()).collect();
         let mut pa = vec![0i16; packed_a_len(m, k)];
         let mut pb = vec![0i16; packed_b_len(k, n)];
-        pack_a_i8_into(&mut pa, &a, 1, m, k);
-        pack_b_i8_into(&mut pb, &b, -1, k, n);
+        pack_a_i8_into(&mut pa, &a, 1, m, k).unwrap();
+        pack_b_i8_into(&mut pb, &b, -1, k, n).unwrap();
         let mut c = vec![0i32; m * n];
-        gemm_i8_packed(m, k, n, &pa, &pb, &mut c);
+        gemm_i8_packed(m, k, n, &pa, &pb, &mut c).unwrap();
         let mut reference = vec![0i32; m * n];
-        sushi_tensor::ops::gemm::gemm_i8_i32(m, k, n, &a, 1, &b, -1, &mut reference);
+        sushi_tensor::ops::gemm::gemm_i8_i32(m, k, n, &a, 1, &b, -1, &mut reference).unwrap();
         prop_assert_eq!(c, reference);
+    }
+
+    /// The k-pair (`pmaddwd`) kernel is bit-identical to the panel kernel —
+    /// and hence to the scalar reference — across shapes (odd `k` exercises
+    /// the zero-padded final pair), full zero-point range, and the
+    /// AVX2-vs-portable split.
+    #[test]
+    fn pairs_i8_gemm_is_bit_identical_to_panel(
+        m in 1usize..=13,
+        k in 1usize..=40,
+        n in 1usize..=21,
+        zp_a in i8::MIN..=i8::MAX,
+        zp_b in i8::MIN..=i8::MAX,
+        seed in 0u64..10_000,
+    ) {
+        let mut rng = DetRng::new(seed ^ 0x5041);
+        let a: Vec<i8> = (0..m * k).map(|_| rng.next_i8()).collect();
+        let b: Vec<i8> = (0..k * n).map(|_| rng.next_i8()).collect();
+        let mut pa = vec![0i16; packed_a_len(m, k)];
+        let mut pb = vec![0i16; packed_b_len(k, n)];
+        pack_a_i8_into(&mut pa, &a, zp_a, m, k).unwrap();
+        pack_b_i8_into(&mut pb, &b, zp_b, k, n).unwrap();
+        let mut panel = vec![0i32; m * n];
+        gemm_i8_packed(m, k, n, &pa, &pb, &mut panel).unwrap();
+        let mut pap = vec![0i16; packed_a_pairs_len(m, k)];
+        let mut pbp = vec![0i16; packed_b_pairs_len(k, n)];
+        pack_a_i8_pairs_into(&mut pap, &a, zp_a, m, k).unwrap();
+        pack_b_i8_pairs_into(&mut pbp, &b, zp_b, k, n).unwrap();
+        let mut pairs = vec![0i32; m * n];
+        gemm_i8_packed_pairs(m, k, n, &pap, &pbp, &mut pairs).unwrap();
+        prop_assert_eq!(&panel, &pairs, "pairs kernel diverged on {}x{}x{}", m, k, n);
+        let mut portable = vec![0i32; m * n];
+        gemm_i8_packed_pairs_portable(m, k, n, &pap, &pbp, &mut portable).unwrap();
+        prop_assert_eq!(&pairs, &portable, "pairs avx2 vs portable on {}x{}x{}", m, k, n);
     }
 
     /// The fully-connected layer's GEMM path matches its dot-product oracle.

@@ -41,6 +41,7 @@
 pub mod accuracy;
 pub mod arch;
 pub mod encoding;
+pub mod ir_build;
 pub mod layer;
 pub mod pareto;
 pub mod sampler;

@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # Gates and regenerates the committed benchmark baselines:
 #
-#   BENCH_kernels.json  kernel wall-clock, schema v2 (kernel_bench): naive /
-#                       gemm / packed (pack-amortized) / cold-pack columns;
-#                       20% tolerance on gemm_ms AND packed_ms, plus an 8x
-#                       floor on the largest workload's *packed* speedup
+#   BENCH_kernels.json  kernel wall-clock, schema v3 (kernel_bench): naive /
+#                       gemm / packed (pack-amortized) / fused (IR-lowered
+#                       epilogue fusion) / cold-pack columns; 20% tolerance
+#                       on gemm_ms, packed_ms AND fused_ms, plus an 8x
+#                       floor on the largest workload's *fused* speedup
 #   BENCH_serve.json    serving-runtime simulated metrics, schema v5
 #                       (serve_bench): rows keyed by (scenario, adaptive,
 #                       workers, routing, tier, faults) — adaptive + static
